@@ -1,0 +1,301 @@
+//! The ANN baseline: a small multilayer perceptron trained with Adam, as used
+//! by the learning-assisted HLS estimation works the paper compares against
+//! ([7]–[9]); the paper's ANN has 2 hidden layers and 500–5000 training steps.
+
+use crate::regression::{validate, Regressor};
+use crate::BaselineError;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A fully-connected feed-forward network with tanh hidden activations and a
+/// linear output, trained by full-batch Adam on mean-squared error.
+///
+/// Inputs and outputs are standardized internally.
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    hidden: Vec<usize>,
+    epochs: usize,
+    learning_rate: f64,
+    seed: u64,
+    net: Option<Network>,
+    x_stats: Vec<(f64, f64)>,
+    y_stats: (f64, f64),
+}
+
+#[derive(Debug, Clone)]
+struct Network {
+    /// Per layer: weight matrix (rows = outputs) and bias vector.
+    layers: Vec<(Vec<Vec<f64>>, Vec<f64>)>,
+}
+
+impl MlpRegressor {
+    /// Creates an untrained MLP with the given hidden layer sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hidden` is empty or contains a zero size.
+    pub fn new(hidden: &[usize], epochs: usize, learning_rate: f64, seed: u64) -> Self {
+        assert!(
+            !hidden.is_empty() && hidden.iter().all(|&h| h > 0),
+            "hidden layer sizes must be positive"
+        );
+        MlpRegressor {
+            hidden: hidden.to_vec(),
+            epochs,
+            learning_rate,
+            seed,
+            net: None,
+            x_stats: Vec::new(),
+            y_stats: (0.0, 1.0),
+        }
+    }
+
+    /// The paper-style configuration: 2 hidden layers.
+    pub fn paper_default(seed: u64) -> Self {
+        MlpRegressor::new(&[32, 32], 1500, 0.01, seed)
+    }
+
+    fn forward(&self, x: &[f64]) -> (Vec<Vec<f64>>, f64) {
+        let net = self.net.as_ref().expect("predict called before fit");
+        let mut act = x.to_vec();
+        let mut acts = vec![act.clone()];
+        for (li, (w, b)) in net.layers.iter().enumerate() {
+            let last = li == net.layers.len() - 1;
+            let mut next = vec![0.0; b.len()];
+            for (o, (row, bias)) in w.iter().zip(b).enumerate() {
+                let z: f64 = row.iter().zip(&act).map(|(wi, ai)| wi * ai).sum::<f64>() + bias;
+                next[o] = if last { z } else { z.tanh() };
+            }
+            act = next;
+            acts.push(act.clone());
+        }
+        let out = acts.last().expect("nonempty")[0];
+        (acts, out)
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), BaselineError> {
+        let dim = validate(xs, ys)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Standardize.
+        self.x_stats = (0..dim)
+            .map(|d| {
+                let col: Vec<f64> = xs.iter().map(|x| x[d]).collect();
+                let m = linalg::stats::mean(&col);
+                let s = linalg::stats::std_dev(&col).max(1e-9);
+                (m, s)
+            })
+            .collect();
+        let ym = linalg::stats::mean(ys);
+        let ysd = linalg::stats::std_dev(ys).max(1e-9);
+        self.y_stats = (ym, ysd);
+        let xn: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .zip(&self.x_stats)
+                    .map(|(v, (m, s))| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+        let yn: Vec<f64> = ys.iter().map(|y| (y - ym) / ysd).collect();
+
+        // Xavier init.
+        let mut sizes = vec![dim];
+        sizes.extend(&self.hidden);
+        sizes.push(1);
+        let mut layers = Vec::new();
+        for w in sizes.windows(2) {
+            let (n_in, n_out) = (w[0], w[1]);
+            let scale = (2.0 / (n_in + n_out) as f64).sqrt();
+            let wmat: Vec<Vec<f64>> = (0..n_out)
+                .map(|_| (0..n_in).map(|_| rng.random_range(-scale..scale)).collect())
+                .collect();
+            layers.push((wmat, vec![0.0; n_out]));
+        }
+        self.net = Some(Network { layers });
+
+        // Adam state mirrors the parameter structure.
+        let mut m_w: Vec<Vec<Vec<f64>>> = self
+            .net
+            .as_ref()
+            .expect("set")
+            .layers
+            .iter()
+            .map(|(w, _)| w.iter().map(|r| vec![0.0; r.len()]).collect())
+            .collect();
+        let mut v_w = m_w.clone();
+        let mut m_b: Vec<Vec<f64>> = self
+            .net
+            .as_ref()
+            .expect("set")
+            .layers
+            .iter()
+            .map(|(_, b)| vec![0.0; b.len()])
+            .collect();
+        let mut v_b = m_b.clone();
+
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let n = xn.len() as f64;
+
+        for step in 1..=self.epochs {
+            // Accumulate full-batch gradients.
+            let net = self.net.as_ref().expect("set");
+            let n_layers = net.layers.len();
+            let mut g_w: Vec<Vec<Vec<f64>>> = net
+                .layers
+                .iter()
+                .map(|(w, _)| w.iter().map(|r| vec![0.0; r.len()]).collect())
+                .collect();
+            let mut g_b: Vec<Vec<f64>> = net.layers.iter().map(|(_, b)| vec![0.0; b.len()]).collect();
+
+            for (x, y) in xn.iter().zip(&yn) {
+                let (acts, out) = self.forward(x);
+                let net = self.net.as_ref().expect("set");
+                // Backprop: delta at output.
+                let mut delta = vec![2.0 * (out - y) / n];
+                for li in (0..n_layers).rev() {
+                    let (w, _) = &net.layers[li];
+                    let input = &acts[li];
+                    for (o, d) in delta.iter().enumerate() {
+                        for (i, a) in input.iter().enumerate() {
+                            g_w[li][o][i] += d * a;
+                        }
+                        g_b[li][o] += d;
+                    }
+                    if li > 0 {
+                        // delta for previous layer (through tanh).
+                        let mut prev = vec![0.0; input.len()];
+                        for (o, d) in delta.iter().enumerate() {
+                            for (i, p) in prev.iter_mut().enumerate() {
+                                *p += w[o][i] * d;
+                            }
+                        }
+                        for (p, a) in prev.iter_mut().zip(input) {
+                            *p *= 1.0 - a * a; // tanh'
+                        }
+                        delta = prev;
+                    }
+                }
+            }
+
+            // Adam update.
+            let bc1 = 1.0 - B1.powi(step as i32);
+            let bc2 = 1.0 - B2.powi(step as i32);
+            let net = self.net.as_mut().expect("set");
+            for li in 0..n_layers {
+                let (w, b) = &mut net.layers[li];
+                for (o, row) in w.iter_mut().enumerate() {
+                    for (i, wi) in row.iter_mut().enumerate() {
+                        let g = g_w[li][o][i];
+                        m_w[li][o][i] = B1 * m_w[li][o][i] + (1.0 - B1) * g;
+                        v_w[li][o][i] = B2 * v_w[li][o][i] + (1.0 - B2) * g * g;
+                        *wi -= self.learning_rate * (m_w[li][o][i] / bc1)
+                            / ((v_w[li][o][i] / bc2).sqrt() + EPS);
+                    }
+                }
+                for (o, bi) in b.iter_mut().enumerate() {
+                    let g = g_b[li][o];
+                    m_b[li][o] = B1 * m_b[li][o] + (1.0 - B1) * g;
+                    v_b[li][o] = B2 * v_b[li][o] + (1.0 - B2) * g * g;
+                    *bi -= self.learning_rate * (m_b[li][o] / bc1)
+                        / ((v_b[li][o] / bc2).sqrt() + EPS);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let xn: Vec<f64> = x
+            .iter()
+            .zip(&self.x_stats)
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect();
+        let (_, out) = self.forward(&xn);
+        self.y_stats.0 + self.y_stats.1 * out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 1.0).collect();
+        let mut mlp = MlpRegressor::new(&[16], 600, 0.02, 1);
+        mlp.fit(&xs, &ys).unwrap();
+        for x in [0.1, 0.5, 0.9] {
+            assert!((mlp.predict(&[x]) - (3.0 * x - 1.0)).abs() < 0.3, "at {x}");
+        }
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 59.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 6.0).sin()).collect();
+        let mut mlp = MlpRegressor::new(&[32, 32], 2000, 0.01, 2);
+        mlp.fit(&xs, &ys).unwrap();
+        let mut se = 0.0;
+        for x in &xs {
+            let d = mlp.predict(x) - (x[0] * 6.0).sin();
+            se += d * d;
+        }
+        let rmse = (se / xs.len() as f64).sqrt();
+        assert!(rmse < 0.2, "rmse={rmse}");
+    }
+
+    #[test]
+    fn multidimensional_input() {
+        let mut rng_x = 0.0;
+        let xs: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                rng_x += 0.1;
+                vec![i as f64 / 49.0, (rng_x as f64).sin().abs()]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] + 2.0 * x[1]).collect();
+        let mut mlp = MlpRegressor::new(&[16, 16], 800, 0.02, 3);
+        mlp.fit(&xs, &ys).unwrap();
+        let mut se = 0.0;
+        for (x, y) in xs.iter().zip(&ys) {
+            let d = mlp.predict(x) - y;
+            se += d * d;
+        }
+        assert!((se / xs.len() as f64).sqrt() < 0.3);
+    }
+
+    #[test]
+    fn rejects_bad_data() {
+        let mut mlp = MlpRegressor::paper_default(0);
+        assert!(mlp.fit(&[], &[]).is_err());
+        assert!(mlp
+            .fit(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0])
+            .is_err());
+        assert!(mlp.fit(&[vec![f64::NAN]], &[0.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "predict called before fit")]
+    fn predict_before_fit_panics() {
+        let mlp = MlpRegressor::paper_default(0);
+        let _ = mlp.predict(&[0.0]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let mut a = MlpRegressor::new(&[8], 200, 0.02, 9);
+        let mut b = MlpRegressor::new(&[8], 200, 0.02, 9);
+        a.fit(&xs, &ys).unwrap();
+        b.fit(&xs, &ys).unwrap();
+        assert_eq!(a.predict(&[0.42]), b.predict(&[0.42]));
+    }
+}

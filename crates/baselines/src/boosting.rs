@@ -1,0 +1,245 @@
+//! The BT baseline: gradient-boosted regression trees, as used by the HLS
+//! quality-estimation works the paper compares against ([7]–[9]; the paper
+//! sweeps tree depth 1–6 and learning rates 0.1–0.5).
+
+use crate::regression::{validate, Regressor};
+use crate::BaselineError;
+
+/// Gradient boosting with least-squares regression trees: each tree fits the
+/// residual of the ensemble so far, scaled by a learning rate.
+#[derive(Debug, Clone)]
+pub struct GradientBoostingRegressor {
+    n_trees: usize,
+    max_depth: usize,
+    learning_rate: f64,
+    min_leaf: usize,
+    base: f64,
+    trees: Vec<Tree>,
+}
+
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(f64),
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Tree>,
+        right: Box<Tree>,
+    },
+}
+
+impl GradientBoostingRegressor {
+    /// Creates an untrained ensemble.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_trees == 0`, `max_depth == 0`, or the learning rate is not
+    /// in `(0, 1]`.
+    pub fn new(n_trees: usize, max_depth: usize, learning_rate: f64) -> Self {
+        assert!(n_trees > 0 && max_depth > 0, "trees and depth must be positive");
+        assert!(
+            learning_rate > 0.0 && learning_rate <= 1.0,
+            "learning rate must be in (0, 1]"
+        );
+        GradientBoostingRegressor {
+            n_trees,
+            max_depth,
+            learning_rate,
+            min_leaf: 2,
+            base: 0.0,
+            trees: Vec::new(),
+        }
+    }
+
+    /// The paper-sweep midpoint: depth 4, learning rate 0.3, 120 trees.
+    pub fn paper_default() -> Self {
+        GradientBoostingRegressor::new(120, 4, 0.3)
+    }
+
+    fn eval_tree(tree: &Tree, x: &[f64]) -> f64 {
+        match tree {
+            Tree::Leaf(v) => *v,
+            Tree::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if x[*feature] <= *threshold {
+                    Self::eval_tree(left, x)
+                } else {
+                    Self::eval_tree(right, x)
+                }
+            }
+        }
+    }
+
+    fn build_tree(
+        &self,
+        xs: &[Vec<f64>],
+        residuals: &[f64],
+        indices: &[usize],
+        depth: usize,
+    ) -> Tree {
+        let mean: f64 =
+            indices.iter().map(|&i| residuals[i]).sum::<f64>() / indices.len().max(1) as f64;
+        if depth >= self.max_depth || indices.len() < 2 * self.min_leaf {
+            return Tree::Leaf(mean);
+        }
+
+        // Best variance-reducing split across features.
+        let dim = xs[0].len();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
+        let total_sq: f64 = indices
+            .iter()
+            .map(|&i| (residuals[i] - mean) * (residuals[i] - mean))
+            .sum();
+        for f in 0..dim {
+            let mut vals: Vec<(f64, f64)> =
+                indices.iter().map(|&i| (xs[i][f], residuals[i])).collect();
+            vals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let total_sum: f64 = vals.iter().map(|(_, r)| r).sum();
+            let n = vals.len() as f64;
+            let mut left_sum = 0.0;
+            for k in 0..vals.len() - 1 {
+                left_sum += vals[k].1;
+                if vals[k].0 == vals[k + 1].0 {
+                    continue; // can't split between equal values
+                }
+                let nl = (k + 1) as f64;
+                let nr = n - nl;
+                if (nl as usize) < self.min_leaf || (nr as usize) < self.min_leaf {
+                    continue;
+                }
+                // Variance reduction ∝ sum-of-squares gain.
+                let gain = left_sum * left_sum / nl
+                    + (total_sum - left_sum) * (total_sum - left_sum) / nr
+                    - total_sum * total_sum / n;
+                if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 1e-12) {
+                    best = Some((f, (vals[k].0 + vals[k + 1].0) / 2.0, gain));
+                }
+            }
+        }
+        let _ = total_sq;
+
+        match best {
+            None => Tree::Leaf(mean),
+            Some((feature, threshold, _)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| xs[i][feature] <= threshold);
+                Tree::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(self.build_tree(xs, residuals, &li, depth + 1)),
+                    right: Box::new(self.build_tree(xs, residuals, &ri, depth + 1)),
+                }
+            }
+        }
+    }
+}
+
+impl Regressor for GradientBoostingRegressor {
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), BaselineError> {
+        validate(xs, ys)?;
+        self.base = linalg::stats::mean(ys);
+        self.trees.clear();
+        let mut pred: Vec<f64> = vec![self.base; ys.len()];
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        for _ in 0..self.n_trees {
+            let residuals: Vec<f64> = ys.iter().zip(&pred).map(|(y, p)| y - p).collect();
+            let tree = self.build_tree(xs, &residuals, &indices, 0);
+            for (p, x) in pred.iter_mut().zip(xs) {
+                *p += self.learning_rate * Self::eval_tree(&tree, x);
+            }
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert!(!self.trees.is_empty(), "predict called before fit");
+        self.base
+            + self.learning_rate
+                * self
+                    .trees
+                    .iter()
+                    .map(|t| Self::eval_tree(t, x))
+                    .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_step_function_exactly() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 10.0 { 1.0 } else { 5.0 }).collect();
+        let mut bt = GradientBoostingRegressor::new(60, 2, 0.5);
+        bt.fit(&xs, &ys).unwrap();
+        assert!((bt.predict(&[3.0]) - 1.0).abs() < 0.05);
+        assert!((bt.predict(&[15.0]) - 5.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fits_smooth_function() {
+        let xs: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 79.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0] * 5.0).sin()).collect();
+        let mut bt = GradientBoostingRegressor::paper_default();
+        bt.fit(&xs, &ys).unwrap();
+        let mut se = 0.0;
+        for (x, y) in xs.iter().zip(&ys) {
+            let d = bt.predict(x) - y;
+            se += d * d;
+        }
+        assert!((se / xs.len() as f64).sqrt() < 0.1);
+    }
+
+    #[test]
+    fn handles_multifeature_interactions() {
+        // AND-like pattern needs depth >= 2 (no single split separates it).
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.1, 0.1],
+            vec![0.1, 0.9],
+            vec![0.9, 0.1],
+            vec![0.9, 0.9],
+        ];
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] > 0.5 && x[1] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
+        let mut bt = GradientBoostingRegressor::new(80, 3, 0.4);
+        bt.fit(&xs, &ys).unwrap();
+        assert!(bt.predict(&[0.95, 0.95]) > 0.7);
+        assert!(bt.predict(&[0.05, 0.95]) < 0.3);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![4.2; 10];
+        let mut bt = GradientBoostingRegressor::new(10, 3, 0.3);
+        bt.fit(&xs, &ys).unwrap();
+        assert!((bt.predict(&[100.0]) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_data() {
+        let mut bt = GradientBoostingRegressor::paper_default();
+        assert!(bt.fit(&[], &[]).is_err());
+        assert!(bt.fit(&[vec![1.0]], &[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "predict called before fit")]
+    fn predict_before_fit_panics() {
+        let bt = GradientBoostingRegressor::paper_default();
+        let _ = bt.predict(&[0.0]);
+    }
+}

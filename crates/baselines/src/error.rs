@@ -1,0 +1,39 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by baseline fitting or the surrogate-DSE protocol.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Training data is empty or inconsistently sized.
+    InvalidTrainingData {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The design space is too small for the requested training-set size.
+    SpaceTooSmall {
+        /// Requested training points.
+        requested: usize,
+        /// Available configurations.
+        available: usize,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidTrainingData { reason } => {
+                write!(f, "invalid training data: {reason}")
+            }
+            BaselineError::SpaceTooSmall {
+                requested,
+                available,
+            } => write!(
+                f,
+                "design space has {available} configurations, fewer than the {requested} requested"
+            ),
+        }
+    }
+}
+
+impl Error for BaselineError {}

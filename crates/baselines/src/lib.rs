@@ -1,0 +1,47 @@
+//! Baseline design-space-exploration methods from the paper's Table I
+//! (Sec. V-A):
+//!
+//! * **ANN** — an artificial neural network (2 hidden layers, as in the
+//!   paper's setup) regressing post-implementation objectives from directive
+//!   features ([`MlpRegressor`]),
+//! * **BT** — gradient boosting trees (depth ≤ 6, learning rates 0.1–0.5 in
+//!   the paper's sweep) ([`GradientBoostingRegressor`]),
+//! * **DAC19** — regression transfer using post-HLS reports as additional
+//!   features to predict post-implementation results, trained on 3–11 initial
+//!   sets (hence its 7x average runtime in Table I) ([`dse`]),
+//! * **FPL18** — Bayesian optimization with *independent* per-objective GPs
+//!   and a *linear* multi-fidelity model. Because FPL18 is "the paper's loop
+//!   with weaker models", it is exposed as a model variant of the `cmmf`
+//!   optimizer rather than duplicated here; see `cmmf::ModelVariant`.
+//!
+//! All regression baselines share the surrogate-DSE protocol of Sec. V-B:
+//! sample 48 random configurations, run the full flow on them, fit one model
+//! per objective, predict the whole space, and report the predicted-Pareto
+//! configurations ([`dse::run_surrogate_dse`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cmmf_baselines::{MlpRegressor, Regressor};
+//!
+//! # fn main() -> Result<(), cmmf_baselines::BaselineError> {
+//! let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * x[0] + 1.0).collect();
+//! let mut mlp = MlpRegressor::new(&[16, 16], 800, 0.01, 42);
+//! mlp.fit(&xs, &ys)?;
+//! assert!((mlp.predict(&[0.5]) - 2.0).abs() < 0.3);
+//! # Ok(())
+//! # }
+//! ```
+
+mod ann;
+mod boosting;
+pub mod dse;
+mod error;
+pub mod nsga2;
+mod regression;
+
+pub use ann::MlpRegressor;
+pub use boosting::GradientBoostingRegressor;
+pub use error::BaselineError;
+pub use regression::Regressor;

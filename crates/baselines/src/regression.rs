@@ -1,0 +1,42 @@
+use crate::BaselineError;
+
+/// A scalar regression model: fit on `(x, y)` pairs, predict at new points.
+///
+/// Both Table-I regression baselines (ANN, boosting trees) implement this, and
+/// the DAC19 transfer method composes them over augmented features.
+pub trait Regressor {
+    /// Fits the model, replacing any previous fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidTrainingData`] on empty or ragged data.
+    fn fit(&mut self, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), BaselineError>;
+
+    /// Predicts at `x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before a successful [`Regressor::fit`]
+    /// or with a dimension different from the training data.
+    fn predict(&self, x: &[f64]) -> f64;
+}
+
+pub(crate) fn validate(xs: &[Vec<f64>], ys: &[f64]) -> Result<usize, BaselineError> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return Err(BaselineError::InvalidTrainingData {
+            reason: format!("{} inputs vs {} outputs", xs.len(), ys.len()),
+        });
+    }
+    let dim = xs[0].len();
+    if dim == 0 || xs.iter().any(|x| x.len() != dim) {
+        return Err(BaselineError::InvalidTrainingData {
+            reason: "ragged or zero-dimensional inputs".into(),
+        });
+    }
+    if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
+        return Err(BaselineError::InvalidTrainingData {
+            reason: "non-finite values".into(),
+        });
+    }
+    Ok(dim)
+}

@@ -1,0 +1,125 @@
+//! Criterion benchmarks of the ablation axes' *computational* cost: what the
+//! correlated model, the non-linear composition, and hyperparameter reuse
+//! cost per model fit and per acquisition-level prediction. (The ablations'
+//! solution *quality* is reported by the `ablation` binary.)
+
+use cmmf::{FidelityDataSet, FidelityModelStack, ModelVariant};
+use criterion::{criterion_group, criterion_main, Criterion};
+use fidelity_sim::{FlowSimulator, RunOutcome, SimParams, Stage};
+use gp::GpConfig;
+use hls_model::benchmarks::{self, Benchmark};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn realistic_data() -> (FidelityDataSet, Vec<Vec<f64>>) {
+    let space = benchmarks::build(Benchmark::SpmvCrs)
+        .pruned_space()
+        .expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut idx: Vec<usize> = (0..space.len()).collect();
+    idx.shuffle(&mut rng);
+    let mut data = FidelityDataSet::default();
+    for (rank, &cfg) in idx[..40].iter().enumerate() {
+        let top = if rank < 5 {
+            Stage::Impl
+        } else if rank < 12 {
+            Stage::Syn
+        } else {
+            Stage::Hls
+        };
+        for s in Stage::all() {
+            if s > top {
+                break;
+            }
+            if let RunOutcome::Valid(r) = sim.run(&space, cfg, s) {
+                data.xs[s.index()].push(space.encode(cfg));
+                let o = r.objectives();
+                data.ys[s.index()].push(vec![o[0] / 2.0, o[1] / 1e7, o[2]]);
+            }
+        }
+    }
+    let queries: Vec<Vec<f64>> = idx[40..80].iter().map(|&i| space.encode(i)).collect();
+    (data, queries)
+}
+
+fn quick_cfg() -> GpConfig {
+    GpConfig {
+        restarts: 0,
+        max_evals: 120,
+        ..Default::default()
+    }
+}
+
+fn bench_variant_fits(c: &mut Criterion) {
+    let (data, _) = realistic_data();
+    let cfg = quick_cfg();
+    let mut group = c.benchmark_group("ablation_fit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(15));
+    for variant in [
+        ModelVariant::paper(),
+        ModelVariant::fpl18(),
+        ModelVariant {
+            correlated_objectives: true,
+            nonlinear_fidelity: false,
+        },
+        ModelVariant {
+            correlated_objectives: false,
+            nonlinear_fidelity: true,
+        },
+    ] {
+        group.bench_function(variant.name(), |b| {
+            b.iter(|| {
+                black_box(FidelityModelStack::fit(variant, &data, &cfg, None, false).expect("fits"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_variant_predicts(c: &mut Criterion) {
+    let (data, queries) = realistic_data();
+    let cfg = quick_cfg();
+    let mut group = c.benchmark_group("ablation_predict_impl_level");
+    for variant in [ModelVariant::paper(), ModelVariant::fpl18()] {
+        let stack = FidelityModelStack::fit(variant, &data, &cfg, None, false).expect("fits");
+        group.bench_function(variant.name(), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                black_box(stack.predict(2, &queries[i]).expect("predicts"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_refit_vs_fit(c: &mut Criterion) {
+    let (data, _) = realistic_data();
+    let cfg = quick_cfg();
+    let stack =
+        FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, false).expect("fits");
+    let mut group = c.benchmark_group("ablation_refit");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.bench_function("hyperparam_reuse", |b| {
+        b.iter(|| {
+            black_box(
+                FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, Some(&stack), true)
+                    .expect("refits"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_variant_fits,
+    bench_variant_predicts,
+    bench_refit_vs_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,189 @@
+//! Criterion micro-benchmarks of the numerical substrate: GP fitting and
+//! prediction, the correlated multi-task GP, hypervolume, EIPV, design-space
+//! pruning, encoding, and the flow simulator.
+
+use cmmf::eipv::eipv_correlated_mc;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fidelity_sim::{FlowSimulator, SimParams, Stage};
+use gp::kernel::Matern52Ard;
+use gp::{Gp, GpConfig, MultiTaskGp};
+use hls_model::benchmarks::{self, Benchmark};
+use linalg::{Cholesky, Matrix};
+use pareto::{hypervolume, pareto_front, CellDecomposition};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn synth_xy(n: usize, d: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| {
+            x.iter()
+                .enumerate()
+                .map(|(i, v)| (v * (i + 1) as f64).sin())
+                .sum()
+        })
+        .collect();
+    (xs, ys)
+}
+
+fn quick_gp_cfg() -> GpConfig {
+    GpConfig {
+        restarts: 0,
+        max_evals: 120,
+        ..Default::default()
+    }
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    for n in [32usize, 96] {
+        let m = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + i as f64 * 0.01
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        group.bench_function(format!("cholesky_{n}"), |b| {
+            b.iter(|| black_box(Cholesky::new(&m).expect("SPD")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    let (xs, ys) = synth_xy(48, 12, 1);
+    group.bench_function("fit_48x12_mle", |b| {
+        b.iter(|| black_box(Gp::fit(Matern52Ard::new(12), &xs, &ys, &quick_gp_cfg()).expect("fits")))
+    });
+    let gp = Gp::fit(Matern52Ard::new(12), &xs, &ys, &quick_gp_cfg()).expect("fits");
+    group.bench_function("refit_48x12", |b| {
+        b.iter(|| black_box(gp.refit(&xs, &ys).expect("refits")))
+    });
+    group.bench_function("predict_48x12", |b| {
+        b.iter(|| black_box(gp.predict(&[0.5; 12]).expect("predicts")))
+    });
+
+    let ym: Vec<Vec<f64>> = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| vec![*y, -y + x[0], y * y])
+        .collect();
+    group.bench_function("multitask_fit_48x12x3", |b| {
+        b.iter(|| {
+            black_box(
+                MultiTaskGp::fit(Matern52Ard::new(12), &xs, &ym, &quick_gp_cfg()).expect("fits"),
+            )
+        })
+    });
+    let mt = MultiTaskGp::fit(Matern52Ard::new(12), &xs, &ym, &quick_gp_cfg()).expect("fits");
+    group.bench_function("multitask_predict", |b| {
+        b.iter(|| black_box(mt.predict(&[0.5; 12]).expect("predicts")))
+    });
+    group.finish();
+}
+
+fn bench_pareto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pareto");
+    let mut rng = StdRng::seed_from_u64(2);
+    let pts: Vec<Vec<f64>> = (0..200)
+        .map(|_| (0..3).map(|_| rng.random_range(0.0..1.0)).collect())
+        .collect();
+    group.bench_function("front_200x3", |b| b.iter(|| black_box(pareto_front(&pts))));
+    let front = pareto_front(&pts);
+    group.bench_function(format!("hv3d_{}pts", front.len()), |b| {
+        b.iter(|| black_box(hypervolume(&front, &[1.1, 1.1, 1.1])))
+    });
+    group.bench_function("cells_3d", |b| {
+        b.iter(|| black_box(CellDecomposition::new(&front, &[-0.1; 3], &[1.1; 3])))
+    });
+    group.finish();
+}
+
+fn bench_eipv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eipv");
+    let mut rng = StdRng::seed_from_u64(3);
+    let front: Vec<Vec<f64>> = (0..15)
+        .map(|i| {
+            let t = i as f64 / 14.0;
+            vec![t, 1.0 - t, 0.5 + 0.3 * (6.0 * t).sin()]
+        })
+        .collect();
+    let pred = gp::MultiTaskPrediction {
+        mean: vec![0.5, 0.5, 0.5],
+        cov: Matrix::from_rows(&[
+            &[0.02, -0.01, 0.005],
+            &[-0.01, 0.03, -0.004],
+            &[0.005, -0.004, 0.015],
+        ])
+        .expect("valid matrix"),
+    };
+    for samples in [24usize, 128] {
+        group.bench_function(format!("mc_{samples}"), |b| {
+            b.iter(|| {
+                black_box(eipv_correlated_mc(
+                    &pred,
+                    &front,
+                    &[2.5, 2.5, 2.5],
+                    samples,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hls_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hls_model");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.bench_function("prune_sort_radix", |b| {
+        let model = benchmarks::build(Benchmark::SortRadix);
+        b.iter(|| black_box(model.pruned_space().expect("builds")))
+    });
+    let space = benchmarks::build(Benchmark::Gemm).pruned_space().expect("builds");
+    group.bench_function("encode_gemm_config", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % space.len();
+            black_box(space.encode(i))
+        })
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fidelity_sim");
+    let space = benchmarks::build(Benchmark::Gemm).pruned_space().expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::Gemm));
+    for stage in Stage::all() {
+        group.bench_function(format!("run_{stage}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % space.len();
+                black_box(sim.run(&space, i, stage))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_linalg,
+    bench_gp,
+    bench_pareto,
+    bench_eipv,
+    bench_hls_model,
+    bench_simulator
+);
+criterion_main!(benches);

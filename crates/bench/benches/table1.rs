@@ -1,0 +1,46 @@
+//! Criterion benchmark tracking the cost of one Table-I cell: a full
+//! optimizer / baseline run on the smallest benchmark (SPMV_CRS). This is the
+//! wall-clock cost of the *algorithms* — the simulated tool time they would
+//! consume is what the `table1` binary reports.
+
+use cmmf_bench::{run_method, BenchmarkSetup, Method};
+use criterion::{criterion_group, criterion_main, Criterion};
+use hls_model::benchmarks::Benchmark;
+use std::hint::black_box;
+
+fn bench_table1_cell(c: &mut Criterion) {
+    let setup = BenchmarkSetup::new(Benchmark::SpmvCrs);
+    let mut group = c.benchmark_group("table1_cell/spmv_crs");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(25));
+    for method in Method::all() {
+        group.bench_function(method.name(), |bencher| {
+            let mut seed = 0u64;
+            bencher.iter(|| {
+                seed += 1;
+                black_box(run_method(&setup, method, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_true_front(c: &mut Criterion) {
+    // Exhaustive ground-truth evaluation of a ~17.5k-config space.
+    let space = hls_model::benchmarks::build(Benchmark::SortRadix)
+        .pruned_space()
+        .expect("space builds");
+    let sim = fidelity_sim::FlowSimulator::new(fidelity_sim::SimParams::for_benchmark(
+        Benchmark::SortRadix,
+    ));
+    let mut group = c.benchmark_group("true_front");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(15));
+    group.bench_function("sort_radix_exhaustive_truth", |b| {
+        b.iter(|| black_box(sim.truth_objectives(&space)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_cell, bench_true_front);
+criterion_main!(benches);

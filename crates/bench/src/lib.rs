@@ -1,0 +1,242 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! Each `src/bin/` binary regenerates one experiment (see `DESIGN.md`'s
+//! per-experiment index):
+//!
+//! | binary          | paper artifact |
+//! |-----------------|----------------|
+//! | `table1`        | Table I (normalized ADRS / std-dev / running time)  |
+//! | `fig3_pruning`  | Fig. 3 (tree pruning example + per-benchmark stats) |
+//! | `fig4_toy`      | Fig. 4 (1-D, 3-fidelity GP + per-fidelity EI toy)   |
+//! | `fig5_delay`    | Fig. 5 (per-config delay across fidelities)         |
+//! | `fig6_eipv`     | Fig. 6 (cell decomposition + EIPV example)          |
+//! | `fig8_pareto`   | Fig. 8 (learned Pareto points per method)           |
+//! | `ablation`      | design-choice ablations (Secs. IV-A/IV-B/Eq. 10)    |
+//! | `correlations`  | Sec. IV-B learned objective-correlation check       |
+//!
+//! The `benches/` directory holds Criterion micro/meso benchmarks of the same
+//! components.
+
+use cmmf::runner::TrueFront;
+use cmmf::{CmmfConfig, ModelVariant, Optimizer};
+use fidelity_sim::{FlowSimulator, SimParams, Stage, N_OBJECTIVES};
+use hls_model::benchmarks::{self, Benchmark};
+use hls_model::DesignSpace;
+
+/// Everything needed to run one benchmark's experiments.
+#[derive(Debug)]
+pub struct BenchmarkSetup {
+    /// Which paper benchmark this is.
+    pub benchmark: Benchmark,
+    /// Its tree-pruned design space.
+    pub space: DesignSpace,
+    /// The flow simulator configured for this benchmark.
+    pub sim: FlowSimulator,
+    /// The exhaustively computed true Pareto front.
+    pub front: TrueFront,
+}
+
+impl BenchmarkSetup {
+    /// Builds the space, simulator, and true front for `benchmark`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shipped benchmark definitions fail to build (covered by
+    /// tests).
+    pub fn new(benchmark: Benchmark) -> Self {
+        let space = benchmarks::build(benchmark)
+            .pruned_space()
+            .expect("shipped benchmarks build");
+        let sim = FlowSimulator::new(SimParams::for_benchmark(benchmark));
+        let front = TrueFront::compute(&space, &sim);
+        BenchmarkSetup {
+            benchmark,
+            space,
+            sim,
+            front,
+        }
+    }
+}
+
+/// The five Table-I methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's correlated multi-objective multi-fidelity optimizer.
+    Ours,
+    /// FPL18: independent objectives + linear multi-fidelity BO.
+    Fpl18,
+    /// ANN surrogate (2-hidden-layer MLP).
+    Ann,
+    /// Gradient boosting trees surrogate.
+    Bt,
+    /// DAC19 regression transfer (post-HLS reports as features, 3–11 sets).
+    Dac19,
+}
+
+impl Method {
+    /// All methods in the paper's column order.
+    pub fn all() -> [Method; 5] {
+        [
+            Method::Ours,
+            Method::Fpl18,
+            Method::Ann,
+            Method::Bt,
+            Method::Dac19,
+        ]
+    }
+
+    /// Table-I column name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Ours => "Ours",
+            Method::Fpl18 => "FPL18",
+            Method::Ann => "ANN",
+            Method::Bt => "BT",
+            Method::Dac19 => "DAC19",
+        }
+    }
+}
+
+/// Outcome of one method run on one benchmark.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// ADRS against the true front (Eq. 11, Euclidean in normalized space).
+    pub adrs: f64,
+    /// Simulated tool seconds consumed.
+    pub seconds: f64,
+    /// The learned Pareto points (ground-truth objective vectors).
+    pub pareto: Vec<[f64; N_OBJECTIVES]>,
+    /// For the BO methods: how many iteration runs reached each stage.
+    pub stage_counts: [usize; 3],
+}
+
+/// Runs `method` once on `setup` with the given seed, using the paper's
+/// experimental settings (Sec. V-B: 8 initial configurations and 40 BO steps
+/// for the GP methods, 48 training configurations for the regression
+/// baselines).
+///
+/// # Panics
+///
+/// Panics if an underlying run fails; the shipped setups do not.
+pub fn run_method(setup: &BenchmarkSetup, method: Method, seed: u64) -> MethodRun {
+    match method {
+        Method::Ours | Method::Fpl18 => {
+            let variant = if method == Method::Ours {
+                ModelVariant::paper()
+            } else {
+                ModelVariant::fpl18()
+            };
+            let mut cfg = CmmfConfig {
+                variant,
+                seed,
+                ..Default::default()
+            };
+            cfg.gp.seed = seed ^ 0xABCD;
+            let r = Optimizer::new(cfg)
+                .run(&setup.space, &setup.sim)
+                .expect("optimizer run succeeds");
+            let mut stage_counts = [0usize; 3];
+            for c in &r.candidate_set {
+                stage_counts[c.stage.index()] += 1;
+            }
+            MethodRun {
+                adrs: setup.front.adrs_of(&r.measured_pareto),
+                seconds: r.sim_seconds,
+                pareto: r.measured_pareto,
+                stage_counts,
+            }
+        }
+        Method::Ann | Method::Bt | Method::Dac19 => {
+            let kind = match method {
+                Method::Ann => baselines::dse::SurrogateKind::Ann,
+                Method::Bt => baselines::dse::SurrogateKind::BoostingTree,
+                _ => baselines::dse::SurrogateKind::Dac19,
+            };
+            let r = baselines::dse::run_surrogate_dse(kind, &setup.space, &setup.sim, 48, seed)
+                .expect("surrogate run succeeds");
+            MethodRun {
+                adrs: setup.front.adrs_of(&r.measured_pareto),
+                seconds: r.sim_seconds,
+                pareto: r.measured_pareto,
+                stage_counts: [0, 0, 48],
+            }
+        }
+    }
+}
+
+/// Statistics over repeated runs of one method on one benchmark.
+#[derive(Debug, Clone)]
+pub struct MethodCell {
+    /// Mean ADRS.
+    pub mean_adrs: f64,
+    /// Sample standard deviation of ADRS.
+    pub std_adrs: f64,
+    /// Mean simulated seconds.
+    pub mean_seconds: f64,
+}
+
+/// Repeats `run_method` with distinct seeds and aggregates.
+pub fn repeat_method(setup: &BenchmarkSetup, method: Method, repeats: usize, seed0: u64) -> MethodCell {
+    let mut adrs = Vec::with_capacity(repeats);
+    let mut secs = Vec::with_capacity(repeats);
+    for rep in 0..repeats {
+        let r = run_method(setup, method, seed0 + 1000 * rep as u64);
+        adrs.push(r.adrs);
+        secs.push(r.seconds);
+    }
+    MethodCell {
+        mean_adrs: linalg::stats::mean(&adrs),
+        std_adrs: linalg::stats::std_dev(&adrs),
+        mean_seconds: linalg::stats::mean(&secs),
+    }
+}
+
+/// How many simulated seconds one flow run to `stage` takes, averaged over a
+/// sample of the space (used to contextualize runtimes).
+pub fn mean_stage_seconds(setup: &BenchmarkSetup, stage: Stage) -> f64 {
+    let n = setup.space.len().min(64);
+    let step = (setup.space.len() / n).max(1);
+    let mut total = 0.0;
+    let mut count = 0.0;
+    for i in (0..setup.space.len()).step_by(step) {
+        total += setup.sim.stage_seconds(&setup.space, i, stage);
+        count += 1.0;
+    }
+    total / count
+}
+
+/// Parses a `--repeats N` / `--quick` style CLI for the harness binaries.
+/// Returns the repeat count (default 10, `--quick` = 3).
+pub fn repeats_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick") {
+        return 3;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--repeats") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            return v;
+        }
+    }
+    10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_and_single_runs_work_on_smallest_space() {
+        let setup = BenchmarkSetup::new(Benchmark::SpmvCrs);
+        for method in [Method::Bt, Method::Dac19] {
+            let r = run_method(&setup, method, 1);
+            assert!(r.adrs.is_finite() && r.seconds > 0.0);
+            assert!(!r.pareto.is_empty());
+        }
+    }
+
+    #[test]
+    fn method_names_are_table_order() {
+        let names: Vec<&str> = Method::all().iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["Ours", "FPL18", "ANN", "BT", "DAC19"]);
+    }
+}

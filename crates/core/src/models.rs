@@ -1,0 +1,635 @@
+//! The combined surrogate stack of Fig. 7: one multi-objective model per
+//! fidelity, composed across fidelities, with the paper's choices and the
+//! baseline/ablation alternatives selectable through [`ModelVariant`].
+
+use crate::CmmfError;
+use gp::kernel::{Matern52Ard, Matern52Grouped};
+use gp::multifidelity::{
+    FidelityData, LinearMultiFidelityGp, MultiFidelityConfig, NonLinearMultiFidelityGp,
+};
+use gp::{GpConfig, MultiTaskGp, MultiTaskPrediction};
+use linalg::Matrix;
+
+/// Number of fidelities (hls, syn, impl).
+pub const N_FIDELITIES: usize = 3;
+/// Number of objectives (Power, Delay, LUT).
+pub const N_OBJECTIVES: usize = 3;
+
+/// Which surrogate structure the optimizer uses — the two axes the paper
+/// claims matter (Secs. IV-A and IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelVariant {
+    /// Model the objectives jointly with a task-covariance (Eq. 9) instead of
+    /// independent GPs.
+    pub correlated_objectives: bool,
+    /// Compose fidelities non-linearly (Eq. 5: the lower fidelity's posterior
+    /// is an *input feature* of the next fidelity's GP, on top of a linear
+    /// backbone) instead of the purely linear AR(1) model.
+    pub nonlinear_fidelity: bool,
+}
+
+impl ModelVariant {
+    /// The paper's method: correlated + non-linear.
+    pub fn paper() -> Self {
+        ModelVariant {
+            correlated_objectives: true,
+            nonlinear_fidelity: true,
+        }
+    }
+
+    /// The FPL18 baseline: independent objectives, linear multi-fidelity.
+    pub fn fpl18() -> Self {
+        ModelVariant {
+            correlated_objectives: false,
+            nonlinear_fidelity: false,
+        }
+    }
+
+    /// Display name used by the harnesses.
+    pub fn name(self) -> &'static str {
+        match (self.correlated_objectives, self.nonlinear_fidelity) {
+            (true, true) => "Ours",
+            (false, false) => "FPL18",
+            (true, false) => "Corr+Linear",
+            (false, true) => "Indep+Nonlinear",
+        }
+    }
+}
+
+impl Default for ModelVariant {
+    fn default() -> Self {
+        ModelVariant::paper()
+    }
+}
+
+/// Per-fidelity training data: encoded configurations and (normalized)
+/// objective rows, with the nesting `xs[impl] ⊆ xs[syn] ⊆ xs[hls]` maintained
+/// by the optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct FidelityDataSet {
+    /// Encoded inputs per fidelity.
+    pub xs: [Vec<Vec<f64>>; N_FIDELITIES],
+    /// Objective rows per fidelity, aligned with `xs`.
+    pub ys: [Vec<Vec<f64>>; N_FIDELITIES],
+}
+
+impl FidelityDataSet {
+    /// Number of observations at fidelity `f`.
+    pub fn len(&self, f: usize) -> usize {
+        self.xs[f].len()
+    }
+
+    /// Whether any fidelity has no data.
+    pub fn any_empty(&self) -> bool {
+        self.xs.iter().any(Vec::is_empty)
+    }
+}
+
+/// One upper fidelity of the correlated non-linear stack:
+/// `y_f = ρ ⊙ μ_{f-1}(x) + z([x, μ_{f-1}(x)])` with `z` a correlated
+/// multi-task GP over the grouped kernel.
+#[derive(Debug, Clone)]
+pub struct CorrelatedLevel {
+    rhos: Vec<f64>,
+    gp: MultiTaskGp<Matern52Grouped>,
+}
+
+/// The fitted surrogate stack for all fidelities.
+#[derive(Debug, Clone)]
+pub enum FidelityModelStack {
+    /// The paper's stack: a correlated GP at the base fidelity, and for every
+    /// higher fidelity a per-objective linear backbone `ρ` plus a correlated
+    /// GP over `[x, μ_{f-1,1}(x), …, μ_{f-1,M}(x)]` capturing the non-linear
+    /// part of Eq. 5 (Fig. 7's orange arrows). Lower-fidelity posterior
+    /// uncertainty is pushed through each level by an unscented transform.
+    CorrelatedNonlinear {
+        /// The lowest-fidelity correlated model.
+        base: MultiTaskGp<Matern52Ard>,
+        /// One level per higher fidelity, lowest first.
+        uppers: Vec<CorrelatedLevel>,
+    },
+    /// Ablation: correlated objectives but no cross-fidelity transfer (each
+    /// fidelity fits its own data on plain `x`).
+    CorrelatedPlain(Vec<MultiTaskGp<Matern52Ard>>),
+    /// FPL18: per-objective linear AR(1) chains, independent across
+    /// objectives.
+    IndependentLinear(Vec<LinearMultiFidelityGp>),
+    /// Ablation: per-objective *non-linear* chains, independent across
+    /// objectives.
+    IndependentNonlinear(Vec<NonLinearMultiFidelityGp>),
+}
+
+impl FidelityModelStack {
+    /// Fits the stack selected by `variant` on `data`. When `previous` is the
+    /// stack from the last iteration and `reuse_hyperparams` is set, every
+    /// variant re-uses the previous hyperparameters (linear backbones are
+    /// recomputed — they are closed-form) instead of re-running the
+    /// marginal-likelihood search; this is the cheap per-iteration update of
+    /// the BO loop, with full re-fits every `CmmfConfig::refit_every` steps.
+    ///
+    /// # Errors
+    ///
+    /// [`CmmfError::Model`] if any underlying GP fit fails.
+    pub fn fit(
+        variant: ModelVariant,
+        data: &FidelityDataSet,
+        gp_cfg: &GpConfig,
+        previous: Option<&FidelityModelStack>,
+        reuse_hyperparams: bool,
+    ) -> Result<Self, CmmfError> {
+        if data.any_empty() {
+            return Err(CmmfError::Internal {
+                reason: "fit called with an empty fidelity".into(),
+            });
+        }
+        match (variant.correlated_objectives, variant.nonlinear_fidelity) {
+            (true, true) => Self::fit_correlated_nonlinear(data, gp_cfg, previous, reuse_hyperparams),
+            (true, false) => Self::fit_correlated_plain(data, gp_cfg, previous, reuse_hyperparams),
+            (false, nonlinear) => {
+                Self::fit_independent(data, gp_cfg, nonlinear, previous, reuse_hyperparams)
+            }
+        }
+    }
+
+    fn fit_correlated_nonlinear(
+        data: &FidelityDataSet,
+        gp_cfg: &GpConfig,
+        previous: Option<&FidelityModelStack>,
+        reuse_hyperparams: bool,
+    ) -> Result<Self, CmmfError> {
+        let x_dim = data.xs[0][0].len();
+        let prev_parts = match previous {
+            Some(FidelityModelStack::CorrelatedNonlinear { base, uppers })
+                if reuse_hyperparams =>
+            {
+                Some((base, uppers))
+            }
+            _ => None,
+        };
+        let base = match prev_parts {
+            Some((b, _)) if b.dim() == x_dim => b.refit(&data.xs[0], &data.ys[0])?,
+            _ => MultiTaskGp::fit(Matern52Ard::new(x_dim), &data.xs[0], &data.ys[0], gp_cfg)?,
+        };
+        let mut stack = FidelityModelStack::CorrelatedNonlinear {
+            base,
+            uppers: Vec::new(),
+        };
+        for f in 1..N_FIDELITIES {
+            // Lower-fidelity posterior means at this fidelity's inputs.
+            let prevs: Vec<MultiTaskPrediction> = data.xs[f]
+                .iter()
+                .map(|x| stack.predict(f - 1, x))
+                .collect::<Result<_, _>>()?;
+            // Per-objective linear backbone.
+            let mut rhos = vec![1.0; N_OBJECTIVES];
+            for (obj, rho) in rhos.iter_mut().enumerate() {
+                let num: f64 = prevs
+                    .iter()
+                    .zip(&data.ys[f])
+                    .map(|(p, y)| p.mean[obj] * y[obj])
+                    .sum();
+                let den: f64 = prevs.iter().map(|p| p.mean[obj] * p.mean[obj]).sum();
+                if den > 1e-12 {
+                    *rho = num / den;
+                }
+            }
+            // Correlated residual GP on augmented inputs.
+            let aug: Vec<Vec<f64>> = data.xs[f]
+                .iter()
+                .zip(&prevs)
+                .map(|(x, p)| {
+                    let mut a = x.clone();
+                    a.extend(p.mean.iter().copied());
+                    a
+                })
+                .collect();
+            let residuals: Vec<Vec<f64>> = data.ys[f]
+                .iter()
+                .zip(&prevs)
+                .map(|(y, p)| {
+                    (0..N_OBJECTIVES)
+                        .map(|o| y[o] - rhos[o] * p.mean[o])
+                        .collect()
+                })
+                .collect();
+            let prev_gp = prev_parts.and_then(|(_, uppers)| uppers.get(f - 1));
+            let gp = match prev_gp {
+                Some(level) if level.gp.dim() == x_dim + N_OBJECTIVES => {
+                    level.gp.refit(&aug, &residuals)?
+                }
+                _ => MultiTaskGp::fit(
+                    Matern52Grouped::iso_plus_tail(x_dim, N_OBJECTIVES),
+                    &aug,
+                    &residuals,
+                    gp_cfg,
+                )?,
+            };
+            match &mut stack {
+                FidelityModelStack::CorrelatedNonlinear { uppers, .. } => {
+                    uppers.push(CorrelatedLevel { rhos, gp });
+                }
+                _ => unreachable!("stack constructed above"),
+            }
+        }
+        Ok(stack)
+    }
+
+    fn fit_correlated_plain(
+        data: &FidelityDataSet,
+        gp_cfg: &GpConfig,
+        previous: Option<&FidelityModelStack>,
+        reuse_hyperparams: bool,
+    ) -> Result<Self, CmmfError> {
+        let x_dim = data.xs[0][0].len();
+        let mut fitted = Vec::with_capacity(N_FIDELITIES);
+        for f in 0..N_FIDELITIES {
+            let prev_model = match previous {
+                Some(FidelityModelStack::CorrelatedPlain(v)) if reuse_hyperparams => v.get(f),
+                _ => None,
+            };
+            let model = match prev_model {
+                Some(m) if m.dim() == x_dim => m.refit(&data.xs[f], &data.ys[f])?,
+                _ => MultiTaskGp::fit(Matern52Ard::new(x_dim), &data.xs[f], &data.ys[f], gp_cfg)?,
+            };
+            fitted.push(model);
+        }
+        Ok(FidelityModelStack::CorrelatedPlain(fitted))
+    }
+
+    fn fit_independent(
+        data: &FidelityDataSet,
+        gp_cfg: &GpConfig,
+        nonlinear: bool,
+        previous: Option<&FidelityModelStack>,
+        reuse_hyperparams: bool,
+    ) -> Result<Self, CmmfError> {
+        let mf_cfg = MultiFidelityConfig {
+            gp: gp_cfg.clone(),
+            propagate_uncertainty: true,
+        };
+        let mut per_obj_linear = Vec::new();
+        let mut per_obj_nonlinear = Vec::new();
+        for obj in 0..N_OBJECTIVES {
+            let levels: Vec<FidelityData> = (0..N_FIDELITIES)
+                .map(|f| {
+                    FidelityData::new(
+                        data.xs[f].clone(),
+                        data.ys[f].iter().map(|row| row[obj]).collect(),
+                    )
+                })
+                .collect();
+            if nonlinear {
+                let prev = match previous {
+                    Some(FidelityModelStack::IndependentNonlinear(v)) if reuse_hyperparams => {
+                        v.get(obj)
+                    }
+                    _ => None,
+                };
+                per_obj_nonlinear.push(match prev {
+                    Some(m) => m.refit(&levels)?,
+                    None => NonLinearMultiFidelityGp::fit(&levels, &mf_cfg)?,
+                });
+            } else {
+                let prev = match previous {
+                    Some(FidelityModelStack::IndependentLinear(v)) if reuse_hyperparams => {
+                        v.get(obj)
+                    }
+                    _ => None,
+                };
+                per_obj_linear.push(match prev {
+                    Some(m) => m.refit(&levels)?,
+                    None => LinearMultiFidelityGp::fit(&levels, &mf_cfg)?,
+                });
+            }
+        }
+        Ok(if nonlinear {
+            FidelityModelStack::IndependentNonlinear(per_obj_nonlinear)
+        } else {
+            FidelityModelStack::IndependentLinear(per_obj_linear)
+        })
+    }
+
+    /// Joint posterior over the objectives at fidelity `f` for encoded input
+    /// `x`. Independent variants return a diagonal covariance.
+    ///
+    /// # Errors
+    ///
+    /// [`CmmfError::Model`] on dimension mismatches, or
+    /// [`CmmfError::Internal`] for an out-of-range fidelity.
+    pub fn predict(&self, f: usize, x: &[f64]) -> Result<MultiTaskPrediction, CmmfError> {
+        if f >= N_FIDELITIES {
+            return Err(CmmfError::Internal {
+                reason: format!("fidelity {f} out of range"),
+            });
+        }
+        match self {
+            FidelityModelStack::CorrelatedNonlinear { base, uppers } => {
+                let mut pred = base.predict(x)?;
+                for level in uppers.iter().take(f) {
+                    pred = propagate_unscented(level, x, &pred)?;
+                }
+                Ok(pred)
+            }
+            FidelityModelStack::CorrelatedPlain(models) => Ok(models[f].predict(x)?),
+            FidelityModelStack::IndependentLinear(per_obj) => {
+                let mut mean = Vec::with_capacity(N_OBJECTIVES);
+                let mut vars = Vec::with_capacity(N_OBJECTIVES);
+                for m in per_obj {
+                    let p = m.predict(f, x)?;
+                    mean.push(p.mean);
+                    vars.push(p.var);
+                }
+                Ok(MultiTaskPrediction {
+                    mean,
+                    cov: Matrix::from_diag(&vars),
+                })
+            }
+            FidelityModelStack::IndependentNonlinear(per_obj) => {
+                let mut mean = Vec::with_capacity(N_OBJECTIVES);
+                let mut vars = Vec::with_capacity(N_OBJECTIVES);
+                for m in per_obj {
+                    let p = m.predict(f, x)?;
+                    mean.push(p.mean);
+                    vars.push(p.var);
+                }
+                Ok(MultiTaskPrediction {
+                    mean,
+                    cov: Matrix::from_diag(&vars),
+                })
+            }
+        }
+    }
+
+    /// Learned objective-correlation matrix at fidelity `f`, if this stack is
+    /// correlated (diagnostics for Sec. IV-B; `None` for independent
+    /// variants). For upper fidelities of the non-linear stack, this is the
+    /// residual model's correlation.
+    pub fn task_correlations(&self, f: usize) -> Option<Matrix> {
+        fn corr<K: gp::Kernel + Clone>(m: &MultiTaskGp<K>) -> Matrix {
+            let mut c = Matrix::zeros(m.n_tasks(), m.n_tasks());
+            for i in 0..m.n_tasks() {
+                for j in 0..m.n_tasks() {
+                    c[(i, j)] = m.task_correlation(i, j);
+                }
+            }
+            c
+        }
+        match self {
+            FidelityModelStack::CorrelatedNonlinear { base, uppers } => {
+                if f == 0 {
+                    Some(corr(base))
+                } else {
+                    uppers.get(f - 1).map(|l| corr(&l.gp))
+                }
+            }
+            FidelityModelStack::CorrelatedPlain(models) => models.get(f).map(corr),
+            _ => None,
+        }
+    }
+}
+
+/// Pushes a Gaussian belief about the lower fidelity's objectives through one
+/// [`CorrelatedLevel`] with the unscented transform (λ = 1): sigma points of
+/// the lower posterior are mapped through `ρ ⊙ v + z([x, v])` and
+/// moment-matched. Without this, the chain's high-fidelity variance collapses
+/// and the acquisition stops escalating fidelities.
+fn propagate_unscented(
+    level: &CorrelatedLevel,
+    x: &[f64],
+    lower: &MultiTaskPrediction,
+) -> Result<MultiTaskPrediction, CmmfError> {
+    let m = lower.mean.len();
+    let lambda = 1.0;
+    let scale = ((m as f64) + lambda).sqrt();
+
+    // Sigma points of the lower posterior; fall back to the mean if the
+    // covariance is numerically singular (e.g. exactly at a training point).
+    let mut sigma_points: Vec<Vec<f64>> = vec![lower.mean.clone()];
+    if let Ok(chol) = linalg::Cholesky::new(&lower.cov) {
+        let l = chol.l();
+        for i in 0..m {
+            let mut plus = lower.mean.clone();
+            let mut minus = lower.mean.clone();
+            for j in 0..m {
+                let d = scale * l[(j, i)];
+                plus[j] += d;
+                minus[j] -= d;
+            }
+            sigma_points.push(plus);
+            sigma_points.push(minus);
+        }
+    }
+
+    let w0 = lambda / (m as f64 + lambda);
+    let wi = 1.0 / (2.0 * (m as f64 + lambda));
+    let weights: Vec<f64> = if sigma_points.len() == 1 {
+        vec![1.0]
+    } else {
+        let mut w = vec![w0];
+        w.extend(std::iter::repeat_n(wi, 2 * m));
+        w
+    };
+
+    struct Mapped {
+        mean: Vec<f64>,
+        cov: Matrix,
+    }
+    let mut mapped = Vec::with_capacity(sigma_points.len());
+    for s in &sigma_points {
+        let mut aug = x.to_vec();
+        aug.extend(s.iter().copied());
+        let q = level.gp.predict(&aug)?;
+        let mean = (0..m).map(|o| level.rhos[o] * s[o] + q.mean[o]).collect();
+        mapped.push(Mapped { mean, cov: q.cov });
+    }
+
+    // Moment-match the mixture.
+    let mut mean = vec![0.0; m];
+    for (w, p) in weights.iter().zip(&mapped) {
+        for (mi, pm) in mean.iter_mut().zip(&p.mean) {
+            *mi += w * pm;
+        }
+    }
+    let mut cov = Matrix::zeros(m, m);
+    for (w, p) in weights.iter().zip(&mapped) {
+        for i in 0..m {
+            for j in 0..m {
+                cov[(i, j)] +=
+                    w * (p.cov[(i, j)] + (p.mean[i] - mean[i]) * (p.mean[j] - mean[j]));
+            }
+        }
+    }
+    Ok(MultiTaskPrediction { mean, cov })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic 3-fidelity, 3-objective data over 1-D inputs.
+    fn synthetic() -> FidelityDataSet {
+        let f = |x: f64, fid: usize| {
+            let base = (5.0 * x).sin();
+            let distort = match fid {
+                0 => base * 0.8 + 0.1,
+                1 => base * 0.95 + 0.02,
+                _ => base,
+            };
+            vec![distort, -distort + 0.1 * x, distort * distort]
+        };
+        let mut data = FidelityDataSet::default();
+        for fid in 0..N_FIDELITIES {
+            let n = [16, 10, 6][fid];
+            for i in 0..n {
+                let x = i as f64 / (n - 1) as f64;
+                data.xs[fid].push(vec![x]);
+                data.ys[fid].push(f(x, fid));
+            }
+        }
+        data
+    }
+
+    fn quick_cfg() -> GpConfig {
+        GpConfig {
+            restarts: 0,
+            max_evals: 80,
+            ..Default::default()
+        }
+    }
+
+    fn all_variants() -> [ModelVariant; 4] {
+        [
+            ModelVariant::paper(),
+            ModelVariant::fpl18(),
+            ModelVariant {
+                correlated_objectives: true,
+                nonlinear_fidelity: false,
+            },
+            ModelVariant {
+                correlated_objectives: false,
+                nonlinear_fidelity: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn all_variants_fit_and_predict() {
+        let data = synthetic();
+        let cfg = quick_cfg();
+        for variant in all_variants() {
+            let stack = FidelityModelStack::fit(variant, &data, &cfg, None, false)
+                .unwrap_or_else(|e| panic!("{}: {e}", variant.name()));
+            for f in 0..N_FIDELITIES {
+                let p = stack.predict(f, &[0.35]).unwrap();
+                assert_eq!(p.mean.len(), N_OBJECTIVES, "{}", variant.name());
+                for v in p.vars() {
+                    assert!(v >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_stack_reports_correlations() {
+        let data = synthetic();
+        let stack =
+            FidelityModelStack::fit(ModelVariant::paper(), &data, &quick_cfg(), None, false)
+                .unwrap();
+        let c = stack.task_correlations(0).expect("correlated stack");
+        // Objectives 0 and 1 are anti-correlated by construction.
+        assert!(c[(0, 1)] < 0.0, "corr={}", c[(0, 1)]);
+        // Upper fidelities report residual correlations too.
+        assert!(stack.task_correlations(2).is_some());
+        // Independent stacks report none.
+        let indep =
+            FidelityModelStack::fit(ModelVariant::fpl18(), &data, &quick_cfg(), None, false)
+                .unwrap();
+        assert!(indep.task_correlations(0).is_none());
+    }
+
+    #[test]
+    fn refit_reuses_hyperparameters() {
+        let data = synthetic();
+        let cfg = quick_cfg();
+        let first =
+            FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, false).unwrap();
+        // Add a point and refit cheaply.
+        let mut more = data.clone();
+        more.xs[0].push(vec![0.77]);
+        more.ys[0].push(vec![0.5, -0.4, 0.25]);
+        let second =
+            FidelityModelStack::fit(ModelVariant::paper(), &more, &cfg, Some(&first), true)
+                .unwrap();
+        let p = second.predict(2, &[0.5]).unwrap();
+        assert_eq!(p.mean.len(), N_OBJECTIVES);
+    }
+
+    #[test]
+    fn out_of_range_fidelity_errors() {
+        let data = synthetic();
+        let stack =
+            FidelityModelStack::fit(ModelVariant::paper(), &data, &quick_cfg(), None, false)
+                .unwrap();
+        assert!(stack.predict(7, &[0.5]).is_err());
+    }
+
+    #[test]
+    fn nonlinear_transfer_helps_at_the_top_fidelity() {
+        // The top fidelity has only 6 points; the paper's stack must predict
+        // it at least as well as a correlated model without any
+        // cross-fidelity transfer.
+        let data = synthetic();
+        let cfg = quick_cfg();
+        let truth = |x: f64| {
+            let b = (5.0 * x).sin();
+            vec![b, -b + 0.1 * x, b * b]
+        };
+        let rmse = |stack: &FidelityModelStack| {
+            let mut se = 0.0;
+            let mut n = 0.0;
+            for i in 0..21 {
+                let x = i as f64 / 20.0;
+                let p = stack.predict(2, &[x]).unwrap();
+                for (m, t) in p.mean.iter().zip(truth(x)) {
+                    se += (m - t) * (m - t);
+                    n += 1.0;
+                }
+            }
+            (se / n).sqrt()
+        };
+        let with =
+            FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, false).unwrap();
+        let without = FidelityModelStack::fit(
+            ModelVariant {
+                correlated_objectives: true,
+                nonlinear_fidelity: false,
+            },
+            &data,
+            &cfg,
+            None,
+            false,
+        )
+        .unwrap();
+        assert!(
+            rmse(&with) < rmse(&without),
+            "transfer did not help: {} vs {}",
+            rmse(&with),
+            rmse(&without)
+        );
+    }
+
+    #[test]
+    fn uncertainty_propagates_up_the_chain() {
+        // Far from all data, the top-fidelity variance must be substantial —
+        // not collapsed to the residual GP's noise floor.
+        let data = synthetic();
+        let stack =
+            FidelityModelStack::fit(ModelVariant::paper(), &data, &quick_cfg(), None, false)
+                .unwrap();
+        let near = stack.predict(2, &[0.5]).unwrap();
+        let far = stack.predict(2, &[3.0]).unwrap();
+        let near_v: f64 = near.vars().iter().sum();
+        let far_v: f64 = far.vars().iter().sum();
+        assert!(far_v > near_v, "far variance {far_v} !> near {near_v}");
+    }
+}

@@ -1,0 +1,620 @@
+//! The overall optimization flow of Algorithm 2.
+
+use crate::eipv::{eipv_correlated_mc, peipv};
+use crate::models::{FidelityDataSet, FidelityModelStack, ModelVariant, N_OBJECTIVES};
+use crate::CmmfError;
+use fidelity_sim::{FlowSimulator, RunOutcome, Stage};
+use gp::GpConfig;
+use hls_model::DesignSpace;
+use pareto::{hypervolume, pareto_front};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of the Algorithm-2 loop. Defaults follow Sec. V-B: 8 initial
+/// configurations, 40 optimization steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmmfConfig {
+    /// Initial configurations run at the lowest fidelity (`X_hls`).
+    pub n_init: usize,
+    /// How many of those are also run through logic synthesis (`X_syn ⊆ X_hls`).
+    pub n_init_syn: usize,
+    /// How many are run all the way to implementation (`X_impl ⊆ X_syn`).
+    pub n_init_impl: usize,
+    /// Optimization steps (`N_iter` of Algorithm 2).
+    pub n_iter: usize,
+    /// Surrogate structure (the paper's method, FPL18, or an ablation).
+    pub variant: ModelVariant,
+    /// Apply the Eq. 10 time penalty to each fidelity's EIPV.
+    pub use_cost_penalty: bool,
+    /// Exponent γ on the Eq. 10 penalty ratio `(T_impl/T_i)^γ`; 1.0 is the
+    /// literal Eq. 10, the default 0.3 calibrates the penalty to the
+    /// simulator's wide stage-time spread (see [`crate::eipv::peipv`]).
+    pub cost_exponent: f64,
+    /// Number of un-sampled configurations scored per step (the EIPV argmax of
+    /// Algorithm 2 line 9 is taken over a random pool of this size, resampled
+    /// every step; the whole space is used when smaller).
+    pub candidate_pool: usize,
+    /// Monte-Carlo samples per EIPV evaluation.
+    pub mc_samples: usize,
+    /// Number of configurations selected and run per optimization step
+    /// (greedy q-EIPV with fantasized outcomes). 1 reproduces Algorithm 2;
+    /// q > 1 models q parallel FPGA-tool instances.
+    pub batch_size: usize,
+    /// When batching, account the step's simulated time as the *maximum*
+    /// member cost (parallel tool licenses) instead of the sum.
+    pub batch_parallel_tools: bool,
+    /// After the BO loop, predict the implementation-level objectives over a
+    /// random subsample of this many un-evaluated configurations with the
+    /// final surrogate and add the *predicted*-Pareto configurations to the
+    /// proposal set (the regression baselines propose from whole-space
+    /// predictions; this step gives the BO methods the same breadth). Set 0
+    /// to propose only evaluated configurations.
+    pub final_prediction_pool: usize,
+    /// Fidelity-escalation guard (MF-GP-UCB style): after the PEIPV argmax
+    /// picks `(x*, h)`, `h` is raised while the model's mean posterior
+    /// standard deviation at `x*` and fidelity `h` (normalized objective
+    /// units) is below this threshold — paying for a measurement the model
+    /// can already predict adds nothing. Set to 0 to disable.
+    pub escalate_threshold: f64,
+    /// Re-optimize GP hyperparameters every this many steps (cheap
+    /// hyperparameter-reusing refits in between).
+    pub refit_every: usize,
+    /// Per-model GP fitting configuration.
+    pub gp: GpConfig,
+    /// Master seed: fixes initialization, candidate pools, and EIPV sampling.
+    pub seed: u64,
+}
+
+impl Default for CmmfConfig {
+    fn default() -> Self {
+        CmmfConfig {
+            n_init: 8,
+            n_init_syn: 5,
+            n_init_impl: 3,
+            n_iter: 40,
+            variant: ModelVariant::paper(),
+            use_cost_penalty: true,
+            cost_exponent: 0.3,
+            candidate_pool: 200,
+            mc_samples: 24,
+            batch_size: 1,
+            batch_parallel_tools: true,
+            final_prediction_pool: 4000,
+            escalate_threshold: 0.05,
+            refit_every: 5,
+            gp: GpConfig {
+                restarts: 2,
+                max_evals: 450,
+                ..Default::default()
+            },
+            seed: 2021,
+        }
+    }
+}
+
+/// One Algorithm-2 step's decision: which configuration was run, up to which
+/// fidelity, and at what acquisition value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateChoice {
+    /// Chosen configuration index (`x*`).
+    pub config: usize,
+    /// Chosen fidelity (`h`).
+    pub stage: Stage,
+    /// The (penalized) EIPV that won.
+    pub acquisition: f64,
+}
+
+/// Result of one optimizer run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The candidate Pareto set `CS`: every configuration sampled during the
+    /// iterations, with the fidelity it was run to.
+    pub candidate_set: Vec<CandidateChoice>,
+    /// All configurations the run evaluated (initialization + iterations).
+    pub evaluated_configs: Vec<usize>,
+    /// Ground-truth (post-implementation) objective vectors of the valid
+    /// evaluated configurations that form the learned Pareto front.
+    pub measured_pareto: Vec<[f64; N_OBJECTIVES]>,
+    /// Total simulated tool time in seconds (Table I's "overall running
+    /// time"), covering initialization and every iteration's flow run.
+    pub sim_seconds: f64,
+    /// Learned objective correlations at each fidelity, when the variant is
+    /// correlated (diagnostics for Sec. IV-B's claims).
+    pub objective_correlations: Option<Vec<linalg::Matrix>>,
+    /// Convergence trace: after each optimization step, the Pareto
+    /// hypervolume of the *observed* front at each fidelity (normalized
+    /// objective units, reference `[2.5; 3]`). Monotone non-decreasing per
+    /// fidelity; useful for plotting and for early-stopping policies.
+    pub hv_history: Vec<[f64; 3]>,
+}
+
+/// One raw observation of a configuration at a fidelity.
+#[derive(Debug, Clone, Copy)]
+enum Observation {
+    Valid([f64; N_OBJECTIVES]),
+    /// Invalid designs get objective values 10x worse than the current worst
+    /// when training data is materialized (Sec. IV-C).
+    Invalid,
+}
+
+/// The Algorithm-2 Bayesian optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    cfg: CmmfConfig,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(cfg: CmmfConfig) -> Self {
+        Optimizer { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CmmfConfig {
+        &self.cfg
+    }
+
+    /// Runs Algorithm 2 on `space`, evaluating configurations with `sim`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CmmfError::SpaceTooSmall`] if the space cannot host the
+    ///   initialization plus one iteration.
+    /// * [`CmmfError::Model`] if surrogate fitting fails irrecoverably.
+    pub fn run(&self, space: &DesignSpace, sim: &FlowSimulator) -> Result<RunResult, CmmfError> {
+        let cfg = &self.cfg;
+        if space.len() < cfg.n_init + cfg.n_iter {
+            return Err(CmmfError::SpaceTooSmall {
+                required: cfg.n_init + cfg.n_iter,
+                available: space.len(),
+            });
+        }
+        if cfg.n_init_impl == 0 || cfg.n_init_syn < cfg.n_init_impl || cfg.n_init < cfg.n_init_syn
+        {
+            return Err(CmmfError::Internal {
+                reason: "initialization sizes must be nested and non-zero".into(),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- Initialization (Algorithm 2, lines 3-5) -----------------------
+        let mut unsampled: Vec<usize> = (0..space.len()).collect();
+        unsampled.shuffle(&mut rng);
+        let init: Vec<usize> = unsampled.split_off(unsampled.len() - cfg.n_init);
+
+        // Observations per fidelity: (config, Observation).
+        let mut obs: [Vec<(usize, Observation)>; 3] = Default::default();
+        let mut sim_seconds = 0.0;
+        for (rank, &c) in init.iter().enumerate() {
+            let top_stage = if rank < cfg.n_init_impl {
+                Stage::Impl
+            } else if rank < cfg.n_init_syn {
+                Stage::Syn
+            } else {
+                Stage::Hls
+            };
+            sim_seconds += self.observe(space, sim, c, top_stage, &mut obs);
+        }
+
+        // --- Iterations (Algorithm 2, lines 6-15) --------------------------
+        let mut candidate_set: Vec<CandidateChoice> = Vec::with_capacity(cfg.n_iter);
+        let mut stack: Option<FidelityModelStack> = None;
+        let mut hv_history: Vec<[f64; 3]> = Vec::with_capacity(cfg.n_iter);
+
+        for t in 0..cfg.n_iter {
+            // Materialize normalized training data (penalizing invalids).
+            let (data, mins, spans) = self.training_data(space, &obs);
+            let reuse = t % cfg.refit_every != 0;
+            let new_stack =
+                FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, stack.as_ref(), reuse)?;
+
+            // Per-fidelity Pareto fronts of the normalized observations.
+            let fronts: Vec<Vec<Vec<f64>>> = (0..3)
+                .map(|f| pareto_front(&data.ys[f]))
+                .collect();
+            let reference = vec![2.5; N_OBJECTIVES]; // dominates the 2.0 penalty
+
+            // Candidate pool.
+            unsampled.shuffle(&mut rng);
+            let pool_len = cfg.candidate_pool.min(unsampled.len());
+            if pool_len == 0 {
+                stack = Some(new_stack);
+                break;
+            }
+            let pool = &unsampled[unsampled.len() - pool_len..];
+
+            // Select a batch of `batch_size` (candidate, fidelity) pairs
+            // (lines 7-11; batch > 1 models parallel tool instances). The
+            // first pick is the plain PEIPV argmax; subsequent picks maximize
+            // EIPV against fronts augmented with the *fantasized* (posterior
+            // mean) outcomes of the earlier picks — greedy q-EIPV.
+            let mut eipv_rng = StdRng::seed_from_u64(cfg.seed ^ (t as u64) << 20);
+            let mut fantasy_fronts = fronts.clone();
+            let mut picked: Vec<CandidateChoice> = Vec::with_capacity(cfg.batch_size.max(1));
+            for _q in 0..cfg.batch_size.max(1) {
+                let mut best: Option<CandidateChoice> = None;
+                for &c in pool {
+                    if picked.iter().any(|p| p.config == c) {
+                        continue;
+                    }
+                    let x = space.encode(c);
+                    let t_impl = sim.stage_seconds(space, c, Stage::Impl);
+                    for stage in Stage::all() {
+                        let f = stage.index();
+                        let pred = new_stack.predict(f, &x)?;
+                        let raw = eipv_correlated_mc(
+                            &pred,
+                            &fantasy_fronts[f],
+                            &reference,
+                            cfg.mc_samples,
+                            &mut eipv_rng,
+                        );
+                        let score = if cfg.use_cost_penalty {
+                            peipv(
+                                raw,
+                                t_impl,
+                                sim.stage_seconds(space, c, stage),
+                                cfg.cost_exponent,
+                            )
+                        } else {
+                            raw
+                        };
+                        if best.map(|b| score > b.acquisition).unwrap_or(true) {
+                            best = Some(CandidateChoice {
+                                config: c,
+                                stage,
+                                acquisition: score,
+                            });
+                        }
+                    }
+                }
+                let Some(mut choice) = best else { break };
+
+                // Fidelity-escalation guard: if the surrogate is already
+                // confident at the chosen point and fidelity, running that
+                // stage buys no information — climb to the next stage instead.
+                if cfg.escalate_threshold > 0.0 {
+                    let x = space.encode(choice.config);
+                    while choice.stage < Stage::Impl {
+                        let p = new_stack.predict(choice.stage.index(), &x)?;
+                        let mean_std = p.vars().iter().map(|v| v.sqrt()).sum::<f64>()
+                            / p.mean.len() as f64;
+                        if mean_std >= cfg.escalate_threshold {
+                            break;
+                        }
+                        choice.stage = if choice.stage == Stage::Hls {
+                            Stage::Syn
+                        } else {
+                            Stage::Impl
+                        };
+                    }
+                }
+
+                // Fantasize the outcome at the chosen fidelity so the next
+                // batch member seeks improvement elsewhere.
+                let pred = new_stack.predict(choice.stage.index(), &space.encode(choice.config))?;
+                fantasy_fronts[choice.stage.index()] = pareto_front(
+                    &fantasy_fronts[choice.stage.index()]
+                        .iter()
+                        .cloned()
+                        .chain(std::iter::once(pred.mean))
+                        .collect::<Vec<_>>(),
+                );
+                picked.push(choice);
+            }
+            if picked.is_empty() {
+                return Err(CmmfError::Internal {
+                    reason: "no candidate scored".into(),
+                });
+            }
+
+            // Run the flow for every batch member (lines 12-14). With batch
+            // size q > 1 and q parallel tool licenses, the wall-clock cost of
+            // the step is the *maximum* stage time, not the sum.
+            let mut batch_seconds = 0.0f64;
+            for choice in &picked {
+                let secs = self.observe(space, sim, choice.config, choice.stage, &mut obs);
+                batch_seconds = if cfg.batch_parallel_tools {
+                    batch_seconds.max(secs)
+                } else {
+                    batch_seconds + secs
+                };
+                unsampled.retain(|&c| c != choice.config);
+                candidate_set.push(*choice);
+            }
+            sim_seconds += batch_seconds;
+            stack = Some(new_stack);
+
+            // Convergence trace: hypervolume of each fidelity's observed
+            // front after this step's runs.
+            let (data_after, _, _) = self.training_data(space, &obs);
+            let mut hv = [0.0f64; 3];
+            for (f, h) in hv.iter_mut().enumerate() {
+                *h = hypervolume(&pareto_front(&data_after.ys[f]), &[2.5; N_OBJECTIVES]);
+            }
+            hv_history.push(hv);
+            let _ = (&mins, &spans);
+        }
+
+        // --- Final Pareto identification -----------------------------------
+        let mut evaluated: Vec<usize> = init.clone();
+        evaluated.extend(candidate_set.iter().map(|c| c.config));
+
+        // Model-based identification: predict the top fidelity over a random
+        // subsample of the un-evaluated space and keep the predicted-Pareto
+        // configurations as additional proposals.
+        let mut proposed: Vec<usize> = evaluated.clone();
+        if cfg.final_prediction_pool > 0 {
+            if let Some(stack) = stack.as_ref() {
+                unsampled.shuffle(&mut rng);
+                let pool_len = cfg.final_prediction_pool.min(unsampled.len());
+                let pool = &unsampled[..pool_len];
+                let mut preds: Vec<Vec<f64>> = Vec::with_capacity(pool_len);
+                for &c in pool {
+                    preds.push(stack.predict(2, &space.encode(c))?.mean);
+                }
+                for k in pareto::pareto_front_indices(&preds) {
+                    proposed.push(pool[k]);
+                }
+            }
+        }
+
+        let truth = sim.truth_objectives(space);
+        let mut measured: Vec<Vec<f64>> = proposed
+            .iter()
+            .filter_map(|&c| truth[c].map(|t| t.to_vec()))
+            .collect();
+        // Distinct proposals can share ground-truth objectives (and a config
+        // can be both evaluated and model-proposed); keep one copy each.
+        measured.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
+        measured.dedup();
+        let measured_pareto: Vec<[f64; N_OBJECTIVES]> = pareto_front(&measured)
+            .into_iter()
+            .map(|p| [p[0], p[1], p[2]])
+            .collect();
+        let objective_correlations = stack.as_ref().and_then(|s| {
+            let per_fid: Option<Vec<_>> = (0..3).map(|f| s.task_correlations(f)).collect();
+            per_fid
+        });
+
+        Ok(RunResult {
+            candidate_set,
+            evaluated_configs: evaluated,
+            measured_pareto,
+            sim_seconds,
+            objective_correlations,
+            hv_history,
+        })
+    }
+
+    /// Runs the flow for `config` up to `top_stage`, recording one observation
+    /// per traversed fidelity (the flow produces lower-stage reports on its
+    /// way up, Fig. 2). Returns the simulated seconds consumed.
+    fn observe(
+        &self,
+        space: &DesignSpace,
+        sim: &FlowSimulator,
+        config: usize,
+        top_stage: Stage,
+        obs: &mut [Vec<(usize, Observation)>; 3],
+    ) -> f64 {
+        for stage in Stage::all() {
+            if stage > top_stage {
+                break;
+            }
+            let o = match sim.run(space, config, stage) {
+                RunOutcome::Valid(r) => Observation::Valid(r.objectives()),
+                RunOutcome::Invalid { .. } => Observation::Invalid,
+            };
+            obs[stage.index()].push((config, o));
+        }
+        sim.stage_seconds(space, config, top_stage)
+    }
+
+    /// Builds normalized per-fidelity training data. Valid observations are
+    /// min-max normalized per objective over all fidelities pooled; invalid
+    /// designs are materialized at 2.0 — far beyond the worst valid value
+    /// (the paper's "10x worse than the current worst" in spirit, clamped so
+    /// the GP stays well-conditioned).
+    fn training_data(
+        &self,
+        space: &DesignSpace,
+        obs: &[Vec<(usize, Observation)>; 3],
+    ) -> (FidelityDataSet, [f64; N_OBJECTIVES], [f64; N_OBJECTIVES]) {
+        let mut mins = [f64::INFINITY; N_OBJECTIVES];
+        let mut maxs = [f64::NEG_INFINITY; N_OBJECTIVES];
+        for fid in obs {
+            for (_, o) in fid {
+                if let Observation::Valid(y) = o {
+                    for d in 0..N_OBJECTIVES {
+                        mins[d] = mins[d].min(y[d]);
+                        maxs[d] = maxs[d].max(y[d]);
+                    }
+                }
+            }
+        }
+        let mut spans = [1.0; N_OBJECTIVES];
+        for d in 0..N_OBJECTIVES {
+            if !mins[d].is_finite() {
+                mins[d] = 0.0;
+                maxs[d] = 1.0;
+            }
+            spans[d] = (maxs[d] - mins[d]).max(1e-12);
+        }
+        let mut data = FidelityDataSet::default();
+        for (f, fid) in obs.iter().enumerate() {
+            for (c, o) in fid {
+                data.xs[f].push(space.encode(*c));
+                data.ys[f].push(match o {
+                    Observation::Valid(y) => (0..N_OBJECTIVES)
+                        .map(|d| (y[d] - mins[d]) / spans[d])
+                        .collect(),
+                    Observation::Invalid => vec![2.0; N_OBJECTIVES],
+                });
+            }
+        }
+        (data, mins, spans)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fidelity_sim::SimParams;
+    use hls_model::benchmarks::{self, Benchmark};
+
+    fn quick_cfg(seed: u64) -> CmmfConfig {
+        CmmfConfig {
+            n_iter: 6,
+            candidate_pool: 40,
+            mc_samples: 8,
+            refit_every: 3,
+            gp: GpConfig {
+                restarts: 0,
+                max_evals: 60,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        }
+    }
+
+    fn setup(b: Benchmark) -> (DesignSpace, FlowSimulator) {
+        (
+            benchmarks::build(b).pruned_space().unwrap(),
+            FlowSimulator::new(SimParams::for_benchmark(b)),
+        )
+    }
+
+    #[test]
+    fn runs_to_completion_and_collects_cs() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let r = Optimizer::new(quick_cfg(1)).run(&space, &sim).unwrap();
+        assert_eq!(r.candidate_set.len(), 6);
+        assert_eq!(r.evaluated_configs.len(), 8 + 6);
+        assert!(!r.measured_pareto.is_empty());
+        assert!(r.sim_seconds > 0.0);
+        assert!(r.objective_correlations.is_some());
+    }
+
+    #[test]
+    fn candidate_set_configs_are_distinct() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let r = Optimizer::new(quick_cfg(2)).run(&space, &sim).unwrap();
+        let mut seen: Vec<usize> = r.evaluated_configs.clone();
+        seen.sort_unstable();
+        let before = seen.len();
+        seen.dedup();
+        assert_eq!(before, seen.len(), "a configuration was sampled twice");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let a = Optimizer::new(quick_cfg(3)).run(&space, &sim).unwrap();
+        let b = Optimizer::new(quick_cfg(3)).run(&space, &sim).unwrap();
+        let ca: Vec<usize> = a.candidate_set.iter().map(|c| c.config).collect();
+        let cb: Vec<usize> = b.candidate_set.iter().map(|c| c.config).collect();
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn fpl18_variant_runs() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let mut cfg = quick_cfg(4);
+        cfg.variant = ModelVariant::fpl18();
+        let r = Optimizer::new(cfg).run(&space, &sim).unwrap();
+        assert_eq!(r.candidate_set.len(), 6);
+        assert!(r.objective_correlations.is_none());
+    }
+
+    #[test]
+    fn cost_penalty_prefers_cheap_fidelities() {
+        // With the penalty on, a clear majority of iteration runs should stay
+        // below Impl (the paper's motivation for PEIPV).
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let mut cfg = quick_cfg(5);
+        cfg.n_iter = 10;
+        let r = Optimizer::new(cfg).run(&space, &sim).unwrap();
+        let impl_runs = r
+            .candidate_set
+            .iter()
+            .filter(|c| c.stage == Stage::Impl)
+            .count();
+        assert!(
+            impl_runs < r.candidate_set.len(),
+            "every step ran the full flow despite the cost penalty"
+        );
+    }
+
+    #[test]
+    fn hv_history_is_recorded_per_step() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let r = Optimizer::new(quick_cfg(17)).run(&space, &sim).unwrap();
+        assert_eq!(r.hv_history.len(), 6);
+        // Hypervolume never decreases within a fidelity (the normalization
+        // window can shift values slightly, so allow a small tolerance).
+        for f in 0..3 {
+            for w in r.hv_history.windows(2) {
+                assert!(
+                    w[1][f] >= w[0][f] - 0.35,
+                    "fidelity {f} hv dropped sharply: {:?} -> {:?}",
+                    w[0][f],
+                    w[1][f]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_mode_runs_q_configs_per_step() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let mut cfg = quick_cfg(8);
+        cfg.batch_size = 3;
+        cfg.n_iter = 4;
+        let r = Optimizer::new(cfg).run(&space, &sim).unwrap();
+        assert_eq!(r.candidate_set.len(), 12);
+        // Batch members within one run are distinct configurations.
+        let mut ids: Vec<usize> = r.candidate_set.iter().map(|c| c.config).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn parallel_tools_accounting_is_cheaper_than_serial() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let mut par = quick_cfg(13);
+        par.batch_size = 3;
+        par.n_iter = 4;
+        par.batch_parallel_tools = true;
+        let mut ser = par.clone();
+        ser.batch_parallel_tools = false;
+        let rp = Optimizer::new(par).run(&space, &sim).unwrap();
+        let rs = Optimizer::new(ser).run(&space, &sim).unwrap();
+        assert!(rp.sim_seconds <= rs.sim_seconds);
+    }
+
+    #[test]
+    fn space_too_small_is_rejected() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let mut cfg = quick_cfg(6);
+        cfg.n_iter = space.len(); // cannot fit init + iters
+        assert!(matches!(
+            Optimizer::new(cfg).run(&space, &sim),
+            Err(CmmfError::SpaceTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_nesting_is_rejected() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let mut cfg = quick_cfg(7);
+        cfg.n_init_impl = 0;
+        assert!(matches!(
+            Optimizer::new(cfg).run(&space, &sim),
+            Err(CmmfError::Internal { .. })
+        ));
+    }
+}

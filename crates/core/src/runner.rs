@@ -1,0 +1,248 @@
+//! Experiment driver: true Pareto fronts, normalized ADRS (Eq. 11), and
+//! multi-repeat statistics — the machinery behind Table I and Fig. 8.
+
+use crate::{CmmfConfig, CmmfError, Optimizer};
+use fidelity_sim::{FlowSimulator, N_OBJECTIVES};
+use hls_model::DesignSpace;
+use pareto::{adrs, pareto_front, DistanceMetric};
+
+/// The ground-truth Pareto front of a design space, with the normalization
+/// used to make ADRS comparable across objectives.
+#[derive(Debug, Clone)]
+pub struct TrueFront {
+    /// Normalized Pareto-front points.
+    pub points: Vec<Vec<f64>>,
+    /// Per-objective minima over valid configurations.
+    pub mins: [f64; N_OBJECTIVES],
+    /// Per-objective spans over valid configurations.
+    pub spans: [f64; N_OBJECTIVES],
+}
+
+impl TrueFront {
+    /// Computes the true front by exhaustively evaluating the simulator's
+    /// ground truth over the whole space (only possible because the substrate
+    /// is a simulator; the paper pre-computed its reference fronts the same
+    /// exhaustive way on the real tool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space has no valid configuration.
+    pub fn compute(space: &DesignSpace, sim: &FlowSimulator) -> Self {
+        let truth = sim.truth_objectives(space);
+        let valid: Vec<[f64; N_OBJECTIVES]> = truth.iter().flatten().copied().collect();
+        assert!(!valid.is_empty(), "space has no valid configuration");
+        let mut mins = [f64::INFINITY; N_OBJECTIVES];
+        let mut maxs = [f64::NEG_INFINITY; N_OBJECTIVES];
+        for y in &valid {
+            for d in 0..N_OBJECTIVES {
+                mins[d] = mins[d].min(y[d]);
+                maxs[d] = maxs[d].max(y[d]);
+            }
+        }
+        let mut spans = [1.0; N_OBJECTIVES];
+        for d in 0..N_OBJECTIVES {
+            spans[d] = (maxs[d] - mins[d]).max(1e-12);
+        }
+        let normalized: Vec<Vec<f64>> = valid
+            .iter()
+            .map(|y| (0..N_OBJECTIVES).map(|d| (y[d] - mins[d]) / spans[d]).collect())
+            .collect();
+        TrueFront {
+            points: pareto_front(&normalized),
+            mins,
+            spans,
+        }
+    }
+
+    /// Normalizes a raw objective vector into this front's coordinates.
+    pub fn normalize(&self, y: &[f64; N_OBJECTIVES]) -> Vec<f64> {
+        (0..N_OBJECTIVES)
+            .map(|d| (y[d] - self.mins[d]) / self.spans[d])
+            .collect()
+    }
+
+    /// ADRS (Eq. 11) of a learned set of raw objective vectors against this
+    /// front, using Euclidean distance in normalized space.
+    ///
+    /// Returns the worst case (the normalized-space diagonal) when the learned
+    /// set is empty, so failed runs are penalized rather than crashing.
+    pub fn adrs_of(&self, learned: &[[f64; N_OBJECTIVES]]) -> f64 {
+        if learned.is_empty() {
+            return (N_OBJECTIVES as f64).sqrt();
+        }
+        let normalized: Vec<Vec<f64>> = learned.iter().map(|y| self.normalize(y)).collect();
+        adrs(&self.points, &normalized, DistanceMetric::Euclidean)
+    }
+}
+
+/// Summary statistics over repeated runs of one method on one benchmark —
+/// one cell group of Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodStats {
+    /// Mean ADRS over repeats.
+    pub mean_adrs: f64,
+    /// Sample standard deviation of ADRS over repeats.
+    pub std_adrs: f64,
+    /// Mean simulated tool seconds over repeats.
+    pub mean_seconds: f64,
+    /// Per-repeat ADRS values.
+    pub adrs_values: Vec<f64>,
+}
+
+/// Runs the optimizer `repeats` times with distinct seeds and aggregates ADRS
+/// and runtime statistics (Sec. V-B runs 10 tests per benchmark and averages).
+///
+/// # Errors
+///
+/// Propagates the first run error.
+pub fn repeat_optimizer_runs(
+    base_cfg: &CmmfConfig,
+    space: &DesignSpace,
+    sim: &FlowSimulator,
+    front: &TrueFront,
+    repeats: usize,
+) -> Result<MethodStats, CmmfError> {
+    let mut adrs_values = Vec::with_capacity(repeats);
+    let mut seconds = Vec::with_capacity(repeats);
+    for rep in 0..repeats {
+        let mut cfg = base_cfg.clone();
+        cfg.seed = base_cfg.seed.wrapping_add(rep as u64 * 0x9E37);
+        cfg.gp.seed = cfg.seed ^ 0xABCD;
+        let result = Optimizer::new(cfg).run(space, sim)?;
+        adrs_values.push(front.adrs_of(&result.measured_pareto));
+        seconds.push(result.sim_seconds);
+    }
+    Ok(MethodStats {
+        mean_adrs: linalg::stats::mean(&adrs_values),
+        std_adrs: linalg::stats::std_dev(&adrs_values),
+        mean_seconds: linalg::stats::mean(&seconds),
+        adrs_values,
+    })
+}
+
+/// Aggregates externally produced per-repeat (ADRS, seconds) pairs — used for
+/// the regression baselines, which do not run through [`Optimizer`].
+pub fn stats_from_runs(adrs_values: Vec<f64>, seconds: Vec<f64>) -> MethodStats {
+    MethodStats {
+        mean_adrs: linalg::stats::mean(&adrs_values),
+        std_adrs: linalg::stats::std_dev(&adrs_values),
+        mean_seconds: linalg::stats::mean(&seconds),
+        adrs_values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelVariant;
+    use fidelity_sim::SimParams;
+    use gp::GpConfig;
+    use hls_model::benchmarks::{self, Benchmark};
+
+    fn setup() -> (DesignSpace, FlowSimulator) {
+        (
+            benchmarks::build(Benchmark::SpmvCrs).pruned_space().unwrap(),
+            FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs)),
+        )
+    }
+
+    fn quick_cfg() -> CmmfConfig {
+        CmmfConfig {
+            n_iter: 5,
+            candidate_pool: 30,
+            mc_samples: 8,
+            refit_every: 3,
+            gp: GpConfig {
+                restarts: 0,
+                max_evals: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn true_front_is_nondominated_and_normalized() {
+        let (space, sim) = setup();
+        let front = TrueFront::compute(&space, &sim);
+        assert!(!front.points.is_empty());
+        for p in &front.points {
+            assert!(p.iter().all(|v| (-1e-9..=1.0 + 1e-9).contains(v)));
+        }
+        // No point dominates another.
+        for (i, a) in front.points.iter().enumerate() {
+            for (j, b) in front.points.iter().enumerate() {
+                if i != j {
+                    assert!(!pareto::dominates(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adrs_of_true_front_is_zero() {
+        let (space, sim) = setup();
+        let front = TrueFront::compute(&space, &sim);
+        let raw: Vec<[f64; 3]> = front
+            .points
+            .iter()
+            .map(|p| {
+                [
+                    p[0] * front.spans[0] + front.mins[0],
+                    p[1] * front.spans[1] + front.mins[1],
+                    p[2] * front.spans[2] + front.mins[2],
+                ]
+            })
+            .collect();
+        assert!(front.adrs_of(&raw) < 1e-9);
+    }
+
+    #[test]
+    fn empty_learned_set_gets_worst_case() {
+        let (space, sim) = setup();
+        let front = TrueFront::compute(&space, &sim);
+        assert!((front.adrs_of(&[]) - 3.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeats_aggregate() {
+        let (space, sim) = setup();
+        let front = TrueFront::compute(&space, &sim);
+        let stats = repeat_optimizer_runs(&quick_cfg(), &space, &sim, &front, 2).unwrap();
+        assert_eq!(stats.adrs_values.len(), 2);
+        assert!(stats.mean_adrs >= 0.0);
+        assert!(stats.mean_seconds > 0.0);
+    }
+
+    #[test]
+    fn optimizer_beats_random_subset_on_average() {
+        // The whole point: BO finds a better front than random sampling with
+        // the same number of evaluations.
+        let (space, sim) = setup();
+        let front = TrueFront::compute(&space, &sim);
+        let mut cfg = quick_cfg();
+        cfg.n_iter = 12;
+        cfg.variant = ModelVariant::paper();
+        let stats = repeat_optimizer_runs(&cfg, &space, &sim, &front, 2).unwrap();
+
+        // Random baseline with the same budget (8 + 12 evaluations).
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let truth = sim.truth_objectives(&space);
+        let mut rand_adrs = Vec::new();
+        for rep in 0..4 {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(900 + rep);
+            let mut idx: Vec<usize> = (0..space.len()).collect();
+            idx.shuffle(&mut rng);
+            let picked: Vec<[f64; 3]> = idx[..20].iter().filter_map(|&i| truth[i]).collect();
+            rand_adrs.push(front.adrs_of(&picked));
+        }
+        let rand_mean = linalg::stats::mean(&rand_adrs);
+        assert!(
+            stats.mean_adrs < rand_mean * 1.2,
+            "BO {:.4} not competitive with random {:.4}",
+            stats.mean_adrs,
+            rand_mean
+        );
+    }
+}

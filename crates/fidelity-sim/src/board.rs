@@ -1,0 +1,47 @@
+//! Target-device description.
+
+/// The FPGA resources available to the kernel under design.
+///
+/// The paper targets a Xilinx Virtex-7 VC707. A real flow would floorplan the
+/// kernel into a region of the device; [`Board::vc707_region`] models the LUT
+/// budget of such a region, which is what utilization (and therefore
+/// congestion and validity) is measured against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Board {
+    /// LUT budget of the kernel's placement region.
+    pub luts: f64,
+    /// Achievable minimum clock period in nanoseconds for a trivially small
+    /// design on this device.
+    pub min_clock_ns: f64,
+    /// Static (leakage) power in watts.
+    pub static_power_w: f64,
+}
+
+impl Board {
+    /// The placement region used by all experiments: a VC707 slice with a
+    /// 48 000-LUT budget, 4 ns floor clock and 0.25 W static power.
+    pub fn vc707_region() -> Self {
+        Board {
+            luts: 48_000.0,
+            min_clock_ns: 4.0,
+            static_power_w: 0.25,
+        }
+    }
+}
+
+impl Default for Board {
+    fn default() -> Self {
+        Board::vc707_region()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_vc707_region() {
+        assert_eq!(Board::default(), Board::vc707_region());
+        assert!(Board::default().luts > 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! A three-stage FPGA design-flow **simulator** — the stand-in for Xilinx
+//! Vivado HLS 2018.2 targeting a Virtex-7 VC707 board in the paper's
+//! experiments (Fig. 2).
+//!
+//! # What it models, and why it is a faithful substitution
+//!
+//! The optimization algorithms under study only ever observe, for a directive
+//! configuration `x` and a chosen fidelity, a PPA report
+//! `(Power, Delay, LUT)`, a validity flag, and a stage runtime. The properties
+//! of the real tool that the paper's claims rest on are:
+//!
+//! 1. **Correlated objectives** — raising parallelism lowers delay but raises
+//!    LUT count and power (Sec. IV-B). The ground-truth model derives all
+//!    three objectives from one structural performance model, so the
+//!    correlations emerge mechanically.
+//! 2. **Non-linearly related fidelities** (Fig. 5) — the post-HLS report
+//!    ignores routing congestion (which the implemented design suffers
+//!    quadratically above ~65 % utilization) and carries a smooth,
+//!    configuration-dependent systematic bias whose amplitude is a
+//!    per-benchmark *divergence* parameter: small for GEMM (overlapping
+//!    fidelities), large for SPMV_ELLPACK (divergent fidelities), exactly the
+//!    contrast the paper plots.
+//! 3. **Late-detected invalidity** — over-utilized designs fail at logic
+//!    synthesis, and near-capacity designs can fail routing only at the
+//!    implementation stage, so a configuration can look good at HLS and still
+//!    be unusable (Sec. I).
+//! 4. **Stage costs** — `T_hls << T_syn << T_impl`; runtimes grow with design
+//!    size, feeding the paper's PEIPV cost penalty (Eq. 10).
+//!
+//! Everything is deterministic given the seed, so experiments regenerate
+//! identically.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmmf_fidelity_sim::{FlowSimulator, SimParams, Stage};
+//! use hls_model::benchmarks::{self, Benchmark};
+//!
+//! let space = benchmarks::build(Benchmark::Gemm).pruned_space().unwrap();
+//! let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::Gemm));
+//! match sim.run(&space, 0, Stage::Impl) {
+//!     cmmf_fidelity_sim::RunOutcome::Valid(report) => {
+//!         assert!(report.delay_ns() > 0.0 && report.power_w > 0.0);
+//!     }
+//!     cmmf_fidelity_sim::RunOutcome::Invalid { .. } => {}
+//! }
+//! ```
+
+mod board;
+mod report;
+mod sim;
+
+pub use board::Board;
+pub use report::{Report, RunOutcome};
+pub use sim::{FlowSimulator, SimParams, Stage, N_OBJECTIVES};

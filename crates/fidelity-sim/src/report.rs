@@ -1,0 +1,116 @@
+//! Stage reports: the PPA numbers a design-flow stage returns.
+
+use crate::sim::Stage;
+
+/// A PPA report from one flow stage.
+///
+/// The paper's three objectives (Sec. III-C) are **Power** (watts), **Delay**
+/// (latency x clock period, nanoseconds) and **LUT** utilization; the raw
+/// latency/clock/LUT-count components are exposed too, as real tool reports
+/// do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Report {
+    /// Task latency in clock cycles.
+    pub latency_cycles: f64,
+    /// Achieved clock period in nanoseconds.
+    pub clock_ns: f64,
+    /// LUTs consumed.
+    pub luts: f64,
+    /// LUT utilization against the placement region budget, in `[0, ~1.2]`.
+    pub lut_util: f64,
+    /// Total on-chip power in watts.
+    pub power_w: f64,
+    /// Flip-flops consumed (reported for realism; not an objective).
+    pub ffs: f64,
+    /// DSP slices consumed (reported for realism; not an objective).
+    pub dsps: f64,
+    /// Block RAMs consumed (reported for realism; not an objective).
+    pub brams: f64,
+}
+
+impl Report {
+    /// Task time length: `latency x clock period`, in nanoseconds (the paper's
+    /// Delay objective).
+    pub fn delay_ns(&self) -> f64 {
+        self.latency_cycles * self.clock_ns
+    }
+
+    /// The paper's three minimization objectives as a vector:
+    /// `[power_w, delay_ns, lut_util]`.
+    pub fn objectives(&self) -> [f64; 3] {
+        [self.power_w, self.delay_ns(), self.lut_util]
+    }
+}
+
+/// Outcome of running the flow on one configuration up to some stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// The stage completed and produced a report.
+    Valid(Report),
+    /// The design violated placement or routing rules; no report is available
+    /// (Sec. IV-C: such designs are penalized 10x worse than the current worst).
+    Invalid {
+        /// The stage at which the failure was detected.
+        stage: Stage,
+        /// Tool-style failure message.
+        reason: String,
+    },
+}
+
+impl RunOutcome {
+    /// The report, if the run succeeded.
+    pub fn report(&self) -> Option<&Report> {
+        match self {
+            RunOutcome::Valid(r) => Some(r),
+            RunOutcome::Invalid { .. } => None,
+        }
+    }
+
+    /// Whether the run produced a report.
+    pub fn is_valid(&self) -> bool {
+        matches!(self, RunOutcome::Valid(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_is_latency_times_clock() {
+        let r = Report {
+            latency_cycles: 100.0,
+            clock_ns: 5.0,
+            luts: 1000.0,
+            lut_util: 0.1,
+            power_w: 0.5,
+            ffs: 800.0,
+            dsps: 4.0,
+            brams: 2.0,
+        };
+        assert_eq!(r.delay_ns(), 500.0);
+        assert_eq!(r.objectives(), [0.5, 500.0, 0.1]);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let r = Report {
+            latency_cycles: 1.0,
+            clock_ns: 1.0,
+            luts: 1.0,
+            lut_util: 0.0,
+            power_w: 0.0,
+            ffs: 1.0,
+            dsps: 0.0,
+            brams: 0.0,
+        };
+        assert!(RunOutcome::Valid(r).is_valid());
+        assert!(RunOutcome::Valid(r).report().is_some());
+        let inv = RunOutcome::Invalid {
+            stage: Stage::Impl,
+            reason: "routing failed".into(),
+        };
+        assert!(!inv.is_valid());
+        assert!(inv.report().is_none());
+    }
+}

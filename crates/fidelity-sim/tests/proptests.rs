@@ -1,0 +1,78 @@
+//! Property-based tests of the flow simulator: determinism, positivity,
+//! monotone stage times, and report sanity over arbitrary configurations.
+
+use cmmf_fidelity_sim::{FlowSimulator, RunOutcome, SimParams, Stage};
+use hls_model::benchmarks::{self, Benchmark};
+use proptest::prelude::*;
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    proptest::sample::select(Benchmark::all().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reports_are_positive_and_consistent(b in any_benchmark(), pick in 0.0f64..1.0) {
+        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let sim = FlowSimulator::new(SimParams::for_benchmark(b));
+        let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
+        for stage in Stage::all() {
+            if let RunOutcome::Valid(r) = sim.run(&space, i, stage) {
+                prop_assert!(r.latency_cycles >= 1.0);
+                prop_assert!(r.clock_ns > 0.0);
+                prop_assert!(r.luts >= 0.0);
+                prop_assert!(r.power_w > 0.0);
+                prop_assert!((r.delay_ns() - r.latency_cycles * r.clock_ns).abs() < 1e-9);
+                let o = r.objectives();
+                prop_assert!(o.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism(b in any_benchmark(), pick in 0.0f64..1.0) {
+        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let sim = FlowSimulator::new(SimParams::for_benchmark(b));
+        let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
+        for stage in Stage::all() {
+            prop_assert_eq!(sim.run(&space, i, stage), sim.run(&space, i, stage));
+        }
+    }
+
+    #[test]
+    fn stage_times_increase_with_fidelity(b in any_benchmark(), pick in 0.0f64..1.0) {
+        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let sim = FlowSimulator::new(SimParams::for_benchmark(b));
+        let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
+        let t: Vec<f64> = Stage::all()
+            .iter()
+            .map(|&s| sim.stage_seconds(&space, i, s))
+            .collect();
+        prop_assert!(t[0] < t[1] && t[1] < t[2]);
+    }
+
+    #[test]
+    fn validity_is_monotone_in_stage(b in any_benchmark(), pick in 0.0f64..1.0) {
+        // If a config is invalid at some stage it stays invalid above it.
+        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let sim = FlowSimulator::new(SimParams::for_benchmark(b));
+        let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
+        let valid: Vec<bool> = Stage::all()
+            .iter()
+            .map(|&s| sim.run(&space, i, s).is_valid())
+            .collect();
+        for w in valid.windows(2) {
+            prop_assert!(w[0] || !w[1], "validity regressed upward: {valid:?}");
+        }
+    }
+
+    #[test]
+    fn truth_matches_validity(b in any_benchmark(), pick in 0.0f64..1.0) {
+        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let sim = FlowSimulator::new(SimParams::for_benchmark(b));
+        let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
+        let truth = sim.truth_objectives(&space);
+        prop_assert_eq!(truth[i].is_some(), sim.run(&space, i, Stage::Impl).is_valid());
+    }
+}

@@ -1,0 +1,53 @@
+use linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when fitting or querying Gaussian-process models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GpError {
+    /// Training data is empty or inconsistently sized.
+    InvalidTrainingData {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A query point has the wrong dimension.
+    DimensionMismatch {
+        /// Expected input dimension.
+        expected: usize,
+        /// Dimension actually supplied.
+        got: usize,
+    },
+    /// The underlying linear algebra failed (typically a covariance matrix that
+    /// could not be factorized).
+    Numerical(LinalgError),
+}
+
+impl fmt::Display for GpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpError::InvalidTrainingData { reason } => {
+                write!(f, "invalid training data: {reason}")
+            }
+            GpError::DimensionMismatch { expected, got } => {
+                write!(f, "input dimension mismatch: expected {expected}, got {got}")
+            }
+            GpError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl Error for GpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GpError::Numerical(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for GpError {
+    fn from(e: LinalgError) -> Self {
+        GpError::Numerical(e)
+    }
+}

@@ -1,0 +1,397 @@
+use crate::kernel::Kernel;
+use crate::optimize::{multi_start_nelder_mead, NelderMeadOptions};
+use crate::GpError;
+use linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Posterior mean and (latent) variance at a query point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean in the original output units.
+    pub mean: f64,
+    /// Posterior variance of the latent function (observation noise excluded),
+    /// in squared original output units. Clamped to be non-negative.
+    pub var: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation.
+    pub fn std(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+/// Configuration for [`Gp::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpConfig {
+    /// Whether to optimize hyperparameters by maximizing the marginal
+    /// likelihood. When `false`, the kernel is used as supplied and only the
+    /// noise floor is applied.
+    pub optimize: bool,
+    /// Number of random restarts of the Nelder–Mead search (in addition to the
+    /// run from the supplied kernel's parameters).
+    pub restarts: usize,
+    /// Maximum objective evaluations per Nelder–Mead run.
+    pub max_evals: usize,
+    /// Initial observation-noise variance (standardized-output units).
+    pub init_noise_var: f64,
+    /// Lower bound on the observation-noise variance.
+    pub noise_floor: f64,
+    /// Seed for the restart sampler.
+    pub seed: u64,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            optimize: true,
+            restarts: 2,
+            max_evals: 250,
+            init_noise_var: 1e-2,
+            noise_floor: 1e-8,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Exact Gaussian-process regression with a constant mean and maximum-likelihood
+/// hyperparameters (Sec. II-A of the paper).
+///
+/// Outputs are standardized internally; predictions are returned in the original
+/// units. See the crate-level example for typical use.
+#[derive(Debug, Clone)]
+pub struct Gp<K: Kernel> {
+    kernel: K,
+    xs: Vec<Vec<f64>>,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    noise_var: f64,
+    y_mean: f64,
+    y_scale: f64,
+    nlml: f64,
+}
+
+impl<K: Kernel + Clone> Gp<K> {
+    /// Fits a GP to `(xs, ys)`, optionally optimizing the kernel hyperparameters
+    /// and noise by maximum likelihood (multi-start Nelder–Mead in log space).
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::InvalidTrainingData`] if `xs` is empty, `xs.len() != ys.len()`,
+    ///   any row's dimension differs from `kernel.dim()`, or any value is
+    ///   non-finite.
+    /// * [`GpError::Numerical`] if the covariance cannot be factorized at the
+    ///   optimum (rare; jitter is escalated automatically first).
+    pub fn fit(kernel: K, xs: &[Vec<f64>], ys: &[f64], cfg: &GpConfig) -> Result<Self, GpError> {
+        validate(xs, ys, kernel.dim())?;
+        let (y_std, y_mean, y_scale) = standardize(ys);
+
+        let mut kernel = kernel;
+        let mut noise_var = cfg.init_noise_var.max(cfg.noise_floor);
+
+        if cfg.optimize {
+            let mut p0 = kernel.log_params();
+            p0.push(noise_var.ln());
+            let base_kernel = kernel.clone();
+            let floor = cfg.noise_floor;
+            let objective = |p: &[f64]| {
+                let mut k = base_kernel.clone();
+                k.set_log_params(&p[..p.len() - 1]);
+                let nv = p[p.len() - 1].exp().max(floor);
+                nlml(&k, xs, &y_std, nv).unwrap_or(f64::INFINITY)
+            };
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let opts = NelderMeadOptions {
+                max_evals: cfg.max_evals,
+                ..Default::default()
+            };
+            let best = multi_start_nelder_mead(objective, &p0, 1.5, cfg.restarts, &opts, &mut rng);
+            if best.value.is_finite() {
+                kernel.set_log_params(&best.x[..best.x.len() - 1]);
+                noise_var = best.x[best.x.len() - 1].exp().max(floor);
+            }
+        }
+
+        let (chol, alpha, nlml_val) = factorize(&kernel, xs, &y_std, noise_var)?;
+        Ok(Gp {
+            kernel,
+            xs: xs.to_vec(),
+            chol,
+            alpha,
+            noise_var,
+            y_mean,
+            y_scale,
+            nlml: nlml_val,
+        })
+    }
+
+    /// Refits on new data **reusing this model's hyperparameters** (no
+    /// marginal-likelihood optimization). This is the cheap per-iteration
+    /// update of a Bayesian-optimization loop; re-run [`Gp::fit`] periodically
+    /// to re-tune hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gp::fit`].
+    pub fn refit(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, GpError> {
+        validate(xs, ys, self.kernel.dim())?;
+        let (y_std, y_mean, y_scale) = standardize(ys);
+        let (chol, alpha, nlml_val) = factorize(&self.kernel, xs, &y_std, self.noise_var)?;
+        Ok(Gp {
+            kernel: self.kernel.clone(),
+            xs: xs.to_vec(),
+            chol,
+            alpha,
+            noise_var: self.noise_var,
+            y_mean,
+            y_scale,
+            nlml: nlml_val,
+        })
+    }
+
+    /// Posterior prediction at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::DimensionMismatch`] if `x.len() != self.dim()`.
+    pub fn predict(&self, x: &[f64]) -> Result<Prediction, GpError> {
+        if x.len() != self.kernel.dim() {
+            return Err(GpError::DimensionMismatch {
+                expected: self.kernel.dim(),
+                got: x.len(),
+            });
+        }
+        let kstar: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let mean_std: f64 = kstar.iter().zip(&self.alpha).map(|(k, a)| k * a).sum();
+        let v = self.chol.solve_lower(&kstar)?;
+        let var_std = self.kernel.eval(x, x) - v.iter().map(|vi| vi * vi).sum::<f64>();
+        Ok(Prediction {
+            mean: self.y_mean + self.y_scale * mean_std,
+            var: (var_std.max(0.0)) * self.y_scale * self.y_scale,
+        })
+    }
+
+    /// Posterior predictions at many points.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error from [`Gp::predict`].
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, GpError> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// The fitted kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// The fitted observation-noise variance (standardized units).
+    pub fn noise_var(&self) -> f64 {
+        self.noise_var
+    }
+
+    /// Negative log marginal likelihood at the fitted hyperparameters
+    /// (standardized units).
+    pub fn neg_log_marginal_likelihood(&self) -> f64 {
+        self.nlml
+    }
+
+    /// Number of training points.
+    pub fn train_len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.kernel.dim()
+    }
+}
+
+fn validate(xs: &[Vec<f64>], ys: &[f64], dim: usize) -> Result<(), GpError> {
+    if xs.is_empty() {
+        return Err(GpError::InvalidTrainingData {
+            reason: "no training points".into(),
+        });
+    }
+    if xs.len() != ys.len() {
+        return Err(GpError::InvalidTrainingData {
+            reason: format!("{} inputs vs {} outputs", xs.len(), ys.len()),
+        });
+    }
+    for x in xs {
+        if x.len() != dim {
+            return Err(GpError::DimensionMismatch {
+                expected: dim,
+                got: x.len(),
+            });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::InvalidTrainingData {
+                reason: "non-finite input value".into(),
+            });
+        }
+    }
+    if ys.iter().any(|v| !v.is_finite()) {
+        return Err(GpError::InvalidTrainingData {
+            reason: "non-finite output value".into(),
+        });
+    }
+    Ok(())
+}
+
+/// Standardizes `ys` to zero mean / unit scale; a constant vector keeps scale 1.
+fn standardize(ys: &[f64]) -> (Vec<f64>, f64, f64) {
+    let mean = linalg::stats::mean(ys);
+    let std = linalg::stats::std_dev(ys);
+    let scale = if std > 1e-12 { std } else { 1.0 };
+    (
+        ys.iter().map(|y| (y - mean) / scale).collect(),
+        mean,
+        scale,
+    )
+}
+
+/// Builds and factorizes `K + σ²I`, returning `(chol, α = K⁻¹y, NLML)`.
+fn factorize<K: Kernel>(
+    kernel: &K,
+    xs: &[Vec<f64>],
+    y_std: &[f64],
+    noise_var: f64,
+) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
+    let n = xs.len();
+    let mut km = Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+    km.add_diag(noise_var);
+    let chol = Cholesky::new(&km)?;
+    let alpha = chol.solve_vec(y_std)?;
+    let fit_term: f64 = y_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+    let nlml = 0.5 * fit_term
+        + 0.5 * chol.log_det()
+        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    Ok((chol, alpha, nlml))
+}
+
+/// Negative log marginal likelihood for given hyperparameters.
+fn nlml<K: Kernel>(
+    kernel: &K,
+    xs: &[Vec<f64>],
+    y_std: &[f64],
+    noise_var: f64,
+) -> Result<f64, GpError> {
+    factorize(kernel, xs, y_std, noise_var).map(|(_, _, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Matern52Ard, SquaredExponentialArd};
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let xs = grid_1d(8);
+        let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+        let cfg = GpConfig {
+            init_noise_var: 1e-6,
+            ..Default::default()
+        };
+        let gp = Gp::fit(Matern52Ard::new(1), &xs, &ys, &cfg).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x).unwrap();
+            assert!((p.mean - y).abs() < 0.05, "at {x:?}: {} vs {y}", p.mean);
+        }
+    }
+
+    #[test]
+    fn variance_smaller_at_data_than_far_away() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
+        let gp = Gp::fit(SquaredExponentialArd::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        let at_data = gp.predict(&[0.4]).unwrap().var;
+        let far = gp.predict(&[5.0]).unwrap().var;
+        assert!(at_data < far);
+    }
+
+    #[test]
+    fn mle_improves_over_defaults() {
+        let xs = grid_1d(12);
+        // A fast-varying function: the default lengthscale 1.0 is far too long.
+        let ys: Vec<f64> = xs.iter().map(|x| (20.0 * x[0]).sin()).collect();
+        let fixed = Gp::fit(
+            Matern52Ard::new(1),
+            &xs,
+            &ys,
+            &GpConfig {
+                optimize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let fitted = Gp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        assert!(
+            fitted.neg_log_marginal_likelihood() < fixed.neg_log_marginal_likelihood(),
+            "{} !< {}",
+            fitted.neg_log_marginal_likelihood(),
+            fixed.neg_log_marginal_likelihood()
+        );
+    }
+
+    #[test]
+    fn constant_outputs_are_handled() {
+        let xs = grid_1d(5);
+        let ys = vec![2.5; 5];
+        let gp = Gp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        let p = gp.predict(&[0.3]).unwrap();
+        assert!((p.mean - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged_data() {
+        let cfg = GpConfig::default();
+        assert!(matches!(
+            Gp::fit(Matern52Ard::new(1), &[], &[], &cfg),
+            Err(GpError::InvalidTrainingData { .. })
+        ));
+        assert!(matches!(
+            Gp::fit(Matern52Ard::new(1), &[vec![0.0, 1.0]], &[1.0], &cfg),
+            Err(GpError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Gp::fit(Matern52Ard::new(1), &[vec![0.0]], &[1.0, 2.0], &cfg),
+            Err(GpError::InvalidTrainingData { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let cfg = GpConfig::default();
+        assert!(Gp::fit(Matern52Ard::new(1), &[vec![f64::NAN]], &[1.0], &cfg).is_err());
+        assert!(Gp::fit(Matern52Ard::new(1), &[vec![0.0]], &[f64::INFINITY], &cfg).is_err());
+    }
+
+    #[test]
+    fn predict_dimension_mismatch() {
+        let xs = grid_1d(4);
+        let ys = vec![0.0, 1.0, 0.0, 1.0];
+        let gp = Gp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        assert!(matches!(
+            gp.predict(&[0.0, 0.0]),
+            Err(GpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn noisy_data_learns_noise() {
+        // Same x twice with different y forces a nonzero noise estimate.
+        let xs = vec![vec![0.0], vec![0.0], vec![0.5], vec![0.5], vec![1.0], vec![1.0]];
+        let ys = vec![0.1, -0.1, 0.6, 0.4, 1.1, 0.9];
+        let gp = Gp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        assert!(gp.noise_var() > 1e-6);
+        // Mean should average the duplicates.
+        let p = gp.predict(&[0.5]).unwrap();
+        assert!((p.mean - 0.5).abs() < 0.1);
+    }
+}

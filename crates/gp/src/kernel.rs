@@ -1,0 +1,539 @@
+//! Covariance functions (kernels) with automatic-relevance-determination (ARD)
+//! lengthscales.
+//!
+//! Hyperparameters are exposed in **log space** through [`Kernel::log_params`] /
+//! [`Kernel::set_log_params`] so that unconstrained optimizers (Nelder–Mead) can
+//! search them directly while the natural-space values stay positive.
+
+/// A positive-definite covariance function over `R^d`.
+///
+/// Implementations own their hyperparameters; [`crate::Gp::fit`] mutates them via
+/// [`Kernel::set_log_params`] while maximizing the marginal likelihood.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_gp::kernel::{Kernel, SquaredExponentialArd};
+///
+/// let k = SquaredExponentialArd::new(2);
+/// let same = k.eval(&[0.1, 0.2], &[0.1, 0.2]);
+/// let far = k.eval(&[0.1, 0.2], &[5.0, 5.0]);
+/// assert!(same > far);
+/// ```
+pub trait Kernel: Send + Sync {
+    /// Evaluates `k(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `a` or `b` do not have [`Kernel::dim`]
+    /// elements.
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64;
+
+    /// Input dimension `d`.
+    fn dim(&self) -> usize;
+
+    /// Current hyperparameters in log space.
+    fn log_params(&self) -> Vec<f64>;
+
+    /// Replaces the hyperparameters with `p` (log space).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `p.len()` differs from
+    /// `self.log_params().len()`.
+    fn set_log_params(&mut self, p: &[f64]);
+}
+
+/// Anisotropic squared-exponential (RBF) kernel:
+/// `k(a,b) = σ_f² · exp(-½ Σ_d (a_d-b_d)²/ℓ_d²)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SquaredExponentialArd {
+    lengthscales: Vec<f64>,
+    signal_var: f64,
+}
+
+impl SquaredExponentialArd {
+    /// Unit-parameter kernel over `dim` inputs (all lengthscales 1, σ_f² = 1).
+    pub fn new(dim: usize) -> Self {
+        Self::with_params(vec![1.0; dim], 1.0)
+    }
+
+    /// Kernel with explicit natural-space lengthscales and signal variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lengthscale or the signal variance is not strictly positive.
+    pub fn with_params(lengthscales: Vec<f64>, signal_var: f64) -> Self {
+        assert!(
+            lengthscales.iter().all(|l| *l > 0.0) && signal_var > 0.0,
+            "kernel parameters must be positive"
+        );
+        SquaredExponentialArd {
+            lengthscales,
+            signal_var,
+        }
+    }
+
+    /// Natural-space lengthscales.
+    pub fn lengthscales(&self) -> &[f64] {
+        &self.lengthscales
+    }
+
+    /// Natural-space signal variance σ_f².
+    pub fn signal_var(&self) -> f64 {
+        self.signal_var
+    }
+}
+
+impl Kernel for SquaredExponentialArd {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.lengthscales.len());
+        debug_assert_eq!(b.len(), self.lengthscales.len());
+        let mut s = 0.0;
+        for ((x, y), l) in a.iter().zip(b).zip(&self.lengthscales) {
+            let d = (x - y) / l;
+            s += d * d;
+        }
+        self.signal_var * (-0.5 * s).exp()
+    }
+
+    fn dim(&self) -> usize {
+        self.lengthscales.len()
+    }
+
+    fn log_params(&self) -> Vec<f64> {
+        let mut p: Vec<f64> = self.lengthscales.iter().map(|l| l.ln()).collect();
+        p.push(self.signal_var.ln());
+        p
+    }
+
+    fn set_log_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.lengthscales.len() + 1);
+        for (l, lp) in self.lengthscales.iter_mut().zip(p) {
+            *l = lp.exp();
+        }
+        self.signal_var = p[p.len() - 1].exp();
+    }
+}
+
+/// Anisotropic Matérn-5/2 kernel:
+/// `k(r) = σ_f² (1 + √5 r + 5r²/3) exp(-√5 r)` with
+/// `r² = Σ_d (a_d-b_d)²/ℓ_d²`.
+///
+/// The paper selects this family (Sec. IV-B) "to avoid unrealistic smoothness"
+/// of the squared exponential.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matern52Ard {
+    lengthscales: Vec<f64>,
+    signal_var: f64,
+}
+
+impl Matern52Ard {
+    /// Unit-parameter kernel over `dim` inputs.
+    pub fn new(dim: usize) -> Self {
+        Self::with_params(vec![1.0; dim], 1.0)
+    }
+
+    /// Kernel with explicit natural-space lengthscales and signal variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lengthscale or the signal variance is not strictly positive.
+    pub fn with_params(lengthscales: Vec<f64>, signal_var: f64) -> Self {
+        assert!(
+            lengthscales.iter().all(|l| *l > 0.0) && signal_var > 0.0,
+            "kernel parameters must be positive"
+        );
+        Matern52Ard {
+            lengthscales,
+            signal_var,
+        }
+    }
+
+    /// Natural-space lengthscales.
+    pub fn lengthscales(&self) -> &[f64] {
+        &self.lengthscales
+    }
+
+    /// Natural-space signal variance σ_f².
+    pub fn signal_var(&self) -> f64 {
+        self.signal_var
+    }
+}
+
+impl Kernel for Matern52Ard {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.lengthscales.len());
+        debug_assert_eq!(b.len(), self.lengthscales.len());
+        let mut s = 0.0;
+        for ((x, y), l) in a.iter().zip(b).zip(&self.lengthscales) {
+            let d = (x - y) / l;
+            s += d * d;
+        }
+        let r = s.sqrt();
+        let sqrt5_r = 5.0_f64.sqrt() * r;
+        self.signal_var * (1.0 + sqrt5_r + 5.0 * s / 3.0) * (-sqrt5_r).exp()
+    }
+
+    fn dim(&self) -> usize {
+        self.lengthscales.len()
+    }
+
+    fn log_params(&self) -> Vec<f64> {
+        let mut p: Vec<f64> = self.lengthscales.iter().map(|l| l.ln()).collect();
+        p.push(self.signal_var.ln());
+        p
+    }
+
+    fn set_log_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.lengthscales.len() + 1);
+        for (l, lp) in self.lengthscales.iter_mut().zip(p) {
+            *l = lp.exp();
+        }
+        self.signal_var = p[p.len() - 1].exp();
+    }
+}
+
+/// Matérn-5/2 kernel with **grouped** lengthscales: dimensions sharing a group
+/// share one lengthscale.
+///
+/// This is the low-capacity kernel used by the non-linear multi-fidelity
+/// models: the (many) directive features share a single isotropic lengthscale
+/// while each appended lower-fidelity output gets its own, so the model stays
+/// fittable from the handful of high-fidelity observations a run can afford.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_gp::kernel::{Kernel, Matern52Grouped};
+///
+/// // 3 input dims share group 0; a 4th (e.g. a lower-fidelity output) is its
+/// // own group 1 — two lengthscales in total.
+/// let k = Matern52Grouped::iso_plus_tail(3, 1);
+/// assert_eq!(k.log_params().len(), 3); // 2 lengthscales + signal variance
+/// assert!(k.eval(&[0.0; 4], &[0.0; 4]) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matern52Grouped {
+    /// Group id per input dimension.
+    groups: Vec<usize>,
+    /// One lengthscale per group.
+    lengthscales: Vec<f64>,
+    signal_var: f64,
+}
+
+impl Matern52Grouped {
+    /// Kernel whose dimension `d` uses lengthscale group `groups[d]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is empty or group ids are not contiguous from 0.
+    pub fn new(groups: Vec<usize>) -> Self {
+        assert!(!groups.is_empty(), "need at least one dimension");
+        let n_groups = groups.iter().max().expect("non-empty") + 1;
+        for g in 0..n_groups {
+            assert!(groups.contains(&g), "group ids must be contiguous from 0");
+        }
+        Matern52Grouped {
+            groups,
+            lengthscales: vec![1.0; n_groups],
+            signal_var: 1.0,
+        }
+    }
+
+    /// The multi-fidelity layout: the first `x_dims` dimensions share group 0
+    /// (the directive features) and each of the `tail_dims` trailing
+    /// dimensions (lower-fidelity outputs) gets its own group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_dims == 0`.
+    pub fn iso_plus_tail(x_dims: usize, tail_dims: usize) -> Self {
+        assert!(x_dims > 0, "need at least one input dimension");
+        let mut groups = vec![0; x_dims];
+        for t in 0..tail_dims {
+            groups.push(t + 1);
+        }
+        Matern52Grouped::new(groups)
+    }
+
+    /// Per-group natural-space lengthscales.
+    pub fn lengthscales(&self) -> &[f64] {
+        &self.lengthscales
+    }
+
+    /// Natural-space signal variance.
+    pub fn signal_var(&self) -> f64 {
+        self.signal_var
+    }
+}
+
+impl Kernel for Matern52Grouped {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.groups.len());
+        debug_assert_eq!(b.len(), self.groups.len());
+        let mut s = 0.0;
+        for ((x, y), &g) in a.iter().zip(b).zip(&self.groups) {
+            let d = (x - y) / self.lengthscales[g];
+            s += d * d;
+        }
+        let r = s.sqrt();
+        let sqrt5_r = 5.0_f64.sqrt() * r;
+        self.signal_var * (1.0 + sqrt5_r + 5.0 * s / 3.0) * (-sqrt5_r).exp()
+    }
+
+    fn dim(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn log_params(&self) -> Vec<f64> {
+        let mut p: Vec<f64> = self.lengthscales.iter().map(|l| l.ln()).collect();
+        p.push(self.signal_var.ln());
+        p
+    }
+
+    fn set_log_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), self.lengthscales.len() + 1);
+        for (l, lp) in self.lengthscales.iter_mut().zip(p) {
+            *l = lp.exp();
+        }
+        self.signal_var = p[p.len() - 1].exp();
+    }
+}
+
+/// Dot-product (linear) kernel `k(a,b) = σ_f² (a·b + c)`, useful as the trend
+/// component of a composite kernel (e.g. the linear backbone of a
+/// multi-fidelity map expressed inside the kernel instead of as an explicit ρ).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearKernel {
+    dim: usize,
+    signal_var: f64,
+    offset: f64,
+}
+
+impl LinearKernel {
+    /// Unit-parameter linear kernel over `dim` inputs.
+    pub fn new(dim: usize) -> Self {
+        LinearKernel {
+            dim,
+            signal_var: 1.0,
+            offset: 1.0,
+        }
+    }
+}
+
+impl Kernel for LinearKernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.dim);
+        debug_assert_eq!(b.len(), self.dim);
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        self.signal_var * (dot + self.offset)
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn log_params(&self) -> Vec<f64> {
+        vec![self.signal_var.ln(), self.offset.ln()]
+    }
+
+    fn set_log_params(&mut self, p: &[f64]) {
+        assert_eq!(p.len(), 2);
+        self.signal_var = p[0].exp();
+        self.offset = p[1].exp();
+    }
+}
+
+/// Sum of two kernels over the same input space: `k = k1 + k2`. Sums of
+/// positive-definite kernels are positive definite, so this composes freely —
+/// e.g. `Matern52Ard + LinearKernel` models a smooth deviation around a linear
+/// trend.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_gp::kernel::{Kernel, LinearKernel, Matern52Ard, SumKernel};
+///
+/// let k = SumKernel::new(Matern52Ard::new(2), LinearKernel::new(2));
+/// let v = k.eval(&[0.1, 0.2], &[0.1, 0.2]);
+/// assert!(v > 0.0);
+/// assert_eq!(k.log_params().len(), 3 + 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SumKernel<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Kernel, B: Kernel> SumKernel<A, B> {
+    /// Combines `a + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two kernels disagree on input dimension.
+    pub fn new(a: A, b: B) -> Self {
+        assert_eq!(a.dim(), b.dim(), "summed kernels must share a dimension");
+        SumKernel { a, b }
+    }
+}
+
+impl<A: Kernel, B: Kernel> Kernel for SumKernel<A, B> {
+    fn eval(&self, x: &[f64], y: &[f64]) -> f64 {
+        self.a.eval(x, y) + self.b.eval(x, y)
+    }
+
+    fn dim(&self) -> usize {
+        self.a.dim()
+    }
+
+    fn log_params(&self) -> Vec<f64> {
+        let mut p = self.a.log_params();
+        p.extend(self.b.log_params());
+        p
+    }
+
+    fn set_log_params(&mut self, p: &[f64]) {
+        let na = self.a.log_params().len();
+        assert_eq!(p.len(), na + self.b.log_params().len());
+        self.a.set_log_params(&p[..na]);
+        self.b.set_log_params(&p[na..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn se_at_zero_distance_is_signal_var() {
+        let k = SquaredExponentialArd::with_params(vec![0.5, 2.0], 3.0);
+        assert!((k.eval(&[1.0, -1.0], &[1.0, -1.0]) - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn matern_at_zero_distance_is_signal_var() {
+        let k = Matern52Ard::with_params(vec![0.5], 2.5);
+        assert!((k.eval(&[0.3], &[0.3]) - 2.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn kernels_decay_with_distance() {
+        let se = SquaredExponentialArd::new(1);
+        let m52 = Matern52Ard::new(1);
+        let mut prev_se = f64::INFINITY;
+        let mut prev_m = f64::INFINITY;
+        for i in 0..10 {
+            let d = i as f64 * 0.5;
+            let vs = se.eval(&[0.0], &[d]);
+            let vm = m52.eval(&[0.0], &[d]);
+            assert!(vs <= prev_se && vm <= prev_m, "monotone decay");
+            prev_se = vs;
+            prev_m = vm;
+        }
+    }
+
+    #[test]
+    fn log_params_roundtrip() {
+        let k = Matern52Ard::with_params(vec![0.3, 0.7], 1.9);
+        let p = k.log_params();
+        let mut k2 = Matern52Ard::new(2);
+        k2.set_log_params(&p);
+        assert!((k2.lengthscales()[0] - 0.3).abs() < 1e-12);
+        assert!((k2.lengthscales()[1] - 0.7).abs() < 1e-12);
+        assert!((k2.signal_var() - 1.9).abs() < 1e-12);
+        let _ = k.eval(&[0.0, 0.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn ard_lengthscale_controls_sensitivity() {
+        // A long lengthscale in dim 0 makes dim-0 moves matter less.
+        let k = SquaredExponentialArd::with_params(vec![10.0, 0.1], 1.0);
+        let move0 = k.eval(&[0.0, 0.0], &[1.0, 0.0]);
+        let move1 = k.eval(&[0.0, 0.0], &[0.0, 1.0]);
+        assert!(move0 > move1);
+    }
+
+    #[test]
+    fn symmetry() {
+        let k = Matern52Ard::with_params(vec![0.4, 1.2, 0.9], 1.3);
+        let a = [0.1, 0.5, -0.2];
+        let b = [1.0, 0.0, 0.3];
+        assert!((k.eval(&a, &b) - k.eval(&b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn grouped_matches_ard_with_shared_lengthscale() {
+        let grouped = Matern52Grouped::new(vec![0, 0, 0]);
+        let ard = Matern52Ard::new(3);
+        let a = [0.1, 0.4, 0.9];
+        let b = [0.3, 0.2, 0.5];
+        assert!((grouped.eval(&a, &b) - ard.eval(&a, &b)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn grouped_param_count_is_compact() {
+        // 10 x-dims + 3 tail dims: 4 lengthscales + 1 signal = 5 params,
+        // versus 14 for full ARD.
+        let k = Matern52Grouped::iso_plus_tail(10, 3);
+        assert_eq!(k.log_params().len(), 5);
+        assert_eq!(k.dim(), 13);
+    }
+
+    #[test]
+    fn grouped_roundtrip_and_sensitivity() {
+        let mut k = Matern52Grouped::iso_plus_tail(2, 1);
+        k.set_log_params(&[(10.0f64).ln(), (0.1f64).ln(), 0.0]);
+        // x-dims have lengthscale 10 (insensitive), tail dim 0.1 (sensitive).
+        let base = [0.0, 0.0, 0.0];
+        let move_x = k.eval(&base, &[1.0, 0.0, 0.0]);
+        let move_tail = k.eval(&base, &[0.0, 0.0, 1.0]);
+        assert!(move_x > move_tail);
+        assert_eq!(k.lengthscales().len(), 2);
+        assert!((k.signal_var() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn grouped_rejects_gappy_groups() {
+        let _ = Matern52Grouped::new(vec![0, 2]);
+    }
+
+    #[test]
+    fn linear_kernel_is_a_dot_product() {
+        let k = LinearKernel::new(2);
+        assert!((k.eval(&[1.0, 2.0], &[3.0, 4.0]) - 12.0).abs() < 1e-12); // 11 + 1
+    }
+
+    #[test]
+    fn sum_kernel_adds_and_splits_params() {
+        let mut k = SumKernel::new(Matern52Ard::new(1), LinearKernel::new(1));
+        let before = k.eval(&[0.2], &[0.4]);
+        let m = Matern52Ard::new(1).eval(&[0.2], &[0.4]);
+        let l = LinearKernel::new(1).eval(&[0.2], &[0.4]);
+        assert!((before - (m + l)).abs() < 1e-12);
+        let p = k.log_params();
+        assert_eq!(p.len(), 4);
+        k.set_log_params(&p); // roundtrip does not panic
+        assert!((k.eval(&[0.2], &[0.4]) - before).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a dimension")]
+    fn sum_kernel_rejects_mismatched_dims() {
+        let _ = SumKernel::new(Matern52Ard::new(1), LinearKernel::new(2));
+    }
+
+    #[test]
+    fn gp_fits_with_sum_kernel() {
+        use crate::{Gp, GpConfig};
+        // Linear trend + sinusoidal deviation: the composite captures both.
+        let xs: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 14.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + (8.0 * x[0]).sin() * 0.3).collect();
+        let k = SumKernel::new(Matern52Ard::new(1), LinearKernel::new(1));
+        let gp = Gp::fit(k, &xs, &ys, &GpConfig::default()).unwrap();
+        let p = gp.predict(&[0.5]).unwrap();
+        let truth = 1.5 + (4.0f64).sin() * 0.3;
+        assert!((p.mean - truth).abs() < 0.2, "{} vs {truth}", p.mean);
+    }
+}

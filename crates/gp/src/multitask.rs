@@ -1,0 +1,523 @@
+use crate::gp::GpConfig;
+use crate::kernel::Kernel;
+use crate::optimize::{multi_start_nelder_mead, NelderMeadOptions};
+use crate::GpError;
+use linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Joint posterior over all `M` objectives at one query point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTaskPrediction {
+    /// Posterior means, one per task, in original output units.
+    pub mean: Vec<f64>,
+    /// `M x M` posterior covariance of the latent functions, in original units.
+    pub cov: Matrix,
+}
+
+impl MultiTaskPrediction {
+    /// Marginal variances (the diagonal of the covariance), clamped non-negative.
+    pub fn vars(&self) -> Vec<f64> {
+        (0..self.mean.len()).map(|i| self.cov[(i, i)].max(0.0)).collect()
+    }
+}
+
+/// Correlated multi-objective Gaussian process (Eq. 9 of the paper): an
+/// intrinsic-coregionalization model with joint covariance
+/// `Σ_{(t,i),(u,j)} = B_{t,u} · k_C(x_i, x_j) + δ_{tu} δ_{ij} σ_t²`,
+/// where `B` is a learned positive-definite task-covariance matrix and `k_C` is
+/// a shared data kernel (ARD Matérn-5/2 in the paper).
+///
+/// All tasks are observed at the same input locations, which matches the HLS
+/// setting: each design-tool run reports Power, Delay, and LUT together.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_gp::{MultiTaskGp, GpConfig, kernel::Matern52Ard};
+///
+/// # fn main() -> Result<(), cmmf_gp::GpError> {
+/// let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+/// // Two perfectly anti-correlated objectives.
+/// let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0], 1.0 - x[0]]).collect();
+/// let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default())?;
+/// assert!(gp.task_correlation(0, 1) < 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiTaskGp<K: Kernel> {
+    kernel: K,
+    xs: Vec<Vec<f64>>,
+    n_tasks: usize,
+    b: Matrix,
+    noise: Vec<f64>,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    y_means: Vec<f64>,
+    y_scales: Vec<f64>,
+    nlml: f64,
+}
+
+impl<K: Kernel + Clone> MultiTaskGp<K> {
+    /// Fits the model to `xs` (n points) and `ys` (n rows of M objective values).
+    ///
+    /// Hyperparameters — the shared kernel's, the Cholesky factor of `B`, and the
+    /// per-task noises — are jointly optimized by multi-start Nelder–Mead on the
+    /// negative log marginal likelihood when `cfg.optimize` is set.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::InvalidTrainingData`] on empty/ragged/non-finite data.
+    /// * [`GpError::DimensionMismatch`] if inputs do not match `kernel.dim()`.
+    /// * [`GpError::Numerical`] if the joint covariance cannot be factorized.
+    pub fn fit(
+        kernel: K,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        cfg: &GpConfig,
+    ) -> Result<Self, GpError> {
+        let n_tasks = validate_multi(xs, ys, kernel.dim())?;
+        let n = xs.len();
+
+        // Standardize each task.
+        let mut y_means = vec![0.0; n_tasks];
+        let mut y_scales = vec![1.0; n_tasks];
+        let mut y_std = vec![0.0; n * n_tasks]; // task-major
+        for t in 0..n_tasks {
+            let col: Vec<f64> = ys.iter().map(|row| row[t]).collect();
+            let mean = linalg::stats::mean(&col);
+            let sd = linalg::stats::std_dev(&col);
+            let scale = if sd > 1e-12 { sd } else { 1.0 };
+            y_means[t] = mean;
+            y_scales[t] = scale;
+            for (i, v) in col.iter().enumerate() {
+                y_std[t * n + i] = (v - mean) / scale;
+            }
+        }
+
+        // Parameter vector: [kernel log params | L lower-triangle | log noises].
+        let kp0 = kernel.log_params();
+        let n_kp = kp0.len();
+        let n_l = n_tasks * (n_tasks + 1) / 2;
+        let mut p0 = kp0;
+        // Start B at the identity: L = I (diag entries are log-parameterized).
+        for t in 0..n_tasks {
+            for _u in 0..=t {
+                // L starts at the identity (log-diagonal 0, off-diagonal 0).
+                p0.push(0.0);
+            }
+        }
+        for _ in 0..n_tasks {
+            p0.push(cfg.init_noise_var.max(cfg.noise_floor).ln());
+        }
+
+        let mut kernel = kernel;
+        let mut b = Matrix::identity(n_tasks);
+        let mut noise = vec![cfg.init_noise_var.max(cfg.noise_floor); n_tasks];
+
+        if cfg.optimize {
+            let base_kernel = kernel.clone();
+            let floor = cfg.noise_floor;
+            let objective = |p: &[f64]| {
+                let mut k = base_kernel.clone();
+                k.set_log_params(&p[..n_kp]);
+                let b = b_from_params(&p[n_kp..n_kp + n_l], n_tasks);
+                let noise: Vec<f64> = p[n_kp + n_l..]
+                    .iter()
+                    .map(|lp| lp.exp().max(floor))
+                    .collect();
+                joint_nlml(&k, xs, &y_std, &b, &noise).unwrap_or(f64::INFINITY)
+            };
+            let mut rng = StdRng::seed_from_u64(cfg.seed);
+            let opts = NelderMeadOptions {
+                max_evals: cfg.max_evals,
+                ..Default::default()
+            };
+            let best = multi_start_nelder_mead(objective, &p0, 1.0, cfg.restarts, &opts, &mut rng);
+            if best.value.is_finite() {
+                kernel.set_log_params(&best.x[..n_kp]);
+                b = b_from_params(&best.x[n_kp..n_kp + n_l], n_tasks);
+                noise = best.x[n_kp + n_l..]
+                    .iter()
+                    .map(|lp| lp.exp().max(floor))
+                    .collect();
+            }
+        }
+
+        let (chol, alpha, nlml) = joint_factorize(&kernel, xs, &y_std, &b, &noise)?;
+        Ok(MultiTaskGp {
+            kernel,
+            xs: xs.to_vec(),
+            n_tasks,
+            b,
+            noise,
+            chol,
+            alpha,
+            y_means,
+            y_scales,
+            nlml,
+        })
+    }
+
+    /// Refits on new data **reusing this model's hyperparameters** (kernel,
+    /// task covariance `B`, noises) without re-optimizing the marginal
+    /// likelihood — the cheap per-iteration update of a BO loop.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiTaskGp::fit`]; additionally rejects data whose
+    /// number of objectives differs from this model's.
+    pub fn refit(&self, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> Result<Self, GpError> {
+        let n_tasks = validate_multi(xs, ys, self.kernel.dim())?;
+        if n_tasks != self.n_tasks {
+            return Err(GpError::InvalidTrainingData {
+                reason: format!(
+                    "model has {} tasks, data has {n_tasks}",
+                    self.n_tasks
+                ),
+            });
+        }
+        let n = xs.len();
+        let mut y_means = vec![0.0; n_tasks];
+        let mut y_scales = vec![1.0; n_tasks];
+        let mut y_std = vec![0.0; n * n_tasks];
+        for t in 0..n_tasks {
+            let col: Vec<f64> = ys.iter().map(|row| row[t]).collect();
+            let mean = linalg::stats::mean(&col);
+            let sd = linalg::stats::std_dev(&col);
+            let scale = if sd > 1e-12 { sd } else { 1.0 };
+            y_means[t] = mean;
+            y_scales[t] = scale;
+            for (i, v) in col.iter().enumerate() {
+                y_std[t * n + i] = (v - mean) / scale;
+            }
+        }
+        let (chol, alpha, nlml) = joint_factorize(&self.kernel, xs, &y_std, &self.b, &self.noise)?;
+        Ok(MultiTaskGp {
+            kernel: self.kernel.clone(),
+            xs: xs.to_vec(),
+            n_tasks,
+            b: self.b.clone(),
+            noise: self.noise.clone(),
+            chol,
+            alpha,
+            y_means,
+            y_scales,
+            nlml,
+        })
+    }
+
+    /// Joint posterior (means and full `M x M` covariance) at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::DimensionMismatch`] if `x.len() != self.dim()`.
+    pub fn predict(&self, x: &[f64]) -> Result<MultiTaskPrediction, GpError> {
+        if x.len() != self.kernel.dim() {
+            return Err(GpError::DimensionMismatch {
+                expected: self.kernel.dim(),
+                got: x.len(),
+            });
+        }
+        let n = self.xs.len();
+        let m = self.n_tasks;
+        let kq: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+        let kxx = self.kernel.eval(x, x);
+
+        // Cross-covariance columns (one per query task) and their L^{-1} images.
+        let mut mean = vec![0.0; m];
+        let mut w = Vec::with_capacity(m); // L^{-1} c_u
+        for u in 0..m {
+            let mut c = vec![0.0; n * m];
+            for t in 0..m {
+                let btu = self.b[(t, u)];
+                for i in 0..n {
+                    c[t * n + i] = btu * kq[i];
+                }
+            }
+            mean[u] = c.iter().zip(&self.alpha).map(|(ci, ai)| ci * ai).sum();
+            w.push(self.chol.solve_lower(&c)?);
+        }
+
+        let mut cov = Matrix::zeros(m, m);
+        for u in 0..m {
+            for v in u..m {
+                let reduction: f64 = w[u].iter().zip(&w[v]).map(|(a, b)| a * b).sum();
+                let c = self.b[(u, v)] * kxx - reduction;
+                cov[(u, v)] = c;
+                cov[(v, u)] = c;
+            }
+        }
+
+        // De-standardize.
+        for u in 0..m {
+            mean[u] = self.y_means[u] + self.y_scales[u] * mean[u];
+            for v in 0..m {
+                cov[(u, v)] *= self.y_scales[u] * self.y_scales[v];
+            }
+        }
+        // Clamp tiny negative diagonals from round-off.
+        for u in 0..m {
+            if cov[(u, u)] < 0.0 {
+                cov[(u, u)] = 0.0;
+            }
+        }
+        Ok(MultiTaskPrediction { mean, cov })
+    }
+
+    /// Joint posteriors at many points.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error from [`MultiTaskGp::predict`].
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<MultiTaskPrediction>, GpError> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Learned task-covariance matrix `B` (Eq. 9's `K_{i,j}`).
+    pub fn task_covariance(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Learned correlation between tasks `i` and `j`,
+    /// `B_{ij} / sqrt(B_{ii} B_{jj})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is not a valid task index.
+    pub fn task_correlation(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n_tasks && j < self.n_tasks, "task index out of range");
+        self.b[(i, j)] / (self.b[(i, i)] * self.b[(j, j)]).sqrt()
+    }
+
+    /// Number of objectives `M`.
+    pub fn n_tasks(&self) -> usize {
+        self.n_tasks
+    }
+
+    /// Number of training points.
+    pub fn train_len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Input dimension.
+    pub fn dim(&self) -> usize {
+        self.kernel.dim()
+    }
+
+    /// Per-task observation-noise variances (standardized units).
+    pub fn noise_vars(&self) -> &[f64] {
+        &self.noise
+    }
+
+    /// Negative log marginal likelihood at the fitted hyperparameters.
+    pub fn neg_log_marginal_likelihood(&self) -> f64 {
+        self.nlml
+    }
+}
+
+/// Reconstructs `B = L Lᵀ` from lower-triangle parameters (diagonal entries in
+/// log space so `B` is always positive definite).
+fn b_from_params(p: &[f64], m: usize) -> Matrix {
+    let mut l = Matrix::zeros(m, m);
+    let mut idx = 0;
+    for t in 0..m {
+        for u in 0..=t {
+            l[(t, u)] = if t == u { p[idx].exp() } else { p[idx] };
+            idx += 1;
+        }
+    }
+    l.matmul(&l.transpose()).expect("square matmul cannot fail")
+}
+
+fn validate_multi(xs: &[Vec<f64>], ys: &[Vec<f64>], dim: usize) -> Result<usize, GpError> {
+    if xs.is_empty() {
+        return Err(GpError::InvalidTrainingData {
+            reason: "no training points".into(),
+        });
+    }
+    if xs.len() != ys.len() {
+        return Err(GpError::InvalidTrainingData {
+            reason: format!("{} inputs vs {} output rows", xs.len(), ys.len()),
+        });
+    }
+    let m = ys[0].len();
+    if m == 0 {
+        return Err(GpError::InvalidTrainingData {
+            reason: "zero objectives".into(),
+        });
+    }
+    for x in xs {
+        if x.len() != dim {
+            return Err(GpError::DimensionMismatch {
+                expected: dim,
+                got: x.len(),
+            });
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::InvalidTrainingData {
+                reason: "non-finite input value".into(),
+            });
+        }
+    }
+    for row in ys {
+        if row.len() != m {
+            return Err(GpError::InvalidTrainingData {
+                reason: "ragged objective rows".into(),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(GpError::InvalidTrainingData {
+                reason: "non-finite output value".into(),
+            });
+        }
+    }
+    Ok(m)
+}
+
+/// Builds and factorizes the joint `nM x nM` covariance; returns
+/// `(chol, α, NLML)`. Ordering is task-major: entry `t*n + i`.
+fn joint_factorize<K: Kernel>(
+    kernel: &K,
+    xs: &[Vec<f64>],
+    y_std: &[f64],
+    b: &Matrix,
+    noise: &[f64],
+) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
+    let n = xs.len();
+    let m = b.rows();
+    let kx = Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+    let mut sigma = b.kron(&kx);
+    for t in 0..m {
+        for i in 0..n {
+            sigma[(t * n + i, t * n + i)] += noise[t];
+        }
+    }
+    let chol = Cholesky::new(&sigma)?;
+    let alpha = chol.solve_vec(y_std)?;
+    let fit: f64 = y_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+    let nlml = 0.5 * fit
+        + 0.5 * chol.log_det()
+        + 0.5 * (n * m) as f64 * (2.0 * std::f64::consts::PI).ln();
+    Ok((chol, alpha, nlml))
+}
+
+fn joint_nlml<K: Kernel>(
+    kernel: &K,
+    xs: &[Vec<f64>],
+    y_std: &[f64],
+    b: &Matrix,
+    noise: &[f64],
+) -> Result<f64, GpError> {
+    joint_factorize(kernel, xs, y_std, b, noise).map(|(_, _, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Matern52Ard;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn fits_and_interpolates_two_tasks() {
+        let xs = grid_1d(10);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![(4.0 * x[0]).sin(), (4.0 * x[0]).cos()])
+            .collect();
+        let cfg = GpConfig {
+            init_noise_var: 1e-6,
+            ..Default::default()
+        };
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &cfg).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x).unwrap();
+            assert!((p.mean[0] - y[0]).abs() < 0.1);
+            assert!((p.mean[1] - y[1]).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn learns_negative_correlation() {
+        let xs = grid_1d(12);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let f = (5.0 * x[0]).sin();
+                vec![f, -f + 0.01 * x[0]]
+            })
+            .collect();
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        assert!(
+            gp.task_correlation(0, 1) < -0.5,
+            "corr={}",
+            gp.task_correlation(0, 1)
+        );
+    }
+
+    #[test]
+    fn learns_positive_correlation() {
+        let xs = grid_1d(12);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let f = (5.0 * x[0]).sin();
+                vec![f, 2.0 * f + 0.3]
+            })
+            .collect();
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        assert!(
+            gp.task_correlation(0, 1) > 0.5,
+            "corr={}",
+            gp.task_correlation(0, 1)
+        );
+    }
+
+    #[test]
+    fn predictive_cov_is_symmetric_psd_diagonal() {
+        let xs = grid_1d(8);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![x[0], x[0] * x[0], 1.0 - x[0]])
+            .collect();
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        let p = gp.predict(&[0.33]).unwrap();
+        assert_eq!(p.mean.len(), 3);
+        for u in 0..3 {
+            assert!(p.cov[(u, u)] >= 0.0);
+            for v in 0..3 {
+                assert!((p.cov[(u, v)] - p.cov[(v, u)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let xs = grid_1d(3);
+        let ys = vec![vec![1.0, 2.0], vec![1.0], vec![0.0, 0.0]];
+        assert!(MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn correlated_model_transfers_information() {
+        // Task 1 equals task 0; task 1 is poorly observed (constant portion).
+        // The correlated model should predict task 1 well from task 0's signal.
+        let xs = grid_1d(14);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let f = (6.0 * x[0]).sin();
+                vec![f, f]
+            })
+            .collect();
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        let p = gp.predict(&[0.52]).unwrap();
+        let truth = (6.0f64 * 0.52).sin();
+        assert!((p.mean[1] - truth).abs() < 0.1);
+        assert!(gp.task_correlation(0, 1) > 0.9);
+    }
+}

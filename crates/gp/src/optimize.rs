@@ -1,0 +1,292 @@
+//! Derivative-free optimization used for maximum-likelihood hyperparameter
+//! fitting: the Nelder–Mead simplex method with random multi-start.
+//!
+//! Marginal-likelihood surfaces of small GPs are low-dimensional (≤ ~20
+//! parameters here) and cheap to evaluate, so a robust simplex search with a few
+//! restarts is the standard pragmatic choice.
+
+use rand::{Rng, RngExt};
+
+/// Outcome of a [`nelder_mead`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimResult {
+    /// The best point found.
+    pub x: Vec<f64>,
+    /// Objective value at [`OptimResult::x`].
+    pub value: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+}
+
+/// Options for [`nelder_mead`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Terminate when the simplex value spread falls below this.
+    pub tol: f64,
+    /// Initial simplex edge length.
+    pub step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        NelderMeadOptions {
+            max_evals: 400,
+            tol: 1e-7,
+            step: 0.5,
+        }
+    }
+}
+
+/// Minimizes `f` from the starting point `x0` with the Nelder–Mead simplex
+/// method. Non-finite objective values are treated as `+inf` (rejected moves),
+/// which makes the routine robust to Cholesky failures at extreme
+/// hyperparameters.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_gp::optimize::{nelder_mead, NelderMeadOptions};
+///
+/// let r = nelder_mead(
+///     |x| (x[0] - 1.0).powi(2) + (x[1] + 2.0).powi(2),
+///     &[0.0, 0.0],
+///     &NelderMeadOptions::default(),
+/// );
+/// assert!((r.x[0] - 1.0).abs() < 1e-3 && (r.x[1] + 2.0).abs() < 1e-3);
+/// ```
+pub fn nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    opts: &NelderMeadOptions,
+) -> OptimResult {
+    let n = x0.len();
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        let v = f(x);
+        if v.is_finite() {
+            v
+        } else {
+            f64::INFINITY
+        }
+    };
+
+    if n == 0 {
+        let value = eval(x0, &mut evals);
+        return OptimResult {
+            x: x0.to_vec(),
+            value,
+            evals,
+        };
+    }
+
+    // Build the initial simplex: x0 plus a step along each axis.
+    let mut simplex: Vec<(Vec<f64>, f64)> = Vec::with_capacity(n + 1);
+    let v0 = eval(x0, &mut evals);
+    simplex.push((x0.to_vec(), v0));
+    for i in 0..n {
+        let mut xi = x0.to_vec();
+        xi[i] += opts.step;
+        let vi = eval(&xi, &mut evals);
+        simplex.push((xi, vi));
+    }
+
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    while evals < opts.max_evals {
+        simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let spread = simplex[n].1 - simplex[0].1;
+        if spread.abs() < opts.tol {
+            break;
+        }
+
+        // Centroid of all but the worst point.
+        let mut centroid = vec![0.0; n];
+        for (x, _) in simplex.iter().take(n) {
+            for (c, xi) in centroid.iter_mut().zip(x) {
+                *c += xi / n as f64;
+            }
+        }
+
+        let worst = simplex[n].clone();
+        let reflect: Vec<f64> = centroid
+            .iter()
+            .zip(&worst.0)
+            .map(|(c, w)| c + ALPHA * (c - w))
+            .collect();
+        let fr = eval(&reflect, &mut evals);
+
+        if fr < simplex[0].1 {
+            // Try expansion.
+            let expand: Vec<f64> = centroid
+                .iter()
+                .zip(&worst.0)
+                .map(|(c, w)| c + GAMMA * ALPHA * (c - w))
+                .collect();
+            let fe = eval(&expand, &mut evals);
+            simplex[n] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[n - 1].1 {
+            simplex[n] = (reflect, fr);
+        } else {
+            // Contraction (outside if reflection improved on the worst).
+            let toward = if fr < worst.1 { &reflect } else { &worst.0 };
+            let contract: Vec<f64> = centroid
+                .iter()
+                .zip(toward)
+                .map(|(c, t)| c + RHO * (t - c))
+                .collect();
+            let fc = eval(&contract, &mut evals);
+            if fc < worst.1.min(fr) {
+                simplex[n] = (contract, fc);
+            } else {
+                // Shrink toward the best point.
+                let best = simplex[0].0.clone();
+                for entry in simplex.iter_mut().skip(1) {
+                    let x: Vec<f64> = best
+                        .iter()
+                        .zip(&entry.0)
+                        .map(|(b, xi)| b + SIGMA * (xi - b))
+                        .collect();
+                    let v = eval(&x, &mut evals);
+                    *entry = (x, v);
+                }
+            }
+        }
+    }
+
+    simplex.sort_by(|a, b| a.1.total_cmp(&b.1));
+    OptimResult {
+        x: simplex[0].0.clone(),
+        value: simplex[0].1,
+        evals,
+    }
+}
+
+/// Runs [`nelder_mead`] from `x0` and from `restarts` random perturbations of it
+/// (uniform in `x0 ± spread`), returning the best result.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_gp::optimize::{multi_start_nelder_mead, NelderMeadOptions};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let r = multi_start_nelder_mead(
+///     |x| x[0].powi(4) - x[0].powi(2), // two symmetric minima
+///     &[0.0],
+///     2.0,
+///     3,
+///     &NelderMeadOptions::default(),
+///     &mut rng,
+/// );
+/// assert!(r.value < -0.24);
+/// ```
+pub fn multi_start_nelder_mead(
+    mut f: impl FnMut(&[f64]) -> f64,
+    x0: &[f64],
+    spread: f64,
+    restarts: usize,
+    opts: &NelderMeadOptions,
+    rng: &mut impl Rng,
+) -> OptimResult {
+    let mut best = nelder_mead(&mut f, x0, opts);
+    for _ in 0..restarts {
+        let start: Vec<f64> = x0
+            .iter()
+            .map(|v| v + rng.random_range(-spread..=spread))
+            .collect();
+        let r = nelder_mead(&mut f, &start, opts);
+        if r.value < best.value {
+            best.x = r.x;
+            best.value = r.value;
+        }
+        best.evals += r.evals;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let r = nelder_mead(
+            |x| x.iter().map(|v| (v - 3.0) * (v - 3.0)).sum(),
+            &[0.0, 0.0, 0.0],
+            &NelderMeadOptions {
+                max_evals: 2000,
+                ..Default::default()
+            },
+        );
+        for v in &r.x {
+            assert!((v - 3.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let r = nelder_mead(
+            rosen,
+            &[-1.2, 1.0],
+            &NelderMeadOptions {
+                max_evals: 4000,
+                tol: 1e-12,
+                step: 0.5,
+            },
+        );
+        assert!(r.value < 1e-5, "value={}", r.value);
+    }
+
+    #[test]
+    fn handles_nan_objective() {
+        // NaN region to the left of 0; minimum at x = 1.
+        let r = nelder_mead(
+            |x| {
+                if x[0] < 0.0 {
+                    f64::NAN
+                } else {
+                    (x[0] - 1.0).powi(2)
+                }
+            },
+            &[0.5],
+            &NelderMeadOptions::default(),
+        );
+        assert!((r.x[0] - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn multistart_escapes_local_minimum() {
+        // f has a local min near x=4 (value ~1) and global near x=0 (value 0).
+        let f = |x: &[f64]| {
+            let a = x[0];
+            (a * a).min((a - 4.0) * (a - 4.0) + 1.0)
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let r = multi_start_nelder_mead(
+            f,
+            &[4.0],
+            5.0,
+            8,
+            &NelderMeadOptions::default(),
+            &mut rng,
+        );
+        assert!(r.value < 0.5);
+    }
+
+    #[test]
+    fn zero_dim_input_is_fine() {
+        let r = nelder_mead(|_| 1.5, &[], &NelderMeadOptions::default());
+        assert_eq!(r.value, 1.5);
+        assert!(r.x.is_empty());
+    }
+}

@@ -1,0 +1,463 @@
+//! The six evaluation benchmarks of Sec. V-A, modelled as kernel IRs plus
+//! directive design spaces.
+//!
+//! Five come from MachSuite — `GEMM`, `SORT_RADIX`, `SPMV_ELLPACK`, `SPMV_CRS`,
+//! `STENCIL3D` — and one is `iSmart2`, an object-detection DNN deployed on
+//! FPGA. We model each benchmark's loop/array structure and a directive space
+//! comparable in richness to the paper's (unrolling, pipelining with II, array
+//! partitioning with scheme choice, inlining). The raw spaces are huge
+//! (SORT_RADIX exceeds 10¹¹ configurations); the tree pruner reduces them to
+//! the order of 10²–10⁴, as reported in Sec. V-A.
+
+use crate::directive::PartitionKind;
+use crate::ir::KernelIr;
+use crate::space::{DesignSpace, DesignSpaceBuilder};
+use crate::ModelError;
+
+/// The benchmark suite of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Dense 64x64x64 matrix multiply (MachSuite `gemm`).
+    Gemm,
+    /// 2048-element radix sort with histogram/scan/scatter phases
+    /// (MachSuite `sort_radix`).
+    SortRadix,
+    /// Sparse matrix-vector multiply, ELLPACK format (MachSuite).
+    SpmvEllpack,
+    /// Sparse matrix-vector multiply, CRS format (MachSuite).
+    SpmvCrs,
+    /// 3-D Jacobi stencil over a 32³ grid (MachSuite `stencil3d`).
+    Stencil3d,
+    /// iSmart2: a compact object-detection DNN (depthwise conv + pooling).
+    Ismart2,
+    /// 1024-point FFT, strided butterfly stages (MachSuite `fft`). Extended
+    /// set — not part of the paper's Table I.
+    Fft,
+    /// Knuth–Morris–Pratt string matching (MachSuite `kmp`). Extended set.
+    Kmp,
+    /// Molecular-dynamics k-nearest-neighbour force kernel (MachSuite
+    /// `md/knn`). Extended set.
+    MdKnn,
+}
+
+impl Benchmark {
+    /// The paper's Table-I benchmarks, in the paper's order.
+    pub fn all() -> [Benchmark; 6] {
+        [
+            Benchmark::Gemm,
+            Benchmark::Ismart2,
+            Benchmark::SortRadix,
+            Benchmark::SpmvEllpack,
+            Benchmark::SpmvCrs,
+            Benchmark::Stencil3d,
+        ]
+    }
+
+    /// Additional MachSuite kernels beyond the paper's evaluation set.
+    pub fn extended() -> [Benchmark; 3] {
+        [Benchmark::Fft, Benchmark::Kmp, Benchmark::MdKnn]
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Gemm => "GEMM",
+            Benchmark::SortRadix => "SORT_RADIX",
+            Benchmark::SpmvEllpack => "SPMV_ELLPACK",
+            Benchmark::SpmvCrs => "SPMV_CRS",
+            Benchmark::Stencil3d => "STENCIL3D",
+            Benchmark::Ismart2 => "iSmart2",
+            Benchmark::Fft => "FFT",
+            Benchmark::Kmp => "KMP",
+            Benchmark::MdKnn => "MD_KNN",
+        }
+    }
+}
+
+/// A benchmark's kernel IR together with its directive design space builder.
+#[derive(Debug, Clone)]
+pub struct BenchmarkModel {
+    which: Benchmark,
+    builder: DesignSpaceBuilder,
+}
+
+impl BenchmarkModel {
+    /// Which benchmark this is.
+    pub fn benchmark(&self) -> Benchmark {
+        self.which
+    }
+
+    /// The design-space builder (kernel + sites).
+    pub fn builder(&self) -> &DesignSpaceBuilder {
+        &self.builder
+    }
+
+    /// The tree-pruned design space (Algorithm 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError`] from the builder; the shipped benchmarks all
+    /// build successfully.
+    pub fn pruned_space(&self) -> Result<DesignSpace, ModelError> {
+        self.builder.build_pruned()
+    }
+
+    /// Size of the raw, un-pruned cross product.
+    pub fn full_size(&self) -> f64 {
+        self.builder.full_size()
+    }
+}
+
+/// Builds the model for `which`.
+///
+/// # Panics
+///
+/// Panics only on an internal inconsistency in the shipped benchmark
+/// definitions (they are covered by tests).
+pub fn build(which: Benchmark) -> BenchmarkModel {
+    let builder = match which {
+        Benchmark::Gemm => gemm(),
+        Benchmark::SortRadix => sort_radix(),
+        Benchmark::SpmvEllpack => spmv_ellpack(),
+        Benchmark::SpmvCrs => spmv_crs(),
+        Benchmark::Stencil3d => stencil3d(),
+        Benchmark::Ismart2 => ismart2(),
+        Benchmark::Fft => fft(),
+        Benchmark::Kmp => kmp(),
+        Benchmark::MdKnn => md_knn(),
+    };
+    BenchmarkModel { which, builder }
+}
+
+const CB: [PartitionKind; 2] = [PartitionKind::Cyclic, PartitionKind::Block];
+
+fn gemm() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("gemm");
+    let i = k.add_loop("i", 64, None, 0.0, 0.0, 0.0).unwrap();
+    let j = k.add_loop("j", 64, Some(i), 1.0, 1.0, 0.0).unwrap();
+    let kk = k.add_loop("k", 64, Some(j), 2.0, 2.0, 0.8).unwrap(); // MAC chain
+    let a = k.add_array("A", 64 * 64, vec![kk]).unwrap();
+    let b = k.add_array("B", 64 * 64, vec![kk]).unwrap();
+    // C is written in a separate accumulation-flush nest.
+    let i2 = k.add_loop("i2", 64, None, 0.0, 0.0, 0.0).unwrap();
+    let j2 = k.add_loop("j2", 64, Some(i2), 1.0, 1.0, 0.0).unwrap();
+    let c = k.add_array("C", 64 * 64, vec![j2]).unwrap();
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(kk, &[1, 2, 4, 8, 16])
+        .unroll(j2, &[1, 2, 4, 8, 16])
+        .partition(a, &[1, 2, 4, 8, 16], &CB)
+        .partition(b, &[1, 2, 4, 8, 16], &CB)
+        .partition(c, &[1, 2, 4, 8, 16], &CB)
+        .pipeline(kk, &[0, 1, 2])
+        .pipeline(j2, &[0, 1, 2])
+        .inline();
+    bld
+}
+
+fn sort_radix() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("sort_radix");
+    // Histogram phase.
+    let h = k.add_loop("hist", 2048, None, 2.0, 2.0, 0.3).unwrap();
+    let a = k.add_array("a", 2048, vec![h]).unwrap();
+    let bucket = k.add_array("bucket", 128, vec![h]).unwrap();
+    // Prefix-scan phase (sequential dependence).
+    let s = k.add_loop("scan", 128, None, 1.0, 1.0, 0.9).unwrap();
+    let sum = k.add_array("sum", 128, vec![s]).unwrap();
+    // Scatter phase.
+    let m = k.add_loop("scatter", 2048, None, 2.0, 3.0, 0.4).unwrap();
+    let b = k.add_array("b", 2048, vec![m]).unwrap();
+    // Digit-extraction helper phase.
+    let d = k.add_loop("digit", 2048, None, 1.0, 1.0, 0.0).unwrap();
+    let dig = k.add_array("dig", 2048, vec![d]).unwrap();
+    // Partition-factor lists are deliberately wider than the unroll lists: the
+    // raw cross product is astronomical (the paper reports 3.8e12 for this
+    // benchmark), while the tree pruner keeps only matching factors.
+    let wide: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(h, &[1, 2, 4, 8, 16])
+        .unroll(s, &[1, 2])
+        .unroll(m, &[1, 2, 4, 8, 16])
+        .unroll(d, &[1, 2])
+        .partition(a, &wide, &CB)
+        .partition(bucket, &wide, &CB)
+        .partition(sum, &wide, &CB)
+        .partition(b, &wide, &CB)
+        .partition(dig, &wide, &CB)
+        .pipeline(h, &[0, 1])
+        .pipeline(s, &[0, 1])
+        .pipeline(m, &[0, 1, 2])
+        .inline();
+    bld
+}
+
+fn spmv_ellpack() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("spmv_ellpack");
+    let i = k.add_loop("i", 494, None, 0.0, 0.0, 0.0).unwrap();
+    let j = k.add_loop("j", 10, Some(i), 2.0, 3.0, 0.7).unwrap();
+    let nzval = k.add_array("nzval", 4940, vec![j]).unwrap();
+    let cols = k.add_array("cols", 4940, vec![j]).unwrap();
+    let vec_ = k.add_array("vec", 494, vec![j]).unwrap();
+    // Output write-back nest.
+    let w = k.add_loop("wb", 494, None, 1.0, 1.0, 0.0).unwrap();
+    let out = k.add_array("out", 494, vec![w]).unwrap();
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(j, &[1, 2, 5, 10])
+        .unroll(w, &[1, 2, 5, 10])
+        .partition(nzval, &[1, 2, 5, 10], &CB)
+        .partition(cols, &[1, 2, 5, 10], &CB)
+        .partition(vec_, &[1, 2, 5, 10], &CB)
+        .partition(out, &[1, 2, 5, 10], &CB)
+        .pipeline(j, &[0, 1, 2])
+        .pipeline(i, &[0, 1])
+        .pipeline(w, &[0, 1])
+        .inline();
+    bld
+}
+
+fn spmv_crs() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("spmv_crs");
+    // Irregular row loop with data-dependent inner bounds (avg 7 nnz/row).
+    let i = k.add_loop("i", 494, None, 1.0, 2.0, 0.1).unwrap();
+    let j = k.add_loop("j", 7, Some(i), 2.0, 3.0, 0.8).unwrap();
+    let val = k.add_array("val", 1666, vec![j]).unwrap();
+    let cols = k.add_array("cols", 1666, vec![j]).unwrap();
+    let vec_ = k.add_array("vec", 494, vec![j]).unwrap();
+    // Row-delimiter lookups happen in the row loop (ancestor of j, so the
+    // pruner will pin the row loop rolled).
+    let rowd = k.add_array("rowDelim", 495, vec![i]).unwrap();
+    // Result normalization phase.
+    let n = k.add_loop("norm", 494, None, 1.0, 1.0, 0.0).unwrap();
+    let out = k.add_array("out", 494, vec![n]).unwrap();
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(j, &[1, 7])
+        .unroll(n, &[1, 2, 4, 8])
+        .partition(val, &[1, 7], &CB)
+        .partition(cols, &[1, 7], &CB)
+        .partition(vec_, &[1, 7], &CB)
+        .partition(rowd, &[1, 7], &CB)
+        .partition(out, &[1, 2, 4, 8], &CB)
+        .pipeline(j, &[0, 1, 2, 4])
+        .pipeline(i, &[0, 1])
+        .pipeline(n, &[0, 1])
+        .inline();
+    bld
+}
+
+fn stencil3d() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("stencil3d");
+    let i = k.add_loop("i", 32, None, 0.0, 0.0, 0.0).unwrap();
+    let j = k.add_loop("j", 32, Some(i), 0.0, 0.0, 0.0).unwrap();
+    let kk = k.add_loop("k", 32, Some(j), 7.0, 8.0, 0.2).unwrap(); // 7-point stencil
+    let orig = k.add_array("orig", 34 * 34 * 34, vec![kk]).unwrap();
+    let sol = k.add_array("sol", 32 * 32 * 32, vec![kk]).unwrap();
+    // Boundary-copy phase.
+    let bdy = k.add_loop("boundary", 32 * 32, None, 1.0, 2.0, 0.0).unwrap();
+    let halo = k.add_array("halo", 34 * 34 * 6, vec![bdy]).unwrap();
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(kk, &[1, 2, 4, 8])
+        .unroll(bdy, &[1, 2, 4])
+        .partition(orig, &[1, 2, 4, 8], &CB)
+        .partition(sol, &[1, 2, 4, 8], &CB)
+        .partition(halo, &[1, 2, 4], &CB)
+        .pipeline(kk, &[0, 1, 2])
+        .pipeline(j, &[0, 1])
+        .pipeline(bdy, &[0, 1])
+        .inline();
+    bld
+}
+
+fn ismart2() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("ismart2");
+    // Depthwise 3x3 convolution over a 20x20x16 feature map.
+    let oc = k.add_loop("out_ch", 16, None, 0.0, 0.0, 0.0).unwrap();
+    let row = k.add_loop("row", 20, Some(oc), 0.0, 0.0, 0.0).unwrap();
+    let col = k.add_loop("col", 20, Some(row), 1.0, 1.0, 0.0).unwrap();
+    let k1 = k.add_loop("k1", 3, Some(col), 0.0, 0.0, 0.0).unwrap();
+    let k2 = k.add_loop("k2", 3, Some(k1), 2.0, 2.0, 0.6).unwrap();
+    let ifm = k.add_array("ifm", 22 * 22 * 16, vec![k2]).unwrap();
+    let wgt = k.add_array("wgt", 3 * 3 * 16, vec![k2]).unwrap();
+    // Write-back of the output feature map.
+    let w = k.add_loop("wb", 20 * 20 * 16, None, 1.0, 1.0, 0.0).unwrap();
+    let ofm = k.add_array("ofm", 20 * 20 * 16, vec![w]).unwrap();
+    // 2x2 max pooling.
+    let p = k.add_loop("pool", 10 * 10 * 16, None, 3.0, 4.0, 0.1).unwrap();
+    let pool = k.add_array("pooled", 10 * 10 * 16, vec![p]).unwrap();
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(k2, &[1, 3, 9])
+        .unroll(w, &[1, 2, 4, 8])
+        .unroll(p, &[1, 2, 4])
+        .partition(ifm, &[1, 3, 9], &CB)
+        .partition(wgt, &[1, 3, 9], &CB)
+        .partition(ofm, &[1, 2, 4, 8], &CB)
+        .partition(pool, &[1, 2, 4], &CB)
+        .pipeline(k2, &[0, 1, 2])
+        .pipeline(col, &[0, 1])
+        .pipeline(w, &[0, 1])
+        .pipeline(p, &[0, 1])
+        .inline();
+    bld
+}
+
+fn fft() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("fft");
+    // log2(1024) = 10 butterfly stages; model the dominant inner loop of one
+    // stage plus the bit-reversal permutation phase.
+    let stage = k.add_loop("stage", 10, None, 0.0, 0.0, 0.0).unwrap();
+    let bfly = k.add_loop("butterfly", 512, Some(stage), 6.0, 4.0, 0.3).unwrap();
+    let real = k.add_array("real", 1024, vec![bfly]).unwrap();
+    let imag = k.add_array("imag", 1024, vec![bfly]).unwrap();
+    let tw = k.add_array("twiddle", 512, vec![bfly]).unwrap();
+    let rev = k.add_loop("bitrev", 1024, None, 1.0, 2.0, 0.0).unwrap();
+    let scratch = k.add_array("scratch", 1024, vec![rev]).unwrap();
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(bfly, &[1, 2, 4, 8])
+        .unroll(rev, &[1, 2, 4])
+        .partition(real, &[1, 2, 4, 8], &CB)
+        .partition(imag, &[1, 2, 4, 8], &CB)
+        .partition(tw, &[1, 2, 4, 8], &CB)
+        .partition(scratch, &[1, 2, 4], &CB)
+        .pipeline(bfly, &[0, 1, 2])
+        .pipeline(rev, &[0, 1])
+        .inline();
+    bld
+}
+
+fn kmp() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("kmp");
+    // Failure-table construction (sequential) and the matching scan.
+    let build = k.add_loop("table", 32, None, 2.0, 2.0, 0.9).unwrap();
+    let pat = k.add_array("pattern", 32, vec![build]).unwrap();
+    let fail = k.add_array("failure", 32, vec![build]).unwrap();
+    let scan = k.add_loop("scan", 32768, None, 2.0, 2.0, 0.7).unwrap();
+    let text = k.add_array("text", 32768, vec![scan]).unwrap();
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(scan, &[1, 2, 4, 8])
+        .unroll(build, &[1, 2])
+        .partition(text, &[1, 2, 4, 8], &CB)
+        .partition(pat, &[1, 2], &CB)
+        .partition(fail, &[1, 2], &CB)
+        .pipeline(scan, &[0, 1, 2])
+        .pipeline(build, &[0, 1])
+        .inline();
+    bld
+}
+
+fn md_knn() -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("md_knn");
+    // Per-atom loop over 16 neighbours computing LJ forces.
+    let atom = k.add_loop("atom", 256, None, 0.0, 0.0, 0.0).unwrap();
+    let nbr = k.add_loop("neighbor", 16, Some(atom), 12.0, 6.0, 0.4).unwrap();
+    let pos = k.add_array("position", 768, vec![nbr]).unwrap();
+    let nl = k.add_array("neighbor_list", 4096, vec![nbr]).unwrap();
+    let wb = k.add_loop("force_wb", 256, None, 3.0, 3.0, 0.0).unwrap();
+    let force = k.add_array("force", 768, vec![wb]).unwrap();
+    let mut bld = DesignSpaceBuilder::new(k);
+    bld.unroll(nbr, &[1, 2, 4, 8, 16])
+        .unroll(wb, &[1, 2, 4])
+        .partition(pos, &[1, 2, 4, 8, 16], &CB)
+        .partition(nl, &[1, 2, 4, 8, 16], &CB)
+        .partition(force, &[1, 2, 4], &CB)
+        .pipeline(nbr, &[0, 1, 2])
+        .pipeline(atom, &[0, 1])
+        .pipeline(wb, &[0, 1])
+        .inline();
+    bld
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build_pruned_spaces() {
+        for b in Benchmark::all() {
+            let model = build(b);
+            let space = model
+                .pruned_space()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            assert!(space.len() >= 50, "{} too small: {}", b.name(), space.len());
+            assert!(
+                space.len() <= 50_000,
+                "{} too large: {}",
+                b.name(),
+                space.len()
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_factors_are_large() {
+        for b in Benchmark::all() {
+            let model = build(b);
+            let space = model.pruned_space().unwrap();
+            let factor = model.full_size() / space.len() as f64;
+            assert!(
+                factor > 50.0,
+                "{}: pruning factor only {factor:.1}",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn sort_radix_space_is_astronomical_before_pruning() {
+        let model = build(Benchmark::SortRadix);
+        // The paper reports 3.8e12 -> 20000; our model is within the same
+        // orders of magnitude.
+        assert!(model.full_size() > 1e9, "full={}", model.full_size());
+        let space = model.pruned_space().unwrap();
+        assert!(space.len() < 50_000);
+    }
+
+    #[test]
+    fn encodings_are_unit_box_and_distinct() {
+        for b in Benchmark::all() {
+            let space = build(b).pruned_space().unwrap();
+            let x0 = space.encode(0);
+            let x1 = space.encode(space.len() - 1);
+            assert_eq!(x0.len(), space.dim());
+            assert!(x0.iter().all(|v| (0.0..=1.0).contains(v)));
+            assert_ne!(x0, x1, "{}: encodings collide", b.name());
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Benchmark::Gemm.name(), "GEMM");
+        assert_eq!(Benchmark::all().len(), 6);
+        assert_eq!(Benchmark::extended().len(), 3);
+        assert_eq!(Benchmark::MdKnn.name(), "MD_KNN");
+    }
+
+    #[test]
+    fn extended_benchmarks_build_and_prune() {
+        for b in Benchmark::extended() {
+            let model = build(b);
+            let space = model
+                .pruned_space()
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            assert!(space.len() >= 50, "{}: {}", b.name(), space.len());
+            assert!(
+                model.full_size() / space.len() as f64 > 20.0,
+                "{}: weak pruning",
+                b.name()
+            );
+        }
+    }
+
+    #[test]
+    fn resolved_configs_respect_compatibility() {
+        let space = build(Benchmark::Gemm).pruned_space().unwrap();
+        let kernel = space.kernel();
+        let a = kernel.array_by_name("A").unwrap();
+        let kk = kernel.loop_by_name("k").unwrap();
+        for i in (0..space.len()).step_by(97) {
+            let r = space.resolve(i);
+            assert_eq!(
+                r.partition_factor[a.index()],
+                r.unroll[kk.index()],
+                "A partition must match k unroll"
+            );
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The HLS directive vocabulary (Fig. 1 of the paper).
+
+use crate::ir::{ArrayId, LoopId};
+use std::fmt;
+
+/// Array-partitioning scheme, mirroring `#pragma HLS array_partition`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PartitionKind {
+    /// Interleaved banks: element `i` goes to bank `i mod factor`. Best for
+    /// unit-stride unrolled access.
+    #[default]
+    Cyclic,
+    /// Contiguous blocks: element `i` goes to bank `i / ceil(n/factor)`.
+    Block,
+    /// Every element in its own register; removes the memory entirely.
+    Complete,
+}
+
+impl fmt::Display for PartitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionKind::Cyclic => write!(f, "cyclic"),
+            PartitionKind::Block => write!(f, "block"),
+            PartitionKind::Complete => write!(f, "complete"),
+        }
+    }
+}
+
+/// One concrete directive applied to a kernel entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Directive {
+    /// `#pragma HLS unroll factor=N` on a loop.
+    Unroll {
+        /// The loop to unroll.
+        loop_id: LoopId,
+        /// The replication factor (1 = no unrolling).
+        factor: u32,
+    },
+    /// `#pragma HLS pipeline II=N` on a loop. `ii = 0` means not pipelined.
+    Pipeline {
+        /// The loop to pipeline.
+        loop_id: LoopId,
+        /// Target initiation interval; 0 disables pipelining.
+        ii: u32,
+    },
+    /// `#pragma HLS array_partition` on an array.
+    ArrayPartition {
+        /// The array to partition.
+        array_id: ArrayId,
+        /// Partitioning scheme.
+        kind: PartitionKind,
+        /// Number of banks (1 = no partitioning).
+        factor: u32,
+    },
+    /// `#pragma HLS inline` on/off for the kernel's helper functions.
+    Inline {
+        /// Whether inlining is forced on.
+        on: bool,
+    },
+}
+
+impl fmt::Display for Directive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Directive::Unroll { loop_id, factor } => {
+                write!(f, "unroll(loop={}, factor={factor})", loop_id.index())
+            }
+            Directive::Pipeline { loop_id, ii } => {
+                write!(f, "pipeline(loop={}, ii={ii})", loop_id.index())
+            }
+            Directive::ArrayPartition {
+                array_id,
+                kind,
+                factor,
+            } => write!(
+                f,
+                "array_partition(array={}, kind={kind}, factor={factor})",
+                array_id.index()
+            ),
+            Directive::Inline { on } => write!(f, "inline({})", if *on { "on" } else { "off" }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let d = Directive::Unroll {
+            loop_id: LoopId::new(2),
+            factor: 4,
+        };
+        assert_eq!(d.to_string(), "unroll(loop=2, factor=4)");
+        let p = Directive::ArrayPartition {
+            array_id: ArrayId::new(0),
+            kind: PartitionKind::Cyclic,
+            factor: 8,
+        };
+        assert!(p.to_string().contains("cyclic"));
+        assert_eq!(Directive::Inline { on: true }.to_string(), "inline(on)");
+    }
+
+    #[test]
+    fn partition_kind_default_is_cyclic() {
+        assert_eq!(PartitionKind::default(), PartitionKind::Cyclic);
+    }
+}

@@ -1,0 +1,89 @@
+//! Directive feature encoding (Sec. III-B of the paper).
+//!
+//! Each directive site contributes one feature. TRUE/FALSE sites map to
+//! `{0, 1}`; multi-factor sites are min-max normalized over their option
+//! *values* so that the numeric spacing between factors is preserved — the
+//! paper's example: factors `2, 5, 10` encode to `0, 0.375, 1`, which
+//! "highlights the differences between these two factors while computing the
+//! distance between feature vectors" better than one-hot.
+
+use crate::space::Site;
+
+/// Encodes the option value `value` of a site with candidate `options`
+/// (ascending) to `[0, 1]` by min-max normalization. A single-option site
+/// encodes to 0.
+pub fn encode_value(options: &[u32], value: u32) -> f64 {
+    debug_assert!(!options.is_empty());
+    let lo = *options.first().expect("non-empty options") as f64;
+    let hi = *options.last().expect("non-empty options") as f64;
+    if hi > lo {
+        (value as f64 - lo) / (hi - lo)
+    } else {
+        0.0
+    }
+}
+
+/// Encodes a full configuration (option index per site) as a feature vector.
+///
+/// # Panics
+///
+/// Panics if `config.len() != sites.len()` or an option index is out of range.
+pub fn encode_config(sites: &[Site], config: &[usize]) -> Vec<f64> {
+    assert_eq!(sites.len(), config.len(), "config/site arity mismatch");
+    sites
+        .iter()
+        .zip(config)
+        .map(|(site, &opt)| encode_value(&site.options, site.options[opt]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::LoopId;
+    use crate::space::SiteKind;
+
+    #[test]
+    fn paper_example_2_5_10() {
+        let opts = [2, 5, 10];
+        assert_eq!(encode_value(&opts, 2), 0.0);
+        assert!((encode_value(&opts, 5) - 0.375).abs() < 1e-12);
+        assert_eq!(encode_value(&opts, 10), 1.0);
+    }
+
+    #[test]
+    fn boolean_site_is_zero_one() {
+        let opts = [0, 1];
+        assert_eq!(encode_value(&opts, 0), 0.0);
+        assert_eq!(encode_value(&opts, 1), 1.0);
+    }
+
+    #[test]
+    fn single_option_encodes_to_zero() {
+        assert_eq!(encode_value(&[4], 4), 0.0);
+    }
+
+    #[test]
+    fn encode_config_maps_each_site() {
+        let sites = vec![
+            Site {
+                kind: SiteKind::Unroll(LoopId::new(0)),
+                options: vec![1, 2, 4],
+            },
+            Site {
+                kind: SiteKind::Inline,
+                options: vec![0, 1],
+            },
+        ];
+        let v = encode_config(&sites, &[1, 1]);
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(v[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = encode_config(&[], &[0]);
+    }
+}

@@ -1,0 +1,42 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building kernels, design spaces, or parsing specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A loop/array reference does not exist in the kernel.
+    UnknownEntity {
+        /// What kind of entity ("loop", "array", ...).
+        kind: &'static str,
+        /// The name or index that failed to resolve.
+        name: String,
+    },
+    /// The kernel or design-space description is structurally invalid.
+    InvalidStructure {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A spec file failed to parse.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong on that line.
+        reason: String,
+    },
+    /// Pruning removed every configuration.
+    EmptyDesignSpace,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownEntity { kind, name } => write!(f, "unknown {kind} `{name}`"),
+            ModelError::InvalidStructure { reason } => write!(f, "invalid structure: {reason}"),
+            ModelError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            ModelError::EmptyDesignSpace => write!(f, "pruning produced an empty design space"),
+        }
+    }
+}
+
+impl Error for ModelError {}

@@ -1,0 +1,379 @@
+//! Kernel intermediate representation: the structural facts about a high-level
+//! kernel that directive design and performance modelling need — loop nests
+//! with trip counts and operation mixes, arrays with sizes and the loops that
+//! access them.
+//!
+//! This plays the role of the C/C++ source in the paper's flow (Fig. 2): the
+//! design tool only ever consumes the structure, never the program semantics.
+
+use crate::ModelError;
+use std::fmt;
+
+/// Identifier of a loop within one [`KernelIr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(usize);
+
+impl LoopId {
+    /// Creates an id from a raw index.
+    pub fn new(index: usize) -> Self {
+        LoopId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of an array within one [`KernelIr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(usize);
+
+impl ArrayId {
+    /// Creates an id from a raw index.
+    pub fn new(index: usize) -> Self {
+        ArrayId(index)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One loop of the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopInfo {
+    /// Source-level name, e.g. `"L1"`.
+    pub name: String,
+    /// Iteration count.
+    pub trip_count: u32,
+    /// Enclosing loop, if any.
+    pub parent: Option<LoopId>,
+    /// Arithmetic operations per iteration of this loop's own body
+    /// (excluding nested loops).
+    pub ops_per_iter: f64,
+    /// Memory accesses per iteration of this loop's own body.
+    pub mem_ops_per_iter: f64,
+    /// Fraction of this loop's body on the critical dependency chain; 1.0 means
+    /// fully sequential (e.g. an accumulation), 0.0 fully parallel.
+    pub dependency: f64,
+}
+
+/// One array of the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayInfo {
+    /// Source-level name, e.g. `"A"`.
+    pub name: String,
+    /// Number of elements.
+    pub size: u32,
+    /// Loops whose bodies access this array.
+    pub accessed_in: Vec<LoopId>,
+}
+
+/// Structural description of one HLS kernel.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_hls_model::ir::KernelIr;
+///
+/// # fn main() -> Result<(), cmmf_hls_model::ModelError> {
+/// let mut k = KernelIr::new("toy");
+/// let l1 = k.add_loop("L1", 16, None, 1.0, 1.0, 0.0)?;
+/// let l2 = k.add_loop("L2", 8, Some(l1), 2.0, 2.0, 0.5)?;
+/// k.add_array("A", 128, vec![l2])?;
+/// assert_eq!(k.loops().len(), 2);
+/// assert_eq!(k.nest_depth(l2), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelIr {
+    name: String,
+    loops: Vec<LoopInfo>,
+    arrays: Vec<ArrayInfo>,
+}
+
+impl KernelIr {
+    /// Creates an empty kernel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelIr {
+            name: name.into(),
+            loops: Vec::new(),
+            arrays: Vec::new(),
+        }
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All loops, indexable by [`LoopId::index`].
+    pub fn loops(&self) -> &[LoopInfo] {
+        &self.loops
+    }
+
+    /// All arrays, indexable by [`ArrayId::index`].
+    pub fn arrays(&self) -> &[ArrayInfo] {
+        &self.arrays
+    }
+
+    /// Adds a loop and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownEntity`] if `parent` is not a previously added loop.
+    /// * [`ModelError::InvalidStructure`] if `trip_count == 0` or a loop with the
+    ///   same name exists.
+    pub fn add_loop(
+        &mut self,
+        name: impl Into<String>,
+        trip_count: u32,
+        parent: Option<LoopId>,
+        ops_per_iter: f64,
+        mem_ops_per_iter: f64,
+        dependency: f64,
+    ) -> Result<LoopId, ModelError> {
+        let name = name.into();
+        if trip_count == 0 {
+            return Err(ModelError::InvalidStructure {
+                reason: format!("loop `{name}` has zero trip count"),
+            });
+        }
+        if self.loops.iter().any(|l| l.name == name) {
+            return Err(ModelError::InvalidStructure {
+                reason: format!("duplicate loop name `{name}`"),
+            });
+        }
+        if let Some(p) = parent {
+            if p.index() >= self.loops.len() {
+                return Err(ModelError::UnknownEntity {
+                    kind: "loop",
+                    name: format!("{}", p.index()),
+                });
+            }
+        }
+        self.loops.push(LoopInfo {
+            name,
+            trip_count,
+            parent,
+            ops_per_iter,
+            mem_ops_per_iter,
+            dependency: dependency.clamp(0.0, 1.0),
+        });
+        Ok(LoopId::new(self.loops.len() - 1))
+    }
+
+    /// Adds an array and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::UnknownEntity`] if any accessing loop does not exist.
+    /// * [`ModelError::InvalidStructure`] on a zero size, duplicate name, or no
+    ///   accessing loops.
+    pub fn add_array(
+        &mut self,
+        name: impl Into<String>,
+        size: u32,
+        accessed_in: Vec<LoopId>,
+    ) -> Result<ArrayId, ModelError> {
+        let name = name.into();
+        if size == 0 {
+            return Err(ModelError::InvalidStructure {
+                reason: format!("array `{name}` has zero size"),
+            });
+        }
+        if accessed_in.is_empty() {
+            return Err(ModelError::InvalidStructure {
+                reason: format!("array `{name}` is never accessed"),
+            });
+        }
+        if self.arrays.iter().any(|a| a.name == name) {
+            return Err(ModelError::InvalidStructure {
+                reason: format!("duplicate array name `{name}`"),
+            });
+        }
+        for l in &accessed_in {
+            if l.index() >= self.loops.len() {
+                return Err(ModelError::UnknownEntity {
+                    kind: "loop",
+                    name: format!("{}", l.index()),
+                });
+            }
+        }
+        self.arrays.push(ArrayInfo {
+            name,
+            size,
+            accessed_in,
+        });
+        Ok(ArrayId::new(self.arrays.len() - 1))
+    }
+
+    /// Looks up a loop by name.
+    pub fn loop_by_name(&self, name: &str) -> Option<LoopId> {
+        self.loops
+            .iter()
+            .position(|l| l.name == name)
+            .map(LoopId::new)
+    }
+
+    /// Looks up an array by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays
+            .iter()
+            .position(|a| a.name == name)
+            .map(ArrayId::new)
+    }
+
+    /// Nesting depth of `l` (outermost loop has depth 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a loop of this kernel.
+    pub fn nest_depth(&self, l: LoopId) -> usize {
+        let mut depth = 1;
+        let mut cur = &self.loops[l.index()];
+        while let Some(p) = cur.parent {
+            depth += 1;
+            cur = &self.loops[p.index()];
+        }
+        depth
+    }
+
+    /// The chain of ancestors of `l`, outermost first (excluding `l`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a loop of this kernel.
+    pub fn ancestors(&self, l: LoopId) -> Vec<LoopId> {
+        let mut chain = Vec::new();
+        let mut cur = self.loops[l.index()].parent;
+        while let Some(p) = cur {
+            chain.push(p);
+            cur = self.loops[p.index()].parent;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Direct children of `l` (or the root loops when `l` is `None`).
+    pub fn children(&self, l: Option<LoopId>) -> Vec<LoopId> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.parent == l)
+            .map(|(i, _)| LoopId::new(i))
+            .collect()
+    }
+
+    /// Total iterations executed by loop `l` including all enclosing loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is not a loop of this kernel.
+    pub fn total_iterations(&self, l: LoopId) -> u64 {
+        let mut total = self.loops[l.index()].trip_count as u64;
+        for a in self.ancestors(l) {
+            total = total.saturating_mul(self.loops[a.index()].trip_count as u64);
+        }
+        total
+    }
+}
+
+impl fmt::Display for KernelIr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "kernel `{}`: {} loops, {} arrays",
+            self.name,
+            self.loops.len(),
+            self.arrays.len()
+        )?;
+        for (i, l) in self.loops.iter().enumerate() {
+            writeln!(
+                f,
+                "  loop {i} `{}` trip={} depth={}",
+                l.name,
+                l.trip_count,
+                self.nest_depth(LoopId::new(i))
+            )?;
+        }
+        for (i, a) in self.arrays.iter().enumerate() {
+            writeln!(f, "  array {i} `{}` size={}", a.name, a.size)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (KernelIr, LoopId, LoopId) {
+        let mut k = KernelIr::new("toy");
+        let l1 = k.add_loop("L1", 10, None, 1.0, 0.0, 0.0).unwrap();
+        let l2 = k.add_loop("L2", 20, Some(l1), 2.0, 1.0, 0.3).unwrap();
+        (k, l1, l2)
+    }
+
+    #[test]
+    fn depth_and_ancestors() {
+        let (k, l1, l2) = toy();
+        assert_eq!(k.nest_depth(l1), 1);
+        assert_eq!(k.nest_depth(l2), 2);
+        assert_eq!(k.ancestors(l2), vec![l1]);
+        assert!(k.ancestors(l1).is_empty());
+    }
+
+    #[test]
+    fn total_iterations_multiplies_nest() {
+        let (k, _, l2) = toy();
+        assert_eq!(k.total_iterations(l2), 200);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let (mut k, _, _) = toy();
+        assert!(k.add_loop("L1", 5, None, 1.0, 0.0, 0.0).is_err());
+        k.add_array("A", 8, vec![LoopId::new(0)]).unwrap();
+        assert!(k.add_array("A", 8, vec![LoopId::new(0)]).is_err());
+    }
+
+    #[test]
+    fn invalid_references_rejected() {
+        let mut k = KernelIr::new("bad");
+        assert!(k
+            .add_loop("L1", 4, Some(LoopId::new(7)), 1.0, 0.0, 0.0)
+            .is_err());
+        k.add_loop("L1", 4, None, 1.0, 0.0, 0.0).unwrap();
+        assert!(k.add_array("A", 4, vec![LoopId::new(9)]).is_err());
+        assert!(k.add_array("A", 0, vec![LoopId::new(0)]).is_err());
+        assert!(k.add_array("A", 4, vec![]).is_err());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (mut k, _, l2) = toy();
+        let a = k.add_array("A", 16, vec![l2]).unwrap();
+        assert_eq!(k.loop_by_name("L2"), Some(l2));
+        assert_eq!(k.array_by_name("A"), Some(a));
+        assert_eq!(k.loop_by_name("nope"), None);
+    }
+
+    #[test]
+    fn children_lists_roots_and_nested() {
+        let (k, l1, l2) = toy();
+        assert_eq!(k.children(None), vec![l1]);
+        assert_eq!(k.children(Some(l1)), vec![l2]);
+        assert!(k.children(Some(l2)).is_empty());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let (k, _, _) = toy();
+        let s = k.to_string();
+        assert!(s.contains("toy") && s.contains("L2"));
+    }
+}

@@ -1,0 +1,50 @@
+//! HLS directive modelling for the `cmmf-hls` workspace (Sec. III of the paper).
+//!
+//! This crate is the "front end" of the reproduction: it captures the structure
+//! of a high-level-synthesis kernel (loop nests, arrays, access patterns) and
+//! the directive design space built over it, and implements:
+//!
+//! * the directive vocabulary of Fig. 1 — loop unrolling, pipelining (with
+//!   initiation interval), array partitioning (cyclic/block/complete), and
+//!   function inlining ([`directive`]),
+//! * the **tree-based design-space pruning** of Algorithm 1 / Fig. 3
+//!   ([`tree`]): per-array trees over the loops that access each array, merged
+//!   on shared loops, enumerating only unroll/partition-compatible
+//!   configurations,
+//! * the **feature encoding** of Sec. III-B ([`encode`]): booleans to `{0,1}`,
+//!   multi-factor directives min-max normalized (e.g. factors `2,5,10` encode
+//!   to `0, 0.375, 1`),
+//! * a small text *spec* format standing in for the paper's YAML design-space
+//!   files ([`spec`]),
+//! * the six evaluation benchmarks — `GEMM`, `SORT_RADIX`, `SPMV_ELLPACK`,
+//!   `SPMV_CRS`, `STENCIL3D` (MachSuite) and `ISMART2` (an object-detection
+//!   DNN) — modelled as kernel IRs with realistic directive sites
+//!   ([`benchmarks`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use cmmf_hls_model::benchmarks::{self, Benchmark};
+//!
+//! let b = benchmarks::build(Benchmark::Gemm);
+//! let space = b.pruned_space().expect("gemm space builds");
+//! assert!(space.len() > 0);
+//! // Pruning removes a large fraction of the raw cross product.
+//! assert!((space.len() as f64) < space.full_size());
+//! let x = space.encode(0);
+//! assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+//! ```
+
+pub mod benchmarks;
+pub mod directive;
+pub mod encode;
+mod error;
+pub mod ir;
+pub mod spec;
+pub mod space;
+pub mod tree;
+
+pub use directive::{Directive, PartitionKind};
+pub use error::ModelError;
+pub use ir::{ArrayId, ArrayInfo, KernelIr, LoopId, LoopInfo};
+pub use space::{DesignSpace, DesignSpaceBuilder, ResolvedConfig, Site, SiteKind};

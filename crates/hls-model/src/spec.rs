@@ -1,0 +1,360 @@
+//! A small text format describing a kernel and its directive design space —
+//! the stand-in for the paper's YAML design-space files (Sec. V: "the initial
+//! design space is defined by specifying all of the possible locations of
+//! directives and their factors in YAML files").
+//!
+//! # Format
+//!
+//! One declaration per line; `#` starts a comment. Example:
+//!
+//! ```text
+//! kernel gemm
+//! loop i trip=64
+//! loop j trip=64 parent=i ops=1 mem=1 dep=0.2
+//! array A size=4096 access=j
+//! unroll j factors=1,2,4,8
+//! pipeline j ii=0,1,2
+//! partition A factors=1,2,4,8 schemes=cyclic,block
+//! inline
+//! ```
+//!
+//! [`parse`] returns a ready [`DesignSpaceBuilder`].
+
+use crate::directive::PartitionKind;
+use crate::ir::KernelIr;
+use crate::space::DesignSpaceBuilder;
+use crate::ModelError;
+
+/// Parses a design-space spec into a [`DesignSpaceBuilder`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::Parse`] with the offending line on any syntax error
+/// and propagates structural errors (unknown loops/arrays, duplicates) from the
+/// kernel builder.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_hls_model::spec;
+///
+/// let text = "\
+/// kernel toy
+/// loop i trip=8
+/// loop j trip=8 parent=i ops=2 mem=1
+/// array A size=64 access=j
+/// unroll j factors=1,2,4
+/// partition A factors=1,2,4 schemes=cyclic
+/// pipeline j ii=0,1
+/// ";
+/// let builder = spec::parse(text).unwrap();
+/// let space = builder.build_pruned().unwrap();
+/// assert!(space.len() > 0);
+/// ```
+pub fn parse(text: &str) -> Result<DesignSpaceBuilder, ModelError> {
+    let mut kernel: Option<KernelIr> = None;
+    // Deferred site declarations (sites can only resolve names once the kernel
+    // is complete, but we also allow free interleaving).
+    let mut site_lines: Vec<(usize, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("non-empty line has a head");
+        match head {
+            "kernel" => {
+                let name = parts.next().ok_or_else(|| ModelError::Parse {
+                    line: lineno,
+                    reason: "kernel needs a name".into(),
+                })?;
+                if kernel.is_some() {
+                    return Err(ModelError::Parse {
+                        line: lineno,
+                        reason: "duplicate `kernel` declaration".into(),
+                    });
+                }
+                kernel = Some(KernelIr::new(name));
+            }
+            "loop" => {
+                let k = kernel.as_mut().ok_or_else(|| missing_kernel(lineno))?;
+                let name = parts.next().ok_or_else(|| ModelError::Parse {
+                    line: lineno,
+                    reason: "loop needs a name".into(),
+                })?;
+                let kv = parse_kv(parts, lineno)?;
+                let trip = get_u32(&kv, "trip", lineno)?;
+                let parent = match kv.iter().find(|(k, _)| k == "parent") {
+                    Some((_, v)) if v != "-" => Some(k.loop_by_name(v).ok_or_else(|| {
+                        ModelError::UnknownEntity {
+                            kind: "loop",
+                            name: v.clone(),
+                        }
+                    })?),
+                    _ => None,
+                };
+                let ops = get_f64_or(&kv, "ops", 1.0, lineno)?;
+                let mem = get_f64_or(&kv, "mem", 0.0, lineno)?;
+                let dep = get_f64_or(&kv, "dep", 0.0, lineno)?;
+                k.add_loop(name, trip, parent, ops, mem, dep)?;
+            }
+            "array" => {
+                let k = kernel.as_mut().ok_or_else(|| missing_kernel(lineno))?;
+                let name = parts.next().ok_or_else(|| ModelError::Parse {
+                    line: lineno,
+                    reason: "array needs a name".into(),
+                })?;
+                let kv = parse_kv(parts, lineno)?;
+                let size = get_u32(&kv, "size", lineno)?;
+                let access = kv
+                    .iter()
+                    .find(|(key, _)| key == "access")
+                    .ok_or_else(|| ModelError::Parse {
+                        line: lineno,
+                        reason: "array needs access=<loops>".into(),
+                    })?
+                    .1
+                    .clone();
+                let loops = access
+                    .split(',')
+                    .map(|n| {
+                        k.loop_by_name(n.trim()).ok_or(ModelError::UnknownEntity {
+                            kind: "loop",
+                            name: n.trim().to_string(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                k.add_array(name, size, loops)?;
+            }
+            "unroll" | "pipeline" | "partition" | "inline" => {
+                site_lines.push((lineno, line.to_string()));
+            }
+            other => {
+                return Err(ModelError::Parse {
+                    line: lineno,
+                    reason: format!("unknown declaration `{other}`"),
+                });
+            }
+        }
+    }
+
+    let kernel = kernel.ok_or_else(|| ModelError::Parse {
+        line: 0,
+        reason: "no `kernel` declaration".into(),
+    })?;
+    let mut builder = DesignSpaceBuilder::new(kernel.clone());
+
+    for (lineno, line) in site_lines {
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("recorded lines are non-empty");
+        match head {
+            "unroll" => {
+                let name = parts.next().ok_or_else(|| ModelError::Parse {
+                    line: lineno,
+                    reason: "unroll needs a loop name".into(),
+                })?;
+                let l = kernel.loop_by_name(name).ok_or(ModelError::UnknownEntity {
+                    kind: "loop",
+                    name: name.to_string(),
+                })?;
+                let kv = parse_kv(parts, lineno)?;
+                builder.unroll(l, &get_u32_list(&kv, "factors", lineno)?);
+            }
+            "pipeline" => {
+                let name = parts.next().ok_or_else(|| ModelError::Parse {
+                    line: lineno,
+                    reason: "pipeline needs a loop name".into(),
+                })?;
+                let l = kernel.loop_by_name(name).ok_or(ModelError::UnknownEntity {
+                    kind: "loop",
+                    name: name.to_string(),
+                })?;
+                let kv = parse_kv(parts, lineno)?;
+                builder.pipeline(l, &get_u32_list(&kv, "ii", lineno)?);
+            }
+            "partition" => {
+                let name = parts.next().ok_or_else(|| ModelError::Parse {
+                    line: lineno,
+                    reason: "partition needs an array name".into(),
+                })?;
+                let a = kernel
+                    .array_by_name(name)
+                    .ok_or(ModelError::UnknownEntity {
+                        kind: "array",
+                        name: name.to_string(),
+                    })?;
+                let kv = parse_kv(parts, lineno)?;
+                let factors = get_u32_list(&kv, "factors", lineno)?;
+                let schemes = match kv.iter().find(|(k, _)| k == "schemes") {
+                    Some((_, v)) => v
+                        .split(',')
+                        .map(|s| match s.trim() {
+                            "cyclic" => Ok(PartitionKind::Cyclic),
+                            "block" => Ok(PartitionKind::Block),
+                            "complete" => Ok(PartitionKind::Complete),
+                            other => Err(ModelError::Parse {
+                                line: lineno,
+                                reason: format!("unknown scheme `{other}`"),
+                            }),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?,
+                    None => vec![PartitionKind::Cyclic],
+                };
+                builder.partition(a, &factors, &schemes);
+            }
+            "inline" => {
+                builder.inline();
+            }
+            _ => unreachable!("only site heads are recorded"),
+        }
+    }
+    Ok(builder)
+}
+
+fn missing_kernel(line: usize) -> ModelError {
+    ModelError::Parse {
+        line,
+        reason: "`kernel` must be declared first".into(),
+    }
+}
+
+fn parse_kv<'a>(
+    parts: impl Iterator<Item = &'a str>,
+    line: usize,
+) -> Result<Vec<(String, String)>, ModelError> {
+    parts
+        .map(|tok| {
+            tok.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| ModelError::Parse {
+                    line,
+                    reason: format!("expected key=value, got `{tok}`"),
+                })
+        })
+        .collect()
+}
+
+fn get_u32(kv: &[(String, String)], key: &str, line: usize) -> Result<u32, ModelError> {
+    let v = kv
+        .iter()
+        .find(|(k, _)| k == key)
+        .ok_or_else(|| ModelError::Parse {
+            line,
+            reason: format!("missing `{key}=`"),
+        })?;
+    v.1.parse().map_err(|_| ModelError::Parse {
+        line,
+        reason: format!("`{key}` must be an unsigned integer, got `{}`", v.1),
+    })
+}
+
+fn get_f64_or(
+    kv: &[(String, String)],
+    key: &str,
+    default: f64,
+    line: usize,
+) -> Result<f64, ModelError> {
+    match kv.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => v.parse().map_err(|_| ModelError::Parse {
+            line,
+            reason: format!("`{key}` must be a number, got `{v}`"),
+        }),
+        None => Ok(default),
+    }
+}
+
+fn get_u32_list(kv: &[(String, String)], key: &str, line: usize) -> Result<Vec<u32>, ModelError> {
+    let v = kv
+        .iter()
+        .find(|(k, _)| k == key)
+        .ok_or_else(|| ModelError::Parse {
+            line,
+            reason: format!("missing `{key}=`"),
+        })?;
+    v.1.split(',')
+        .map(|s| {
+            s.trim().parse().map_err(|_| ModelError::Parse {
+                line,
+                reason: format!("`{key}` entries must be unsigned integers, got `{s}`"),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "\
+# A toy kernel spec.
+kernel toy
+loop i trip=16
+loop j trip=8 parent=i ops=2 mem=1 dep=0.5
+array A size=128 access=j
+array B size=128 access=j
+unroll j factors=2,4,8
+partition A factors=2,4,8 schemes=cyclic,block
+partition B factors=2,4,8 schemes=cyclic,block
+pipeline j ii=1,2
+inline
+";
+
+    #[test]
+    fn parses_and_builds() {
+        let builder = parse(GOOD).unwrap();
+        let space = builder.build_pruned().unwrap();
+        assert!(!space.is_empty());
+        assert_eq!(space.kernel().name(), "toy");
+        assert_eq!(space.kernel().loops().len(), 2);
+        assert_eq!(space.kernel().arrays().len(), 2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ok() {
+        let text = "kernel k\n\n# comment\nloop l trip=4 # trailing\n";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn missing_kernel_is_error() {
+        let err = parse("loop l trip=4\n").unwrap_err();
+        assert!(matches!(err, ModelError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn unknown_parent_is_error() {
+        let err = parse("kernel k\nloop l trip=4 parent=zzz\n").unwrap_err();
+        assert!(matches!(err, ModelError::UnknownEntity { .. }));
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let err = parse("kernel k\nloop l trip=four\n").unwrap_err();
+        match err {
+            ModelError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected: {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_declaration_is_error() {
+        assert!(parse("kernel k\nfrobnicate x\n").is_err());
+    }
+
+    #[test]
+    fn unknown_scheme_is_error() {
+        let text = "kernel k\nloop l trip=4\narray A size=4 access=l\npartition A factors=2 schemes=diagonal\n";
+        assert!(parse(text).is_err());
+    }
+
+    #[test]
+    fn sites_may_precede_entities() {
+        // Site lines are deferred, so order does not matter.
+        let text = "kernel k\nunroll l factors=1,2\nloop l trip=4\narray A size=4 access=l\npartition A factors=1,2\n";
+        let builder = parse(text).unwrap();
+        assert!(builder.build_pruned().is_ok());
+    }
+}

@@ -1,0 +1,232 @@
+//! Tree-based design-space pruning structures (Algorithm 1 / Fig. 3 of the
+//! paper).
+//!
+//! For every array we build a tree rooted at the array whose nodes are the
+//! loops that access it plus their enclosing loops; trees that share loop nodes
+//! are merged. Within a merged tree, loop unrolling and array partitioning must
+//! be *compatible*:
+//!
+//! * a partition factor smaller than the unroll factor starves the unrolled
+//!   copies of memory ports; a larger one wastes banks — so factors must match,
+//! * arrays accessed in the same loop must share a partitioning scheme,
+//! * loops that only appear as ancestors of accessing loops (Fig. 3's `L1`)
+//!   are not unrolled.
+//!
+//! [`merged_trees`] computes the merged trees; the enumeration of compatible
+//! configurations lives in [`crate::space`].
+
+use crate::ir::{ArrayId, KernelIr, LoopId};
+
+/// One merged array/loop tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedTree {
+    /// Arrays whose access trees were merged into this one.
+    pub arrays: Vec<ArrayId>,
+    /// Loops that directly access at least one of the arrays and are not an
+    /// ancestor of another accessing loop — these may be unrolled, with a
+    /// factor shared across the tree.
+    pub accessing_loops: Vec<LoopId>,
+    /// Loops that appear only as ancestors of accessing loops — their unroll
+    /// factor is pinned to 1 in the pruned space.
+    pub forced_loops: Vec<LoopId>,
+}
+
+impl MergedTree {
+    /// Every loop touched by this tree.
+    pub fn all_loops(&self) -> impl Iterator<Item = LoopId> + '_ {
+        self.accessing_loops
+            .iter()
+            .chain(self.forced_loops.iter())
+            .copied()
+    }
+}
+
+/// Builds per-array trees (array root, accessing loops + ancestors as nodes)
+/// and merges trees that share any loop node, as in Algorithm 1 lines 3–4.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_hls_model::ir::KernelIr;
+/// use cmmf_hls_model::tree::merged_trees;
+///
+/// # fn main() -> Result<(), cmmf_hls_model::ModelError> {
+/// // Fig. 3: three loops, two arrays; A touched in L2 and L3, B in L3.
+/// let mut k = KernelIr::new("fig3");
+/// let l1 = k.add_loop("L1", 10, None, 0.0, 0.0, 0.0)?;
+/// let l2 = k.add_loop("L2", 10, Some(l1), 1.0, 2.0, 0.0)?;
+/// let l3 = k.add_loop("L3", 10, Some(l1), 1.0, 2.0, 0.0)?;
+/// k.add_array("A", 100, vec![l2, l3])?;
+/// k.add_array("B", 100, vec![l3])?;
+/// let trees = merged_trees(&k);
+/// assert_eq!(trees.len(), 1); // A and B merge through L3 (and L1)
+/// assert_eq!(trees[0].accessing_loops, vec![l2, l3]);
+/// assert_eq!(trees[0].forced_loops, vec![l1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn merged_trees(kernel: &KernelIr) -> Vec<MergedTree> {
+    let n_arrays = kernel.arrays().len();
+
+    // Node set (loops incl. ancestors) per array.
+    let mut loops_of: Vec<Vec<LoopId>> = Vec::with_capacity(n_arrays);
+    for a in kernel.arrays() {
+        let mut ls: Vec<LoopId> = Vec::new();
+        for &l in &a.accessed_in {
+            if !ls.contains(&l) {
+                ls.push(l);
+            }
+            for anc in kernel.ancestors(l) {
+                if !ls.contains(&anc) {
+                    ls.push(anc);
+                }
+            }
+        }
+        loops_of.push(ls);
+    }
+
+    // Union-find over arrays keyed by shared loops.
+    let mut parent: Vec<usize> = (0..n_arrays).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for i in 0..n_arrays {
+        for j in (i + 1)..n_arrays {
+            if loops_of[i].iter().any(|l| loops_of[j].contains(l)) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[rj] = ri;
+                }
+            }
+        }
+    }
+
+    // Collect groups in stable (first-array) order.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for i in 0..n_arrays {
+        let r = find(&mut parent, i);
+        match groups.iter_mut().find(|(root, _)| *root == r) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((r, vec![i])),
+        }
+    }
+
+    groups
+        .into_iter()
+        .map(|(_, members)| {
+            // Direct accessors across the group.
+            let mut direct: Vec<LoopId> = Vec::new();
+            let mut all: Vec<LoopId> = Vec::new();
+            for &m in &members {
+                for &l in &kernel.arrays()[m].accessed_in {
+                    if !direct.contains(&l) {
+                        direct.push(l);
+                    }
+                }
+                for &l in &loops_of[m] {
+                    if !all.contains(&l) {
+                        all.push(l);
+                    }
+                }
+            }
+            // A direct accessor that is an ancestor of another accessor is
+            // forced to stay rolled, like every pure-ancestor node.
+            let mut accessing: Vec<LoopId> = Vec::new();
+            let mut forced: Vec<LoopId> = Vec::new();
+            for &l in &all {
+                let is_direct = direct.contains(&l);
+                let is_ancestor_of_accessor = direct
+                    .iter()
+                    .any(|&d| d != l && kernel.ancestors(d).contains(&l));
+                if is_direct && !is_ancestor_of_accessor {
+                    accessing.push(l);
+                } else {
+                    forced.push(l);
+                }
+            }
+            accessing.sort();
+            forced.sort();
+            let mut arrays: Vec<ArrayId> = members.iter().map(|&m| ArrayId::new(m)).collect();
+            arrays.sort();
+            MergedTree {
+                arrays,
+                accessing_loops: accessing,
+                forced_loops: forced,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelIr;
+
+    fn fig3_kernel() -> KernelIr {
+        let mut k = KernelIr::new("fig3");
+        let l1 = k.add_loop("L1", 10, None, 0.0, 0.0, 0.0).unwrap();
+        let l2 = k.add_loop("L2", 10, Some(l1), 1.0, 2.0, 0.0).unwrap();
+        let l3 = k.add_loop("L3", 10, Some(l1), 1.0, 2.0, 0.0).unwrap();
+        k.add_array("A", 100, vec![l2, l3]).unwrap();
+        k.add_array("B", 100, vec![l3]).unwrap();
+        k
+    }
+
+    #[test]
+    fn fig3_trees_merge_via_shared_loops() {
+        let k = fig3_kernel();
+        let trees = merged_trees(&k);
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert_eq!(t.arrays.len(), 2);
+        assert_eq!(t.accessing_loops.len(), 2); // L2, L3
+        assert_eq!(t.forced_loops.len(), 1); // L1
+    }
+
+    #[test]
+    fn disjoint_arrays_stay_separate() {
+        let mut k = KernelIr::new("two");
+        let l1 = k.add_loop("L1", 8, None, 1.0, 1.0, 0.0).unwrap();
+        let l2 = k.add_loop("L2", 8, None, 1.0, 1.0, 0.0).unwrap();
+        k.add_array("A", 64, vec![l1]).unwrap();
+        k.add_array("B", 64, vec![l2]).unwrap();
+        let trees = merged_trees(&k);
+        assert_eq!(trees.len(), 2);
+        for t in &trees {
+            assert_eq!(t.arrays.len(), 1);
+            assert_eq!(t.accessing_loops.len(), 1);
+            assert!(t.forced_loops.is_empty());
+        }
+    }
+
+    #[test]
+    fn accessor_that_is_also_ancestor_is_forced() {
+        let mut k = KernelIr::new("nested-access");
+        let l1 = k.add_loop("L1", 4, None, 1.0, 1.0, 0.0).unwrap();
+        let l2 = k.add_loop("L2", 4, Some(l1), 1.0, 1.0, 0.0).unwrap();
+        // A accessed in both the outer and the inner loop.
+        k.add_array("A", 16, vec![l1, l2]).unwrap();
+        let trees = merged_trees(&k);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].accessing_loops, vec![l2]);
+        assert_eq!(trees[0].forced_loops, vec![l1]);
+    }
+
+    #[test]
+    fn kernel_without_arrays_has_no_trees() {
+        let mut k = KernelIr::new("pure");
+        k.add_loop("L1", 4, None, 1.0, 0.0, 0.0).unwrap();
+        assert!(merged_trees(&k).is_empty());
+    }
+
+    #[test]
+    fn all_loops_iterates_both_kinds() {
+        let k = fig3_kernel();
+        let trees = merged_trees(&k);
+        assert_eq!(trees[0].all_loops().count(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of design-space construction, pruning, and encoding
+//! over *randomly generated kernels* — the pruner's compatibility guarantees
+//! must hold for any kernel shape, not just the shipped benchmarks.
+
+use cmmf_hls_model::benchmarks::{self, Benchmark};
+use cmmf_hls_model::ir::KernelIr;
+use cmmf_hls_model::tree::merged_trees;
+use cmmf_hls_model::{DesignSpaceBuilder, LoopId, PartitionKind};
+use proptest::prelude::*;
+
+/// A random kernel: 2-4 top-level nests of depth 1-2, each with an array, and
+/// a random subset of factor options.
+#[derive(Debug, Clone)]
+struct RandomKernel {
+    nests: Vec<(u32, u32, bool)>, // (outer trip, inner trip, has_inner)
+    factors: Vec<u32>,
+}
+
+fn random_kernel() -> impl Strategy<Value = RandomKernel> {
+    (
+        proptest::collection::vec((2u32..64, 2u32..32, any::<bool>()), 2..=4),
+        proptest::sample::subsequence(vec![2u32, 4, 8, 16], 1..=3),
+    )
+        .prop_map(|(nests, factors)| RandomKernel { nests, factors })
+}
+
+fn build(rk: &RandomKernel) -> DesignSpaceBuilder {
+    let mut k = KernelIr::new("random");
+    let mut arrays = Vec::new();
+    let mut unroll_loops = Vec::new();
+    for (i, &(t_out, t_in, has_inner)) in rk.nests.iter().enumerate() {
+        let outer = k
+            .add_loop(format!("o{i}"), t_out, None, 1.0, 1.0, 0.1)
+            .expect("unique names");
+        let accessing = if has_inner {
+            k.add_loop(format!("i{i}"), t_in, Some(outer), 2.0, 2.0, 0.2)
+                .expect("unique names")
+        } else {
+            outer
+        };
+        let a = k
+            .add_array(format!("a{i}"), t_out * t_in, vec![accessing])
+            .expect("valid array");
+        arrays.push(a);
+        unroll_loops.push(accessing);
+    }
+    let mut b = DesignSpaceBuilder::new(k);
+    for (l, a) in unroll_loops.iter().zip(&arrays) {
+        b.unroll(*l, &rk.factors)
+            .partition(*a, &rk.factors, &[PartitionKind::Cyclic, PartitionKind::Block])
+            .pipeline(*l, &[0, 1]);
+    }
+    b.inline();
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pruned_space_is_nonempty_and_smaller(rk in random_kernel()) {
+        let builder = build(&rk);
+        let pruned = builder.build_pruned().expect("pruned space builds");
+        prop_assert!(!pruned.is_empty());
+        prop_assert!((pruned.len() as f64) <= builder.full_size());
+    }
+
+    #[test]
+    fn pruned_configs_satisfy_compatibility(rk in random_kernel()) {
+        let builder = build(&rk);
+        let pruned = builder.build_pruned().expect("pruned space builds");
+        let kernel = pruned.kernel();
+        let trees = merged_trees(kernel);
+        let step = (pruned.len() / 50).max(1);
+        for i in (0..pruned.len()).step_by(step) {
+            let r = pruned.resolve(i);
+            for t in &trees {
+                // Forced loops stay rolled.
+                for l in &t.forced_loops {
+                    prop_assert_eq!(r.unroll[l.index()], 1);
+                }
+                // Accessing loops share one factor, matched by every array.
+                let factors: Vec<u32> = t
+                    .accessing_loops
+                    .iter()
+                    .map(|l| r.unroll[l.index()])
+                    .collect();
+                for w in factors.windows(2) {
+                    prop_assert_eq!(w[0], w[1]);
+                }
+                if let Some(&f) = factors.first() {
+                    for a in &t.arrays {
+                        prop_assert_eq!(r.partition_factor[a.index()], f);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encodings_are_unit_box_and_injective_per_config(rk in random_kernel()) {
+        let builder = build(&rk);
+        let pruned = builder.build_pruned().expect("pruned space builds");
+        let step = (pruned.len() / 30).max(1);
+        let mut seen: Vec<Vec<u64>> = Vec::new();
+        for i in (0..pruned.len()).step_by(step) {
+            let x = pruned.encode(i);
+            prop_assert_eq!(x.len(), pruned.dim());
+            prop_assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+            let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+            prop_assert!(!seen.contains(&bits), "duplicate encoding");
+            seen.push(bits);
+        }
+    }
+
+    #[test]
+    fn resolve_is_consistent_with_directives(rk in random_kernel()) {
+        let builder = build(&rk);
+        let pruned = builder.build_pruned().expect("pruned space builds");
+        let r = pruned.resolve(pruned.len() - 1);
+        // Every emitted directive reflects a non-default resolved value.
+        for d in r.directives() {
+            match d {
+                cmmf_hls_model::Directive::Unroll { loop_id, factor } => {
+                    prop_assert_eq!(r.unroll[loop_id.index()], factor);
+                    prop_assert!(factor > 1);
+                }
+                cmmf_hls_model::Directive::Pipeline { loop_id, ii } => {
+                    prop_assert_eq!(r.pipeline_ii[loop_id.index()], ii);
+                    prop_assert!(ii > 0);
+                }
+                cmmf_hls_model::Directive::ArrayPartition { array_id, factor, .. } => {
+                    prop_assert_eq!(r.partition_factor[array_id.index()], factor);
+                    prop_assert!(factor > 1);
+                }
+                cmmf_hls_model::Directive::Inline { on } => prop_assert!(on),
+            }
+        }
+    }
+}
+
+#[test]
+fn merged_trees_cover_every_array_exactly_once() {
+    for b in Benchmark::all() {
+        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let trees = merged_trees(space.kernel());
+        let mut seen = vec![0usize; space.kernel().arrays().len()];
+        for t in &trees {
+            for a in &t.arrays {
+                seen[a.index()] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{}: {seen:?}", b.name());
+    }
+}
+
+#[test]
+fn loop_ids_in_trees_exist() {
+    for b in Benchmark::all() {
+        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let n = space.kernel().loops().len();
+        for t in merged_trees(space.kernel()) {
+            for l in t.all_loops() {
+                assert!(l.index() < n);
+            }
+        }
+    }
+    let _ = LoopId::new(0); // silence unused-import lints on some toolchains
+}

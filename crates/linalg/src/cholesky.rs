@@ -1,0 +1,278 @@
+use crate::{LinalgError, Matrix};
+
+/// Jittered Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
+/// matrix, with triangular solves and log-determinant.
+///
+/// Gaussian-process covariance matrices are positive definite in theory but often
+/// only positive *semi*-definite numerically; [`Cholesky::new`] therefore retries
+/// with an escalating diagonal jitter (`1e-10 .. 1e-4` times the mean diagonal)
+/// before giving up, which is the standard treatment in GP libraries.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_linalg::{Matrix, Cholesky};
+///
+/// # fn main() -> Result<(), cmmf_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]])?;
+/// let chol = Cholesky::new(&a)?;
+/// assert!((chol.log_det() - (3.0f64).ln()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    /// Lower-triangular factor, stored densely (upper triangle is zero).
+    l: Matrix,
+    /// The jitter that was actually added to the diagonal (0 if none was needed).
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorizes `a`, adding escalating diagonal jitter if needed.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::Empty`] if `a` is 0x0.
+    /// * [`LinalgError::NotPositiveDefinite`] if factorization fails even at the
+    ///   maximum jitter.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty { op: "Cholesky::new" });
+        }
+        let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64;
+        let base = if mean_diag > 0.0 { mean_diag } else { 1.0 };
+        let mut jitter = 0.0;
+        let mut scale = 1e-10;
+        loop {
+            match Self::factorize(a, jitter) {
+                Some(l) => return Ok(Cholesky { l, jitter }),
+                None => {
+                    if scale > 1e-4 {
+                        return Err(LinalgError::NotPositiveDefinite {
+                            max_jitter: jitter,
+                        });
+                    }
+                    jitter = base * scale;
+                    scale *= 100.0;
+                }
+            }
+        }
+    }
+
+    fn factorize(a: &Matrix, jitter: f64) -> Option<Matrix> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                if i == j {
+                    s += jitter;
+                }
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return None;
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// The diagonal jitter that was added to achieve positive definiteness.
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Solves `L y = b` (forward substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_lower(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_lower",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = y[i];
+            for k in 0..i {
+                s -= row[k] * y[k];
+            }
+            y[i] = s / row[i];
+        }
+        Ok(y)
+    }
+
+    /// Solves `Lᵀ x = y` (back substitution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `y.len() != self.dim()`.
+    pub fn solve_upper(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.dim();
+        if y.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_upper",
+                lhs: (n, n),
+                rhs: (y.len(), 1),
+            });
+        }
+        let mut x = y.to_vec();
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` via the two triangular solves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        self.solve_upper(&self.solve_lower(b)?)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_mat(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_mat",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Explicit inverse `A⁻¹`. Prefer the solve methods; this is provided for the
+    /// multi-task predictive-covariance path where the inverse is reused heavily.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`Cholesky::solve_mat`]; cannot fail for a valid
+    /// factorization.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        self.solve_mat(&Matrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]).unwrap()
+    }
+
+    #[test]
+    fn reconstructs_original() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let r = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(a.max_abs_diff(&r).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let b = [1.0, -2.0, 3.0];
+        let x = c.solve_vec(&b).unwrap();
+        let back = a.mul_vec(&x).unwrap();
+        for (bi, bb) in b.iter().zip(back.iter()) {
+            assert!((bi - bb).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 0.3], &[0.3, 1.5]]).unwrap();
+        let det: f64 = 2.0 * 1.5 - 0.09;
+        let c = Cholesky::new(&a).unwrap();
+        assert!((c.log_det() - det.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = spd3();
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let eye = a.matmul(&inv).unwrap();
+        assert!(eye.max_abs_diff(&Matrix::identity(3)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn semidefinite_gets_jitter() {
+        // Rank-1 matrix: positive semi-definite, needs jitter.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        assert!(c.jitter() > 0.0);
+    }
+
+    #[test]
+    fn indefinite_fails() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -5.0]]).unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_fails() {
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra substrate.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_linalg::{Matrix, LinalgError};
+///
+/// let err = Matrix::from_rows(&[&[1.0], &[2.0, 3.0]]).unwrap_err();
+/// assert!(matches!(err, LinalgError::ShapeMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands (or an operand and an expectation) disagree on dimensions.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand, `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand, `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A matrix that must be square is not.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// Cholesky factorization failed even after escalating jitter: the matrix is
+    /// not (numerically) positive definite.
+    NotPositiveDefinite {
+        /// The largest jitter that was attempted on the diagonal.
+        max_jitter: f64,
+    },
+    /// An operation received an empty matrix or vector where data is required.
+    Empty {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotPositiveDefinite { max_jitter } => write!(
+                f,
+                "matrix is not positive definite (jitter up to {max_jitter:e} tried)"
+            ),
+            LinalgError::Empty { op } => write!(f, "empty input in {op}"),
+        }
+    }
+}
+
+impl Error for LinalgError {}

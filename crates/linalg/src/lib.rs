@@ -1,0 +1,36 @@
+//! Dense linear algebra and scalar statistics substrate for the `cmmf-hls` workspace.
+//!
+//! The offline crate set has no mature linear-algebra or statistics crates, so this
+//! crate implements everything the Gaussian-process stack needs from scratch:
+//!
+//! * [`Matrix`] — a dense, row-major, `f64` matrix with the usual algebraic
+//!   operations,
+//! * [`Cholesky`] — a jittered Cholesky factorization with triangular solves and
+//!   log-determinant (the workhorse of exact GP inference),
+//! * [`stats`] — scalar standard-normal PDF/CDF/quantile built on an `erf`
+//!   implementation, plus small summary-statistics helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmmf_linalg::{Matrix, Cholesky};
+//!
+//! # fn main() -> Result<(), cmmf_linalg::LinalgError> {
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+//! let chol = Cholesky::new(&a)?;
+//! let x = chol.solve_vec(&[1.0, 1.0])?;
+//! // A * x == b
+//! let b = a.mul_vec(&x)?;
+//! assert!((b[0] - 1.0).abs() < 1e-12 && (b[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+mod cholesky;
+mod error;
+mod matrix;
+pub mod stats;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;

@@ -1,0 +1,195 @@
+//! Grid-cell decomposition of the objective space (Fig. 6 of the paper).
+//!
+//! To evaluate the expected improvement of Pareto hypervolume (Eq. 8), the value
+//! space is cut into axis-aligned cells by the coordinates of the current Pareto
+//! points (plus an ideal lower corner and the reference point). Cells whose
+//! lower corner is dominated by the current front cannot contain improving
+//! outcomes; the remaining *non-dominated* cells are where probability mass
+//! converts into hypervolume gain.
+
+use crate::dominance::weakly_dominates;
+
+/// One axis-aligned cell `[lo, hi)` of the decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridCell {
+    /// Lower (better) corner.
+    pub lo: Vec<f64>,
+    /// Upper (worse) corner.
+    pub hi: Vec<f64>,
+}
+
+impl GridCell {
+    /// Volume of the cell.
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l).max(0.0))
+            .product()
+    }
+
+    /// Whether `y` lies inside the half-open box `[lo, hi)`.
+    pub fn contains(&self, y: &[f64]) -> bool {
+        y.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(v, (l, h))| *v >= *l && *v < *h)
+    }
+}
+
+/// The decomposition of the region between an ideal point and the reference
+/// point into grid cells, classified by dominance against a Pareto front.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_pareto::CellDecomposition;
+///
+/// let front = vec![vec![0.25, 0.75], vec![0.75, 0.25]];
+/// let d = CellDecomposition::new(&front, &[0.0, 0.0], &[1.0, 1.0]);
+/// // 3x3 grid; the all-dominated upper-right cells are excluded.
+/// assert!(d.non_dominated_cells().len() < 9);
+/// assert!(!d.non_dominated_cells().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellDecomposition {
+    cells: Vec<GridCell>,
+    n_total: usize,
+}
+
+impl CellDecomposition {
+    /// Builds the decomposition for `front` between `ideal` (component-wise
+    /// lower bound) and `reference` (component-wise upper bound, the `v_ref` of
+    /// Eq. 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree, if `ideal` is not component-wise strictly
+    /// below `reference`, or if the dimension is zero.
+    pub fn new(front: &[Vec<f64>], ideal: &[f64], reference: &[f64]) -> Self {
+        let m = ideal.len();
+        assert!(m > 0, "dimension must be positive");
+        assert_eq!(m, reference.len(), "ideal/reference dimension mismatch");
+        assert!(
+            ideal.iter().zip(reference).all(|(a, b)| a < b),
+            "ideal must be strictly below reference"
+        );
+        for p in front {
+            assert_eq!(p.len(), m, "front point dimension mismatch");
+        }
+
+        // Per-dimension sorted breakpoints: ideal, clamped front coordinates,
+        // reference.
+        let mut axes: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for d in 0..m {
+            let mut coords: Vec<f64> = vec![ideal[d]];
+            coords.extend(
+                front
+                    .iter()
+                    .map(|p| p[d].clamp(ideal[d], reference[d]))
+                    .filter(|v| *v > ideal[d] && *v < reference[d]),
+            );
+            coords.push(reference[d]);
+            coords.sort_by(|a, b| a.total_cmp(b));
+            coords.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+            axes.push(coords);
+        }
+
+        // Enumerate the cell grid (mixed-radix counter over interval indices).
+        let radix: Vec<usize> = axes.iter().map(|a| a.len() - 1).collect();
+        let n_total: usize = radix.iter().product();
+        let mut cells = Vec::new();
+        let mut idx = vec![0usize; m];
+        for _ in 0..n_total {
+            let lo: Vec<f64> = (0..m).map(|d| axes[d][idx[d]]).collect();
+            let hi: Vec<f64> = (0..m).map(|d| axes[d][idx[d] + 1]).collect();
+            // Keep the cell if its lower corner is NOT weakly dominated by any
+            // front point: only then can an outcome inside improve the front.
+            if !front.iter().any(|p| weakly_dominates(p, &lo)) {
+                cells.push(GridCell { lo, hi });
+            }
+            // Increment the counter.
+            for d in 0..m {
+                idx[d] += 1;
+                if idx[d] < radix[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        CellDecomposition { cells, n_total }
+    }
+
+    /// The non-dominated cells (candidates for hypervolume improvement).
+    pub fn non_dominated_cells(&self) -> &[GridCell] {
+        &self.cells
+    }
+
+    /// Total number of cells in the full grid, including dominated ones.
+    pub fn total_cell_count(&self) -> usize {
+        self.n_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_front_gives_single_cell() {
+        let d = CellDecomposition::new(&[], &[0.0, 0.0], &[1.0, 1.0]);
+        assert_eq!(d.non_dominated_cells().len(), 1);
+        assert_eq!(d.non_dominated_cells()[0].volume(), 1.0);
+    }
+
+    #[test]
+    fn one_point_excludes_dominated_quadrant() {
+        let d = CellDecomposition::new(&[vec![0.5, 0.5]], &[0.0, 0.0], &[1.0, 1.0]);
+        // 2x2 grid; upper-right cell (lo = (0.5,0.5)) is dominated.
+        assert_eq!(d.total_cell_count(), 4);
+        assert_eq!(d.non_dominated_cells().len(), 3);
+        let vol: f64 = d.non_dominated_cells().iter().map(GridCell::volume).sum();
+        assert!((vol - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_dominated_volume_complements_hypervolume() {
+        // Volume of non-dominated cells == box volume - hypervolume of front.
+        let front = vec![vec![0.2, 0.8], vec![0.5, 0.4], vec![0.9, 0.1]];
+        let d = CellDecomposition::new(&front, &[0.0, 0.0], &[1.0, 1.0]);
+        let free: f64 = d.non_dominated_cells().iter().map(GridCell::volume).sum();
+        let hv = crate::hypervolume(&front, &[1.0, 1.0]);
+        assert!((free + hv - 1.0).abs() < 1e-12, "free={free} hv={hv}");
+    }
+
+    #[test]
+    fn three_objectives_complement_property() {
+        let front = vec![vec![0.3, 0.6, 0.5], vec![0.7, 0.2, 0.4]];
+        let d = CellDecomposition::new(&front, &[0.0; 3], &[1.0; 3]);
+        let free: f64 = d.non_dominated_cells().iter().map(GridCell::volume).sum();
+        let hv = crate::hypervolume(&front, &[1.0; 3]);
+        assert!((free + hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_contains_is_half_open() {
+        let c = GridCell {
+            lo: vec![0.0, 0.0],
+            hi: vec![1.0, 1.0],
+        };
+        assert!(c.contains(&[0.0, 0.0]));
+        assert!(!c.contains(&[1.0, 0.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "ideal must be strictly below reference")]
+    fn bad_bounds_panic() {
+        let _ = CellDecomposition::new(&[], &[1.0, 0.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn points_outside_box_are_clamped_away() {
+        // A front point outside the box must not create degenerate axes.
+        let d = CellDecomposition::new(&[vec![2.0, -1.0]], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!(d.total_cell_count() >= 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Additional Pareto-front quality indicators beyond the paper's ADRS:
+//! inverted generational distance (IGD), the additive epsilon indicator, and
+//! NSGA-II's crowding distance. These are the standard companions of ADRS in
+//! design-space-exploration evaluations and are used by the extended harnesses
+//! and the NSGA-II baseline.
+
+use crate::dominance::pareto_front;
+
+/// Inverted generational distance: the mean Euclidean distance from each
+/// reference-front point to its nearest approximation point. Identical in
+/// spirit to ADRS-with-Euclidean-distance; kept as a separate named metric
+/// because DSE papers report both.
+///
+/// # Panics
+///
+/// Panics if either set is empty or dimensions disagree.
+pub fn igd(reference: &[Vec<f64>], approximation: &[Vec<f64>]) -> f64 {
+    assert!(!reference.is_empty(), "reference front is empty");
+    assert!(!approximation.is_empty(), "approximation front is empty");
+    let m = reference[0].len();
+    for p in reference.iter().chain(approximation) {
+        assert_eq!(p.len(), m, "objective dimension mismatch");
+    }
+    reference
+        .iter()
+        .map(|r| {
+            approximation
+                .iter()
+                .map(|a| {
+                    r.iter()
+                        .zip(a)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum::<f64>()
+        / reference.len() as f64
+}
+
+/// Additive epsilon indicator `I_ε+(A, R)`: the smallest ε such that every
+/// reference point is weakly dominated by some approximation point shifted by
+/// ε in every objective. 0 means the approximation covers the reference.
+///
+/// # Panics
+///
+/// Panics if either set is empty or dimensions disagree.
+pub fn epsilon_indicator(reference: &[Vec<f64>], approximation: &[Vec<f64>]) -> f64 {
+    assert!(!reference.is_empty(), "reference front is empty");
+    assert!(!approximation.is_empty(), "approximation front is empty");
+    let m = reference[0].len();
+    for p in reference.iter().chain(approximation) {
+        assert_eq!(p.len(), m, "objective dimension mismatch");
+    }
+    reference
+        .iter()
+        .map(|r| {
+            approximation
+                .iter()
+                .map(|a| {
+                    a.iter()
+                        .zip(r)
+                        .map(|(av, rv)| av - rv)
+                        .fold(f64::NEG_INFINITY, f64::max)
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(0.0)
+}
+
+/// NSGA-II crowding distance of every point in `points` (not just the front):
+/// the sum over objectives of the normalized gap between each point's
+/// neighbours when sorted by that objective. Boundary points get `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or ragged.
+pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!points.is_empty(), "no points");
+    let n = points.len();
+    let m = points[0].len();
+    for p in points {
+        assert_eq!(p.len(), m, "objective dimension mismatch");
+    }
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    let mut dist = vec![0.0f64; n];
+    for d in 0..m {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| points[a][d].total_cmp(&points[b][d]));
+        let lo = points[order[0]][d];
+        let hi = points[order[n - 1]][d];
+        let span = (hi - lo).max(1e-12);
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        for w in 1..n - 1 {
+            let gap = (points[order[w + 1]][d] - points[order[w - 1]][d]) / span;
+            if dist[order[w]].is_finite() {
+                dist[order[w]] += gap;
+            }
+        }
+    }
+    dist
+}
+
+/// Fast non-dominated sorting (NSGA-II): partitions `points` into fronts;
+/// front 0 is the Pareto front, front 1 the front after removing front 0, etc.
+/// Returns the front index of every point.
+pub fn non_dominated_ranks(points: &[Vec<f64>]) -> Vec<usize> {
+    let n = points.len();
+    let mut rank = vec![usize::MAX; n];
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut level = 0;
+    while !remaining.is_empty() {
+        let pts: Vec<Vec<f64>> = remaining.iter().map(|&i| points[i].clone()).collect();
+        let front = pareto_front(&pts);
+        let mut next = Vec::new();
+        for (k, &i) in remaining.iter().enumerate() {
+            if front.contains(&pts[k]) {
+                rank[i] = level;
+            } else {
+                next.push(i);
+            }
+        }
+        // Guard against pathological duplicates keeping everything in `front`.
+        if next.len() == remaining.len() {
+            for &i in &next {
+                rank[i] = level;
+            }
+            break;
+        }
+        remaining = next;
+        level += 1;
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn igd_zero_for_identical_sets() {
+        let s = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert_eq!(igd(&s, &s), 0.0);
+    }
+
+    #[test]
+    fn igd_known_value() {
+        let r = vec![vec![0.0, 0.0]];
+        let a = vec![vec![1.0, 0.0]];
+        assert!((igd(&r, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_zero_when_covered() {
+        let r = vec![vec![0.5, 0.5]];
+        let a = vec![vec![0.5, 0.5], vec![0.2, 0.9]];
+        assert_eq!(epsilon_indicator(&r, &a), 0.0);
+    }
+
+    #[test]
+    fn epsilon_measures_worst_shift() {
+        let r = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let a = vec![vec![0.3, 0.2]];
+        // For r1: needs eps 0.3; for r2: a already dominates (negative) -> 0.
+        assert!((epsilon_indicator(&r, &a) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let pts = vec![
+            vec![0.0, 1.0],
+            vec![0.25, 0.75],
+            vec![0.5, 0.5],
+            vec![1.0, 0.0],
+        ];
+        let d = crowding_distance(&pts);
+        assert!(d[0].is_infinite() && d[3].is_infinite());
+        assert!(d[1].is_finite() && d[2].is_finite());
+        assert!(d[1] > 0.0);
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Middle point crowded between near neighbours vs an isolated one.
+        let pts = vec![
+            vec![0.0, 1.0],
+            vec![0.10, 0.90],
+            vec![0.12, 0.88],
+            vec![0.14, 0.86],
+            vec![0.6, 0.4], // isolated
+            vec![1.0, 0.0],
+        ];
+        let d = crowding_distance(&pts);
+        assert!(d[4] > d[2], "isolated {} !> crowded {}", d[4], d[2]);
+    }
+
+    #[test]
+    fn ranks_layer_correctly() {
+        let pts = vec![
+            vec![0.0, 0.0], // rank 0 (dominates everything)
+            vec![1.0, 1.0], // rank 1
+            vec![2.0, 2.0], // rank 2
+            vec![0.5, 0.2], // rank 1 (dominated only by the first)
+        ];
+        let r = non_dominated_ranks(&pts);
+        assert_eq!(r, vec![0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn ranks_of_antichain_are_all_zero() {
+        let pts = vec![vec![0.0, 2.0], vec![1.0, 1.0], vec![2.0, 0.0]];
+        assert_eq!(non_dominated_ranks(&pts), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn small_sets_are_all_boundary() {
+        assert!(crowding_distance(&[vec![1.0, 2.0]])[0].is_infinite());
+        let d = crowding_distance(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(d.iter().all(|v| v.is_infinite()));
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of dominance, hypervolume, cells, and ADRS.
+
+use cmmf_pareto::metrics::{crowding_distance, epsilon_indicator, igd, non_dominated_ranks};
+use cmmf_pareto::{
+    adrs, dominates, hypervolume, hypervolume_contribution, pareto_front, pareto_front_indices,
+    CellDecomposition, DistanceMetric,
+};
+use proptest::prelude::*;
+
+fn points(n: usize, m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, m), 1..=n)
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_antisymmetric(a in proptest::collection::vec(0.0f64..1.0, 3),
+                                  b in proptest::collection::vec(0.0f64..1.0, 3)) {
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    #[test]
+    fn front_is_idempotent(pts in points(20, 2)) {
+        let f1 = pareto_front(&pts);
+        let f2 = pareto_front(&f1);
+        prop_assert_eq!(f1, f2);
+    }
+
+    #[test]
+    fn front_members_are_mutually_nondominated(pts in points(20, 3)) {
+        let f = pareto_front(&pts);
+        for (i, a) in f.iter().enumerate() {
+            for (j, b) in f.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!dominates(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_under_insertion(pts in points(12, 3),
+                                               extra in proptest::collection::vec(0.0f64..1.0, 3)) {
+        let r = vec![1.5, 1.5, 1.5];
+        let before = hypervolume(&pts, &r);
+        let mut with = pts.clone();
+        with.push(extra);
+        let after = hypervolume(&with, &r);
+        prop_assert!(after + 1e-9 >= before);
+    }
+
+    #[test]
+    fn hypervolume_is_bounded_by_reference_box(pts in points(15, 2)) {
+        let r = vec![1.0, 1.0];
+        let hv = hypervolume(&pts, &r);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&hv));
+    }
+
+    #[test]
+    fn contribution_matches_delta(pts in points(10, 2),
+                                  y in proptest::collection::vec(0.0f64..1.0, 2)) {
+        let r = vec![1.2, 1.2];
+        let c = hypervolume_contribution(&y, &pts, &r);
+        let mut with = pts.clone();
+        with.push(y);
+        let delta = hypervolume(&with, &r) - hypervolume(&pts, &r);
+        prop_assert!((c - delta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nondominated_cells_complement_hypervolume(pts in points(8, 2)) {
+        let front = pareto_front(&pts);
+        let d = CellDecomposition::new(&front, &[0.0, 0.0], &[1.0, 1.0]);
+        let free: f64 = d.non_dominated_cells().iter().map(|c| c.volume()).sum();
+        // The dominated region inside the unit box equals the hypervolume of
+        // front points clipped to the box.
+        let clipped: Vec<Vec<f64>> = front
+            .iter()
+            .map(|p| p.iter().map(|v| v.clamp(0.0, 1.0)).collect())
+            .collect();
+        let hv = hypervolume(&clipped, &[1.0, 1.0]);
+        prop_assert!((free + hv - 1.0).abs() < 1e-9, "free={free} hv={hv}");
+    }
+
+    #[test]
+    fn adrs_is_zero_iff_learned_covers_truth(pts in points(10, 3)) {
+        let truth = pareto_front(&pts);
+        prop_assert!(adrs(&truth, &truth, DistanceMetric::Euclidean) < 1e-12);
+        prop_assert!(adrs(&truth, &truth, DistanceMetric::MaxRelative) < 1e-12);
+    }
+
+    #[test]
+    fn adrs_shrinks_with_more_coverage(pts in points(12, 2)) {
+        let truth = pareto_front(&pts);
+        prop_assume!(truth.len() >= 2);
+        let partial = vec![truth[0].clone()];
+        let fuller = truth[..truth.len() - 1].to_vec();
+        let a_partial = adrs(&truth, &partial, DistanceMetric::Euclidean);
+        let a_fuller = adrs(&truth, &fuller, DistanceMetric::Euclidean);
+        prop_assert!(a_fuller <= a_partial + 1e-12);
+    }
+
+    #[test]
+    fn front_indices_point_at_nondominated(pts in points(16, 3)) {
+        for &i in &pareto_front_indices(&pts) {
+            prop_assert!(!pts.iter().any(|other| dominates(other, &pts[i])));
+        }
+    }
+
+    #[test]
+    fn igd_equals_euclidean_adrs(pts in points(10, 3), learned in points(6, 3)) {
+        let truth = pareto_front(&pts);
+        let a = adrs(&truth, &learned, DistanceMetric::Euclidean);
+        let g = igd(&truth, &learned);
+        prop_assert!((a - g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_indicator_is_nonnegative_and_zero_on_self(pts in points(8, 2)) {
+        let f = pareto_front(&pts);
+        prop_assert!(epsilon_indicator(&f, &f).abs() < 1e-12);
+        let shifted: Vec<Vec<f64>> = f.iter().map(|p| p.iter().map(|v| v + 0.1).collect()).collect();
+        let e = epsilon_indicator(&f, &shifted);
+        prop_assert!((e - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranks_are_consistent_with_dominance(pts in points(12, 2)) {
+        let ranks = non_dominated_ranks(&pts);
+        for (i, a) in pts.iter().enumerate() {
+            for (j, b) in pts.iter().enumerate() {
+                if dominates(a, b) {
+                    prop_assert!(ranks[i] <= ranks[j], "dominator ranked worse");
+                }
+            }
+        }
+        // Rank 0 is exactly the Pareto front.
+        for (i, r) in ranks.iter().enumerate() {
+            let on_front = !pts.iter().any(|o| dominates(o, &pts[i]));
+            prop_assert_eq!(*r == 0, on_front);
+        }
+    }
+
+    #[test]
+    fn crowding_is_finite_or_infinite_never_nan(pts in points(10, 3)) {
+        for d in crowding_distance(&pts) {
+            prop_assert!(!d.is_nan());
+            prop_assert!(d >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's motivating scenario (Sec. I): tune an FPGA design's
+//! power/performance/area *without touching the source* — only through HLS
+//! directives. This example maps the iSmart2 DNN accelerator's trade-off
+//! space, shows how individual directives move the design, and prints the
+//! directive recipes of three interesting corner designs.
+//!
+//! ```text
+//! cargo run --release --example explore_tradeoffs
+//! ```
+
+use cmmf_hls::fidelity_sim::{FlowSimulator, SimParams};
+use cmmf_hls::hls_model::benchmarks::{self, Benchmark};
+use cmmf_hls::pareto::pareto_front_indices;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let b = Benchmark::Ismart2;
+    let space = benchmarks::build(b).pruned_space()?;
+    let sim = FlowSimulator::new(SimParams::for_benchmark(b));
+
+    // Ground-truth PPA for the whole pruned space (the luxury of a simulator).
+    let truth = sim.truth_objectives(&space);
+    let valid: Vec<(usize, [f64; 3])> = truth
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| (i, t)))
+        .collect();
+    println!(
+        "{}: {} configurations, {} implementable ({}% fail placement/routing)",
+        b.name(),
+        space.len(),
+        valid.len(),
+        100 * (space.len() - valid.len()) / space.len()
+    );
+
+    let objs: Vec<Vec<f64>> = valid.iter().map(|(_, t)| t.to_vec()).collect();
+    let front_idx = pareto_front_indices(&objs);
+    println!("true Pareto front: {} designs\n", front_idx.len());
+
+    // Three corners: fastest, most frugal (power), smallest.
+    let best_by = |obj: usize| {
+        front_idx
+            .iter()
+            .min_by(|&&a, &&b| objs[a][obj].total_cmp(&objs[b][obj]))
+            .copied()
+            .expect("front is non-empty")
+    };
+    for (label, obj) in [("fastest", 1), ("lowest power", 0), ("smallest", 2)] {
+        let k = best_by(obj);
+        let (config, t) = valid[k];
+        println!(
+            "{label} design: power {:.3} W, delay {:.1} us, LUT {:.1}%",
+            t[0],
+            t[1] / 1000.0,
+            t[2] * 100.0
+        );
+        for d in space.resolve(config).directives() {
+            println!("    #pragma {d}");
+        }
+        println!();
+    }
+
+    // How much is on the table? Compare the extremes of the front.
+    let fastest = valid[best_by(1)].1;
+    let smallest = valid[best_by(2)].1;
+    println!(
+        "directive tuning alone spans a {:.1}x delay range against a {:.1}x LUT range",
+        smallest[1] / fastest[1],
+        fastest[2] / smallest[2]
+    );
+    Ok(())
+}

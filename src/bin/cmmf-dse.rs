@@ -1,0 +1,153 @@
+//! `cmmf-dse` — run correlated multi-objective multi-fidelity directive DSE on
+//! a kernel described in the text spec format.
+//!
+//! ```text
+//! cmmf-dse <spec-file> [--iters N] [--seed S] [--variant ours|fpl18]
+//!          [--divergence D] [--batch Q] [--csv]
+//! ```
+//!
+//! The flow is evaluated by the built-in three-stage simulator (see the
+//! `cmmf-fidelity-sim` crate docs); `--divergence` controls how non-linearly
+//! the HLS reports relate to post-implementation reality (0 = trust HLS,
+//! 1 = HLS is badly misleading).
+
+use cmmf_hls::cmmf::{CmmfConfig, ModelVariant, Optimizer};
+use cmmf_hls::fidelity_sim::{FlowSimulator, SimParams};
+use cmmf_hls::hls_model::spec;
+use std::process::ExitCode;
+
+struct Args {
+    spec_path: String,
+    iters: usize,
+    seed: u64,
+    variant: ModelVariant,
+    divergence: f64,
+    batch: usize,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut parsed = Args {
+        spec_path: String::new(),
+        iters: 40,
+        seed: 2021,
+        variant: ModelVariant::paper(),
+        divergence: 0.3,
+        batch: 1,
+        csv: false,
+    };
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => parsed.iters = next_value(&mut args, "--iters")?.parse().map_err(|e| format!("--iters: {e}"))?,
+            "--seed" => parsed.seed = next_value(&mut args, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--divergence" => {
+                parsed.divergence = next_value(&mut args, "--divergence")?
+                    .parse()
+                    .map_err(|e| format!("--divergence: {e}"))?
+            }
+            "--batch" => parsed.batch = next_value(&mut args, "--batch")?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--variant" => {
+                parsed.variant = match next_value(&mut args, "--variant")?.as_str() {
+                    "ours" => ModelVariant::paper(),
+                    "fpl18" => ModelVariant::fpl18(),
+                    other => return Err(format!("unknown variant `{other}` (ours|fpl18)")),
+                }
+            }
+            "--csv" => parsed.csv = true,
+            "--help" | "-h" => {
+                return Err("usage: cmmf-dse <spec-file> [--iters N] [--seed S] \
+                            [--variant ours|fpl18] [--divergence D] [--batch Q] [--csv]"
+                    .into())
+            }
+            other if parsed.spec_path.is_empty() && !other.starts_with('-') => {
+                parsed.spec_path = other.to_string();
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if parsed.spec_path.is_empty() {
+        return Err("missing <spec-file> (see --help)".into());
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", args.spec_path))?;
+    let builder = spec::parse(&text).map_err(|e| e.to_string())?;
+    let space = builder.build_pruned().map_err(|e| e.to_string())?;
+    eprintln!(
+        "design space: {:.3e} raw configurations pruned to {}",
+        builder.full_size(),
+        space.len()
+    );
+
+    let sim = FlowSimulator::new(SimParams {
+        divergence: args.divergence.clamp(0.0, 1.0),
+        ..SimParams::default()
+    });
+    let cfg = CmmfConfig {
+        n_iter: args.iters,
+        seed: args.seed,
+        variant: args.variant,
+        batch_size: args.batch.max(1),
+        ..Default::default()
+    };
+    let result = Optimizer::new(cfg)
+        .run(&space, &sim)
+        .map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "evaluated {} configurations in {:.1} simulated tool-hours",
+        result.evaluated_configs.len(),
+        result.sim_seconds / 3600.0
+    );
+
+    if args.csv {
+        println!("power_w,delay_ns,lut_util");
+        for p in &result.measured_pareto {
+            println!("{:.4},{:.1},{:.4}", p[0], p[1], p[2]);
+        }
+    } else {
+        println!("learned Pareto front ({} points):", result.measured_pareto.len());
+        println!("{:>10} {:>14} {:>8}", "power (W)", "delay (ns)", "LUT %");
+        for p in &result.measured_pareto {
+            println!("{:>10.3} {:>14.0} {:>8.1}", p[0], p[1], p[2] * 100.0);
+        }
+        println!();
+        println!("directive recipes of the sampled candidate set (best acquisition first):");
+        let mut by_acq = result.candidate_set.clone();
+        by_acq.sort_by(|a, b| b.acquisition.total_cmp(&a.acquisition));
+        for c in by_acq.iter().take(3) {
+            let directives: Vec<String> = space
+                .resolve(c.config)
+                .directives()
+                .iter()
+                .map(|d| d.to_string())
+                .collect();
+            println!("  [{}] {}", c.stage, directives.join(", "));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Integration test of the user-facing spec → prune → optimize pipeline the
+//! `cmmf-dse` CLI drives.
+
+use cmmf_hls::cmmf::{CmmfConfig, Optimizer};
+use cmmf_hls::fidelity_sim::{FlowSimulator, SimParams};
+use cmmf_hls::gp::GpConfig;
+use cmmf_hls::hls_model::spec;
+
+const FIR_SPEC: &str = "\
+kernel fir
+loop n trip=1024 ops=0 mem=0
+loop t trip=32 parent=n ops=2 mem=2 dep=0.6
+array coeff size=32 access=t
+array delay_line size=32 access=t
+loop wb trip=1024 ops=1 mem=1
+array out size=1024 access=wb
+unroll t factors=1,2,4,8,16,32
+unroll wb factors=1,2,4
+partition coeff factors=1,2,4,8,16,32 schemes=cyclic,block
+partition delay_line factors=1,2,4,8,16,32 schemes=cyclic,block
+partition out factors=1,2,4 schemes=cyclic
+pipeline t ii=0,1,2
+pipeline n ii=0,1
+inline
+";
+
+#[test]
+fn spec_to_pareto_front() {
+    let builder = spec::parse(FIR_SPEC).expect("spec parses");
+    let space = builder.build_pruned().expect("space builds");
+    assert!(space.len() > 50, "FIR space too small: {}", space.len());
+    assert!(space.full_size() > 10.0 * space.len() as f64);
+
+    // The pruner must have coupled coeff/delay_line partitioning to t's unroll.
+    let kernel = space.kernel();
+    let t = kernel.loop_by_name("t").expect("t exists");
+    let coeff = kernel.array_by_name("coeff").expect("coeff exists");
+    for i in (0..space.len()).step_by(17) {
+        let r = space.resolve(i);
+        assert_eq!(r.partition_factor[coeff.index()], r.unroll[t.index()]);
+    }
+
+    let sim = FlowSimulator::new(SimParams::default());
+    let cfg = CmmfConfig {
+        n_iter: 6,
+        candidate_pool: 40,
+        mc_samples: 8,
+        gp: GpConfig {
+            restarts: 0,
+            max_evals: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let result = Optimizer::new(cfg).run(&space, &sim).expect("DSE runs");
+    assert!(!result.measured_pareto.is_empty());
+    // Objectives are physically sane.
+    for p in &result.measured_pareto {
+        assert!(p[0] > 0.0 && p[0] < 50.0, "power {p:?}");
+        assert!(p[1] > 0.0, "delay {p:?}");
+        assert!(p[2] > 0.0 && p[2] < 1.3, "lut {p:?}");
+    }
+    // No duplicate points after dedup.
+    let mut pts = result.measured_pareto.clone();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let before = pts.len();
+    pts.dedup();
+    assert_eq!(before, pts.len(), "duplicate Pareto points survived dedup");
+}
+
+#[test]
+fn spec_rejects_incompatible_declarations_gracefully() {
+    // Unknown loop in a site.
+    let bad = "kernel k\nloop l trip=4\nunroll zz factors=1,2\n";
+    assert!(spec::parse(bad).is_err());
+    // Array accessing an undeclared loop.
+    let bad2 = "kernel k\nloop l trip=4\narray A size=4 access=m\n";
+    assert!(spec::parse(bad2).is_err());
+}
