@@ -151,7 +151,8 @@ impl Regressor for MlpRegressor {
                 .iter()
                 .map(|(w, _)| w.iter().map(|r| vec![0.0; r.len()]).collect())
                 .collect();
-            let mut g_b: Vec<Vec<f64>> = net.layers.iter().map(|(_, b)| vec![0.0; b.len()]).collect();
+            let mut g_b: Vec<Vec<f64>> =
+                net.layers.iter().map(|(_, b)| vec![0.0; b.len()]).collect();
 
             for (x, y) in xn.iter().zip(&yn) {
                 let (acts, out) = self.forward(x);
@@ -202,8 +203,8 @@ impl Regressor for MlpRegressor {
                     let g = g_b[li][o];
                     m_b[li][o] = B1 * m_b[li][o] + (1.0 - B1) * g;
                     v_b[li][o] = B2 * v_b[li][o] + (1.0 - B2) * g * g;
-                    *bi -= self.learning_rate * (m_b[li][o] / bc1)
-                        / ((v_b[li][o] / bc2).sqrt() + EPS);
+                    *bi -=
+                        self.learning_rate * (m_b[li][o] / bc1) / ((v_b[li][o] / bc2).sqrt() + EPS);
                 }
             }
         }
@@ -253,11 +254,11 @@ mod tests {
 
     #[test]
     fn multidimensional_input() {
-        let mut rng_x = 0.0;
+        let mut rng_x: f64 = 0.0;
         let xs: Vec<Vec<f64>> = (0..50)
             .map(|i| {
                 rng_x += 0.1;
-                vec![i as f64 / 49.0, (rng_x as f64).sin().abs()]
+                vec![i as f64 / 49.0, rng_x.sin().abs()]
             })
             .collect();
         let ys: Vec<f64> = xs.iter().map(|x| x[0] + 2.0 * x[1]).collect();
@@ -275,9 +276,7 @@ mod tests {
     fn rejects_bad_data() {
         let mut mlp = MlpRegressor::paper_default(0);
         assert!(mlp.fit(&[], &[]).is_err());
-        assert!(mlp
-            .fit(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0])
-            .is_err());
+        assert!(mlp.fit(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0]).is_err());
         assert!(mlp.fit(&[vec![f64::NAN]], &[0.0]).is_err());
     }
 

@@ -36,7 +36,10 @@ impl GradientBoostingRegressor {
     /// Panics if `n_trees == 0`, `max_depth == 0`, or the learning rate is not
     /// in `(0, 1]`.
     pub fn new(n_trees: usize, max_depth: usize, learning_rate: f64) -> Self {
-        assert!(n_trees > 0 && max_depth > 0, "trees and depth must be positive");
+        assert!(
+            n_trees > 0 && max_depth > 0,
+            "trees and depth must be positive"
+        );
         assert!(
             learning_rate > 0.0 && learning_rate <= 1.0,
             "learning rate must be in (0, 1]"
@@ -94,6 +97,9 @@ impl GradientBoostingRegressor {
             .iter()
             .map(|&i| (residuals[i] - mean) * (residuals[i] - mean))
             .sum();
+        // `f` selects a feature column out of row-major sample vectors; there
+        // is no per-feature slice to iterate.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..dim {
             let mut vals: Vec<(f64, f64)> =
                 indices.iter().map(|&i| (xs[i][f], residuals[i])).collect();
@@ -125,9 +131,8 @@ impl GradientBoostingRegressor {
         match best {
             None => Tree::Leaf(mean),
             Some((feature, threshold, _)) => {
-                let (li, ri): (Vec<usize>, Vec<usize>) = indices
-                    .iter()
-                    .partition(|&&i| xs[i][feature] <= threshold);
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| xs[i][feature] <= threshold);
                 Tree::Split {
                     feature,
                     threshold,
@@ -176,7 +181,10 @@ mod tests {
     #[test]
     fn fits_step_function_exactly() {
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] < 10.0 { 1.0 } else { 5.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] < 10.0 { 1.0 } else { 5.0 })
+            .collect();
         let mut bt = GradientBoostingRegressor::new(60, 2, 0.5);
         bt.fit(&xs, &ys).unwrap();
         assert!((bt.predict(&[3.0]) - 1.0).abs() < 0.05);

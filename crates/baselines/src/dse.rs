@@ -173,7 +173,9 @@ mod tests {
     use hls_model::benchmarks::{self, Benchmark};
 
     fn setup() -> (DesignSpace, FlowSimulator) {
-        let space = benchmarks::build(Benchmark::SpmvCrs).pruned_space().unwrap();
+        let space = benchmarks::build(Benchmark::SpmvCrs)
+            .pruned_space()
+            .unwrap();
         let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
         (space, sim)
     }

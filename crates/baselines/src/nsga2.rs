@@ -86,9 +86,9 @@ pub fn run_nsga2(
     let mut sim_seconds = 0.0;
     let mut worst = [1.0f64; N_OBJECTIVES];
     let evaluate = |c: usize,
-                        cache: &mut HashMap<usize, [f64; N_OBJECTIVES]>,
-                        worst: &mut [f64; N_OBJECTIVES],
-                        sim_seconds: &mut f64|
+                    cache: &mut HashMap<usize, [f64; N_OBJECTIVES]>,
+                    worst: &mut [f64; N_OBJECTIVES],
+                    sim_seconds: &mut f64|
      -> [f64; N_OBJECTIVES] {
         if let Some(v) = cache.get(&c) {
             return *v;
@@ -190,10 +190,8 @@ pub fn run_nsga2(
     let front = pareto_front_indices(&final_objs);
     let pareto_configs: Vec<usize> = front.iter().map(|&i| population[i]).collect();
     let truth = sim.truth_objectives(space);
-    let measured_pareto: Vec<[f64; N_OBJECTIVES]> = pareto_configs
-        .iter()
-        .filter_map(|&c| truth[c])
-        .collect();
+    let measured_pareto: Vec<[f64; N_OBJECTIVES]> =
+        pareto_configs.iter().filter_map(|&c| truth[c]).collect();
 
     Ok(Nsga2Result {
         pareto_configs,
@@ -215,11 +213,7 @@ fn repair(space: &DesignSpace, genome: &[usize]) -> usize {
     let step = (space.len() / 4096).max(1);
     for i in (0..space.len()).step_by(step) {
         let x = space.encode(i);
-        let d: f64 = x
-            .iter()
-            .zip(&target)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum();
+        let d: f64 = x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum();
         if d < best_d {
             best_d = d;
             best = i;
@@ -236,7 +230,9 @@ mod tests {
 
     fn setup() -> (DesignSpace, FlowSimulator) {
         (
-            benchmarks::build(Benchmark::SpmvCrs).pruned_space().unwrap(),
+            benchmarks::build(Benchmark::SpmvCrs)
+                .pruned_space()
+                .unwrap(),
             FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs)),
         )
     }

@@ -62,7 +62,9 @@ fn bench_gp(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(10));
     let (xs, ys) = synth_xy(48, 12, 1);
     group.bench_function("fit_48x12_mle", |b| {
-        b.iter(|| black_box(Gp::fit(Matern52Ard::new(12), &xs, &ys, &quick_gp_cfg()).expect("fits")))
+        b.iter(|| {
+            black_box(Gp::fit(Matern52Ard::new(12), &xs, &ys, &quick_gp_cfg()).expect("fits"))
+        })
     });
     let gp = Gp::fit(Matern52Ard::new(12), &xs, &ys, &quick_gp_cfg()).expect("fits");
     group.bench_function("refit_48x12", |b| {
@@ -150,7 +152,9 @@ fn bench_hls_model(c: &mut Criterion) {
         let model = benchmarks::build(Benchmark::SortRadix);
         b.iter(|| black_box(model.pruned_space().expect("builds")))
     });
-    let space = benchmarks::build(Benchmark::Gemm).pruned_space().expect("builds");
+    let space = benchmarks::build(Benchmark::Gemm)
+        .pruned_space()
+        .expect("builds");
     group.bench_function("encode_gemm_config", |b| {
         let mut i = 0;
         b.iter(|| {
@@ -163,7 +167,9 @@ fn bench_hls_model(c: &mut Criterion) {
 
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("fidelity_sim");
-    let space = benchmarks::build(Benchmark::Gemm).pruned_space().expect("builds");
+    let space = benchmarks::build(Benchmark::Gemm)
+        .pruned_space()
+        .expect("builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::Gemm));
     for stage in Stage::all() {
         group.bench_function(format!("run_{stage}"), |b| {

@@ -1,0 +1,350 @@
+//! Serial vs. parallel timings of the optimizer's rayon-backed hot paths:
+//! per-step candidate scoring, EIPV Monte-Carlo sampling, kernel-matrix
+//! assembly, and the end-to-end Algorithm-2 loop.
+//!
+//! Usage: `cargo bench -p cmmf-bench --bench parallel [-- <filter>]`
+//!
+//! Every pair runs the *same* code under a 1-thread and an all-threads pool
+//! (the parallel layer guarantees bit-identical results either way; this
+//! harness asserts that before timing). Results, including the measured
+//! speedups, are written to `BENCH_parallel.json` at the workspace root.
+
+use cmmf::eipv::{eipv_correlated_mc_seeded, peipv};
+use cmmf::{
+    CandidateChoice, CmmfConfig, FidelityDataSet, FidelityModelStack, ModelVariant, Optimizer,
+};
+use criterion::Criterion;
+use fidelity_sim::{FlowSimulator, RunOutcome, SimParams, Stage};
+use gp::{GpConfig, MultiTaskPrediction};
+use hls_model::benchmarks::{self, Benchmark};
+use hls_model::DesignSpace;
+use linalg::Matrix;
+use pareto::pareto_front;
+use rand::derive_stream_seed;
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+const N_OBJ: usize = 3;
+
+/// A fitted surrogate plus everything needed to score one step's candidates.
+struct ScoringState {
+    space: DesignSpace,
+    sim: FlowSimulator,
+    stack: FidelityModelStack,
+    pool: Vec<usize>,
+    fronts: Vec<Vec<Vec<f64>>>,
+    reference: Vec<f64>,
+}
+
+/// Evaluates a nested initialization (48 HLS / 24 Syn / 12 Impl runs),
+/// normalizes it the way the optimizer does, and fits the paper's correlated
+/// non-linear stack on it.
+fn build_scoring_state(benchmark: Benchmark) -> ScoringState {
+    let space = benchmarks::build(benchmark)
+        .pruned_space()
+        .expect("shipped benchmark builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(benchmark));
+
+    let n_train = 48.min(space.len() / 2);
+    let mut raw: [Vec<(usize, Option<[f64; N_OBJ]>)>; 3] = Default::default();
+    for c in 0..n_train {
+        let top = if c < n_train / 4 {
+            Stage::Impl
+        } else if c < n_train / 2 {
+            Stage::Syn
+        } else {
+            Stage::Hls
+        };
+        for stage in Stage::all() {
+            if stage > top {
+                break;
+            }
+            let o = match sim.run(&space, c, stage) {
+                RunOutcome::Valid(r) => Some(r.objectives()),
+                RunOutcome::Invalid { .. } => None,
+            };
+            raw[stage.index()].push((c, o));
+        }
+    }
+
+    // Min-max normalization over all valid observations, invalids at 2.0 —
+    // mirrors `Optimizer::training_data`.
+    let mut mins = [f64::INFINITY; N_OBJ];
+    let mut maxs = [f64::NEG_INFINITY; N_OBJ];
+    for fid in &raw {
+        for (_, o) in fid {
+            if let Some(y) = o {
+                for d in 0..N_OBJ {
+                    mins[d] = mins[d].min(y[d]);
+                    maxs[d] = maxs[d].max(y[d]);
+                }
+            }
+        }
+    }
+    let spans: Vec<f64> = (0..N_OBJ).map(|d| (maxs[d] - mins[d]).max(1e-12)).collect();
+    let mut data = FidelityDataSet::default();
+    for (f, fid) in raw.iter().enumerate() {
+        for (c, o) in fid {
+            data.xs[f].push(space.encode(*c));
+            data.ys[f].push(match o {
+                Some(y) => (0..N_OBJ).map(|d| (y[d] - mins[d]) / spans[d]).collect(),
+                None => vec![2.0; N_OBJ],
+            });
+        }
+    }
+
+    let gp_cfg = GpConfig {
+        restarts: 0,
+        max_evals: 60,
+        ..Default::default()
+    };
+    let stack = FidelityModelStack::fit(ModelVariant::paper(), &data, &gp_cfg, None, false)
+        .expect("stack fits");
+    let fronts: Vec<Vec<Vec<f64>>> = (0..3).map(|f| pareto_front(&data.ys[f])).collect();
+    let pool: Vec<usize> = (n_train..space.len()).take(200).collect();
+    ScoringState {
+        space,
+        sim,
+        stack,
+        pool,
+        fronts,
+        reference: vec![2.5; N_OBJ],
+    }
+}
+
+/// One step's PEIPV argmax over the candidate pool — the same fan-out shape
+/// as the optimizer's inner loop.
+fn score_pool(s: &ScoringState, mc_samples: usize, seed: u64) -> CandidateChoice {
+    let scored: Vec<Option<CandidateChoice>> = s
+        .pool
+        .par_iter()
+        .map(|&c| {
+            let x = s.space.encode(c);
+            let t_impl = s.sim.stage_seconds(&s.space, c, Stage::Impl);
+            let mut best: Option<CandidateChoice> = None;
+            for stage in Stage::all() {
+                let f = stage.index();
+                let pred = s.stack.predict(f, &x).expect("predict");
+                let raw = eipv_correlated_mc_seeded(
+                    &pred,
+                    &s.fronts[f],
+                    &s.reference,
+                    mc_samples,
+                    derive_stream_seed(seed, &[c as u64, f as u64]),
+                );
+                let score = peipv(raw, t_impl, s.sim.stage_seconds(&s.space, c, stage), 0.3);
+                if best.map(|b| score > b.acquisition).unwrap_or(true) {
+                    best = Some(CandidateChoice {
+                        config: c,
+                        stage,
+                        acquisition: score,
+                    });
+                }
+            }
+            best
+        })
+        .collect();
+    let mut best: Option<CandidateChoice> = None;
+    for cand in scored.into_iter().flatten() {
+        if best
+            .map(|b| cand.acquisition > b.acquisition)
+            .unwrap_or(true)
+        {
+            best = Some(cand);
+        }
+    }
+    best.expect("non-empty pool")
+}
+
+fn serial_pool() -> rayon::ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool")
+}
+
+fn full_pool() -> rayon::ThreadPool {
+    ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build()
+        .expect("pool")
+}
+
+fn bench_candidate_scoring(c: &mut Criterion) {
+    for benchmark in [Benchmark::SpmvCrs, Benchmark::Gemm] {
+        let state = build_scoring_state(benchmark);
+        // The determinism contract: both schedules pick the same candidate.
+        let a = serial_pool().install(|| score_pool(&state, 24, 7));
+        let b = full_pool().install(|| score_pool(&state, 24, 7));
+        assert_eq!(a, b, "thread count changed the argmax");
+
+        let name = format!("candidate_scoring_{}", benchmark.name());
+        let mut group = c.benchmark_group(&name);
+        group.sample_size(10);
+        group.bench_function("serial", |bch| {
+            bch.iter(|| serial_pool().install(|| score_pool(&state, 24, 7)))
+        });
+        group.bench_function("parallel", |bch| {
+            bch.iter(|| full_pool().install(|| score_pool(&state, 24, 7)))
+        });
+        group.finish();
+    }
+}
+
+fn bench_mc_sampling(c: &mut Criterion) {
+    let mut cov = Matrix::from_diag(&[0.04, 0.04, 0.04]);
+    for i in 0..3 {
+        for j in 0..3 {
+            if i != j {
+                cov[(i, j)] = 0.02;
+            }
+        }
+    }
+    let pred = MultiTaskPrediction {
+        mean: vec![0.45, 0.5, 0.4],
+        cov,
+    };
+    let front = vec![
+        vec![0.3, 0.7, 0.5],
+        vec![0.7, 0.3, 0.5],
+        vec![0.5, 0.5, 0.3],
+    ];
+    let reference = vec![1.0; 3];
+
+    let a = serial_pool().install(|| eipv_correlated_mc_seeded(&pred, &front, &reference, 8192, 3));
+    let b = full_pool().install(|| eipv_correlated_mc_seeded(&pred, &front, &reference, 8192, 3));
+    assert_eq!(
+        a.to_bits(),
+        b.to_bits(),
+        "thread count changed the estimate"
+    );
+
+    let mut group = c.benchmark_group("mc_sampling_8192");
+    group.sample_size(15);
+    group.bench_function("serial", |bch| {
+        bch.iter(|| {
+            serial_pool().install(|| eipv_correlated_mc_seeded(&pred, &front, &reference, 8192, 3))
+        })
+    });
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| {
+            full_pool().install(|| eipv_correlated_mc_seeded(&pred, &front, &reference, 8192, 3))
+        })
+    });
+    group.finish();
+}
+
+fn bench_kernel_assembly(c: &mut Criterion) {
+    // A Matérn-5/2-shaped entry function over 6-dim inputs, the same cost
+    // profile as `Gp::factorize` / `MultiTaskGp::joint_factorize` assembly.
+    let n = 360;
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..6)
+                .map(|d| ((i * 7 + d * 13) % 97) as f64 / 97.0)
+                .collect()
+        })
+        .collect();
+    let eval = |i: usize, j: usize| {
+        let r2: f64 = xs[i]
+            .iter()
+            .zip(&xs[j])
+            .map(|(a, b)| (a - b) * (a - b) / 0.25)
+            .sum();
+        let r = (5.0 * r2).sqrt();
+        (1.0 + r + r * r / 3.0) * (-r).exp()
+    };
+
+    let a = serial_pool().install(|| Matrix::from_fn_par(n, n, eval));
+    let b = full_pool().install(|| Matrix::from_fn_par(n, n, eval));
+    assert_eq!(a[(1, 2)].to_bits(), b[(1, 2)].to_bits());
+
+    let mut group = c.benchmark_group("kernel_assembly_360x360");
+    group.sample_size(15);
+    group.bench_function("serial", |bch| {
+        bch.iter(|| serial_pool().install(|| Matrix::from_fn_par(n, n, eval)))
+    });
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| full_pool().install(|| Matrix::from_fn_par(n, n, eval)))
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let space = benchmarks::build(Benchmark::SpmvCrs)
+        .pruned_space()
+        .expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
+    let cfg_with = |threads: usize| {
+        let mut cfg = CmmfConfig {
+            n_iter: 4,
+            candidate_pool: 100,
+            mc_samples: 16,
+            refit_every: 2,
+            final_prediction_pool: 500,
+            threads,
+            seed: 11,
+            ..Default::default()
+        };
+        cfg.gp.restarts = 0;
+        cfg.gp.max_evals = 80;
+        cfg
+    };
+
+    let mut group = c.benchmark_group("optimizer_run_spmv-crs_4steps");
+    group.sample_size(10);
+    group.bench_function("serial", |bch| {
+        bch.iter(|| Optimizer::new(cfg_with(1)).run(&space, &sim).expect("runs"))
+    });
+    group.bench_function("parallel", |bch| {
+        bch.iter(|| Optimizer::new(cfg_with(0)).run(&space, &sim).expect("runs"))
+    });
+    group.finish();
+}
+
+/// Wraps the criterion report with the host parallelism and per-group
+/// serial/parallel speedups, and writes `BENCH_parallel.json`.
+fn write_report(report: &criterion::Report) {
+    let mut speedups = String::new();
+    let mut ids: Vec<&str> = report
+        .measurements
+        .iter()
+        .filter_map(|m| m.id.strip_suffix("/serial"))
+        .collect();
+    ids.dedup();
+    for (i, group) in ids.iter().enumerate() {
+        let find = |suffix: &str| {
+            report
+                .measurements
+                .iter()
+                .find(|m| m.id == format!("{group}/{suffix}"))
+                .map(|m| m.mean_ns)
+        };
+        if let (Some(serial), Some(parallel)) = (find("serial"), find("parallel")) {
+            speedups.push_str(&format!(
+                "    {{\"group\": \"{group}\", \"speedup\": {:.2}}}{}\n",
+                serial / parallel,
+                if i + 1 < ids.len() { "," } else { "" }
+            ));
+            println!("{group}: {:.2}x speedup", serial / parallel);
+        }
+    }
+    let json = format!(
+        "{{\n  \"hardware_threads\": {},\n  \"speedups\": [\n{}  ],\n  \"measurements\": {}\n}}\n",
+        rayon::hardware_threads(),
+        speedups,
+        report.to_json().replace('\n', "\n  "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut c = Criterion::default().configure_from_args();
+    bench_candidate_scoring(&mut c);
+    bench_mc_sampling(&mut c);
+    bench_kernel_assembly(&mut c);
+    bench_end_to_end(&mut c);
+    write_report(c.report());
+}

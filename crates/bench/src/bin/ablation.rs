@@ -12,11 +12,12 @@
 //! Usage: `cargo run --release -p cmmf-bench --bin ablation [--quick | --repeats N]`
 
 use cmmf::{CmmfConfig, ModelVariant, Optimizer};
-use cmmf_bench::{repeats_from_args, BenchmarkSetup};
+use cmmf_bench::{install_threads_from_args, repeats_from_args, BenchmarkSetup};
 use fidelity_sim::Stage;
 use hls_model::benchmarks::Benchmark;
 
 fn main() {
+    install_threads_from_args();
     let repeats = repeats_from_args().min(6);
     let benches = [Benchmark::Gemm, Benchmark::SpmvEllpack];
 

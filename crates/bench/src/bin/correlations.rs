@@ -8,10 +8,11 @@
 //! Usage: `cargo run --release -p cmmf-bench --bin correlations`
 
 use cmmf::{CmmfConfig, Optimizer};
-use cmmf_bench::BenchmarkSetup;
+use cmmf_bench::{install_threads_from_args, BenchmarkSetup};
 use hls_model::benchmarks::Benchmark;
 
 fn main() {
+    install_threads_from_args();
     println!(
         "{:<14} {:>18} {:>18} {:>18}",
         "benchmark", "corr(P,D)", "corr(P,LUT)", "corr(D,LUT)"
@@ -44,9 +45,7 @@ fn main() {
             .expect("paper variant is correlated");
         let base = &learned[0];
 
-        let cell = |a: usize, c: usize| {
-            format!("{:+.2} (true {:+.2})", base[(a, c)], emp(a, c))
-        };
+        let cell = |a: usize, c: usize| format!("{:+.2} (true {:+.2})", base[(a, c)], emp(a, c));
         println!(
             "{:<14} {:>18} {:>18} {:>18}",
             b.name(),

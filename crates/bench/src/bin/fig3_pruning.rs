@@ -13,9 +13,15 @@ fn main() {
     // --- The paper's Fig. 3 toy: 3 loops, arrays A and B -------------------
     println!("# Fig. 3 — tree-based pruning example");
     let mut k = KernelIr::new("fig3");
-    let l1 = k.add_loop("L1", 10, None, 0.5, 0.0, 0.0).expect("valid loop");
-    let l2 = k.add_loop("L2", 10, Some(l1), 1.0, 2.0, 0.0).expect("valid loop");
-    let l3 = k.add_loop("L3", 10, Some(l1), 1.0, 2.0, 0.0).expect("valid loop");
+    let l1 = k
+        .add_loop("L1", 10, None, 0.5, 0.0, 0.0)
+        .expect("valid loop");
+    let l2 = k
+        .add_loop("L2", 10, Some(l1), 1.0, 2.0, 0.0)
+        .expect("valid loop");
+    let l3 = k
+        .add_loop("L3", 10, Some(l1), 1.0, 2.0, 0.0)
+        .expect("valid loop");
     let a = k.add_array("A", 100, vec![l2, l3]).expect("valid array");
     let b = k.add_array("B", 100, vec![l3]).expect("valid array");
 
@@ -35,9 +41,7 @@ fn main() {
             .iter()
             .map(|id| k.loops()[id.index()].name.as_str())
             .collect();
-        println!(
-            "merged tree: arrays={arrays:?} unrollable-loops={acc:?} kept-rolled={forced:?}"
-        );
+        println!("merged tree: arrays={arrays:?} unrollable-loops={acc:?} kept-rolled={forced:?}");
     }
 
     let mut builder = DesignSpaceBuilder::new(k);
@@ -45,8 +49,16 @@ fn main() {
         .unroll(l1, &[1, 2, 5, 10])
         .unroll(l2, &[1, 2, 5, 10])
         .unroll(l3, &[1, 2, 5, 10])
-        .partition(a, &[1, 2, 5, 10], &[PartitionKind::Cyclic, PartitionKind::Block])
-        .partition(b, &[1, 2, 5, 10], &[PartitionKind::Cyclic, PartitionKind::Block]);
+        .partition(
+            a,
+            &[1, 2, 5, 10],
+            &[PartitionKind::Cyclic, PartitionKind::Block],
+        )
+        .partition(
+            b,
+            &[1, 2, 5, 10],
+            &[PartitionKind::Cyclic, PartitionKind::Block],
+        );
     let pruned = builder.build_pruned().expect("fig3 space builds");
     println!(
         "fig3 toy: raw cross product = {:.0}, pruned = {} (factor {:.0}x)",

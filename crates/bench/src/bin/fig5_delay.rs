@@ -62,5 +62,7 @@ fn main() {
             gap
         );
     }
-    eprintln!("# paper: GEMM's three fidelities overlap (Fig. 5a); SPMV_ELLPACK's diverge (Fig. 5b)");
+    eprintln!(
+        "# paper: GEMM's three fidelities overlap (Fig. 5a); SPMV_ELLPACK's diverge (Fig. 5b)"
+    );
 }

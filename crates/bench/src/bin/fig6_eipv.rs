@@ -16,7 +16,10 @@ use pareto::{pareto_front, CellDecomposition};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use cmmf_bench::install_threads_from_args;
+
 fn main() {
+    install_threads_from_args();
     let b = Benchmark::Gemm;
     let space = benchmarks::build(b).pruned_space().expect("space builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(b));

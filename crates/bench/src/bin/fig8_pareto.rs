@@ -8,10 +8,11 @@
 //!
 //! Usage: `cargo run --release -p cmmf-bench --bin fig8_pareto`
 
-use cmmf_bench::{run_method, BenchmarkSetup, Method};
+use cmmf_bench::{install_threads_from_args, run_method, BenchmarkSetup, Method};
 use hls_model::benchmarks::Benchmark;
 
 fn main() {
+    install_threads_from_args();
     println!("benchmark,series,power,delay,lut");
     for b in [Benchmark::Gemm, Benchmark::SpmvEllpack] {
         let setup = BenchmarkSetup::new(b);
@@ -29,7 +30,13 @@ fn main() {
             }
         }
         for p in &setup.front.points {
-            println!("{},real_pareto,{:.4},{:.4},{:.4}", b.name(), p[0], p[1], p[2]);
+            println!(
+                "{},real_pareto,{:.4},{:.4},{:.4}",
+                b.name(),
+                p[0],
+                p[1],
+                p[2]
+            );
         }
 
         for method in Method::all() {

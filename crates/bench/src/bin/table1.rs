@@ -8,10 +8,13 @@
 //! baselines are driven by their hyperparameter sweeps. We repeat every method
 //! `repeats` times with distinct seeds.
 
-use cmmf_bench::{repeat_method, repeats_from_args, BenchmarkSetup, Method, MethodCell};
+use cmmf_bench::{
+    install_threads_from_args, repeat_method, repeats_from_args, BenchmarkSetup, Method, MethodCell,
+};
 use hls_model::benchmarks::Benchmark;
 
 fn main() {
+    install_threads_from_args();
     let repeats = repeats_from_args();
     println!("# Table I — Normalized Experimental Results ({repeats} repeats/method)");
     println!("# All values are ratios to the ANN column of the same benchmark.");
@@ -38,7 +41,11 @@ fn main() {
     let ann = 2usize; // index of the ANN column
     let mut avg = vec![[0.0f64; 3]; Method::all().len()];
 
-    for (metric, what) in [(0usize, "ADRS"), (1, "Standard Deviation of ADRS"), (2, "Overall Running Time")] {
+    for (metric, what) in [
+        (0usize, "ADRS"),
+        (1, "Standard Deviation of ADRS"),
+        (2, "Overall Running Time"),
+    ] {
         header(what);
         for (b, cells) in &all_cells {
             let base = pick(&cells[ann], metric).max(1e-12);

@@ -176,7 +176,12 @@ pub struct MethodCell {
 }
 
 /// Repeats `run_method` with distinct seeds and aggregates.
-pub fn repeat_method(setup: &BenchmarkSetup, method: Method, repeats: usize, seed0: u64) -> MethodCell {
+pub fn repeat_method(
+    setup: &BenchmarkSetup,
+    method: Method,
+    repeats: usize,
+    seed0: u64,
+) -> MethodCell {
     let mut adrs = Vec::with_capacity(repeats);
     let mut secs = Vec::with_capacity(repeats);
     for rep in 0..repeats {
@@ -218,6 +223,37 @@ pub fn repeats_from_args() -> usize {
         }
     }
     10
+}
+
+/// Parses `--threads N` and installs it as the process-wide parallelism
+/// default (0 or absent = all hardware threads). Harness binaries call this
+/// once at startup; `CmmfConfig::threads = 0` then inherits the value.
+/// Returns the effective thread count.
+///
+/// Exits with status 2 on a malformed value: results are thread-count
+/// independent, but a silently ignored `--threads` would break wall-clock
+/// expectations without any sign of it.
+pub fn install_threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    let n = match args.iter().position(|a| a == "--threads") {
+        Some(pos) => match args.get(pos + 1).map(|s| s.parse::<usize>()) {
+            Some(Ok(v)) => v,
+            _ => {
+                eprintln!("error: --threads requires a non-negative integer (0 = all cores)");
+                std::process::exit(2);
+            }
+        },
+        None => 0,
+    };
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("global thread pool");
+    if n == 0 {
+        rayon::hardware_threads()
+    } else {
+        n
+    }
 }
 
 #[cfg(test)]

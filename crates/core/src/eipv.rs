@@ -33,25 +33,87 @@ pub fn eipv_correlated_mc(
 ) -> f64 {
     assert!(n_samples > 0, "need at least one sample");
     let m = pred.mean.len();
-    assert_eq!(m, reference.len(), "prediction/reference dimension mismatch");
+    assert_eq!(
+        m,
+        reference.len(),
+        "prediction/reference dimension mismatch"
+    );
 
     // Factor the predictive covariance; fall back to independent marginals if
     // it is numerically singular.
     let chol = Cholesky::new(&pred.cov).ok();
+    mc_improvement_sum(pred, chol.as_ref(), front, reference, n_samples, rng) / n_samples as f64
+}
+
+/// Monte-Carlo samples drawn per RNG stream in [`eipv_correlated_mc_seeded`].
+/// Fixing the chunk size (rather than dividing `n_samples` by the thread
+/// count) is what makes the estimate independent of how many threads run it.
+const MC_CHUNK: usize = 32;
+
+/// Seeded, parallel variant of [`eipv_correlated_mc`].
+///
+/// The `n_samples` draws are split into fixed-size chunks of [`MC_CHUNK`];
+/// chunk `k` samples from its own `StdRng` seeded with
+/// `derive_stream_seed(seed, &[k])`. Chunks are evaluated in parallel but
+/// their partial sums are combined in chunk order, so the result is
+/// **bit-identical for any thread count** — including the serial
+/// single-chunk-at-a-time schedule. Note the estimate differs from
+/// [`eipv_correlated_mc`] with a single sequential stream (different draws,
+/// same distribution); the seeded version is the one the optimizer uses.
+pub fn eipv_correlated_mc_seeded(
+    pred: &MultiTaskPrediction,
+    front: &[Vec<f64>],
+    reference: &[f64],
+    n_samples: usize,
+    seed: u64,
+) -> f64 {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rayon::prelude::*;
+
+    assert!(n_samples > 0, "need at least one sample");
+    let m = pred.mean.len();
+    assert_eq!(
+        m,
+        reference.len(),
+        "prediction/reference dimension mismatch"
+    );
+
+    let chol = Cholesky::new(&pred.cov).ok();
+    let n_chunks = n_samples.div_ceil(MC_CHUNK);
+    let total: f64 = (0..n_chunks)
+        .into_par_iter()
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(rand::derive_stream_seed(seed, &[k as u64]));
+            let take = MC_CHUNK.min(n_samples - k * MC_CHUNK);
+            mc_improvement_sum(pred, chol.as_ref(), front, reference, take, &mut rng)
+        })
+        .sum();
+    total / n_samples as f64
+}
+
+/// Sums `n_samples` hypervolume-improvement draws from the posterior using
+/// the caller's RNG. Shared core of the sequential and seeded MC estimators.
+fn mc_improvement_sum(
+    pred: &MultiTaskPrediction,
+    chol: Option<&Cholesky>,
+    front: &[Vec<f64>],
+    reference: &[f64],
+    n_samples: usize,
+    rng: &mut impl Rng,
+) -> f64 {
+    let m = pred.mean.len();
     let mut total = 0.0;
     let mut z = vec![0.0; m];
     for _ in 0..n_samples {
         for zi in z.iter_mut() {
             *zi = sample_standard_normal(rng);
         }
-        let y: Vec<f64> = match &chol {
+        let y: Vec<f64> = match chol {
             Some(c) => {
                 let l = c.l();
                 (0..m)
-                    .map(|i| {
-                        pred.mean[i]
-                            + (0..=i).map(|j| l[(i, j)] * z[j]).sum::<f64>()
-                    })
+                    .map(|i| pred.mean[i] + (0..=i).map(|j| l[(i, j)] * z[j]).sum::<f64>())
                     .collect()
             }
             None => (0..m)
@@ -60,7 +122,7 @@ pub fn eipv_correlated_mc(
         };
         total += hypervolume_contribution(&y, front, reference);
     }
-    total / n_samples as f64
+    total
 }
 
 /// Analytic-per-cell EIPV for **independent** marginals: for each
@@ -280,6 +342,47 @@ mod tests {
         let obs = vec![vec![1.0, 5.0], vec![2.0, 3.0]];
         let r = reference_point(&obs, 0.1);
         assert!(r[0] > 2.0 && r[1] > 5.0);
+    }
+
+    #[test]
+    fn seeded_mc_is_identical_across_thread_counts() {
+        let front = vec![vec![0.3, 0.7], vec![0.7, 0.3]];
+        let reference = vec![1.0, 1.0];
+        let mut cov = Matrix::from_diag(&[0.02, 0.02]);
+        cov[(0, 1)] = 0.01;
+        cov[(1, 0)] = 0.01;
+        let p = pred(vec![0.4, 0.4], cov);
+        let eval = |threads: usize| {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            pool.install(|| eipv_correlated_mc_seeded(&p, &front, &reference, 100, 42))
+        };
+        let serial = eval(1);
+        for threads in [2, 4, 7] {
+            let parallel = eval(threads);
+            assert_eq!(
+                serial.to_bits(),
+                parallel.to_bits(),
+                "threads={threads}: {serial} vs {parallel}"
+            );
+        }
+        assert!(serial > 0.0);
+    }
+
+    #[test]
+    fn seeded_mc_agrees_with_sequential_mc_in_distribution() {
+        let front = vec![vec![0.5, 0.5]];
+        let reference = vec![1.0, 1.0];
+        let p = pred(vec![0.45, 0.45], Matrix::from_diag(&[0.01, 0.01]));
+        let mut rng = StdRng::seed_from_u64(9);
+        let sequential = eipv_correlated_mc(&p, &front, &reference, 8192, &mut rng);
+        let seeded = eipv_correlated_mc_seeded(&p, &front, &reference, 8192, 9);
+        assert!(
+            (sequential - seeded).abs() < 0.01,
+            "sequential={sequential} seeded={seeded}"
+        );
     }
 
     #[test]

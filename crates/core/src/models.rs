@@ -95,6 +95,11 @@ pub struct CorrelatedLevel {
 }
 
 /// The fitted surrogate stack for all fidelities.
+///
+/// The variants differ in size because the correlated variants own full
+/// multi-task GPs; a handful of stacks exist per run, so boxing the large
+/// variant would buy nothing and churn every match site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum FidelityModelStack {
     /// The paper's stack: a correlated GP at the base fidelity, and for every
@@ -143,7 +148,9 @@ impl FidelityModelStack {
             });
         }
         match (variant.correlated_objectives, variant.nonlinear_fidelity) {
-            (true, true) => Self::fit_correlated_nonlinear(data, gp_cfg, previous, reuse_hyperparams),
+            (true, true) => {
+                Self::fit_correlated_nonlinear(data, gp_cfg, previous, reuse_hyperparams)
+            }
             (true, false) => Self::fit_correlated_plain(data, gp_cfg, previous, reuse_hyperparams),
             (false, nonlinear) => {
                 Self::fit_independent(data, gp_cfg, nonlinear, previous, reuse_hyperparams)
@@ -159,9 +166,7 @@ impl FidelityModelStack {
     ) -> Result<Self, CmmfError> {
         let x_dim = data.xs[0][0].len();
         let prev_parts = match previous {
-            Some(FidelityModelStack::CorrelatedNonlinear { base, uppers })
-                if reuse_hyperparams =>
-            {
+            Some(FidelityModelStack::CorrelatedNonlinear { base, uppers }) if reuse_hyperparams => {
                 Some((base, uppers))
             }
             _ => None,
@@ -176,10 +181,15 @@ impl FidelityModelStack {
         };
         for f in 1..N_FIDELITIES {
             // Lower-fidelity posterior means at this fidelity's inputs.
-            let prevs: Vec<MultiTaskPrediction> = data.xs[f]
-                .iter()
-                .map(|x| stack.predict(f - 1, x))
-                .collect::<Result<_, _>>()?;
+            let prevs: Vec<MultiTaskPrediction> = {
+                use rayon::prelude::*;
+                let stack_ref = &stack;
+                data.xs[f]
+                    .par_iter()
+                    .with_min_len(8)
+                    .map(|x| stack_ref.predict(f - 1, x))
+                    .collect::<Result<_, _>>()?
+            };
             // Per-objective linear backbone.
             let mut rhos = vec![1.0; N_OBJECTIVES];
             for (obj, rho) in rhos.iter_mut().enumerate() {
@@ -454,8 +464,7 @@ fn propagate_unscented(
     for (w, p) in weights.iter().zip(&mapped) {
         for i in 0..m {
             for j in 0..m {
-                cov[(i, j)] +=
-                    w * (p.cov[(i, j)] + (p.mean[i] - mean[i]) * (p.mean[j] - mean[j]));
+                cov[(i, j)] += w * (p.cov[(i, j)] + (p.mean[i] - mean[i]) * (p.mean[j] - mean[j]));
             }
         }
     }

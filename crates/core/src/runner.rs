@@ -45,7 +45,11 @@ impl TrueFront {
         }
         let normalized: Vec<Vec<f64>> = valid
             .iter()
-            .map(|y| (0..N_OBJECTIVES).map(|d| (y[d] - mins[d]) / spans[d]).collect())
+            .map(|y| {
+                (0..N_OBJECTIVES)
+                    .map(|d| (y[d] - mins[d]) / spans[d])
+                    .collect()
+            })
             .collect();
         TrueFront {
             points: pareto_front(&normalized),
@@ -141,7 +145,9 @@ mod tests {
 
     fn setup() -> (DesignSpace, FlowSimulator) {
         (
-            benchmarks::build(Benchmark::SpmvCrs).pruned_space().unwrap(),
+            benchmarks::build(Benchmark::SpmvCrs)
+                .pruned_space()
+                .unwrap(),
             FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs)),
         )
     }

@@ -1,0 +1,302 @@
+//! Offline, minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the call-site subset the workspace's `benches/` use: [`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], benchmark groups with
+//! `sample_size` / `measurement_time` / `bench_function`, and
+//! [`Bencher::iter`]. Statistics are deliberately simple — per sample it
+//! times a batch of iterations and reports the mean and best sample — with
+//! one extra feature real criterion lacks: every run appends its measurements
+//! to an in-process [`Report`] that benches can serialize to JSON (used by
+//! `benches/parallel.rs` to produce `BENCH_parallel.json`).
+//!
+//! Filters (`cargo bench -- <substring>`) are honored; other criterion CLI
+//! flags are accepted and ignored.
+
+use std::time::{Duration, Instant};
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/function` id.
+    pub id: String,
+    /// Mean nanoseconds per iteration across samples.
+    pub mean_ns: f64,
+    /// Best (minimum) sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// All measurements of a run. Obtain with [`Criterion::report`].
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Finished measurements in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Report {
+    /// Serializes the report as a JSON array (no external deps, stable field
+    /// order) so benches can write machine-readable results.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                m.id.replace('"', "'"),
+                m.mean_ns,
+                m.min_ns,
+                m.samples,
+                m.iters_per_sample,
+                if i + 1 < self.measurements.len() { "," } else { "" }
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// The harness entry point. Mirrors `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Report,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Criterion {
+            filter,
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            report: Report::default(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI args (already done by `default`; kept for API parity).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        let time = self.measurement_time;
+        self.run_one(name, sample_size, time, f);
+        self
+    }
+
+    /// The measurements recorded so far.
+    pub fn report(&self) -> &Report {
+        &self.report
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibrate: run once to estimate iteration cost.
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let once = bencher.elapsed.max(Duration::from_nanos(1));
+        let budget = measurement_time.as_secs_f64() / sample_size as f64;
+        let iters = (budget / once.as_secs_f64()).clamp(1.0, 1e9) as u64;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min_ns = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{id:<50} mean {:>12} min {:>12}  ({sample_size} samples x {iters} iters)",
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns)
+        );
+        self.report.measurements.push(Measurement {
+            id,
+            mean_ns,
+            min_ns,
+            samples: sample_size,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group sharing sample settings. Mirrors
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Total measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = Some(t);
+        self
+    }
+
+    /// Benches `f` under `group_name/name`.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, name.into());
+        let sample_size = self.sample_size.unwrap_or(self.parent.sample_size);
+        let time = self
+            .measurement_time
+            .unwrap_or(self.parent.measurement_time);
+        self.parent.run_one(id, sample_size, time, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the benchmarked closure. Mirrors `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` (set by the harness calibration).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for benches that import `criterion::black_box` instead of
+/// `std::hint::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions. Mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups. Mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            report: Report::default(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(30));
+        group.bench_function("f", |b| b.iter(|| (0..100).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.report().measurements.len(), 1);
+        let m = &c.report().measurements[0];
+        assert_eq!(m.id, "g/f");
+        assert!(m.mean_ns > 0.0 && m.min_ns > 0.0 && m.min_ns <= m.mean_ns * 1.001);
+        let json = c.report().to_json();
+        assert!(json.contains("\"id\": \"g/f\""));
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut c = Criterion {
+            filter: Some("wanted".into()),
+            sample_size: 2,
+            measurement_time: Duration::from_millis(10),
+            report: Report::default(),
+        };
+        c.bench_function("other", |b| b.iter(|| 1u64 + 1));
+        assert!(c.report().measurements.is_empty());
+        c.bench_function("wanted_one", |b| b.iter(|| 1u64 + 1));
+        assert_eq!(c.report().measurements.len(), 1);
+    }
+}

@@ -331,9 +331,8 @@ impl FlowSimulator {
 
         // Power: static + dynamic (resources x toggle x frequency).
         let freq_ghz = 1.0 / (clock + congestion);
-        let power = self.params.board.static_power_w
-            + luts * 9.0e-4 * freq_ghz
-            + bank_luts * 4.0e-4;
+        let power =
+            self.params.board.static_power_w + luts * 9.0e-4 * freq_ghz + bank_luts * 4.0e-4;
 
         // Secondary resources (reported, not objectives): flip-flops scale
         // with the datapath (heavier when pipelined), DSPs with replicated
@@ -386,8 +385,11 @@ impl FlowSimulator {
     fn bias_field(&self, x: &[f64], channel: u64) -> f64 {
         let mut phase = 0.0;
         for (i, v) in x.iter().enumerate() {
-            let h = hash01(self.params.seed ^ (channel.wrapping_mul(0x9E37_79B9))
-                ^ ((i as u64).wrapping_mul(0x85EB_CA6B)));
+            let h = hash01(
+                self.params.seed
+                    ^ (channel.wrapping_mul(0x9E37_79B9))
+                    ^ ((i as u64).wrapping_mul(0x85EB_CA6B)),
+            );
             phase += (2.0 * h - 1.0) * 2.7 * v;
         }
         (phase + hash01(self.params.seed ^ channel) * std::f64::consts::TAU).sin()
@@ -396,9 +398,7 @@ impl FlowSimulator {
     /// Deterministic per-(config, stage, channel) noise in `[-1, 1]`.
     fn noise_field(&self, config: usize, stage: Stage, channel: u64) -> f64 {
         let h = hash01(
-            self.params
-                .seed
-                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+            self.params.seed.wrapping_mul(0x2545_F491_4F6C_DD1D)
                 ^ ((config as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
                 ^ ((stage.index() as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9))
                 ^ channel.wrapping_mul(0x94D0_49BB_1331_11EB),
@@ -408,7 +408,8 @@ impl FlowSimulator {
 
     fn distort(&self, t: &Truth, x: &[f64], config: usize, stage: Stage) -> Report {
         let d = self.params.divergence;
-        let nz = |c: u64, amp: f64| 1.0 + amp * self.params.noise * self.noise_field(config, stage, c);
+        let nz =
+            |c: u64, amp: f64| 1.0 + amp * self.params.noise * self.noise_field(config, stage, c);
         match stage {
             Stage::Hls => {
                 // HLS schedules cycles well but knows nothing about routing:
@@ -558,9 +559,10 @@ mod tests {
             let mut total = 0.0;
             let mut n = 0.0;
             for i in (0..space.len()).step_by(5) {
-                let (RunOutcome::Valid(h), RunOutcome::Valid(p)) =
-                    (sim.run(&space, i, Stage::Hls), sim.run(&space, i, Stage::Impl))
-                else {
+                let (RunOutcome::Valid(h), RunOutcome::Valid(p)) = (
+                    sim.run(&space, i, Stage::Hls),
+                    sim.run(&space, i, Stage::Impl),
+                ) else {
                     continue;
                 };
                 total += (h.delay_ns() - p.delay_ns()).abs() / p.delay_ns();
@@ -610,7 +612,10 @@ mod tests {
                 }
             }
         }
-        assert!(late_failures >= 2, "only {late_failures} benchmarks show late failures");
+        assert!(
+            late_failures >= 2,
+            "only {late_failures} benchmarks show late failures"
+        );
     }
 
     #[test]
@@ -638,7 +643,11 @@ mod tests {
         let delays: Vec<f64> = truth.iter().flatten().map(|t| t[1]).collect();
         let min = delays.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = delays.iter().cloned().fold(0.0, f64::max);
-        assert!(max / min > 3.0, "delay dynamic range too small: {}", max / min);
+        assert!(
+            max / min > 3.0,
+            "delay dynamic range too small: {}",
+            max / min
+        );
     }
 
     #[test]
@@ -663,7 +672,10 @@ mod tests {
                 break;
             }
         }
-        let (a, b) = (rolled.expect("rolled config"), unrolled.expect("unrolled config"));
+        let (a, b) = (
+            rolled.expect("rolled config"),
+            unrolled.expect("unrolled config"),
+        );
         assert!(b.ffs > a.ffs, "ff {} !> {}", b.ffs, a.ffs);
         assert!(b.dsps > a.dsps, "dsp {} !> {}", b.dsps, a.dsps);
         assert!(b.brams >= a.brams, "bram {} !>= {}", b.brams, a.brams);

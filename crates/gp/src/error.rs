@@ -30,7 +30,10 @@ impl fmt::Display for GpError {
                 write!(f, "invalid training data: {reason}")
             }
             GpError::DimensionMismatch { expected, got } => {
-                write!(f, "input dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "input dimension mismatch: expected {expected}, got {got}"
+                )
             }
             GpError::Numerical(e) => write!(f, "numerical failure: {e}"),
         }

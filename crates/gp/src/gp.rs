@@ -178,7 +178,11 @@ impl<K: Kernel + Clone> Gp<K> {
     ///
     /// Returns the first error from [`Gp::predict`].
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, GpError> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        use rayon::prelude::*;
+        xs.par_iter()
+            .with_min_len(16)
+            .map(|x| self.predict(x))
+            .collect()
     }
 
     /// The fitted kernel.
@@ -245,11 +249,7 @@ fn standardize(ys: &[f64]) -> (Vec<f64>, f64, f64) {
     let mean = linalg::stats::mean(ys);
     let std = linalg::stats::std_dev(ys);
     let scale = if std > 1e-12 { std } else { 1.0 };
-    (
-        ys.iter().map(|y| (y - mean) / scale).collect(),
-        mean,
-        scale,
-    )
+    (ys.iter().map(|y| (y - mean) / scale).collect(), mean, scale)
 }
 
 /// Builds and factorizes `K + σ²I`, returning `(chol, α = K⁻¹y, NLML)`.
@@ -260,14 +260,15 @@ fn factorize<K: Kernel>(
     noise_var: f64,
 ) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
     let n = xs.len();
-    let mut km = Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+    // Row-blocked parallel assembly; bit-identical to the serial path for
+    // any thread count (see `Matrix::from_fn_par`).
+    let mut km = Matrix::from_fn_par(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
     km.add_diag(noise_var);
     let chol = Cholesky::new(&km)?;
     let alpha = chol.solve_vec(y_std)?;
     let fit_term: f64 = y_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
-    let nlml = 0.5 * fit_term
-        + 0.5 * chol.log_det()
-        + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+    let nlml =
+        0.5 * fit_term + 0.5 * chol.log_det() + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
     Ok((chol, alpha, nlml))
 }
 
@@ -309,7 +310,13 @@ mod tests {
     fn variance_smaller_at_data_than_far_away() {
         let xs = grid_1d(6);
         let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0]).collect();
-        let gp = Gp::fit(SquaredExponentialArd::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        let gp = Gp::fit(
+            SquaredExponentialArd::new(1),
+            &xs,
+            &ys,
+            &GpConfig::default(),
+        )
+        .unwrap();
         let at_data = gp.predict(&[0.4]).unwrap().var;
         let far = gp.predict(&[5.0]).unwrap().var;
         assert!(at_data < far);
@@ -386,7 +393,14 @@ mod tests {
     #[test]
     fn noisy_data_learns_noise() {
         // Same x twice with different y forces a nonzero noise estimate.
-        let xs = vec![vec![0.0], vec![0.0], vec![0.5], vec![0.5], vec![1.0], vec![1.0]];
+        let xs = vec![
+            vec![0.0],
+            vec![0.0],
+            vec![0.5],
+            vec![0.5],
+            vec![1.0],
+            vec![1.0],
+        ];
         let ys = vec![0.1, -0.1, 0.6, 0.4, 1.1, 0.9];
         let gp = Gp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
         assert!(gp.noise_var() > 1e-6);

@@ -529,7 +529,10 @@ mod tests {
         use crate::{Gp, GpConfig};
         // Linear trend + sinusoidal deviation: the composite captures both.
         let xs: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 14.0]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] + (8.0 * x[0]).sin() * 0.3).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 3.0 * x[0] + (8.0 * x[0]).sin() * 0.3)
+            .collect();
         let k = SumKernel::new(Matern52Ard::new(1), LinearKernel::new(1));
         let gp = Gp::fit(k, &xs, &ys, &GpConfig::default()).unwrap();
         let p = gp.predict(&[0.5]).unwrap();

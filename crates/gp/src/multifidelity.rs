@@ -533,7 +533,10 @@ mod tests {
     #[test]
     fn out_of_range_level_errors() {
         let l0 = grid(5);
-        let data = [FidelityData::new(l0.clone(), l0.iter().map(|x| x[0]).collect())];
+        let data = [FidelityData::new(
+            l0.clone(),
+            l0.iter().map(|x| x[0]).collect(),
+        )];
         let cfg = MultiFidelityConfig::default();
         let nl = NonLinearMultiFidelityGp::fit(&data, &cfg).unwrap();
         assert!(nl.predict(1, &[0.1]).is_err());

@@ -18,7 +18,9 @@ pub struct MultiTaskPrediction {
 impl MultiTaskPrediction {
     /// Marginal variances (the diagonal of the covariance), clamped non-negative.
     pub fn vars(&self) -> Vec<f64> {
-        (0..self.mean.len()).map(|i| self.cov[(i, i)].max(0.0)).collect()
+        (0..self.mean.len())
+            .map(|i| self.cov[(i, i)].max(0.0))
+            .collect()
     }
 }
 
@@ -172,10 +174,7 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
         let n_tasks = validate_multi(xs, ys, self.kernel.dim())?;
         if n_tasks != self.n_tasks {
             return Err(GpError::InvalidTrainingData {
-                reason: format!(
-                    "model has {} tasks, data has {n_tasks}",
-                    self.n_tasks
-                ),
+                reason: format!("model has {} tasks, data has {n_tasks}", self.n_tasks),
             });
         }
         let n = xs.len();
@@ -226,7 +225,7 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
         let kxx = self.kernel.eval(x, x);
 
         // Cross-covariance columns (one per query task) and their L^{-1} images.
-        let mut mean = vec![0.0; m];
+        let mut mean = Vec::with_capacity(m);
         let mut w = Vec::with_capacity(m); // L^{-1} c_u
         for u in 0..m {
             let mut c = vec![0.0; n * m];
@@ -236,7 +235,12 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
                     c[t * n + i] = btu * kq[i];
                 }
             }
-            mean[u] = c.iter().zip(&self.alpha).map(|(ci, ai)| ci * ai).sum();
+            mean.push(
+                c.iter()
+                    .zip(&self.alpha)
+                    .map(|(ci, ai)| ci * ai)
+                    .sum::<f64>(),
+            );
             w.push(self.chol.solve_lower(&c)?);
         }
 
@@ -272,7 +276,11 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     ///
     /// Returns the first error from [`MultiTaskGp::predict`].
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<MultiTaskPrediction>, GpError> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        use rayon::prelude::*;
+        xs.par_iter()
+            .with_min_len(8)
+            .map(|x| self.predict(x))
+            .collect()
     }
 
     /// Learned task-covariance matrix `B` (Eq. 9's `K_{i,j}`).
@@ -287,7 +295,10 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     ///
     /// Panics if `i` or `j` is not a valid task index.
     pub fn task_correlation(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.n_tasks && j < self.n_tasks, "task index out of range");
+        assert!(
+            i < self.n_tasks && j < self.n_tasks,
+            "task index out of range"
+        );
         self.b[(i, j)] / (self.b[(i, i)] * self.b[(j, j)]).sqrt()
     }
 
@@ -387,7 +398,9 @@ fn joint_factorize<K: Kernel>(
 ) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
     let n = xs.len();
     let m = b.rows();
-    let kx = Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+    // Row-blocked parallel assembly of the shared data kernel (Eq. 9's
+    // `k_C`); bit-identical to the serial path for any thread count.
+    let kx = Matrix::from_fn_par(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
     let mut sigma = b.kron(&kx);
     for t in 0..m {
         for i in 0..n {
@@ -397,9 +410,8 @@ fn joint_factorize<K: Kernel>(
     let chol = Cholesky::new(&sigma)?;
     let alpha = chol.solve_vec(y_std)?;
     let fit: f64 = y_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
-    let nlml = 0.5 * fit
-        + 0.5 * chol.log_det()
-        + 0.5 * (n * m) as f64 * (2.0 * std::f64::consts::PI).ln();
+    let nlml =
+        0.5 * fit + 0.5 * chol.log_det() + 0.5 * (n * m) as f64 * (2.0 * std::f64::consts::PI).ln();
     Ok((chol, alpha, nlml))
 }
 

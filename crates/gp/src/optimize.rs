@@ -233,8 +233,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_2d() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = nelder_mead(
             rosen,
             &[-1.2, 1.0],
@@ -272,14 +271,7 @@ mod tests {
             (a * a).min((a - 4.0) * (a - 4.0) + 1.0)
         };
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let r = multi_start_nelder_mead(
-            f,
-            &[4.0],
-            5.0,
-            8,
-            &NelderMeadOptions::default(),
-            &mut rng,
-        );
+        let r = multi_start_nelder_mead(f, &[4.0], 5.0, 8, &NelderMeadOptions::default(), &mut rng);
         assert!(r.value < 0.5);
     }
 

@@ -251,7 +251,9 @@ fn stencil3d() -> DesignSpaceBuilder {
     let orig = k.add_array("orig", 34 * 34 * 34, vec![kk]).unwrap();
     let sol = k.add_array("sol", 32 * 32 * 32, vec![kk]).unwrap();
     // Boundary-copy phase.
-    let bdy = k.add_loop("boundary", 32 * 32, None, 1.0, 2.0, 0.0).unwrap();
+    let bdy = k
+        .add_loop("boundary", 32 * 32, None, 1.0, 2.0, 0.0)
+        .unwrap();
     let halo = k.add_array("halo", 34 * 34 * 6, vec![bdy]).unwrap();
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(kk, &[1, 2, 4, 8])
@@ -280,7 +282,9 @@ fn ismart2() -> DesignSpaceBuilder {
     let w = k.add_loop("wb", 20 * 20 * 16, None, 1.0, 1.0, 0.0).unwrap();
     let ofm = k.add_array("ofm", 20 * 20 * 16, vec![w]).unwrap();
     // 2x2 max pooling.
-    let p = k.add_loop("pool", 10 * 10 * 16, None, 3.0, 4.0, 0.1).unwrap();
+    let p = k
+        .add_loop("pool", 10 * 10 * 16, None, 3.0, 4.0, 0.1)
+        .unwrap();
     let pool = k.add_array("pooled", 10 * 10 * 16, vec![p]).unwrap();
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(k2, &[1, 3, 9])
@@ -303,7 +307,9 @@ fn fft() -> DesignSpaceBuilder {
     // log2(1024) = 10 butterfly stages; model the dominant inner loop of one
     // stage plus the bit-reversal permutation phase.
     let stage = k.add_loop("stage", 10, None, 0.0, 0.0, 0.0).unwrap();
-    let bfly = k.add_loop("butterfly", 512, Some(stage), 6.0, 4.0, 0.3).unwrap();
+    let bfly = k
+        .add_loop("butterfly", 512, Some(stage), 6.0, 4.0, 0.3)
+        .unwrap();
     let real = k.add_array("real", 1024, vec![bfly]).unwrap();
     let imag = k.add_array("imag", 1024, vec![bfly]).unwrap();
     let tw = k.add_array("twiddle", 512, vec![bfly]).unwrap();
@@ -346,7 +352,9 @@ fn md_knn() -> DesignSpaceBuilder {
     let mut k = KernelIr::new("md_knn");
     // Per-atom loop over 16 neighbours computing LJ forces.
     let atom = k.add_loop("atom", 256, None, 0.0, 0.0, 0.0).unwrap();
-    let nbr = k.add_loop("neighbor", 16, Some(atom), 12.0, 6.0, 0.4).unwrap();
+    let nbr = k
+        .add_loop("neighbor", 16, Some(atom), 12.0, 6.0, 0.4)
+        .unwrap();
     let pos = k.add_array("position", 768, vec![nbr]).unwrap();
     let nl = k.add_array("neighbor_list", 4096, vec![nbr]).unwrap();
     let wb = k.add_loop("force_wb", 256, None, 3.0, 3.0, 0.0).unwrap();

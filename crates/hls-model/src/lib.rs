@@ -40,8 +40,8 @@ pub mod directive;
 pub mod encode;
 mod error;
 pub mod ir;
-pub mod spec;
 pub mod space;
+pub mod spec;
 pub mod tree;
 
 pub use directive::{Directive, PartitionKind};

@@ -142,7 +142,12 @@ impl DesignSpaceBuilder {
 
     /// Adds partition-factor and (when `schemes` has more than one entry)
     /// partition-scheme sites on `a`.
-    pub fn partition(&mut self, a: ArrayId, factors: &[u32], schemes: &[PartitionKind]) -> &mut Self {
+    pub fn partition(
+        &mut self,
+        a: ArrayId,
+        factors: &[u32],
+        schemes: &[PartitionKind],
+    ) -> &mut Self {
         self.sites.push(Site {
             kind: SiteKind::PartitionFactor(a),
             options: with_one(factors),
@@ -199,7 +204,10 @@ impl DesignSpaceBuilder {
                 restrict(self.options_for(SiteKind::Unroll(l)).unwrap_or(&[1]));
             }
             for &a in &t.arrays {
-                restrict(self.options_for(SiteKind::PartitionFactor(a)).unwrap_or(&[1]));
+                restrict(
+                    self.options_for(SiteKind::PartitionFactor(a))
+                        .unwrap_or(&[1]),
+                );
             }
             let factors = common.unwrap_or_else(|| vec![1]);
             // Scheme options: intersection across member arrays' scheme sites.
@@ -238,10 +246,9 @@ impl DesignSpaceBuilder {
         for (si, site) in self.sites.iter().enumerate() {
             match site.kind {
                 SiteKind::Pipeline(_) | SiteKind::Inline => free_sites.push(si),
-                SiteKind::Unroll(l)
-                    if !trees.iter().any(|t| t.all_loops().any(|tl| tl == l)) => {
-                        free_sites.push(si);
-                    }
+                SiteKind::Unroll(l) if !trees.iter().any(|t| t.all_loops().any(|tl| tl == l)) => {
+                    free_sites.push(si);
+                }
                 _ => {}
             }
         }
@@ -353,10 +360,7 @@ impl DesignSpaceBuilder {
     /// Size of the un-pruned cross product (may be astronomically large, hence
     /// `f64`).
     pub fn full_size(&self) -> f64 {
-        self.sites
-            .iter()
-            .map(|s| s.options.len() as f64)
-            .product()
+        self.sites.iter().map(|s| s.options.len() as f64).product()
     }
 
     fn validate(&self) -> Result<(), ModelError> {
@@ -390,7 +394,8 @@ impl DesignSpaceBuilder {
     }
 
     fn options_for(&self, kind: SiteKind) -> Option<&[u32]> {
-        self.site_index(kind).map(|i| self.sites[i].options.as_slice())
+        self.site_index(kind)
+            .map(|i| self.sites[i].options.as_slice())
     }
 }
 
@@ -476,9 +481,7 @@ impl DesignSpace {
                 SiteKind::Unroll(l) => r.unroll[l.index()] = v.max(1),
                 SiteKind::Pipeline(l) => r.pipeline_ii[l.index()] = v,
                 SiteKind::PartitionFactor(a) => r.partition_factor[a.index()] = v.max(1),
-                SiteKind::PartitionScheme(a) => {
-                    r.partition_kind[a.index()] = scheme_from_code(v)
-                }
+                SiteKind::PartitionScheme(a) => r.partition_kind[a.index()] = scheme_from_code(v),
                 SiteKind::Inline => r.inline = v != 0,
             }
         }
@@ -545,8 +548,16 @@ mod tests {
             .unroll(l1, &[1, 2, 5])
             .unroll(l2, &[1, 2, 5, 10])
             .unroll(l3, &[1, 2, 5, 10])
-            .partition(a, &[1, 2, 5, 10], &[PartitionKind::Cyclic, PartitionKind::Block])
-            .partition(b, &[1, 2, 5, 10], &[PartitionKind::Cyclic, PartitionKind::Block])
+            .partition(
+                a,
+                &[1, 2, 5, 10],
+                &[PartitionKind::Cyclic, PartitionKind::Block],
+            )
+            .partition(
+                b,
+                &[1, 2, 5, 10],
+                &[PartitionKind::Cyclic, PartitionKind::Block],
+            )
             .pipeline(l2, &[0, 1])
             .inline();
         builder
@@ -608,7 +619,11 @@ mod tests {
         b.unroll(l2, &[2, 5, 10]); // "1" is auto-added -> {1,2,5,10}
         let full = b.build_full().unwrap();
         // Options {1,2,5,10}: value 5 encodes to (5-1)/9.
-        let idx5 = full.sites()[0].options.iter().position(|&v| v == 5).unwrap();
+        let idx5 = full.sites()[0]
+            .options
+            .iter()
+            .position(|&v| v == 5)
+            .unwrap();
         let cfg = (0..full.len())
             .find(|&i| full.config(i)[0] == idx5)
             .unwrap();

@@ -88,12 +88,12 @@ pub fn parse(text: &str) -> Result<DesignSpaceBuilder, ModelError> {
                 let kv = parse_kv(parts, lineno)?;
                 let trip = get_u32(&kv, "trip", lineno)?;
                 let parent = match kv.iter().find(|(k, _)| k == "parent") {
-                    Some((_, v)) if v != "-" => Some(k.loop_by_name(v).ok_or_else(|| {
-                        ModelError::UnknownEntity {
+                    Some((_, v)) if v != "-" => {
+                        Some(k.loop_by_name(v).ok_or_else(|| ModelError::UnknownEntity {
                             kind: "loop",
                             name: v.clone(),
-                        }
-                    })?),
+                        })?)
+                    }
                     _ => None,
                 };
                 let ops = get_f64_or(&kv, "ops", 1.0, lineno)?;

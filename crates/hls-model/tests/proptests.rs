@@ -47,7 +47,11 @@ fn build(rk: &RandomKernel) -> DesignSpaceBuilder {
     let mut b = DesignSpaceBuilder::new(k);
     for (l, a) in unroll_loops.iter().zip(&arrays) {
         b.unroll(*l, &rk.factors)
-            .partition(*a, &rk.factors, &[PartitionKind::Cyclic, PartitionKind::Block])
+            .partition(
+                *a,
+                &rk.factors,
+                &[PartitionKind::Cyclic, PartitionKind::Block],
+            )
             .pipeline(*l, &[0, 1]);
     }
     b.inline();

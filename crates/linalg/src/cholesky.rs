@@ -43,7 +43,9 @@ impl Cholesky {
         }
         let n = a.rows();
         if n == 0 {
-            return Err(LinalgError::Empty { op: "Cholesky::new" });
+            return Err(LinalgError::Empty {
+                op: "Cholesky::new",
+            });
         }
         let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64;
         let base = if mean_diag > 0.0 { mean_diag } else { 1.0 };
@@ -54,9 +56,7 @@ impl Cholesky {
                 Some(l) => return Ok(Cholesky { l, jitter }),
                 None => {
                     if scale > 1e-4 {
-                        return Err(LinalgError::NotPositiveDefinite {
-                            max_jitter: jitter,
-                        });
+                        return Err(LinalgError::NotPositiveDefinite { max_jitter: jitter });
                     }
                     jitter = base * scale;
                     scale *= 100.0;
@@ -153,8 +153,8 @@ impl Cholesky {
         let mut x = y.to_vec();
         for i in (0..n).rev() {
             let mut s = x[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, &xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }

@@ -12,9 +12,7 @@ fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 /// Strategy: a random symmetric positive-definite matrix `B Bᵀ + εI`.
 fn spd(n: usize) -> impl Strategy<Value = Matrix> {
     matrix(n, n).prop_map(move |b| {
-        let mut a = b
-            .matmul(&b.transpose())
-            .expect("square product");
+        let mut a = b.matmul(&b.transpose()).expect("square product");
         a.add_diag(0.5);
         a
     })

@@ -89,7 +89,11 @@ fn hv3(front: &[Vec<f64>], r: &[f64]) -> f64 {
     for (i, p) in pts.iter().enumerate() {
         active.push(vec![p[0], p[1]]);
         let z_lo = p[2];
-        let z_hi = if i + 1 < pts.len() { pts[i + 1][2] } else { r[2] };
+        let z_hi = if i + 1 < pts.len() {
+            pts[i + 1][2]
+        } else {
+            r[2]
+        };
         if z_hi > z_lo {
             let slice = hv2(&pareto_front(&active), &r[..2]);
             hv += slice * (z_hi - z_lo);
@@ -159,9 +163,7 @@ mod tests {
         let pts = vec![vec![0.0, 0.5], vec![0.5, 0.0]];
         let mut with = pts.clone();
         with.push(vec![0.6, 0.6]);
-        assert!(
-            (hypervolume(&pts, &[1.0, 1.0]) - hypervolume(&with, &[1.0, 1.0])).abs() < 1e-12
-        );
+        assert!((hypervolume(&pts, &[1.0, 1.0]) - hypervolume(&with, &[1.0, 1.0])).abs() < 1e-12);
     }
 
     #[test]

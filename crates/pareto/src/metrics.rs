@@ -88,6 +88,9 @@ pub fn crowding_distance(points: &[Vec<f64>]) -> Vec<f64> {
         return vec![f64::INFINITY; n];
     }
     let mut dist = vec![0.0f64; n];
+    // `d` indexes one objective column across rows reached via `order[..]`;
+    // there is no single slice to iterate.
+    #[allow(clippy::needless_range_loop)]
     for d in 0..m {
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| points[a][d].total_cmp(&points[b][d]));

@@ -17,10 +17,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let space = benchmarks::build(b).pruned_space()?;
     let sim = FlowSimulator::new(SimParams::for_benchmark(b));
     let front = TrueFront::compute(&space, &sim);
-    println!("{}: {} configurations, true front has {} points", b.name(), space.len(), front.points.len());
+    println!(
+        "{}: {} configurations, true front has {} points",
+        b.name(),
+        space.len(),
+        front.points.len()
+    );
     println!("{:<22} {:>8} {:>12}", "method", "ADRS", "sim hours");
 
-    for (name, variant) in [("Ours (correlated+NL)", ModelVariant::paper()), ("FPL18 (indep+linear)", ModelVariant::fpl18())] {
+    for (name, variant) in [
+        ("Ours (correlated+NL)", ModelVariant::paper()),
+        ("FPL18 (indep+linear)", ModelVariant::fpl18()),
+    ] {
         let cfg = CmmfConfig {
             variant,
             seed: 7,

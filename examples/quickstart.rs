@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.evaluated_configs.len(),
         result.sim_seconds / 3600.0
     );
-    println!("learned Pareto front ({} points):", result.measured_pareto.len());
+    println!(
+        "learned Pareto front ({} points):",
+        result.measured_pareto.len()
+    );
     println!("{:>10} {:>14} {:>8}", "power (W)", "delay (ns)", "LUT %");
     for p in &result.measured_pareto {
         println!("{:>10.3} {:>14.0} {:>8.1}", p[0], p[1], p[2] * 100.0);

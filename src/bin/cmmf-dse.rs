@@ -42,14 +42,26 @@ fn parse_args() -> Result<Args, String> {
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--iters" => parsed.iters = next_value(&mut args, "--iters")?.parse().map_err(|e| format!("--iters: {e}"))?,
-            "--seed" => parsed.seed = next_value(&mut args, "--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--iters" => {
+                parsed.iters = next_value(&mut args, "--iters")?
+                    .parse()
+                    .map_err(|e| format!("--iters: {e}"))?
+            }
+            "--seed" => {
+                parsed.seed = next_value(&mut args, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--divergence" => {
                 parsed.divergence = next_value(&mut args, "--divergence")?
                     .parse()
                     .map_err(|e| format!("--divergence: {e}"))?
             }
-            "--batch" => parsed.batch = next_value(&mut args, "--batch")?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--batch" => {
+                parsed.batch = next_value(&mut args, "--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
             "--variant" => {
                 parsed.variant = match next_value(&mut args, "--variant")?.as_str() {
                     "ours" => ModelVariant::paper(),
@@ -130,7 +142,10 @@ fn run(args: &Args) -> Result<(), String> {
             println!("{:.4},{:.1},{:.4}", p[0], p[1], p[2]);
         }
     } else {
-        println!("learned Pareto front ({} points):", result.measured_pareto.len());
+        println!(
+            "learned Pareto front ({} points):",
+            result.measured_pareto.len()
+        );
         println!("{:>10} {:>14} {:>8}", "power (W)", "delay (ns)", "LUT %");
         for p in &result.measured_pareto {
             println!("{:>10.3} {:>14.0} {:>8.1}", p[0], p[1], p[2] * 100.0);
