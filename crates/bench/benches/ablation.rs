@@ -3,7 +3,7 @@
 //! cost per model fit and per acquisition-level prediction. (The ablations'
 //! solution *quality* is reported by the `ablation` binary.)
 
-use cmmf::{FidelityDataSet, FidelityModelStack, ModelVariant};
+use cmmf::{FidelityDataSet, FidelityModelStack, FitMode, ModelVariant};
 use criterion::{criterion_group, criterion_main, Criterion};
 use fidelity_sim::{FlowSimulator, RunOutcome, SimParams, Stage};
 use gp::GpConfig;
@@ -73,7 +73,10 @@ fn bench_variant_fits(c: &mut Criterion) {
     ] {
         group.bench_function(variant.name(), |b| {
             b.iter(|| {
-                black_box(FidelityModelStack::fit(variant, &data, &cfg, None, false).expect("fits"))
+                black_box(
+                    FidelityModelStack::fit(variant, &data, &cfg, None, FitMode::Optimize)
+                        .expect("fits"),
+                )
             })
         });
     }
@@ -85,7 +88,8 @@ fn bench_variant_predicts(c: &mut Criterion) {
     let cfg = quick_cfg();
     let mut group = c.benchmark_group("ablation_predict_impl_level");
     for variant in [ModelVariant::paper(), ModelVariant::fpl18()] {
-        let stack = FidelityModelStack::fit(variant, &data, &cfg, None, false).expect("fits");
+        let stack =
+            FidelityModelStack::fit(variant, &data, &cfg, None, FitMode::Optimize).expect("fits");
         group.bench_function(variant.name(), |b| {
             let mut i = 0;
             b.iter(|| {
@@ -101,15 +105,22 @@ fn bench_refit_vs_fit(c: &mut Criterion) {
     let (data, _) = realistic_data();
     let cfg = quick_cfg();
     let stack =
-        FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, false).expect("fits");
+        FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, FitMode::Optimize)
+            .expect("fits");
     let mut group = c.benchmark_group("ablation_refit");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(10));
     group.bench_function("hyperparam_reuse", |b| {
         b.iter(|| {
             black_box(
-                FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, Some(&stack), true)
-                    .expect("refits"),
+                FidelityModelStack::fit(
+                    ModelVariant::paper(),
+                    &data,
+                    &cfg,
+                    Some(&stack),
+                    FitMode::Refit,
+                )
+                .expect("refits"),
             )
         })
     });

@@ -1,0 +1,230 @@
+//! Incremental surrogate updates: from-scratch refits vs Cholesky-extending
+//! refits, at the model layer and end-to-end through the optimizer.
+//!
+//! Usage: `cargo bench -p cmmf-bench --bench incremental [-- <filter>]`
+//!        `cargo bench -p cmmf-bench --bench incremental -- --smoke`
+//!
+//! Every pair runs the *same* refit with [`FitMode::Refit`]-style full
+//! refactorization and with the extend path that grows the cached Cholesky
+//! factor (`O(n³)` vs `O(n²·k)` per reuse step); the incremental layer
+//! guarantees bit-identical results, and this harness asserts that before
+//! timing anything. `--smoke` runs only those contract assertions (the CI
+//! gate); a full run also writes `BENCH_incremental.json` with the measured
+//! refit/extend speedups at n ∈ {50, 100, 200}.
+
+use cmmf::{CmmfConfig, Optimizer};
+use criterion::Criterion;
+use fidelity_sim::{FlowSimulator, SimParams};
+use gp::kernel::Matern52Ard;
+use gp::{GpConfig, MultiTaskGp};
+use hls_model::benchmarks::{self, Benchmark};
+use std::hint::black_box;
+
+const N_TASKS: usize = 3;
+const DIM: usize = 6;
+/// Points appended per reuse step (the optimizer adds `batch_size` per step).
+const K_NEW: usize = 2;
+
+/// Deterministic synthetic inputs — a low-discrepancy-ish integer hash so
+/// runs are reproducible without an RNG.
+fn inputs(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..DIM)
+                .map(|d| ((i * 7 + d * 13 + i * i * 3) % 97) as f64 / 97.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Smooth correlated objective rows over those inputs.
+fn outputs(xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    xs.iter()
+        .map(|x| {
+            let s: f64 = x.iter().enumerate().map(|(d, v)| (d + 1) as f64 * v).sum();
+            let f = (0.7 * s).sin();
+            vec![f, -f + 0.1 * x[0], f * f + 0.05 * x[1]]
+        })
+        .collect()
+}
+
+/// A fitted multi-task GP at size `n` plus the grown dataset of `n + K_NEW`
+/// points — the exact shape of one hyperparameter-reusing optimizer step.
+fn grown_pair(n: usize) -> (MultiTaskGp<Matern52Ard>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let xs = inputs(n + K_NEW);
+    let ys = outputs(&xs);
+    // Fixed hyperparameters: the reuse steps never re-optimize, so neither
+    // does the bench — the timed work is exactly the per-step linear algebra.
+    let cfg = GpConfig {
+        optimize: false,
+        ..Default::default()
+    };
+    let gp = MultiTaskGp::fit(Matern52Ard::new(DIM), &xs[..n], &ys[..n], &cfg).expect("fits");
+    (gp, xs, ys)
+}
+
+/// The bit-equality contract, asserted on predictions and the marginal
+/// likelihood before any timing: extend must equal a from-scratch refit
+/// exactly, not approximately.
+fn assert_extend_contract(n: usize) {
+    let (gp, xs, ys) = grown_pair(n);
+    let ext = gp.extend(&xs, &ys).expect("extends");
+    let full = gp.refit(&xs, &ys).expect("refits");
+    assert_eq!(
+        ext.neg_log_marginal_likelihood().to_bits(),
+        full.neg_log_marginal_likelihood().to_bits(),
+        "nlml diverged at n={n}"
+    );
+    for q in [0.1, 0.45, 0.9] {
+        let a = ext.predict(&[q; DIM]).expect("predicts");
+        let b = full.predict(&[q; DIM]).expect("predicts");
+        for t in 0..N_TASKS {
+            assert_eq!(
+                a.mean[t].to_bits(),
+                b.mean[t].to_bits(),
+                "mean diverged at n={n} q={q} task={t}"
+            );
+            for u in 0..N_TASKS {
+                assert_eq!(
+                    a.cov[(t, u)].to_bits(),
+                    b.cov[(t, u)].to_bits(),
+                    "cov diverged at n={n} q={q} ({t},{u})"
+                );
+            }
+        }
+    }
+    println!("contract ok: extend == refit bit-for-bit at n={n} (+{K_NEW} points)");
+}
+
+fn optimizer_cfgs() -> (CmmfConfig, CmmfConfig) {
+    let mut fast = CmmfConfig {
+        n_iter: 6,
+        candidate_pool: 60,
+        mc_samples: 8,
+        // Only step 0 re-optimizes hyperparameters; every later step goes
+        // through the reuse path under test.
+        refit_every: 6,
+        final_prediction_pool: 200,
+        incremental: true,
+        seed: 23,
+        ..Default::default()
+    };
+    fast.gp.restarts = 0;
+    fast.gp.max_evals = 60;
+    let mut full = fast.clone();
+    full.incremental = false;
+    (full, fast)
+}
+
+/// End-to-end contract: the whole `RunResult` agrees between the two paths.
+fn assert_optimizer_contract() {
+    let space = benchmarks::build(Benchmark::SpmvCrs)
+        .pruned_space()
+        .expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
+    let (full_cfg, fast_cfg) = optimizer_cfgs();
+    let full = Optimizer::new(full_cfg).run(&space, &sim).expect("runs");
+    let fast = Optimizer::new(fast_cfg).run(&space, &sim).expect("runs");
+    assert_eq!(full.candidate_set, fast.candidate_set);
+    assert_eq!(full.evaluated_configs, fast.evaluated_configs);
+    assert_eq!(full.measured_pareto, fast.measured_pareto);
+    assert_eq!(full.sim_seconds.to_bits(), fast.sim_seconds.to_bits());
+    assert_eq!(full.hv_history, fast.hv_history);
+    println!("contract ok: optimizer RunResult identical with incremental on/off");
+}
+
+fn bench_refit_vs_extend(c: &mut Criterion) {
+    for n in [50usize, 100, 200] {
+        assert_extend_contract(n);
+        let (gp, xs, ys) = grown_pair(n);
+        let mut group = c.benchmark_group(format!("multitask_reuse_step_n{n}"));
+        group.sample_size(10);
+        group.bench_function("full_refit", |b| {
+            b.iter(|| black_box(gp.refit(&xs, &ys).expect("refits")))
+        });
+        group.bench_function("extend", |b| {
+            b.iter(|| black_box(gp.extend(&xs, &ys).expect("extends")))
+        });
+        group.finish();
+    }
+}
+
+fn bench_optimizer_end_to_end(c: &mut Criterion) {
+    assert_optimizer_contract();
+    let space = benchmarks::build(Benchmark::SpmvCrs)
+        .pruned_space()
+        .expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
+    let (full_cfg, fast_cfg) = optimizer_cfgs();
+    let mut group = c.benchmark_group("optimizer_run_spmv-crs_6steps");
+    group.sample_size(10);
+    group.bench_function("full_refit", |b| {
+        b.iter(|| {
+            Optimizer::new(full_cfg.clone())
+                .run(&space, &sim)
+                .expect("runs")
+        })
+    });
+    group.bench_function("extend", |b| {
+        b.iter(|| {
+            Optimizer::new(fast_cfg.clone())
+                .run(&space, &sim)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
+/// Wraps the criterion report with the host parallelism and per-group
+/// full-refit/extend speedups, and writes `BENCH_incremental.json`.
+fn write_report(report: &criterion::Report) {
+    let mut speedups = String::new();
+    let mut ids: Vec<&str> = report
+        .measurements
+        .iter()
+        .filter_map(|m| m.id.strip_suffix("/full_refit"))
+        .collect();
+    ids.dedup();
+    for (i, group) in ids.iter().enumerate() {
+        let find = |suffix: &str| {
+            report
+                .measurements
+                .iter()
+                .find(|m| m.id == format!("{group}/{suffix}"))
+                .map(|m| m.mean_ns)
+        };
+        if let (Some(full), Some(extend)) = (find("full_refit"), find("extend")) {
+            speedups.push_str(&format!(
+                "    {{\"group\": \"{group}\", \"speedup\": {:.2}}}{}\n",
+                full / extend,
+                if i + 1 < ids.len() { "," } else { "" }
+            ));
+            println!("{group}: {:.2}x speedup", full / extend);
+        }
+    }
+    let json = format!(
+        "{{\n  \"hardware_threads\": {},\n  \"speedups\": [\n{}  ],\n  \"measurements\": {}\n}}\n",
+        rayon::hardware_threads(),
+        speedups,
+        report.to_json().replace('\n', "\n  "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_incremental.json");
+    std::fs::write(path, json).expect("write BENCH_incremental.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI contract gate: assert bit-equality everywhere, time nothing.
+        for n in [50usize, 100, 200] {
+            assert_extend_contract(n);
+        }
+        assert_optimizer_contract();
+        println!("smoke ok");
+        return;
+    }
+    let mut c = Criterion::default().configure_from_args();
+    bench_refit_vs_extend(&mut c);
+    bench_optimizer_end_to_end(&mut c);
+    write_report(c.report());
+}

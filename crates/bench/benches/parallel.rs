@@ -11,7 +11,8 @@
 
 use cmmf::eipv::{eipv_correlated_mc_seeded, peipv};
 use cmmf::{
-    CandidateChoice, CmmfConfig, FidelityDataSet, FidelityModelStack, ModelVariant, Optimizer,
+    CandidateChoice, CmmfConfig, FidelityDataSet, FidelityModelStack, FitMode, ModelVariant,
+    Optimizer,
 };
 use criterion::Criterion;
 use fidelity_sim::{FlowSimulator, RunOutcome, SimParams, Stage};
@@ -98,8 +99,14 @@ fn build_scoring_state(benchmark: Benchmark) -> ScoringState {
         max_evals: 60,
         ..Default::default()
     };
-    let stack = FidelityModelStack::fit(ModelVariant::paper(), &data, &gp_cfg, None, false)
-        .expect("stack fits");
+    let stack = FidelityModelStack::fit(
+        ModelVariant::paper(),
+        &data,
+        &gp_cfg,
+        None,
+        FitMode::Optimize,
+    )
+    .expect("stack fits");
     let fronts: Vec<Vec<Vec<f64>>> = (0..3).map(|f| pareto_front(&data.ys[f])).collect();
     let pool: Vec<usize> = (n_train..space.len()).take(200).collect();
     ScoringState {

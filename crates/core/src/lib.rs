@@ -49,5 +49,5 @@ mod optimizer;
 pub mod runner;
 
 pub use error::CmmfError;
-pub use models::{FidelityDataSet, FidelityModelStack, ModelVariant};
+pub use models::{FidelityDataSet, FidelityModelStack, FitMode, ModelVariant};
 pub use optimizer::{CandidateChoice, CmmfConfig, Optimizer, RunResult};

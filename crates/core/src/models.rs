@@ -62,6 +62,29 @@ impl Default for ModelVariant {
     }
 }
 
+/// How [`FidelityModelStack::fit`] treats the previous iteration's stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FitMode {
+    /// Full fit: re-run the marginal-likelihood hyperparameter search.
+    Optimize,
+    /// Reuse the previous stack's hyperparameters but rebuild every kernel
+    /// matrix and Cholesky factor from scratch.
+    Refit,
+    /// Reuse the previous stack's hyperparameters *and* its cached kernel
+    /// matrices/factors, extending them with only the new rows
+    /// ([`MultiTaskGp::extend`] and friends). Bit-identical to
+    /// [`FitMode::Refit`]; models whose inputs did not merely grow fall back
+    /// to a full rebuild internally.
+    Extend,
+}
+
+impl FitMode {
+    /// Whether this mode carries hyperparameters over from the previous stack.
+    fn reuses_hyperparams(self) -> bool {
+        !matches!(self, FitMode::Optimize)
+    }
+}
+
 /// Per-fidelity training data: encoded configurations and (normalized)
 /// objective rows, with the nesting `xs[impl] ⊆ xs[syn] ⊆ xs[hls]` maintained
 /// by the optimizer.
@@ -126,11 +149,14 @@ pub enum FidelityModelStack {
 
 impl FidelityModelStack {
     /// Fits the stack selected by `variant` on `data`. When `previous` is the
-    /// stack from the last iteration and `reuse_hyperparams` is set, every
-    /// variant re-uses the previous hyperparameters (linear backbones are
-    /// recomputed — they are closed-form) instead of re-running the
+    /// stack from the last iteration and `mode` is not [`FitMode::Optimize`],
+    /// every variant re-uses the previous hyperparameters (linear backbones
+    /// are recomputed — they are closed-form) instead of re-running the
     /// marginal-likelihood search; this is the cheap per-iteration update of
     /// the BO loop, with full re-fits every `CmmfConfig::refit_every` steps.
+    /// [`FitMode::Extend`] additionally extends the cached Cholesky factors
+    /// instead of refactorizing, producing bit-identical results to
+    /// [`FitMode::Refit`].
     ///
     /// # Errors
     ///
@@ -140,7 +166,7 @@ impl FidelityModelStack {
         data: &FidelityDataSet,
         gp_cfg: &GpConfig,
         previous: Option<&FidelityModelStack>,
-        reuse_hyperparams: bool,
+        mode: FitMode,
     ) -> Result<Self, CmmfError> {
         if data.any_empty() {
             return Err(CmmfError::Internal {
@@ -148,13 +174,9 @@ impl FidelityModelStack {
             });
         }
         match (variant.correlated_objectives, variant.nonlinear_fidelity) {
-            (true, true) => {
-                Self::fit_correlated_nonlinear(data, gp_cfg, previous, reuse_hyperparams)
-            }
-            (true, false) => Self::fit_correlated_plain(data, gp_cfg, previous, reuse_hyperparams),
-            (false, nonlinear) => {
-                Self::fit_independent(data, gp_cfg, nonlinear, previous, reuse_hyperparams)
-            }
+            (true, true) => Self::fit_correlated_nonlinear(data, gp_cfg, previous, mode),
+            (true, false) => Self::fit_correlated_plain(data, gp_cfg, previous, mode),
+            (false, nonlinear) => Self::fit_independent(data, gp_cfg, nonlinear, previous, mode),
         }
     }
 
@@ -162,17 +184,22 @@ impl FidelityModelStack {
         data: &FidelityDataSet,
         gp_cfg: &GpConfig,
         previous: Option<&FidelityModelStack>,
-        reuse_hyperparams: bool,
+        mode: FitMode,
     ) -> Result<Self, CmmfError> {
         let x_dim = data.xs[0][0].len();
         let prev_parts = match previous {
-            Some(FidelityModelStack::CorrelatedNonlinear { base, uppers }) if reuse_hyperparams => {
+            Some(FidelityModelStack::CorrelatedNonlinear { base, uppers })
+                if mode.reuses_hyperparams() =>
+            {
                 Some((base, uppers))
             }
             _ => None,
         };
         let base = match prev_parts {
-            Some((b, _)) if b.dim() == x_dim => b.refit(&data.xs[0], &data.ys[0])?,
+            Some((b, _)) if b.dim() == x_dim => match mode {
+                FitMode::Extend => b.extend(&data.xs[0], &data.ys[0])?,
+                _ => b.refit(&data.xs[0], &data.ys[0])?,
+            },
             _ => MultiTaskGp::fit(Matern52Ard::new(x_dim), &data.xs[0], &data.ys[0], gp_cfg)?,
         };
         let mut stack = FidelityModelStack::CorrelatedNonlinear {
@@ -224,9 +251,13 @@ impl FidelityModelStack {
                 .collect();
             let prev_gp = prev_parts.and_then(|(_, uppers)| uppers.get(f - 1));
             let gp = match prev_gp {
-                Some(level) if level.gp.dim() == x_dim + N_OBJECTIVES => {
-                    level.gp.refit(&aug, &residuals)?
-                }
+                Some(level) if level.gp.dim() == x_dim + N_OBJECTIVES => match mode {
+                    // The augmented inputs shift whenever a lower fidelity
+                    // grew; `extend`'s prefix check falls back to a full
+                    // refit in that case, so this is always bit-safe.
+                    FitMode::Extend => level.gp.extend(&aug, &residuals)?,
+                    _ => level.gp.refit(&aug, &residuals)?,
+                },
                 _ => MultiTaskGp::fit(
                     Matern52Grouped::iso_plus_tail(x_dim, N_OBJECTIVES),
                     &aug,
@@ -248,17 +279,22 @@ impl FidelityModelStack {
         data: &FidelityDataSet,
         gp_cfg: &GpConfig,
         previous: Option<&FidelityModelStack>,
-        reuse_hyperparams: bool,
+        mode: FitMode,
     ) -> Result<Self, CmmfError> {
         let x_dim = data.xs[0][0].len();
         let mut fitted = Vec::with_capacity(N_FIDELITIES);
         for f in 0..N_FIDELITIES {
             let prev_model = match previous {
-                Some(FidelityModelStack::CorrelatedPlain(v)) if reuse_hyperparams => v.get(f),
+                Some(FidelityModelStack::CorrelatedPlain(v)) if mode.reuses_hyperparams() => {
+                    v.get(f)
+                }
                 _ => None,
             };
             let model = match prev_model {
-                Some(m) if m.dim() == x_dim => m.refit(&data.xs[f], &data.ys[f])?,
+                Some(m) if m.dim() == x_dim => match mode {
+                    FitMode::Extend => m.extend(&data.xs[f], &data.ys[f])?,
+                    _ => m.refit(&data.xs[f], &data.ys[f])?,
+                },
                 _ => MultiTaskGp::fit(Matern52Ard::new(x_dim), &data.xs[f], &data.ys[f], gp_cfg)?,
             };
             fitted.push(model);
@@ -271,7 +307,7 @@ impl FidelityModelStack {
         gp_cfg: &GpConfig,
         nonlinear: bool,
         previous: Option<&FidelityModelStack>,
-        reuse_hyperparams: bool,
+        mode: FitMode,
     ) -> Result<Self, CmmfError> {
         let mf_cfg = MultiFidelityConfig {
             gp: gp_cfg.clone(),
@@ -290,25 +326,29 @@ impl FidelityModelStack {
                 .collect();
             if nonlinear {
                 let prev = match previous {
-                    Some(FidelityModelStack::IndependentNonlinear(v)) if reuse_hyperparams => {
+                    Some(FidelityModelStack::IndependentNonlinear(v))
+                        if mode.reuses_hyperparams() =>
+                    {
                         v.get(obj)
                     }
                     _ => None,
                 };
-                per_obj_nonlinear.push(match prev {
-                    Some(m) => m.refit(&levels)?,
-                    None => NonLinearMultiFidelityGp::fit(&levels, &mf_cfg)?,
+                per_obj_nonlinear.push(match (prev, mode) {
+                    (Some(m), FitMode::Extend) => m.extend(&levels)?,
+                    (Some(m), _) => m.refit(&levels)?,
+                    (None, _) => NonLinearMultiFidelityGp::fit(&levels, &mf_cfg)?,
                 });
             } else {
                 let prev = match previous {
-                    Some(FidelityModelStack::IndependentLinear(v)) if reuse_hyperparams => {
+                    Some(FidelityModelStack::IndependentLinear(v)) if mode.reuses_hyperparams() => {
                         v.get(obj)
                     }
                     _ => None,
                 };
-                per_obj_linear.push(match prev {
-                    Some(m) => m.refit(&levels)?,
-                    None => LinearMultiFidelityGp::fit(&levels, &mf_cfg)?,
+                per_obj_linear.push(match (prev, mode) {
+                    (Some(m), FitMode::Extend) => m.extend(&levels)?,
+                    (Some(m), _) => m.refit(&levels)?,
+                    (None, _) => LinearMultiFidelityGp::fit(&levels, &mf_cfg)?,
                 });
             }
         }
@@ -526,7 +566,7 @@ mod tests {
         let data = synthetic();
         let cfg = quick_cfg();
         for variant in all_variants() {
-            let stack = FidelityModelStack::fit(variant, &data, &cfg, None, false)
+            let stack = FidelityModelStack::fit(variant, &data, &cfg, None, FitMode::Optimize)
                 .unwrap_or_else(|e| panic!("{}: {e}", variant.name()));
             for f in 0..N_FIDELITIES {
                 let p = stack.predict(f, &[0.35]).unwrap();
@@ -541,18 +581,28 @@ mod tests {
     #[test]
     fn correlated_stack_reports_correlations() {
         let data = synthetic();
-        let stack =
-            FidelityModelStack::fit(ModelVariant::paper(), &data, &quick_cfg(), None, false)
-                .unwrap();
+        let stack = FidelityModelStack::fit(
+            ModelVariant::paper(),
+            &data,
+            &quick_cfg(),
+            None,
+            FitMode::Optimize,
+        )
+        .unwrap();
         let c = stack.task_correlations(0).expect("correlated stack");
         // Objectives 0 and 1 are anti-correlated by construction.
         assert!(c[(0, 1)] < 0.0, "corr={}", c[(0, 1)]);
         // Upper fidelities report residual correlations too.
         assert!(stack.task_correlations(2).is_some());
         // Independent stacks report none.
-        let indep =
-            FidelityModelStack::fit(ModelVariant::fpl18(), &data, &quick_cfg(), None, false)
-                .unwrap();
+        let indep = FidelityModelStack::fit(
+            ModelVariant::fpl18(),
+            &data,
+            &quick_cfg(),
+            None,
+            FitMode::Optimize,
+        )
+        .unwrap();
         assert!(indep.task_correlations(0).is_none());
     }
 
@@ -561,24 +611,79 @@ mod tests {
         let data = synthetic();
         let cfg = quick_cfg();
         let first =
-            FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, false).unwrap();
+            FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, FitMode::Optimize)
+                .unwrap();
         // Add a point and refit cheaply.
         let mut more = data.clone();
         more.xs[0].push(vec![0.77]);
         more.ys[0].push(vec![0.5, -0.4, 0.25]);
-        let second =
-            FidelityModelStack::fit(ModelVariant::paper(), &more, &cfg, Some(&first), true)
-                .unwrap();
+        let second = FidelityModelStack::fit(
+            ModelVariant::paper(),
+            &more,
+            &cfg,
+            Some(&first),
+            FitMode::Refit,
+        )
+        .unwrap();
         let p = second.predict(2, &[0.5]).unwrap();
         assert_eq!(p.mean.len(), N_OBJECTIVES);
     }
 
     #[test]
+    fn extend_equals_refit_bitwise_for_all_variants() {
+        let data = synthetic();
+        let cfg = quick_cfg();
+        for variant in all_variants() {
+            let first = FidelityModelStack::fit(variant, &data, &cfg, None, FitMode::Optimize)
+                .unwrap_or_else(|e| panic!("{}: {e}", variant.name()));
+            // Grow every fidelity (nesting preserved) and fit both ways.
+            let mut more = data.clone();
+            for f in 0..N_FIDELITIES {
+                more.xs[f].push(vec![0.77]);
+                more.ys[f].push(vec![0.5, -0.4, 0.25]);
+            }
+            let refit = FidelityModelStack::fit(variant, &more, &cfg, Some(&first), FitMode::Refit)
+                .unwrap();
+            let extend =
+                FidelityModelStack::fit(variant, &more, &cfg, Some(&first), FitMode::Extend)
+                    .unwrap();
+            for f in 0..N_FIDELITIES {
+                for i in 0..7 {
+                    let x = [i as f64 / 6.0];
+                    let a = refit.predict(f, &x).unwrap();
+                    let b = extend.predict(f, &x).unwrap();
+                    for o in 0..N_OBJECTIVES {
+                        assert_eq!(
+                            a.mean[o].to_bits(),
+                            b.mean[o].to_bits(),
+                            "{} f={f} x={x:?} obj={o}",
+                            variant.name()
+                        );
+                        for u in 0..N_OBJECTIVES {
+                            assert_eq!(
+                                a.cov[(o, u)].to_bits(),
+                                b.cov[(o, u)].to_bits(),
+                                "{} f={f} x={x:?} cov ({o},{u})",
+                                variant.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn out_of_range_fidelity_errors() {
         let data = synthetic();
-        let stack =
-            FidelityModelStack::fit(ModelVariant::paper(), &data, &quick_cfg(), None, false)
-                .unwrap();
+        let stack = FidelityModelStack::fit(
+            ModelVariant::paper(),
+            &data,
+            &quick_cfg(),
+            None,
+            FitMode::Optimize,
+        )
+        .unwrap();
         assert!(stack.predict(7, &[0.5]).is_err());
     }
 
@@ -607,7 +712,8 @@ mod tests {
             (se / n).sqrt()
         };
         let with =
-            FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, false).unwrap();
+            FidelityModelStack::fit(ModelVariant::paper(), &data, &cfg, None, FitMode::Optimize)
+                .unwrap();
         let without = FidelityModelStack::fit(
             ModelVariant {
                 correlated_objectives: true,
@@ -616,7 +722,7 @@ mod tests {
             &data,
             &cfg,
             None,
-            false,
+            FitMode::Optimize,
         )
         .unwrap();
         assert!(
@@ -632,9 +738,14 @@ mod tests {
         // Far from all data, the top-fidelity variance must be substantial —
         // not collapsed to the residual GP's noise floor.
         let data = synthetic();
-        let stack =
-            FidelityModelStack::fit(ModelVariant::paper(), &data, &quick_cfg(), None, false)
-                .unwrap();
+        let stack = FidelityModelStack::fit(
+            ModelVariant::paper(),
+            &data,
+            &quick_cfg(),
+            None,
+            FitMode::Optimize,
+        )
+        .unwrap();
         let near = stack.predict(2, &[0.5]).unwrap();
         let far = stack.predict(2, &[3.0]).unwrap();
         let near_v: f64 = near.vars().iter().sum();

@@ -1,10 +1,10 @@
 //! The overall optimization flow of Algorithm 2.
 
 use crate::eipv::{eipv_correlated_mc_seeded, peipv};
-use crate::models::{FidelityDataSet, FidelityModelStack, ModelVariant, N_OBJECTIVES};
+use crate::models::{FidelityDataSet, FidelityModelStack, FitMode, ModelVariant, N_OBJECTIVES};
 use crate::CmmfError;
 use fidelity_sim::{FlowSimulator, RunOutcome, Stage};
-use gp::GpConfig;
+use gp::{GpConfig, MultiTaskPrediction};
 use hls_model::DesignSpace;
 use pareto::{hypervolume, pareto_front};
 use rand::derive_stream_seed;
@@ -62,6 +62,12 @@ pub struct CmmfConfig {
     /// Re-optimize GP hyperparameters every this many steps (cheap
     /// hyperparameter-reusing refits in between).
     pub refit_every: usize,
+    /// On the hyperparameter-reusing steps, extend the cached kernel matrices
+    /// and Cholesky factors with only the new rows ([`FitMode::Extend`],
+    /// `O(n²·k)`) instead of rebuilding them from scratch ([`FitMode::Refit`],
+    /// `O(n³)`). Bit-identical results either way — this flag exists so the
+    /// equivalence can be pinned by tests and measured by benches.
+    pub incremental: bool,
     /// Worker threads for the parallel hot paths (candidate scoring, EIPV
     /// Monte-Carlo sampling, kernel-matrix assembly, batch prediction);
     /// 0 uses all hardware threads. Every parallel reduction combines its
@@ -92,6 +98,7 @@ impl Default for CmmfConfig {
             final_prediction_pool: 4000,
             escalate_threshold: 0.05,
             refit_every: 5,
+            incremental: true,
             threads: 0,
             gp: GpConfig {
                 restarts: 2,
@@ -273,9 +280,15 @@ impl Optimizer {
         for t in 0..cfg.n_iter {
             // Materialize normalized training data (penalizing invalids).
             let (data, mins, spans) = self.training_data(space, &obs);
-            let reuse = t % cfg.refit_every != 0;
+            let mode = if t % cfg.refit_every == 0 {
+                FitMode::Optimize
+            } else if cfg.incremental {
+                FitMode::Extend
+            } else {
+                FitMode::Refit
+            };
             let new_stack =
-                FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, stack.as_ref(), reuse)?;
+                FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, stack.as_ref(), mode)?;
 
             // Per-fidelity Pareto fronts of the normalized observations.
             let fronts: Vec<Vec<Vec<f64>>> = (0..3).map(|f| pareto_front(&data.ys[f])).collect();
@@ -289,6 +302,28 @@ impl Optimizer {
                 break;
             }
             let pool = &unsampled[unsampled.len() - pool_len..];
+
+            // Per-step caches: candidate encodings and posterior predictions
+            // are invariant across batch slots (only the fantasy fronts
+            // change between picks), so compute each once per (candidate,
+            // stage) here instead of `batch_size`× per candidate inside the
+            // scoring closures. Ordered parallel collects keep the values
+            // bit-identical to the serial path for any thread count.
+            let stack_ref = &new_stack;
+            let encoded: Vec<Vec<f64>> = pool
+                .par_iter()
+                .with_min_len(8)
+                .map(|&c| space.encode(c))
+                .collect();
+            let cand_preds: Vec<Vec<MultiTaskPrediction>> = encoded
+                .par_iter()
+                .with_min_len(8)
+                .map(|x| {
+                    (0..3)
+                        .map(|f| stack_ref.predict(f, x))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
 
             // Select a batch of `batch_size` (candidate, fidelity) pairs
             // (lines 7-11; batch > 1 models parallel tool instances). The
@@ -309,22 +344,22 @@ impl Optimizer {
                 let q_seed = derive_stream_seed(step_seed, &[q as u64]);
                 let picked_so_far = &picked;
                 let fantasy = &fantasy_fronts;
-                let stack_ref = &new_stack;
                 let reference = &reference;
-                let scored: Vec<Option<CandidateChoice>> = pool
-                    .par_iter()
-                    .map(|&c| -> Result<Option<CandidateChoice>, CmmfError> {
+                let cand_preds = &cand_preds;
+                let scored: Vec<Option<CandidateChoice>> = (0..pool.len())
+                    .into_par_iter()
+                    .map(|idx| -> Result<Option<CandidateChoice>, CmmfError> {
+                        let c = pool[idx];
                         if picked_so_far.iter().any(|p| p.config == c) {
                             return Ok(None);
                         }
-                        let x = space.encode(c);
                         let t_impl = sim.stage_seconds(space, c, Stage::Impl);
                         let mut best: Option<CandidateChoice> = None;
                         for stage in Stage::all() {
                             let f = stage.index();
-                            let pred = stack_ref.predict(f, &x)?;
+                            let pred = &cand_preds[idx][f];
                             let raw = eipv_correlated_mc_seeded(
-                                &pred,
+                                pred,
                                 &fantasy[f],
                                 reference,
                                 cfg.mc_samples,
@@ -363,14 +398,17 @@ impl Optimizer {
                     }
                 }
                 let Some(mut choice) = best else { break };
+                let choice_idx = pool
+                    .iter()
+                    .position(|&c| c == choice.config)
+                    .expect("winning candidate came from the pool");
 
                 // Fidelity-escalation guard: if the surrogate is already
                 // confident at the chosen point and fidelity, running that
                 // stage buys no information — climb to the next stage instead.
                 if cfg.escalate_threshold > 0.0 {
-                    let x = space.encode(choice.config);
                     while choice.stage < Stage::Impl {
-                        let p = new_stack.predict(choice.stage.index(), &x)?;
+                        let p = &cand_preds[choice_idx][choice.stage.index()];
                         let mean_std =
                             p.vars().iter().map(|v| v.sqrt()).sum::<f64>() / p.mean.len() as f64;
                         if mean_std >= cfg.escalate_threshold {
@@ -386,12 +424,12 @@ impl Optimizer {
 
                 // Fantasize the outcome at the chosen fidelity so the next
                 // batch member seeks improvement elsewhere.
-                let pred = new_stack.predict(choice.stage.index(), &space.encode(choice.config))?;
+                let pred = &cand_preds[choice_idx][choice.stage.index()];
                 fantasy_fronts[choice.stage.index()] = pareto_front(
                     &fantasy_fronts[choice.stage.index()]
                         .iter()
                         .cloned()
-                        .chain(std::iter::once(pred.mean))
+                        .chain(std::iter::once(pred.mean.clone()))
                         .collect::<Vec<_>>(),
                 );
                 picked.push(choice);
@@ -635,6 +673,30 @@ mod tests {
             assert_eq!(serial.measured_pareto, parallel.measured_pareto);
             assert_eq!(serial.sim_seconds.to_bits(), parallel.sim_seconds.to_bits());
             assert_eq!(serial.hv_history, parallel.hv_history);
+        }
+    }
+
+    #[test]
+    fn incremental_updates_do_not_change_the_result() {
+        // The contract behind `CmmfConfig::incremental`: extending the cached
+        // Cholesky factors on hyperparameter-reusing steps runs the exact
+        // same recurrence as refactorizing from scratch, so the full
+        // `RunResult` must agree bit-for-bit — at any thread count.
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let run_with = |incremental: bool, threads: usize| {
+            let mut cfg = quick_cfg(19);
+            cfg.incremental = incremental;
+            cfg.threads = threads;
+            Optimizer::new(cfg).run(&space, &sim).unwrap()
+        };
+        let full = run_with(false, 1);
+        for threads in [1, rayon::hardware_threads().max(2)] {
+            let fast = run_with(true, threads);
+            assert_eq!(full.candidate_set, fast.candidate_set, "threads={threads}");
+            assert_eq!(full.evaluated_configs, fast.evaluated_configs);
+            assert_eq!(full.measured_pareto, fast.measured_pareto);
+            assert_eq!(full.sim_seconds.to_bits(), fast.sim_seconds.to_bits());
+            assert_eq!(full.hv_history, fast.hv_history);
         }
     }
 

@@ -64,6 +64,9 @@ impl Default for GpConfig {
 pub struct Gp<K: Kernel> {
     kernel: K,
     xs: Vec<Vec<f64>>,
+    /// Cached noised covariance `K + σ²I` (pre-jitter) so [`Gp::extend`] can
+    /// grow it with only the new cross-covariance rows.
+    km: Matrix,
     chol: Cholesky,
     alpha: Vec<f64>,
     noise_var: f64,
@@ -113,10 +116,11 @@ impl<K: Kernel + Clone> Gp<K> {
             }
         }
 
-        let (chol, alpha, nlml_val) = factorize(&kernel, xs, &y_std, noise_var)?;
+        let (km, chol, alpha, nlml_val) = factorize(&kernel, xs, &y_std, noise_var)?;
         Ok(Gp {
             kernel,
             xs: xs.to_vec(),
+            km,
             chol,
             alpha,
             noise_var,
@@ -137,10 +141,68 @@ impl<K: Kernel + Clone> Gp<K> {
     pub fn refit(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, GpError> {
         validate(xs, ys, self.kernel.dim())?;
         let (y_std, y_mean, y_scale) = standardize(ys);
-        let (chol, alpha, nlml_val) = factorize(&self.kernel, xs, &y_std, self.noise_var)?;
+        let (km, chol, alpha, nlml_val) = factorize(&self.kernel, xs, &y_std, self.noise_var)?;
         Ok(Gp {
             kernel: self.kernel.clone(),
             xs: xs.to_vec(),
+            km,
+            chol,
+            alpha,
+            noise_var: self.noise_var,
+            y_mean,
+            y_scale,
+            nlml: nlml_val,
+        })
+    }
+
+    /// Refits on grown data by **extending the cached covariance factor**
+    /// instead of refactorizing. When `xs` starts with this model's training
+    /// inputs (the kernel matrix only gains rows, since hyperparameters are
+    /// reused), only the `k` new cross-covariance rows are evaluated and the
+    /// Cholesky factor is extended in `O(n²·k)` via [`Cholesky::extend`]; the
+    /// y-dependent quantities — output standardization and `α = K⁻¹y` — are
+    /// recomputed from scratch, which is cheap (`O(n²)`), so `ys` may change
+    /// arbitrarily (e.g. a shifting normalization window in a BO loop).
+    ///
+    /// The result is **bit-identical** to [`Gp::refit`] on the same data.
+    /// When the prefix precondition does not hold (points removed, reordered,
+    /// or perturbed) it silently falls back to a full refit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gp::fit`].
+    pub fn extend(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, GpError> {
+        let n0 = self.xs.len();
+        if xs.len() < n0 || xs[..n0] != self.xs[..] {
+            return self.refit(xs, ys);
+        }
+        validate(xs, ys, self.kernel.dim())?;
+        let (y_std, y_mean, y_scale) = standardize(ys);
+        let n = xs.len();
+        let mut km = Matrix::zeros(n, n);
+        for i in 0..n0 {
+            km.row_mut(i)[..n0].copy_from_slice(self.km.row(i));
+        }
+        // New cross rows/columns, evaluated with the same row-major (i, j)
+        // orientation `factorize`'s assembly uses so entries match bit-for-bit.
+        for i in 0..n0 {
+            for j in n0..n {
+                km[(i, j)] = self.kernel.eval(&xs[i], &xs[j]);
+            }
+        }
+        for i in n0..n {
+            for j in 0..n {
+                km[(i, j)] = self.kernel.eval(&xs[i], &xs[j]);
+            }
+            km[(i, i)] += self.noise_var;
+        }
+        let chol = self.chol.extend(&km)?;
+        let alpha = chol.solve_vec(&y_std)?;
+        let nlml_val = nlml_from(&chol, &y_std, &alpha);
+        Ok(Gp {
+            kernel: self.kernel.clone(),
+            xs: xs.to_vec(),
+            km,
             chol,
             alpha,
             noise_var: self.noise_var,
@@ -252,13 +314,13 @@ fn standardize(ys: &[f64]) -> (Vec<f64>, f64, f64) {
     (ys.iter().map(|y| (y - mean) / scale).collect(), mean, scale)
 }
 
-/// Builds and factorizes `K + σ²I`, returning `(chol, α = K⁻¹y, NLML)`.
+/// Builds and factorizes `K + σ²I`, returning `(K + σ²I, chol, α = K⁻¹y, NLML)`.
 fn factorize<K: Kernel>(
     kernel: &K,
     xs: &[Vec<f64>],
     y_std: &[f64],
     noise_var: f64,
-) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
+) -> Result<(Matrix, Cholesky, Vec<f64>, f64), GpError> {
     let n = xs.len();
     // Row-blocked parallel assembly; bit-identical to the serial path for
     // any thread count (see `Matrix::from_fn_par`).
@@ -266,10 +328,17 @@ fn factorize<K: Kernel>(
     km.add_diag(noise_var);
     let chol = Cholesky::new(&km)?;
     let alpha = chol.solve_vec(y_std)?;
-    let fit_term: f64 = y_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
-    let nlml =
-        0.5 * fit_term + 0.5 * chol.log_det() + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
-    Ok((chol, alpha, nlml))
+    let nlml = nlml_from(&chol, y_std, &alpha);
+    Ok((km, chol, alpha, nlml))
+}
+
+/// `NLML = ½ yᵀα + ½ log|K| + ½ n log 2π` — one expression shared by the
+/// full and incremental paths so both produce identical floats.
+fn nlml_from(chol: &Cholesky, y_std: &[f64], alpha: &[f64]) -> f64 {
+    let fit_term: f64 = y_std.iter().zip(alpha).map(|(y, a)| y * a).sum();
+    0.5 * fit_term
+        + 0.5 * chol.log_det()
+        + 0.5 * y_std.len() as f64 * (2.0 * std::f64::consts::PI).ln()
 }
 
 /// Negative log marginal likelihood for given hyperparameters.
@@ -279,7 +348,7 @@ fn nlml<K: Kernel>(
     y_std: &[f64],
     noise_var: f64,
 ) -> Result<f64, GpError> {
-    factorize(kernel, xs, y_std, noise_var).map(|(_, _, v)| v)
+    factorize(kernel, xs, y_std, noise_var).map(|(_, _, _, v)| v)
 }
 
 #[cfg(test)]

@@ -222,6 +222,55 @@ impl LinearMultiFidelityGp {
         Ok(model)
     }
 
+    /// Like [`LinearMultiFidelityGp::refit`], but grows each per-level GP via
+    /// [`Gp::extend`] so the cached Cholesky factors are extended instead of
+    /// rebuilt whenever a level's inputs only gained points. The residual GPs'
+    /// *inputs* keep their prefix when lower levels grow (only the residual
+    /// targets shift), so every level reuses its factor; results are
+    /// bit-identical to [`LinearMultiFidelityGp::refit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearMultiFidelityGp::refit`].
+    pub fn extend(&self, data: &[FidelityData]) -> Result<Self, GpError> {
+        validate_levels(data)?;
+        if data.len() != self.n_levels() {
+            return Err(GpError::InvalidTrainingData {
+                reason: format!(
+                    "model has {} levels, data has {}",
+                    self.n_levels(),
+                    data.len()
+                ),
+            });
+        }
+        let base = self.base.extend(&data[0].xs, &data[0].ys)?;
+        let mut model = LinearMultiFidelityGp {
+            base,
+            deltas: Vec::new(),
+            rhos: Vec::new(),
+        };
+        for (i, level) in data[1..].iter().enumerate() {
+            let prev_mean: Vec<f64> = level
+                .xs
+                .iter()
+                .map(|x| model.predict(model.n_levels() - 1, x).map(|p| p.mean))
+                .collect::<Result<_, _>>()?;
+            let num: f64 = prev_mean.iter().zip(&level.ys).map(|(m, y)| m * y).sum();
+            let den: f64 = prev_mean.iter().map(|m| m * m).sum();
+            let rho = if den > 1e-12 { num / den } else { 1.0 };
+            let residuals: Vec<f64> = level
+                .ys
+                .iter()
+                .zip(&prev_mean)
+                .map(|(y, m)| y - rho * m)
+                .collect();
+            let delta = self.deltas[i].extend(&level.xs, &residuals)?;
+            model.rhos.push(rho);
+            model.deltas.push(delta);
+        }
+        Ok(model)
+    }
+
     /// Number of fidelity levels.
     pub fn n_levels(&self) -> usize {
         self.deltas.len() + 1
@@ -424,6 +473,66 @@ impl NonLinearMultiFidelityGp {
                 .map(|(y, m)| y - rho * m)
                 .collect();
             let gp = self.uppers[i].1.refit(&aug, &residuals)?;
+            model.uppers.push((rho, gp));
+        }
+        Ok(model)
+    }
+
+    /// Like [`NonLinearMultiFidelityGp::refit`], but grows each per-level GP
+    /// via [`Gp::extend`]. The base level always reuses its factor; an upper
+    /// level's augmented inputs `[x, f_prev(x)]` change whenever any lower
+    /// level gained data (the lower posterior mean shifts), in which case its
+    /// prefix check inside [`Gp::extend`] falls back to a full refit
+    /// automatically — so this is always safe and bit-identical to
+    /// [`NonLinearMultiFidelityGp::refit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NonLinearMultiFidelityGp::refit`].
+    pub fn extend(&self, data: &[FidelityData]) -> Result<Self, GpError> {
+        validate_levels(data)?;
+        if data.len() != self.n_levels() {
+            return Err(GpError::InvalidTrainingData {
+                reason: format!(
+                    "model has {} levels, data has {}",
+                    self.n_levels(),
+                    data.len()
+                ),
+            });
+        }
+        let base = self.base.extend(&data[0].xs, &data[0].ys)?;
+        let mut model = NonLinearMultiFidelityGp {
+            base,
+            uppers: Vec::new(),
+            propagate: self.propagate,
+        };
+        for (i, level) in data[1..].iter().enumerate() {
+            let cur_level = model.n_levels() - 1;
+            let prev: Vec<f64> = level
+                .xs
+                .iter()
+                .map(|x| model.predict(cur_level, x).map(|p| p.mean))
+                .collect::<Result<_, _>>()?;
+            let num: f64 = prev.iter().zip(&level.ys).map(|(m, y)| m * y).sum();
+            let den: f64 = prev.iter().map(|m| m * m).sum();
+            let rho = if den > 1e-12 { num / den } else { 1.0 };
+            let aug: Vec<Vec<f64>> = level
+                .xs
+                .iter()
+                .zip(&prev)
+                .map(|(x, m)| {
+                    let mut a = x.clone();
+                    a.push(*m);
+                    a
+                })
+                .collect();
+            let residuals: Vec<f64> = level
+                .ys
+                .iter()
+                .zip(&prev)
+                .map(|(y, m)| y - rho * m)
+                .collect();
+            let gp = self.uppers[i].1.extend(&aug, &residuals)?;
             model.uppers.push((rho, gp));
         }
         Ok(model)

@@ -54,6 +54,9 @@ pub struct MultiTaskGp<K: Kernel> {
     n_tasks: usize,
     b: Matrix,
     noise: Vec<f64>,
+    /// Cached data-kernel Gram matrix `k_C(x_i, x_j)` (no noise) so
+    /// [`MultiTaskGp::extend`] can grow it with only the new cross rows.
+    kx: Matrix,
     chol: Cholesky,
     alpha: Vec<f64>,
     y_means: Vec<f64>,
@@ -80,23 +83,7 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
         cfg: &GpConfig,
     ) -> Result<Self, GpError> {
         let n_tasks = validate_multi(xs, ys, kernel.dim())?;
-        let n = xs.len();
-
-        // Standardize each task.
-        let mut y_means = vec![0.0; n_tasks];
-        let mut y_scales = vec![1.0; n_tasks];
-        let mut y_std = vec![0.0; n * n_tasks]; // task-major
-        for t in 0..n_tasks {
-            let col: Vec<f64> = ys.iter().map(|row| row[t]).collect();
-            let mean = linalg::stats::mean(&col);
-            let sd = linalg::stats::std_dev(&col);
-            let scale = if sd > 1e-12 { sd } else { 1.0 };
-            y_means[t] = mean;
-            y_scales[t] = scale;
-            for (i, v) in col.iter().enumerate() {
-                y_std[t * n + i] = (v - mean) / scale;
-            }
-        }
+        let (y_std, y_means, y_scales) = standardize_multi(ys, n_tasks);
 
         // Parameter vector: [kernel log params | L lower-triangle | log noises].
         let kp0 = kernel.log_params();
@@ -147,13 +134,15 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             }
         }
 
-        let (chol, alpha, nlml) = joint_factorize(&kernel, xs, &y_std, &b, &noise)?;
+        let kx = data_kernel(&kernel, xs);
+        let (chol, alpha, nlml) = joint_factorize_from(&kx, &y_std, &b, &noise, None)?;
         Ok(MultiTaskGp {
             kernel,
             xs: xs.to_vec(),
             n_tasks,
             b,
             noise,
+            kx,
             chol,
             alpha,
             y_means,
@@ -177,28 +166,79 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
                 reason: format!("model has {} tasks, data has {n_tasks}", self.n_tasks),
             });
         }
-        let n = xs.len();
-        let mut y_means = vec![0.0; n_tasks];
-        let mut y_scales = vec![1.0; n_tasks];
-        let mut y_std = vec![0.0; n * n_tasks];
-        for t in 0..n_tasks {
-            let col: Vec<f64> = ys.iter().map(|row| row[t]).collect();
-            let mean = linalg::stats::mean(&col);
-            let sd = linalg::stats::std_dev(&col);
-            let scale = if sd > 1e-12 { sd } else { 1.0 };
-            y_means[t] = mean;
-            y_scales[t] = scale;
-            for (i, v) in col.iter().enumerate() {
-                y_std[t * n + i] = (v - mean) / scale;
-            }
-        }
-        let (chol, alpha, nlml) = joint_factorize(&self.kernel, xs, &y_std, &self.b, &self.noise)?;
+        let (y_std, y_means, y_scales) = standardize_multi(ys, n_tasks);
+        let kx = data_kernel(&self.kernel, xs);
+        let (chol, alpha, nlml) = joint_factorize_from(&kx, &y_std, &self.b, &self.noise, None)?;
         Ok(MultiTaskGp {
             kernel: self.kernel.clone(),
             xs: xs.to_vec(),
             n_tasks,
             b: self.b.clone(),
             noise: self.noise.clone(),
+            kx,
+            chol,
+            alpha,
+            y_means,
+            y_scales,
+            nlml,
+        })
+    }
+
+    /// Refits on grown data by **extending the cached joint-covariance
+    /// factor** instead of refactorizing. When `xs` starts with this model's
+    /// training inputs, the data kernel only gains rows; because the joint
+    /// covariance is ordered point-major (`Σ = k_C ⊗ B`, entry `i·M + t`),
+    /// the `k` new points append `k·M` trailing rows to it, so the Cholesky
+    /// factor extends in `O((nM)²·kM)` via [`linalg::Cholesky::extend`]
+    /// instead of the `O((nM)³)` full factorization. The y-dependent
+    /// quantities — per-task standardization and `α` — are recomputed from
+    /// scratch, so `ys` may change arbitrarily.
+    ///
+    /// The result is **bit-identical** to [`MultiTaskGp::refit`] on the same
+    /// data; when the prefix precondition does not hold it silently falls
+    /// back to a full refit.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiTaskGp::refit`].
+    pub fn extend(&self, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> Result<Self, GpError> {
+        let n0 = self.xs.len();
+        if xs.len() < n0 || xs[..n0] != self.xs[..] {
+            return self.refit(xs, ys);
+        }
+        let n_tasks = validate_multi(xs, ys, self.kernel.dim())?;
+        if n_tasks != self.n_tasks {
+            return Err(GpError::InvalidTrainingData {
+                reason: format!("model has {} tasks, data has {n_tasks}", self.n_tasks),
+            });
+        }
+        let (y_std, y_means, y_scales) = standardize_multi(ys, n_tasks);
+        let n = xs.len();
+        let mut kx = Matrix::zeros(n, n);
+        for i in 0..n0 {
+            kx.row_mut(i)[..n0].copy_from_slice(self.kx.row(i));
+        }
+        // New cross rows/columns with the same row-major (i, j) orientation
+        // `data_kernel` uses, so the grown Gram matrix matches bit-for-bit.
+        for i in 0..n0 {
+            for j in n0..n {
+                kx[(i, j)] = self.kernel.eval(&xs[i], &xs[j]);
+            }
+        }
+        for i in n0..n {
+            for j in 0..n {
+                kx[(i, j)] = self.kernel.eval(&xs[i], &xs[j]);
+            }
+        }
+        let (chol, alpha, nlml) =
+            joint_factorize_from(&kx, &y_std, &self.b, &self.noise, Some(&self.chol))?;
+        Ok(MultiTaskGp {
+            kernel: self.kernel.clone(),
+            xs: xs.to_vec(),
+            n_tasks,
+            b: self.b.clone(),
+            noise: self.noise.clone(),
+            kx,
             chol,
             alpha,
             y_means,
@@ -232,7 +272,7 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             for t in 0..m {
                 let btu = self.b[(t, u)];
                 for i in 0..n {
-                    c[t * n + i] = btu * kq[i];
+                    c[i * m + t] = btu * kq[i];
                 }
             }
             mean.push(
@@ -387,27 +427,60 @@ fn validate_multi(xs: &[Vec<f64>], ys: &[Vec<f64>], dim: usize) -> Result<usize,
     Ok(m)
 }
 
-/// Builds and factorizes the joint `nM x nM` covariance; returns
-/// `(chol, α, NLML)`. Ordering is task-major: entry `t*n + i`.
-fn joint_factorize<K: Kernel>(
-    kernel: &K,
-    xs: &[Vec<f64>],
+/// Per-task standardization of the `n x M` objective table, flattened
+/// point-major: `y_std[i*M + t]` holds point `i`, task `t`. Point-major
+/// ordering matches the joint covariance layout, so appending training
+/// points appends trailing entries instead of inserting into each task block.
+fn standardize_multi(ys: &[Vec<f64>], n_tasks: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let n = ys.len();
+    let mut y_means = vec![0.0; n_tasks];
+    let mut y_scales = vec![1.0; n_tasks];
+    let mut y_std = vec![0.0; n * n_tasks];
+    for t in 0..n_tasks {
+        let col: Vec<f64> = ys.iter().map(|row| row[t]).collect();
+        let mean = linalg::stats::mean(&col);
+        let sd = linalg::stats::std_dev(&col);
+        let scale = if sd > 1e-12 { sd } else { 1.0 };
+        y_means[t] = mean;
+        y_scales[t] = scale;
+        for (i, v) in col.iter().enumerate() {
+            y_std[i * n_tasks + t] = (v - mean) / scale;
+        }
+    }
+    (y_std, y_means, y_scales)
+}
+
+/// Row-blocked parallel assembly of the shared data-kernel Gram matrix
+/// (Eq. 9's `k_C`); bit-identical to the serial path for any thread count.
+fn data_kernel<K: Kernel>(kernel: &K, xs: &[Vec<f64>]) -> Matrix {
+    Matrix::from_fn_par(xs.len(), xs.len(), |i, j| kernel.eval(&xs[i], &xs[j]))
+}
+
+/// Builds and factorizes the joint `nM x nM` covariance from the data-kernel
+/// Gram matrix `kx`; returns `(chol, α, NLML)`. Ordering is point-major
+/// (`Σ = k_C ⊗ B`, entry `i*M + t`), so growing the training set appends
+/// trailing rows — when `prev` holds the factor of a leading block the new
+/// factor is obtained by [`Cholesky::extend`] instead of from scratch
+/// (bit-identical either way).
+fn joint_factorize_from(
+    kx: &Matrix,
     y_std: &[f64],
     b: &Matrix,
     noise: &[f64],
+    prev: Option<&Cholesky>,
 ) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
-    let n = xs.len();
+    let n = kx.rows();
     let m = b.rows();
-    // Row-blocked parallel assembly of the shared data kernel (Eq. 9's
-    // `k_C`); bit-identical to the serial path for any thread count.
-    let kx = Matrix::from_fn_par(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
-    let mut sigma = b.kron(&kx);
-    for t in 0..m {
-        for i in 0..n {
-            sigma[(t * n + i, t * n + i)] += noise[t];
+    let mut sigma = kx.kron(b);
+    for i in 0..n {
+        for t in 0..m {
+            sigma[(i * m + t, i * m + t)] += noise[t];
         }
     }
-    let chol = Cholesky::new(&sigma)?;
+    let chol = match prev {
+        Some(c) => c.extend(&sigma)?,
+        None => Cholesky::new(&sigma)?,
+    };
     let alpha = chol.solve_vec(y_std)?;
     let fit: f64 = y_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
     let nlml =
@@ -422,7 +495,7 @@ fn joint_nlml<K: Kernel>(
     b: &Matrix,
     noise: &[f64],
 ) -> Result<f64, GpError> {
-    joint_factorize(kernel, xs, y_std, b, noise).map(|(_, _, v)| v)
+    joint_factorize_from(&data_kernel(kernel, xs), y_std, b, noise, None).map(|(_, _, v)| v)
 }
 
 #[cfg(test)]

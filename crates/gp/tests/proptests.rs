@@ -42,6 +42,46 @@ proptest! {
     }
 
     #[test]
+    fn gp_extend_equals_refit_bitwise((xs, ys) in data_1d(12), n0 in 4usize..8, q in 0.0f64..1.0) {
+        // Fit on a prefix, then grow the data: the incremental `extend` path
+        // must produce the exact same floats as a from-scratch `refit`.
+        let n0 = n0.min(xs.len());
+        let gp = Gp::fit(Matern52Ard::new(1), &xs[..n0], &ys[..n0], &quick_cfg()).expect("fits");
+        let ext = gp.extend(&xs, &ys).expect("extends");
+        let full = gp.refit(&xs, &ys).expect("refits");
+        prop_assert_eq!(
+            ext.neg_log_marginal_likelihood().to_bits(),
+            full.neg_log_marginal_likelihood().to_bits()
+        );
+        let a = ext.predict(&[q]).expect("predicts");
+        let b = full.predict(&[q]).expect("predicts");
+        prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        prop_assert_eq!(a.var.to_bits(), b.var.to_bits());
+    }
+
+    #[test]
+    fn multitask_extend_equals_refit_bitwise((xs, ys) in data_1d(12), n0 in 4usize..8, q in 0.0f64..1.0) {
+        let ym: Vec<Vec<f64>> = ys.iter().map(|y| vec![*y, 0.5 - y]).collect();
+        let n0 = n0.min(xs.len());
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs[..n0], &ym[..n0], &quick_cfg())
+            .expect("fits");
+        let ext = gp.extend(&xs, &ym).expect("extends");
+        let full = gp.refit(&xs, &ym).expect("refits");
+        prop_assert_eq!(
+            ext.neg_log_marginal_likelihood().to_bits(),
+            full.neg_log_marginal_likelihood().to_bits()
+        );
+        let a = ext.predict(&[q]).expect("predicts");
+        let b = full.predict(&[q]).expect("predicts");
+        for t in 0..2 {
+            prop_assert_eq!(a.mean[t].to_bits(), b.mean[t].to_bits());
+            for u in 0..2 {
+                prop_assert_eq!(a.cov[(t, u)].to_bits(), b.cov[(t, u)].to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn kernel_gram_is_symmetric_psd_on_diagonal(
         pts in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 2..8),
         ls in proptest::collection::vec(0.05f64..5.0, 3),

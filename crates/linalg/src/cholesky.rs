@@ -90,6 +90,66 @@ impl Cholesky {
         Some(l)
     }
 
+    /// Extends the factorization to a grown matrix `a` whose leading
+    /// `self.dim() x self.dim()` block equals the matrix this factor was
+    /// computed from (the caller's precondition — typical of a Bayesian
+    /// -optimization loop where the covariance only gains rows between
+    /// hyperparameter refits).
+    ///
+    /// Appending `k` rows costs `O(n²·k)` — each new row is the same
+    /// forward-substitution recurrence a fresh factorization would run,
+    /// restricted to the new rows — instead of the `O(n³)` of
+    /// [`Cholesky::new`], and produces **bit-identical** floats: old rows are
+    /// reused unchanged (the recurrence for row `i` reads only rows `≤ i`,
+    /// which did not change), and new rows execute the identical operations
+    /// in the identical order.
+    ///
+    /// Two cases fall back to a full [`Cholesky::new`] on `a`, preserving the
+    /// bit-equality guarantee rather than breaking it:
+    ///
+    /// * this factor needed jitter (`self.jitter() > 0`) — the escalation
+    ///   base is the mean diagonal of the *whole* matrix, so the grown matrix
+    ///   must re-run the escalation from scratch to land on the same jitter a
+    ///   fresh factorization would;
+    /// * the zero-jitter extension hits a non-positive pivot in a new row —
+    ///   a fresh factorization would escalate jitter, changing every entry.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::new`].
+    pub fn extend(&self, a: &Matrix) -> Result<Self, LinalgError> {
+        let n0 = self.dim();
+        if !a.is_square() || a.rows() < n0 || self.jitter != 0.0 {
+            return Cholesky::new(a);
+        }
+        let n = a.rows();
+        if n == n0 {
+            return Ok(self.clone());
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n0 {
+            l.row_mut(i)[..=i].copy_from_slice(&self.l.row(i)[..=i]);
+        }
+        // Same recurrence as `factorize(a, 0.0)`, restricted to the new rows.
+        for i in n0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Cholesky::new(a);
+                    }
+                    l[(i, j)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l, jitter: 0.0 })
+    }
+
     /// The lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l
@@ -266,6 +326,86 @@ mod tests {
             Cholesky::new(&a),
             Err(LinalgError::NotPositiveDefinite { .. })
         ));
+    }
+
+    fn leading_block(a: &Matrix, n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| a[(i, j)])
+    }
+
+    #[test]
+    fn extend_matches_full_factorization_bitwise() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.2],
+            &[1.0, 3.0, 0.2, 0.1],
+            &[0.5, 0.2, 2.0, 0.3],
+            &[0.2, 0.1, 0.3, 2.5],
+        ])
+        .unwrap();
+        for n0 in 1..4 {
+            let base = Cholesky::new(&leading_block(&a, n0)).unwrap();
+            let ext = base.extend(&a).unwrap();
+            let full = Cholesky::new(&a).unwrap();
+            assert_eq!(ext.jitter().to_bits(), full.jitter().to_bits());
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(
+                        ext.l()[(i, j)].to_bits(),
+                        full.l()[(i, j)].to_bits(),
+                        "entry ({i},{j}) differs for n0={n0}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extend_same_size_is_identity() {
+        let a = spd3();
+        let c = Cholesky::new(&a).unwrap();
+        let e = c.extend(&a).unwrap();
+        assert_eq!(c.l(), e.l());
+    }
+
+    #[test]
+    fn extend_falls_back_when_jittered() {
+        // Base factor needed jitter; the grown matrix is SPD. Extend must
+        // agree with a fresh factorization (which re-runs the escalation).
+        let a0 = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let base = Cholesky::new(&a0).unwrap();
+        assert!(base.jitter() > 0.0);
+        let grown =
+            Matrix::from_rows(&[&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0], &[0.0, 0.0, 3.0]]).unwrap();
+        let ext = base.extend(&grown).unwrap();
+        let full = Cholesky::new(&grown).unwrap();
+        assert_eq!(ext.jitter().to_bits(), full.jitter().to_bits());
+        assert_eq!(ext.l(), full.l());
+    }
+
+    #[test]
+    fn extend_falls_back_on_bad_trailing_block() {
+        // The new diagonal makes the grown matrix indefinite at zero jitter;
+        // extend must take the same escalation path as a full factorization.
+        let a0 = spd3();
+        let base = Cholesky::new(&a0).unwrap();
+        assert_eq!(base.jitter(), 0.0);
+        let mut grown = Matrix::zeros(4, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                grown[(i, j)] = a0[(i, j)];
+            }
+        }
+        // Trailing entry equal to the norm of its column ⇒ zero/negative pivot.
+        grown[(3, 3)] = 1e-9;
+        grown[(0, 3)] = 1.0;
+        grown[(3, 0)] = 1.0;
+        match (base.extend(&grown), Cholesky::new(&grown)) {
+            (Ok(e), Ok(f)) => {
+                assert_eq!(e.jitter().to_bits(), f.jitter().to_bits());
+                assert_eq!(e.l(), f.l());
+            }
+            (Err(_), Err(_)) => {}
+            (e, f) => panic!("extend and full disagree: {e:?} vs {f:?}"),
+        }
     }
 
     #[test]

@@ -20,6 +20,23 @@ fn spd(n: usize) -> impl Strategy<Value = Matrix> {
 
 proptest! {
     #[test]
+    fn cholesky_extend_equals_full_factorization_bitwise(a in spd(7), n0 in 1usize..7) {
+        // Factor the leading n0 x n0 block, extend to the full matrix, and
+        // demand bit-equality with a from-scratch factorization — the
+        // contract the incremental GP updates in `cmmf-gp` rely on.
+        let block = Matrix::from_fn(n0, n0, |i, j| a[(i, j)]);
+        let base = Cholesky::new(&block).expect("SPD leading block factorizes");
+        let ext = base.extend(&a).expect("SPD extension factorizes");
+        let full = Cholesky::new(&a).expect("SPD factorizes");
+        prop_assert_eq!(ext.jitter().to_bits(), full.jitter().to_bits());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert_eq!(ext.l()[(i, j)].to_bits(), full.l()[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn cholesky_reconstructs(a in spd(5)) {
         let c = Cholesky::new(&a).expect("SPD factorizes");
         let r = c.l().matmul(&c.l().transpose()).expect("square product");
