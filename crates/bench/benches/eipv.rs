@@ -1,0 +1,311 @@
+//! Cell-indexed EIPV acquisition: from-scratch hypervolume contributions vs
+//! the precomputed [`pareto::FrontIndex`] oracle, per query and end-to-end
+//! through one Monte-Carlo scoring step.
+//!
+//! Usage: `cargo bench -p cmmf-bench --bench eipv [-- <filter>]`
+//!        `cargo bench -p cmmf-bench --bench eipv -- --smoke`
+//!
+//! Every pair runs the *same* acquisition with the naive per-draw
+//! `hypervolume_contribution` and with the indexed [`cmmf::eipv::EipvScorer`]
+//! (`O(F·m)` vs `O(m·log F + 2^m)` per posterior draw). Both paths draw
+//! identical posterior samples, so the harness first asserts the equivalence
+//! contract — oracle == naive to 1e-12 per query, scorer == naive MC to 1e-9
+//! relative, and an identical optimizer `RunResult` modulo last-bit
+//! acquisition rounding. `--smoke` runs only those assertions (the CI gate);
+//! a full run also writes `BENCH_eipv.json` with naive/indexed speedups at
+//! front sizes F ∈ {8, 32, 128}.
+
+use cmmf::eipv::{eipv_correlated_mc_seeded, EipvScorer};
+use cmmf::{CmmfConfig, Optimizer};
+use criterion::Criterion;
+use fidelity_sim::{FlowSimulator, SimParams};
+use gp::MultiTaskPrediction;
+use hls_model::benchmarks::{self, Benchmark};
+use linalg::{Cholesky, Matrix};
+use pareto::{hypervolume_contribution, pareto_front, FrontIndex};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+/// Objective count of the paper's flow (latency, area, power).
+const M: usize = 3;
+/// Reference point bounding the improvement region, per Eq. 6.
+const REFERENCE: [f64; M] = [1.2; M];
+/// Contribution queries timed per iteration (amortizes loop overhead).
+const N_QUERIES: usize = 256;
+/// Candidates scored per synthetic acquisition step.
+const N_CANDIDATES: usize = 64;
+/// Posterior draws per candidate, matching `CmmfConfig::mc_samples` defaults.
+const MC_SAMPLES: usize = 24;
+
+/// A Pareto front of exactly `f` points: uniform draws normalized onto the
+/// unit simplex (sum = 1), which are mutually non-dominated under
+/// minimization, then jittered slightly so no coordinates collide.
+fn random_front(f: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<Vec<f64>> = (0..f)
+        .map(|_| {
+            let raw: Vec<f64> = (0..M).map(|_| rng.random_range(0.05..1.0)).collect();
+            let s: f64 = raw.iter().sum();
+            raw.iter()
+                .map(|v| v / s + rng.random_range(-1e-4..1e-4))
+                .collect()
+        })
+        .collect();
+    let front = pareto_front(&pts);
+    assert_eq!(
+        front.len(),
+        f,
+        "simplex points must be mutually non-dominated"
+    );
+    front
+}
+
+/// Query outcomes spanning the interesting cases: inside the improvement
+/// region, dominated by the front, and outside the reference box.
+fn random_queries(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..M).map(|_| rng.random_range(-0.2..1.4)).collect())
+        .collect()
+}
+
+/// Synthetic posterior predictions with correlated covariance (`A·Aᵀ` plus a
+/// diagonal jitter), the shape the optimizer feeds the acquisition.
+fn random_predictions(n: usize, seed: u64) -> Vec<MultiTaskPrediction> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mean: Vec<f64> = (0..M).map(|_| rng.random_range(0.1..0.9)).collect();
+            let a = Matrix::from_fn(M, M, |_, _| rng.random_range(-0.12..0.12));
+            let cov = Matrix::from_fn(M, M, |i, j| {
+                let dot: f64 = (0..M).map(|k| a[(i, k)] * a[(j, k)]).sum();
+                dot + if i == j { 0.01 } else { 0.0 }
+            });
+            MultiTaskPrediction { mean, cov }
+        })
+        .collect()
+}
+
+/// Per-query contract: the indexed oracle equals the from-scratch
+/// contribution to 1e-12 absolute (unit-scale objectives) on random fronts,
+/// including dominated and out-of-box queries.
+fn assert_oracle_contract(f: usize) {
+    let front = random_front(f, 11 + f as u64);
+    let index = FrontIndex::new(&front, &REFERENCE);
+    for y in random_queries(N_QUERIES, 17 + f as u64) {
+        let naive = hypervolume_contribution(&y, &front, &REFERENCE);
+        let fast = index.contribution(&y);
+        assert!(
+            (naive - fast).abs() <= 1e-12,
+            "oracle diverged at F={f}: naive={naive} indexed={fast}"
+        );
+    }
+    println!("contract ok: FrontIndex == hypervolume_contribution (<=1e-12) at F={f}");
+}
+
+/// Scoring contract: the scorer's seeded MC equals the naive seeded MC to
+/// 1e-9 relative (identical draws, contributions agreeing to rounding).
+fn assert_scorer_contract(f: usize) {
+    let front = random_front(f, 23 + f as u64);
+    let scorer = EipvScorer::new(&front, &REFERENCE);
+    for (i, pred) in random_predictions(16, 29 + f as u64).iter().enumerate() {
+        let seed = 1000 + i as u64;
+        let naive = eipv_correlated_mc_seeded(pred, &front, &REFERENCE, MC_SAMPLES, seed);
+        let chol = Cholesky::new(&pred.cov).ok();
+        let fast = scorer.eipv_mc_seeded(pred, chol.as_ref(), MC_SAMPLES, seed);
+        assert!(
+            (naive - fast).abs() <= 1e-9 * naive.abs().max(1e-12),
+            "scorer diverged at F={f} pred={i}: naive={naive} indexed={fast}"
+        );
+    }
+    println!("contract ok: EipvScorer MC == naive seeded MC (<=1e-9 rel) at F={f}");
+}
+
+fn optimizer_cfg(indexed: bool, threads: usize) -> CmmfConfig {
+    let mut cfg = CmmfConfig {
+        n_iter: 6,
+        candidate_pool: 60,
+        mc_samples: 8,
+        refit_every: 3,
+        final_prediction_pool: 200,
+        indexed_eipv: indexed,
+        threads,
+        seed: 31,
+        ..Default::default()
+    };
+    cfg.gp.restarts = 0;
+    cfg.gp.max_evals = 60;
+    cfg
+}
+
+/// End-to-end contract: the indexed path makes the same discrete decisions as
+/// the naive escape hatch (configs, stages, cost, measured front, history);
+/// acquisition values may differ in the last bits and are compared at 1e-9
+/// relative. The indexed path itself must be bit-identical across threads.
+fn assert_optimizer_contract() {
+    let space = benchmarks::build(Benchmark::SpmvCrs)
+        .pruned_space()
+        .expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
+    let run = |indexed: bool, threads: usize| {
+        Optimizer::new(optimizer_cfg(indexed, threads))
+            .run(&space, &sim)
+            .expect("runs")
+    };
+    let naive = run(false, 1);
+    let fast = run(true, 1);
+    assert_eq!(naive.candidate_set.len(), fast.candidate_set.len());
+    for (a, b) in naive.candidate_set.iter().zip(&fast.candidate_set) {
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.stage, b.stage);
+        assert!(
+            (a.acquisition - b.acquisition).abs() <= 1e-9 * a.acquisition.abs().max(1e-12),
+            "acquisition diverged: {} vs {}",
+            a.acquisition,
+            b.acquisition
+        );
+    }
+    assert_eq!(naive.evaluated_configs, fast.evaluated_configs);
+    assert_eq!(naive.measured_pareto, fast.measured_pareto);
+    assert_eq!(naive.sim_seconds.to_bits(), fast.sim_seconds.to_bits());
+    assert_eq!(naive.hv_history, fast.hv_history);
+    println!("contract ok: optimizer decisions identical with indexed_eipv on/off");
+
+    let fast_mt = run(true, rayon::hardware_threads().max(2));
+    assert_eq!(fast.candidate_set, fast_mt.candidate_set);
+    assert_eq!(fast.sim_seconds.to_bits(), fast_mt.sim_seconds.to_bits());
+    assert_eq!(fast.hv_history, fast_mt.hv_history);
+    println!("contract ok: indexed path bit-identical across thread counts");
+}
+
+/// Per-query contribution cost, naive vs indexed, with the index prebuilt —
+/// the optimizer builds it once per (step, fidelity) and shares it across
+/// every candidate and draw, so queries are the steady-state cost.
+fn bench_contribution(c: &mut Criterion) {
+    for f in [8usize, 32, 128] {
+        let front = random_front(f, 11 + f as u64);
+        let queries = random_queries(N_QUERIES, 17 + f as u64);
+        let index = FrontIndex::new(&front, &REFERENCE);
+        let mut group = c.benchmark_group(format!("contribution_f{f}"));
+        group.bench_function("naive", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for y in &queries {
+                    acc += hypervolume_contribution(y, &front, &REFERENCE);
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("indexed", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for y in &queries {
+                    acc += index.contribution(y);
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+}
+
+/// One acquisition step: score `N_CANDIDATES` candidates against one front
+/// with seeded MC. The indexed timing includes building the scorer and the
+/// per-candidate Cholesky factors (exactly what the optimizer hoists), so
+/// this measures the end-to-end step, not just the amortized queries.
+fn bench_scoring_step(c: &mut Criterion) {
+    for f in [8usize, 32, 128] {
+        let front = random_front(f, 23 + f as u64);
+        let preds = random_predictions(N_CANDIDATES, 29 + f as u64);
+        let mut group = c.benchmark_group(format!("scoring_step_f{f}"));
+        group.sample_size(10);
+        group.bench_function("naive", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (i, pred) in preds.iter().enumerate() {
+                    acc += eipv_correlated_mc_seeded(
+                        pred,
+                        &front,
+                        &REFERENCE,
+                        MC_SAMPLES,
+                        1000 + i as u64,
+                    );
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("indexed", |b| {
+            b.iter(|| {
+                let scorer = EipvScorer::new(&front, &REFERENCE);
+                let mut acc = 0.0;
+                for (i, pred) in preds.iter().enumerate() {
+                    let chol = Cholesky::new(&pred.cov).ok();
+                    acc += scorer.eipv_mc_seeded(pred, chol.as_ref(), MC_SAMPLES, 1000 + i as u64);
+                }
+                black_box(acc)
+            })
+        });
+        group.finish();
+    }
+}
+
+/// Wraps the criterion report with the host parallelism and per-group
+/// naive/indexed speedups, and writes `BENCH_eipv.json`.
+fn write_report(report: &criterion::Report) {
+    let mut speedups = String::new();
+    let mut ids: Vec<&str> = report
+        .measurements
+        .iter()
+        .filter_map(|m| m.id.strip_suffix("/naive"))
+        .collect();
+    ids.dedup();
+    for (i, group) in ids.iter().enumerate() {
+        let find = |suffix: &str| {
+            report
+                .measurements
+                .iter()
+                .find(|m| m.id == format!("{group}/{suffix}"))
+                .map(|m| m.mean_ns)
+        };
+        if let (Some(naive), Some(indexed)) = (find("naive"), find("indexed")) {
+            speedups.push_str(&format!(
+                "    {{\"group\": \"{group}\", \"speedup\": {:.2}}}{}\n",
+                naive / indexed,
+                if i + 1 < ids.len() { "," } else { "" }
+            ));
+            println!("{group}: {:.2}x speedup", naive / indexed);
+        }
+    }
+    let json = format!(
+        "{{\n  \"hardware_threads\": {},\n  \"speedups\": [\n{}  ],\n  \"measurements\": {}\n}}\n",
+        rayon::hardware_threads(),
+        speedups,
+        report.to_json().replace('\n', "\n  "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_eipv.json");
+    std::fs::write(path, json).expect("write BENCH_eipv.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI contract gate: assert equivalence everywhere, time nothing.
+        for f in [8usize, 32, 128] {
+            assert_oracle_contract(f);
+            assert_scorer_contract(f);
+        }
+        assert_optimizer_contract();
+        println!("smoke ok");
+        return;
+    }
+    for f in [8usize, 32, 128] {
+        assert_oracle_contract(f);
+        assert_scorer_contract(f);
+    }
+    assert_optimizer_contract();
+    let mut c = Criterion::default().configure_from_args();
+    bench_contribution(&mut c);
+    bench_scoring_step(&mut c);
+    write_report(c.report());
+}

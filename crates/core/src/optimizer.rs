@@ -1,11 +1,12 @@
 //! The overall optimization flow of Algorithm 2.
 
-use crate::eipv::{eipv_correlated_mc_seeded, peipv};
+use crate::eipv::{eipv_correlated_mc_seeded, peipv, EipvScorer};
 use crate::models::{FidelityDataSet, FidelityModelStack, FitMode, ModelVariant, N_OBJECTIVES};
 use crate::CmmfError;
 use fidelity_sim::{FlowSimulator, RunOutcome, Stage};
 use gp::{GpConfig, MultiTaskPrediction};
 use hls_model::DesignSpace;
+use linalg::Cholesky;
 use pareto::{hypervolume, pareto_front};
 use rand::derive_stream_seed;
 use rand::rngs::StdRng;
@@ -68,6 +69,20 @@ pub struct CmmfConfig {
     /// `O(n³)`). Bit-identical results either way — this flag exists so the
     /// equivalence can be pinned by tests and measured by benches.
     pub incremental: bool,
+    /// Score candidates through the cell-indexed acquisition scorer
+    /// ([`EipvScorer`]): each fidelity's fantasy front is decomposed once per
+    /// step into the Eq. 7–8 grid ([`pareto::FrontIndex`]) and shared by
+    /// every candidate, so a Monte-Carlo draw costs an `O(m·log F)` oracle
+    /// query instead of a from-scratch hypervolume; the predictive-covariance
+    /// Cholesky factors are likewise computed once per (candidate, fidelity)
+    /// and shared across batch slots. `false` is the naive per-draw
+    /// [`pareto::hypervolume_contribution`] path, kept as an escape hatch so
+    /// the equivalence can be pinned by tests and measured by benches — the
+    /// two paths see identical posterior draws and agree per query to float
+    /// rounding (≤ 1e-12), which makes every discrete decision (chosen
+    /// configs, stages) identical; acquisition values may differ in the last
+    /// bits (see `indexed_eipv_matches_naive_path`).
+    pub indexed_eipv: bool,
     /// Worker threads for the parallel hot paths (candidate scoring, EIPV
     /// Monte-Carlo sampling, kernel-matrix assembly, batch prediction);
     /// 0 uses all hardware threads. Every parallel reduction combines its
@@ -99,6 +114,7 @@ impl Default for CmmfConfig {
             escalate_threshold: 0.05,
             refit_every: 5,
             incremental: true,
+            indexed_eipv: true,
             threads: 0,
             gp: GpConfig {
                 restarts: 2,
@@ -324,6 +340,32 @@ impl Optimizer {
                         .collect::<Result<Vec<_>, _>>()
                 })
                 .collect::<Result<Vec<_>, _>>()?;
+            // On the indexed path the predictive-covariance factors are also
+            // per-step invariants: factor each candidate's M x M covariance
+            // once here and share it across batch slots (the naive path
+            // factors inside each scoring call, exactly as before).
+            let cand_chols: Vec<Vec<Option<Cholesky>>> = if cfg.indexed_eipv {
+                cand_preds
+                    .par_iter()
+                    .with_min_len(8)
+                    .map(|preds| preds.iter().map(|p| Cholesky::new(&p.cov).ok()).collect())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+
+            // Acquisition scorers, one per fidelity: the fantasy front's
+            // cell decomposition is built once *outside* the per-candidate
+            // fan-out below and shared by every candidate and MC draw.
+            // Rebuilt only when a fantasy update actually changes the front.
+            let mut scorers: Vec<Option<EipvScorer>> = if cfg.indexed_eipv {
+                fronts
+                    .iter()
+                    .map(|f| Some(EipvScorer::new(f, &reference)))
+                    .collect()
+            } else {
+                vec![None; 3]
+            };
 
             // Select a batch of `batch_size` (candidate, fidelity) pairs
             // (lines 7-11; batch > 1 models parallel tool instances). The
@@ -346,6 +388,8 @@ impl Optimizer {
                 let fantasy = &fantasy_fronts;
                 let reference = &reference;
                 let cand_preds = &cand_preds;
+                let cand_chols = &cand_chols;
+                let scorers_ref = &scorers;
                 let scored: Vec<Option<CandidateChoice>> = (0..pool.len())
                     .into_par_iter()
                     .map(|idx| -> Result<Option<CandidateChoice>, CmmfError> {
@@ -358,13 +402,22 @@ impl Optimizer {
                         for stage in Stage::all() {
                             let f = stage.index();
                             let pred = &cand_preds[idx][f];
-                            let raw = eipv_correlated_mc_seeded(
-                                pred,
-                                &fantasy[f],
-                                reference,
-                                cfg.mc_samples,
-                                derive_stream_seed(q_seed, &[c as u64, f as u64]),
-                            );
+                            let seed = derive_stream_seed(q_seed, &[c as u64, f as u64]);
+                            let raw = match &scorers_ref[f] {
+                                Some(scorer) => scorer.eipv_mc_seeded(
+                                    pred,
+                                    cand_chols[idx][f].as_ref(),
+                                    cfg.mc_samples,
+                                    seed,
+                                ),
+                                None => eipv_correlated_mc_seeded(
+                                    pred,
+                                    &fantasy[f],
+                                    reference,
+                                    cfg.mc_samples,
+                                    seed,
+                                ),
+                            };
                             let score = if cfg.use_cost_penalty {
                                 peipv(
                                     raw,
@@ -424,14 +477,24 @@ impl Optimizer {
 
                 // Fantasize the outcome at the chosen fidelity so the next
                 // batch member seeks improvement elsewhere.
-                let pred = &cand_preds[choice_idx][choice.stage.index()];
-                fantasy_fronts[choice.stage.index()] = pareto_front(
-                    &fantasy_fronts[choice.stage.index()]
+                let fi = choice.stage.index();
+                let pred = &cand_preds[choice_idx][fi];
+                let new_front = pareto_front(
+                    &fantasy_fronts[fi]
                         .iter()
                         .cloned()
                         .chain(std::iter::once(pred.mean.clone()))
                         .collect::<Vec<_>>(),
                 );
+                // Rebuild this fidelity's scorer only when the fantasized
+                // outcome actually changed the front (a dominated fantasy
+                // leaves it untouched) and another batch slot will read it.
+                if new_front != fantasy_fronts[fi] {
+                    if scorers[fi].is_some() && q + 1 < cfg.batch_size.max(1) {
+                        scorers[fi] = Some(EipvScorer::new(&new_front, reference));
+                    }
+                    fantasy_fronts[fi] = new_front;
+                }
                 picked.push(choice);
             }
             if picked.is_empty() {
@@ -673,6 +736,61 @@ mod tests {
             assert_eq!(serial.measured_pareto, parallel.measured_pareto);
             assert_eq!(serial.sim_seconds.to_bits(), parallel.sim_seconds.to_bits());
             assert_eq!(serial.hv_history, parallel.hv_history);
+        }
+
+        // The same contract holds on the naive acquisition escape hatch
+        // (`indexed_eipv = false`), which shares the seeded chunked sampler.
+        let run_naive = |threads: usize| {
+            let mut cfg = quick_cfg(11);
+            cfg.indexed_eipv = false;
+            cfg.threads = threads;
+            Optimizer::new(cfg).run(&space, &sim).unwrap()
+        };
+        let naive_serial = run_naive(1);
+        let naive_parallel = run_naive(rayon::hardware_threads().max(2));
+        assert_eq!(naive_serial.candidate_set, naive_parallel.candidate_set);
+        assert_eq!(
+            naive_serial.sim_seconds.to_bits(),
+            naive_parallel.sim_seconds.to_bits()
+        );
+        assert_eq!(naive_serial.hv_history, naive_parallel.hv_history);
+    }
+
+    #[test]
+    fn indexed_eipv_matches_naive_path() {
+        // Equivalence contract behind `CmmfConfig::indexed_eipv`: both paths
+        // draw identical posterior samples, and the cell-indexed oracle
+        // agrees with the from-scratch hypervolume contribution to float
+        // rounding (≤ 1e-12 per query, documented in `pareto::FrontIndex`).
+        // Every discrete decision must therefore coincide — chosen configs,
+        // stages, simulated cost, measured front — while the acquisition
+        // values may differ in the last bits; they are compared at 1e-9
+        // relative. Holds at any thread count.
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let run_with = |indexed: bool, threads: usize| {
+            let mut cfg = quick_cfg(29);
+            cfg.indexed_eipv = indexed;
+            cfg.threads = threads;
+            Optimizer::new(cfg).run(&space, &sim).unwrap()
+        };
+        let naive = run_with(false, 1);
+        for threads in [1, rayon::hardware_threads().max(2)] {
+            let fast = run_with(true, threads);
+            assert_eq!(naive.candidate_set.len(), fast.candidate_set.len());
+            for (a, b) in naive.candidate_set.iter().zip(&fast.candidate_set) {
+                assert_eq!(a.config, b.config, "threads={threads}");
+                assert_eq!(a.stage, b.stage, "threads={threads}");
+                assert!(
+                    (a.acquisition - b.acquisition).abs() <= 1e-9 * a.acquisition.abs().max(1e-12),
+                    "threads={threads}: acquisition {} vs {}",
+                    a.acquisition,
+                    b.acquisition
+                );
+            }
+            assert_eq!(naive.evaluated_configs, fast.evaluated_configs);
+            assert_eq!(naive.measured_pareto, fast.measured_pareto);
+            assert_eq!(naive.sim_seconds.to_bits(), fast.sim_seconds.to_bits());
+            assert_eq!(naive.hv_history, fast.hv_history);
         }
     }
 

@@ -253,74 +253,105 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     ///
     /// Returns [`GpError::DimensionMismatch`] if `x.len() != self.dim()`.
     pub fn predict(&self, x: &[f64]) -> Result<MultiTaskPrediction, GpError> {
-        if x.len() != self.kernel.dim() {
-            return Err(GpError::DimensionMismatch {
-                expected: self.kernel.dim(),
-                got: x.len(),
-            });
-        }
-        let n = self.xs.len();
-        let m = self.n_tasks;
-        let kq: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
-        let kxx = self.kernel.eval(x, x);
-
-        // Cross-covariance columns (one per query task) and their L^{-1} images.
-        let mut mean = Vec::with_capacity(m);
-        let mut w = Vec::with_capacity(m); // L^{-1} c_u
-        for u in 0..m {
-            let mut c = vec![0.0; n * m];
-            for t in 0..m {
-                let btu = self.b[(t, u)];
-                for i in 0..n {
-                    c[i * m + t] = btu * kq[i];
-                }
-            }
-            mean.push(
-                c.iter()
-                    .zip(&self.alpha)
-                    .map(|(ci, ai)| ci * ai)
-                    .sum::<f64>(),
-            );
-            w.push(self.chol.solve_lower(&c)?);
-        }
-
-        let mut cov = Matrix::zeros(m, m);
-        for u in 0..m {
-            for v in u..m {
-                let reduction: f64 = w[u].iter().zip(&w[v]).map(|(a, b)| a * b).sum();
-                let c = self.b[(u, v)] * kxx - reduction;
-                cov[(u, v)] = c;
-                cov[(v, u)] = c;
-            }
-        }
-
-        // De-standardize.
-        for u in 0..m {
-            mean[u] = self.y_means[u] + self.y_scales[u] * mean[u];
-            for v in 0..m {
-                cov[(u, v)] *= self.y_scales[u] * self.y_scales[v];
-            }
-        }
-        // Clamp tiny negative diagonals from round-off.
-        for u in 0..m {
-            if cov[(u, u)] < 0.0 {
-                cov[(u, u)] = 0.0;
-            }
-        }
-        Ok(MultiTaskPrediction { mean, cov })
+        let mut out = self.predict_chunk(&[x])?;
+        Ok(out.pop().expect("one query yields one prediction"))
     }
 
     /// Joint posteriors at many points.
     ///
+    /// Queries are processed in fixed chunks: each chunk stacks its
+    /// `nM × M` cross-covariance blocks into one matrix and runs a single
+    /// batched forward substitution ([`Cholesky::solve_lower_mat`]) instead
+    /// of one triangular solve per (point, task). The per-column operations
+    /// are exactly those of the per-point path, so the results are
+    /// bit-identical to calling [`MultiTaskGp::predict`] per point; chunks
+    /// run in parallel and are re-assembled in input order.
+    ///
     /// # Errors
     ///
-    /// Returns the first error from [`MultiTaskGp::predict`].
+    /// Returns [`GpError::DimensionMismatch`] under the same conditions as
+    /// [`MultiTaskGp::predict`].
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<MultiTaskPrediction>, GpError> {
         use rayon::prelude::*;
-        xs.par_iter()
-            .with_min_len(8)
-            .map(|x| self.predict(x))
-            .collect()
+        const CHUNK: usize = 8;
+        let chunks: Vec<Vec<MultiTaskPrediction>> = xs
+            .par_chunks(CHUNK)
+            .map(|chunk| {
+                let refs: Vec<&[f64]> = chunk.iter().map(|x| x.as_slice()).collect();
+                self.predict_chunk(&refs)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(chunks.into_iter().flatten().collect())
+    }
+
+    /// Shared core of [`MultiTaskGp::predict`] and
+    /// [`MultiTaskGp::predict_batch`]: the chunk's cross-covariance columns
+    /// (query point `j`, task `u` at column `j·M + u`, point-major rows
+    /// matching the factorization layout) are solved in one batched sweep.
+    fn predict_chunk(&self, chunk: &[&[f64]]) -> Result<Vec<MultiTaskPrediction>, GpError> {
+        for x in chunk {
+            if x.len() != self.kernel.dim() {
+                return Err(GpError::DimensionMismatch {
+                    expected: self.kernel.dim(),
+                    got: x.len(),
+                });
+            }
+        }
+        let n = self.xs.len();
+        let m = self.n_tasks;
+        let mut cmat = Matrix::zeros(n * m, chunk.len() * m);
+        let mut kxx = Vec::with_capacity(chunk.len());
+        for (j, x) in chunk.iter().enumerate() {
+            let kq: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
+            kxx.push(self.kernel.eval(x, x));
+            for u in 0..m {
+                for t in 0..m {
+                    let btu = self.b[(t, u)];
+                    for i in 0..n {
+                        cmat[(i * m + t, j * m + u)] = btu * kq[i];
+                    }
+                }
+            }
+        }
+        let w = self.chol.solve_lower_mat(&cmat)?; // L^{-1} C, all columns at once
+
+        let mut out = Vec::with_capacity(chunk.len());
+        for j in 0..chunk.len() {
+            let mut mean: Vec<f64> = (0..m)
+                .map(|u| {
+                    (0..n * m)
+                        .map(|row| cmat[(row, j * m + u)] * self.alpha[row])
+                        .sum()
+                })
+                .collect();
+            let mut cov = Matrix::zeros(m, m);
+            for u in 0..m {
+                for v in u..m {
+                    let reduction: f64 = (0..n * m)
+                        .map(|row| w[(row, j * m + u)] * w[(row, j * m + v)])
+                        .sum();
+                    let c = self.b[(u, v)] * kxx[j] - reduction;
+                    cov[(u, v)] = c;
+                    cov[(v, u)] = c;
+                }
+            }
+
+            // De-standardize.
+            for u in 0..m {
+                mean[u] = self.y_means[u] + self.y_scales[u] * mean[u];
+                for v in 0..m {
+                    cov[(u, v)] *= self.y_scales[u] * self.y_scales[v];
+                }
+            }
+            // Clamp tiny negative diagonals from round-off.
+            for u in 0..m {
+                if cov[(u, u)] < 0.0 {
+                    cov[(u, u)] = 0.0;
+                }
+            }
+            out.push(MultiTaskPrediction { mean, cov });
+        }
+        Ok(out)
     }
 
     /// Learned task-covariance matrix `B` (Eq. 9's `K_{i,j}`).
@@ -523,6 +554,42 @@ mod tests {
             let p = gp.predict(x).unwrap();
             assert!((p.mean[0] - y[0]).abs() < 0.1);
             assert!((p.mean[1] - y[1]).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_bitwise() {
+        // One stacked nM × chunk·M solve per chunk vs one per-point solve:
+        // same column operations, so exact agreement is required — including
+        // across a chunk boundary (the batch spans more than one chunk of 8).
+        let xs = grid_1d(9);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| {
+                let f = (4.0 * x[0]).sin();
+                vec![f, -f + 0.02 * x[0], f * f]
+            })
+            .collect();
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        let queries: Vec<Vec<f64>> = (0..19).map(|i| vec![i as f64 / 18.0 - 0.05]).collect();
+        let batched = gp.predict_batch(&queries).unwrap();
+        assert_eq!(batched.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batched) {
+            let p = gp.predict(q).unwrap();
+            for t in 0..3 {
+                assert_eq!(
+                    p.mean[t].to_bits(),
+                    b.mean[t].to_bits(),
+                    "mean[{t}] differs at {q:?}"
+                );
+                for u in 0..3 {
+                    assert_eq!(
+                        p.cov[(t, u)].to_bits(),
+                        b.cov[(t, u)].to_bits(),
+                        "cov[({t},{u})] differs at {q:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -196,6 +196,48 @@ impl Cholesky {
         Ok(y)
     }
 
+    /// Solves `L Y = B` for all columns of `B` at once (forward substitution
+    /// swept row-by-row across the stacked right-hand sides).
+    ///
+    /// Per column, the floating-point operations and their order are exactly
+    /// those of [`Cholesky::solve_lower`], so the result is **bit-identical**
+    /// to solving each column separately — batching changes the memory access
+    /// pattern (one pass over `L` serves every column), not the arithmetic.
+    /// This is the hot path of batched GP prediction, where the stacked
+    /// cross-covariance of a whole query chunk is solved in one sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_lower_mat(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_lower_mat",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let cols = b.cols();
+        let mut y = b.clone();
+        let mut acc = vec![0.0f64; cols];
+        for i in 0..n {
+            let lrow = self.l.row(i);
+            acc.copy_from_slice(y.row(i));
+            for (k, &lik) in lrow.iter().enumerate().take(i) {
+                let yk = y.row(k);
+                for (a, &v) in acc.iter_mut().zip(yk) {
+                    *a -= lik * v;
+                }
+            }
+            let lii = lrow[i];
+            for (out, &a) in y.row_mut(i).iter_mut().zip(&acc) {
+                *out = a / lii;
+            }
+        }
+        Ok(y)
+    }
+
     /// Solves `Lᵀ x = y` (back substitution).
     ///
     /// # Errors
@@ -406,6 +448,39 @@ mod tests {
             (Err(_), Err(_)) => {}
             (e, f) => panic!("extend and full disagree: {e:?} vs {f:?}"),
         }
+    }
+
+    #[test]
+    fn solve_lower_mat_matches_per_column_bitwise() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 1.0, 0.5, 0.2],
+            &[1.0, 3.0, 0.2, 0.1],
+            &[0.5, 0.2, 2.0, 0.3],
+            &[0.2, 0.1, 0.3, 2.5],
+        ])
+        .unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(4, 5, |i, j| ((i * 5 + j) as f64).sin());
+        let batched = c.solve_lower_mat(&b).unwrap();
+        for j in 0..5 {
+            let col = c.solve_lower(&b.col(j)).unwrap();
+            for i in 0..4 {
+                assert_eq!(
+                    batched[(i, j)].to_bits(),
+                    col[i].to_bits(),
+                    "entry ({i},{j}) differs from the per-column solve"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_lower_mat_rejects_wrong_row_count() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        assert!(matches!(
+            c.solve_lower_mat(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -27,10 +27,12 @@
 mod adrs;
 mod cells;
 mod dominance;
+mod front_index;
 mod hypervolume;
 pub mod metrics;
 
 pub use adrs::{adrs, DistanceMetric};
 pub use cells::{CellDecomposition, GridCell};
 pub use dominance::{dominates, pareto_front, pareto_front_indices, weakly_dominates};
+pub use front_index::FrontIndex;
 pub use hypervolume::{hypervolume, hypervolume_contribution};

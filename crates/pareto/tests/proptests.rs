@@ -3,7 +3,7 @@
 use cmmf_pareto::metrics::{crowding_distance, epsilon_indicator, igd, non_dominated_ranks};
 use cmmf_pareto::{
     adrs, dominates, hypervolume, hypervolume_contribution, pareto_front, pareto_front_indices,
-    CellDecomposition, DistanceMetric,
+    CellDecomposition, DistanceMetric, FrontIndex,
 };
 use proptest::prelude::*;
 
@@ -64,6 +64,43 @@ proptest! {
         with.push(y);
         let delta = hypervolume(&with, &r) - hypervolume(&pts, &r);
         prop_assert!((c - delta).abs() < 1e-9);
+    }
+
+    // The FrontIndex oracle and the from-scratch contribution compute the
+    // same cell volumes in different summation orders, so they agree to
+    // float rounding: ≤ 1e-12 absolute at unit coordinate scale. Query
+    // ranges deliberately extend beyond the reference box (contribution 0)
+    // and into the dominated region.
+    #[test]
+    fn front_index_matches_naive_contribution_2d(pts in points(16, 2),
+                                                 y in proptest::collection::vec(-0.2f64..1.4, 2)) {
+        let r = vec![1.2, 1.2];
+        let index = FrontIndex::new(&pts, &r);
+        let naive = hypervolume_contribution(&y, &pts, &r);
+        let fast = index.contribution(&y);
+        prop_assert!((naive - fast).abs() <= 1e-12, "naive={naive} fast={fast}");
+    }
+
+    #[test]
+    fn front_index_matches_naive_contribution_3d(pts in points(12, 3),
+                                                 y in proptest::collection::vec(-0.2f64..1.4, 3)) {
+        let r = vec![1.2, 1.2, 1.2];
+        let index = FrontIndex::new(&pts, &r);
+        let naive = hypervolume_contribution(&y, &pts, &r);
+        let fast = index.contribution(&y);
+        prop_assert!((naive - fast).abs() <= 1e-12, "naive={naive} fast={fast}");
+    }
+
+    #[test]
+    fn front_index_is_zero_on_weakly_dominated_queries(pts in points(10, 3)) {
+        let r = vec![1.5, 1.5, 1.5];
+        let index = FrontIndex::new(&pts, &r);
+        for p in &pts {
+            // Every front member and everything it dominates contributes 0.
+            prop_assert_eq!(index.contribution(p), 0.0);
+            let worse: Vec<f64> = p.iter().map(|v| v + 0.1).collect();
+            prop_assert_eq!(index.contribution(&worse), 0.0);
+        }
     }
 
     #[test]
