@@ -174,6 +174,7 @@ mod tests {
 
     fn setup() -> (DesignSpace, FlowSimulator) {
         let space = benchmarks::build(Benchmark::SpmvCrs)
+            .unwrap()
             .pruned_space()
             .unwrap();
         let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));

@@ -231,6 +231,7 @@ mod tests {
     fn setup() -> (DesignSpace, FlowSimulator) {
         (
             benchmarks::build(Benchmark::SpmvCrs)
+                .unwrap()
                 .pruned_space()
                 .unwrap(),
             FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs)),

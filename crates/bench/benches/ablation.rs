@@ -15,6 +15,7 @@ use std::hint::black_box;
 
 fn realistic_data() -> (FidelityDataSet, Vec<Vec<f64>>) {
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));

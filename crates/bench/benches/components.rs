@@ -149,10 +149,11 @@ fn bench_hls_model(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(10));
     group.bench_function("prune_sort_radix", |b| {
-        let model = benchmarks::build(Benchmark::SortRadix);
+        let model = benchmarks::build(Benchmark::SortRadix).unwrap();
         b.iter(|| black_box(model.pruned_space().expect("builds")))
     });
     let space = benchmarks::build(Benchmark::Gemm)
+        .unwrap()
         .pruned_space()
         .expect("builds");
     group.bench_function("encode_gemm_config", |b| {
@@ -168,6 +169,7 @@ fn bench_hls_model(c: &mut Criterion) {
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("fidelity_sim");
     let space = benchmarks::build(Benchmark::Gemm)
+        .unwrap()
         .pruned_space()
         .expect("builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::Gemm));

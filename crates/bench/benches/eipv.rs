@@ -145,6 +145,7 @@ fn optimizer_cfg(indexed: bool, threads: usize) -> CmmfConfig {
 /// relative. The indexed path itself must be bit-identical across threads.
 fn assert_optimizer_contract() {
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));

@@ -119,6 +119,7 @@ fn optimizer_cfgs() -> (CmmfConfig, CmmfConfig) {
 /// End-to-end contract: the whole `RunResult` agrees between the two paths.
 fn assert_optimizer_contract() {
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
@@ -152,6 +153,7 @@ fn bench_refit_vs_extend(c: &mut Criterion) {
 fn bench_optimizer_end_to_end(c: &mut Criterion) {
     assert_optimizer_contract();
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));

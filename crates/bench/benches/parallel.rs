@@ -42,6 +42,7 @@ struct ScoringState {
 /// non-linear stack on it.
 fn build_scoring_state(benchmark: Benchmark) -> ScoringState {
     let space = benchmarks::build(benchmark)
+        .unwrap()
         .pruned_space()
         .expect("shipped benchmark builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(benchmark));
@@ -279,6 +280,7 @@ fn bench_kernel_assembly(c: &mut Criterion) {
 
 fn bench_end_to_end(c: &mut Criterion) {
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));

@@ -28,6 +28,7 @@ fn bench_table1_cell(c: &mut Criterion) {
 fn bench_true_front(c: &mut Criterion) {
     // Exhaustive ground-truth evaluation of a ~17.5k-config space.
     let space = hls_model::benchmarks::build(Benchmark::SortRadix)
+        .unwrap()
         .pruned_space()
         .expect("space builds");
     let sim = fidelity_sim::FlowSimulator::new(fidelity_sim::SimParams::for_benchmark(

@@ -85,7 +85,7 @@ fn main() {
         "benchmark", "raw size", "pruned", "pruning factor"
     );
     for bench in Benchmark::all() {
-        let model = benchmarks::build(bench);
+        let model = benchmarks::build(bench).unwrap();
         let space = model.pruned_space().expect("benchmark space builds");
         println!(
             "{:<14} {:>12.3e} {:>10} {:>13.1e}",

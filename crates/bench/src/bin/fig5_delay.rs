@@ -15,7 +15,10 @@ use hls_model::benchmarks::{self, Benchmark};
 fn main() {
     println!("benchmark,config,delay_hls,delay_syn,delay_impl");
     for b in [Benchmark::Gemm, Benchmark::SpmvEllpack] {
-        let space = benchmarks::build(b).pruned_space().expect("space builds");
+        let space = benchmarks::build(b)
+            .unwrap()
+            .pruned_space()
+            .expect("space builds");
         let sim = FlowSimulator::new(SimParams::for_benchmark(b));
 
         // Collect raw delays per stage (invalid configs are skipped, matching

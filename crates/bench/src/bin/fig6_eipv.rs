@@ -21,7 +21,10 @@ use cmmf_bench::install_threads_from_args;
 fn main() {
     install_threads_from_args();
     let b = Benchmark::Gemm;
-    let space = benchmarks::build(b).pruned_space().expect("space builds");
+    let space = benchmarks::build(b)
+        .unwrap()
+        .pruned_space()
+        .expect("space builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(b));
     let truth = sim.truth_objectives(&space);
 

@@ -2,20 +2,51 @@
 //! ADRS, and normalized overall running time for the six benchmarks and five
 //! methods, all expressed as ratios to the ANN column (as in the paper).
 //!
-//! Usage: `cargo run --release -p cmmf-bench --bin table1 [--quick | --repeats N]`
+//! Usage: `cargo run --release -p cmmf-bench --bin table1 [--quick | --repeats N]
+//!         [--checkpoint-dir DIR]`
+//!
+//! With `--checkpoint-dir`, every GP-method run (Ours/FPL18) checkpoints to
+//! `DIR/<bench>-<method>-rep<k>.ckpt.json` after each BO step and resumes
+//! from it on a re-run, so a killed sweep continues where it stopped (see
+//! ARCHITECTURE.md, "Observability & resume").
 //!
 //! The paper runs 10 tests for Ours/FPL18 and reports averages; the regression
 //! baselines are driven by their hyperparameter sweeps. We repeat every method
 //! `repeats` times with distinct seeds.
 
 use cmmf_bench::{
-    install_threads_from_args, repeat_method, repeats_from_args, BenchmarkSetup, Method, MethodCell,
+    install_threads_from_args, repeat_method_checkpointed, repeats_from_args, BenchmarkSetup,
+    Method, MethodCell,
 };
 use hls_model::benchmarks::Benchmark;
+use std::path::PathBuf;
+
+fn checkpoint_dir_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let pos = args.iter().position(|a| a == "--checkpoint-dir")?;
+    match args.get(pos + 1) {
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!(
+                    "error: cannot create --checkpoint-dir {}: {e}",
+                    dir.display()
+                );
+                std::process::exit(2);
+            }
+            Some(dir)
+        }
+        None => {
+            eprintln!("error: --checkpoint-dir requires a directory path");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     install_threads_from_args();
     let repeats = repeats_from_args();
+    let ckpt_dir = checkpoint_dir_from_args();
     println!("# Table I — Normalized Experimental Results ({repeats} repeats/method)");
     println!("# All values are ratios to the ANN column of the same benchmark.");
     println!();
@@ -33,7 +64,7 @@ fn main() {
         let setup = BenchmarkSetup::new(b);
         let cells: Vec<MethodCell> = Method::all()
             .iter()
-            .map(|&m| repeat_method(&setup, m, repeats, 0xDA7E))
+            .map(|&m| repeat_method_checkpointed(&setup, m, repeats, 0xDA7E, ckpt_dir.as_deref()))
             .collect();
         all_cells.push((b, cells));
     }

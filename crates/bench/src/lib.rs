@@ -22,6 +22,8 @@ use cmmf::{CmmfConfig, ModelVariant, Optimizer};
 use fidelity_sim::{FlowSimulator, SimParams, Stage, N_OBJECTIVES};
 use hls_model::benchmarks::{self, Benchmark};
 use hls_model::DesignSpace;
+use rand::derive_stream_seed;
+use std::path::Path;
 
 /// Everything needed to run one benchmark's experiments.
 #[derive(Debug)]
@@ -45,6 +47,7 @@ impl BenchmarkSetup {
     /// tests).
     pub fn new(benchmark: Benchmark) -> Self {
         let space = benchmarks::build(benchmark)
+            .unwrap()
             .pruned_space()
             .expect("shipped benchmarks build");
         let sim = FlowSimulator::new(SimParams::for_benchmark(benchmark));
@@ -119,6 +122,25 @@ pub struct MethodRun {
 ///
 /// Panics if an underlying run fails; the shipped setups do not.
 pub fn run_method(setup: &BenchmarkSetup, method: Method, seed: u64) -> MethodRun {
+    run_method_checkpointed(setup, method, seed, None)
+}
+
+/// [`run_method`] with optional crash recovery for the GP methods: when
+/// `checkpoint` is set, an Ours/FPL18 run writes a checkpoint there after
+/// every BO step and resumes from it if the file already exists, so an
+/// interrupted Table-I sweep re-run picks up where it stopped (bit-identical
+/// to an uninterrupted run). The regression baselines are single-shot and
+/// cheap; they ignore the path.
+///
+/// # Panics
+///
+/// Panics if an underlying run fails; the shipped setups do not.
+pub fn run_method_checkpointed(
+    setup: &BenchmarkSetup,
+    method: Method,
+    seed: u64,
+    checkpoint: Option<&Path>,
+) -> MethodRun {
     match method {
         Method::Ours | Method::Fpl18 => {
             let variant = if method == Method::Ours {
@@ -131,10 +153,16 @@ pub fn run_method(setup: &BenchmarkSetup, method: Method, seed: u64) -> MethodRu
                 seed,
                 ..Default::default()
             };
-            cfg.gp.seed = seed ^ 0xABCD;
-            let r = Optimizer::new(cfg)
-                .run(&setup.space, &setup.sim)
-                .expect("optimizer run succeeds");
+            // Loop and GP seeds are separate derived streams; the old
+            // `seed ^ 0xABCD` xor collapsed pairs of seed choices onto each
+            // other's streams.
+            cfg.gp.seed = derive_stream_seed(seed, &[1]);
+            let opt = Optimizer::new(cfg);
+            let r = match checkpoint {
+                Some(path) => opt.run_with_checkpoints(&setup.space, &setup.sim, path),
+                None => opt.run(&setup.space, &setup.sim),
+            }
+            .expect("optimizer run succeeds");
             let mut stage_counts = [0usize; 3];
             for c in &r.candidate_set {
                 stage_counts[c.stage.index()] += 1;
@@ -175,17 +203,32 @@ pub struct MethodCell {
     pub mean_seconds: f64,
 }
 
-/// Repeats `run_method` with distinct seeds and aggregates.
-pub fn repeat_method(
+/// Repeats `run_method` with distinct derived seeds and aggregates. When
+/// `checkpoint_dir` is set, each GP-method repeat checkpoints to (and resumes
+/// from) `<dir>/<bench>-<method>-rep<k>.ckpt.json`.
+pub fn repeat_method_checkpointed(
     setup: &BenchmarkSetup,
     method: Method,
     repeats: usize,
     seed0: u64,
+    checkpoint_dir: Option<&Path>,
 ) -> MethodCell {
     let mut adrs = Vec::with_capacity(repeats);
     let mut secs = Vec::with_capacity(repeats);
     for rep in 0..repeats {
-        let r = run_method(setup, method, seed0 + 1000 * rep as u64);
+        let path = checkpoint_dir.map(|d| {
+            d.join(format!(
+                "{}-{}-rep{rep}.ckpt.json",
+                setup.benchmark.name(),
+                method.name()
+            ))
+        });
+        let r = run_method_checkpointed(
+            setup,
+            method,
+            derive_stream_seed(seed0, &[rep as u64]),
+            path.as_deref(),
+        );
         adrs.push(r.adrs);
         secs.push(r.seconds);
     }
@@ -194,6 +237,16 @@ pub fn repeat_method(
         std_adrs: linalg::stats::std_dev(&adrs),
         mean_seconds: linalg::stats::mean(&secs),
     }
+}
+
+/// Repeats `run_method` with distinct derived seeds and aggregates.
+pub fn repeat_method(
+    setup: &BenchmarkSetup,
+    method: Method,
+    repeats: usize,
+    seed0: u64,
+) -> MethodCell {
+    repeat_method_checkpointed(setup, method, repeats, seed0, None)
 }
 
 /// How many simulated seconds one flow run to `stage` takes, averaged over a

@@ -1,0 +1,427 @@
+//! Versioned JSON checkpoints for the Algorithm-2 loop.
+//!
+//! A checkpoint records the *decisions* of a run — the initialization draw,
+//! every step's picks, the candidate-ordering state, and the RNG stream
+//! position — not the derived state (observations, surrogates). Because the
+//! flow simulator and the GP fits are deterministic, [`Optimizer::resume`]
+//! replays those decisions to reconstruct the observation sets and the
+//! surrogate stack bit-for-bit, then continues the loop as if it had never
+//! stopped; the resumed [`RunResult`] is bit-identical to an uninterrupted
+//! run (pinned by `resume_is_bit_identical`).
+//!
+//! Floating-point state is stored as `u64` bit patterns (`_bits` fields), so
+//! the round-trip is exact; the JSON layer keeps raw number tokens precisely
+//! so these survive (see [`trace::json`]). The `fingerprint` field pins every
+//! result-relevant configuration field — resuming under a different
+//! configuration is an error, not a silent divergence. `threads` and `tracer`
+//! are excluded: neither can change a result (see ARCHITECTURE.md,
+//! "Determinism & parallelism").
+//!
+//! [`Optimizer::resume`]: crate::Optimizer::resume
+//! [`RunResult`]: crate::RunResult
+
+use crate::optimizer::CmmfConfig;
+use crate::CmmfError;
+use std::path::Path;
+use trace::json::{self, JsonValue};
+
+/// Current checkpoint schema version. Bumped on any incompatible change;
+/// loading a different version is a [`CmmfError::Checkpoint`].
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One recorded batch pick of a completed step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PickRecord {
+    /// Chosen configuration index.
+    pub config: usize,
+    /// Chosen fidelity as [`fidelity_sim::Stage::index`].
+    pub stage_index: usize,
+    /// The winning (penalized) acquisition value, as `f64` bits.
+    pub acquisition_bits: u64,
+}
+
+/// A serializable snapshot of the loop after `completed_steps` steps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunCheckpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// Fingerprint of every result-relevant [`CmmfConfig`] field.
+    pub fingerprint: String,
+    /// Optimization steps completed (the next step to run).
+    pub completed_steps: usize,
+    /// The initialization draw, in observation order (rank decides each
+    /// configuration's top stage).
+    pub init: Vec<usize>,
+    /// Per completed step, the batch picks in pick order.
+    pub picks: Vec<Vec<PickRecord>>,
+    /// The not-yet-sampled configuration indices, in the exact (shuffled)
+    /// order the interrupted run held them.
+    pub unsampled: Vec<usize>,
+    /// The master RNG's xoshiro256++ state at the end of the last step.
+    pub rng_state: [u64; 4],
+    /// Accumulated simulated tool seconds, as `f64` bits.
+    pub sim_seconds_bits: u64,
+    /// Per completed step, the observed-front hypervolume per fidelity, as
+    /// `f64` bits.
+    pub hv_history_bits: Vec<[u64; 3]>,
+}
+
+impl RunCheckpoint {
+    /// The configuration fingerprint a checkpoint of `cfg` carries: every
+    /// field that can influence the result, formatted deterministically
+    /// (floats as bit patterns). `threads` and `tracer` are deliberately
+    /// absent — both are result-transparent.
+    pub fn fingerprint_of(cfg: &CmmfConfig) -> String {
+        format!(
+            "v{CHECKPOINT_VERSION};n_init={};n_init_syn={};n_init_impl={};n_iter={};\
+             variant={:?};use_cost_penalty={};cost_exponent={:#x};candidate_pool={};\
+             mc_samples={};batch_size={};batch_parallel_tools={};final_prediction_pool={};\
+             escalate_threshold={:#x};refit_every={};incremental={};indexed_eipv={};\
+             gp={:?};seed={}",
+            cfg.n_init,
+            cfg.n_init_syn,
+            cfg.n_init_impl,
+            cfg.n_iter,
+            cfg.variant,
+            cfg.use_cost_penalty,
+            cfg.cost_exponent.to_bits(),
+            cfg.candidate_pool,
+            cfg.mc_samples,
+            cfg.batch_size,
+            cfg.batch_parallel_tools,
+            cfg.final_prediction_pool,
+            cfg.escalate_threshold.to_bits(),
+            cfg.refit_every,
+            cfg.incremental,
+            cfg.indexed_eipv,
+            cfg.gp,
+            cfg.seed,
+        )
+    }
+
+    /// Serializes the checkpoint as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 16 * self.unsampled.len());
+        out.push_str(&format!(
+            "{{\n  \"version\": {},\n  \"fingerprint\": \"{}\",\n  \"completed_steps\": {},\n",
+            self.version,
+            json::escape(&self.fingerprint),
+            self.completed_steps
+        ));
+        out.push_str(&format!("  \"init\": {},\n", fmt_usizes(&self.init)));
+        out.push_str("  \"picks\": [");
+        for (i, step) in self.picks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, p) in step.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "[{},{},{}]",
+                    p.config, p.stage_index, p.acquisition_bits
+                ));
+            }
+            out.push(']');
+        }
+        out.push_str("],\n");
+        out.push_str(&format!(
+            "  \"unsampled\": {},\n",
+            fmt_usizes(&self.unsampled)
+        ));
+        out.push_str(&format!(
+            "  \"rng_state\": [{},{},{},{}],\n",
+            self.rng_state[0], self.rng_state[1], self.rng_state[2], self.rng_state[3]
+        ));
+        out.push_str(&format!(
+            "  \"sim_seconds_bits\": {},\n",
+            self.sim_seconds_bits
+        ));
+        out.push_str("  \"hv_history_bits\": [");
+        for (i, hv) in self.hv_history_bits.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{},{}]", hv[0], hv[1], hv[2]));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a checkpoint from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`CmmfError::Checkpoint`] on malformed JSON, missing fields, or a
+    /// version other than [`CHECKPOINT_VERSION`].
+    pub fn from_json(text: &str) -> Result<Self, CmmfError> {
+        let doc = json::parse(text).map_err(|e| CmmfError::Checkpoint {
+            reason: format!("malformed checkpoint: {e}"),
+        })?;
+        let version = req_u64(&doc, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CmmfError::Checkpoint {
+                reason: format!(
+                    "checkpoint version {version} is not the supported {CHECKPOINT_VERSION}"
+                ),
+            });
+        }
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| missing("fingerprint"))?
+            .to_string();
+        let completed_steps = req_u64(&doc, "completed_steps")? as usize;
+        let init = usizes(&doc, "init")?;
+        let unsampled = usizes(&doc, "unsampled")?;
+        let picks_raw = doc
+            .get("picks")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("picks"))?;
+        let mut picks = Vec::with_capacity(picks_raw.len());
+        for step in picks_raw {
+            let step = step.as_array().ok_or_else(|| malformed("picks"))?;
+            let mut recs = Vec::with_capacity(step.len());
+            for p in step {
+                let triple = p.as_array().ok_or_else(|| malformed("picks"))?;
+                if triple.len() != 3 {
+                    return Err(malformed("picks"));
+                }
+                recs.push(PickRecord {
+                    config: triple[0].as_usize().ok_or_else(|| malformed("picks"))?,
+                    stage_index: triple[1].as_usize().ok_or_else(|| malformed("picks"))?,
+                    acquisition_bits: triple[2].as_u64().ok_or_else(|| malformed("picks"))?,
+                });
+            }
+            picks.push(recs);
+        }
+        let rng_raw = doc
+            .get("rng_state")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("rng_state"))?;
+        if rng_raw.len() != 4 {
+            return Err(malformed("rng_state"));
+        }
+        let mut rng_state = [0u64; 4];
+        for (d, v) in rng_state.iter_mut().zip(rng_raw) {
+            *d = v.as_u64().ok_or_else(|| malformed("rng_state"))?;
+        }
+        let sim_seconds_bits = req_u64(&doc, "sim_seconds_bits")?;
+        let hv_raw = doc
+            .get("hv_history_bits")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("hv_history_bits"))?;
+        let mut hv_history_bits = Vec::with_capacity(hv_raw.len());
+        for row in hv_raw {
+            let row = row.as_array().ok_or_else(|| malformed("hv_history_bits"))?;
+            if row.len() != 3 {
+                return Err(malformed("hv_history_bits"));
+            }
+            let mut hv = [0u64; 3];
+            for (d, v) in hv.iter_mut().zip(row) {
+                *d = v.as_u64().ok_or_else(|| malformed("hv_history_bits"))?;
+            }
+            hv_history_bits.push(hv);
+        }
+        if picks.len() != completed_steps || hv_history_bits.len() != completed_steps {
+            return Err(CmmfError::Checkpoint {
+                reason: format!(
+                    "inconsistent checkpoint: {} steps but {} pick sets and {} hv rows",
+                    completed_steps,
+                    picks.len(),
+                    hv_history_bits.len()
+                ),
+            });
+        }
+        Ok(RunCheckpoint {
+            version,
+            fingerprint,
+            completed_steps,
+            init,
+            picks,
+            unsampled,
+            rng_state,
+            sim_seconds_bits,
+            hv_history_bits,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically (temp file + rename), so a
+    /// kill mid-write leaves the previous checkpoint intact. Returns the
+    /// number of bytes written (reported by `checkpoint_written` journal
+    /// events).
+    ///
+    /// # Errors
+    ///
+    /// [`CmmfError::Checkpoint`] wrapping the I/O failure.
+    pub fn save(&self, path: &Path) -> Result<usize, CmmfError> {
+        let tmp = path.with_extension("tmp");
+        let io = |e: std::io::Error| CmmfError::Checkpoint {
+            reason: format!("writing {}: {e}", path.display()),
+        };
+        let text = self.to_json();
+        std::fs::write(&tmp, &text).map_err(io)?;
+        std::fs::rename(&tmp, path).map_err(io)?;
+        Ok(text.len())
+    }
+
+    /// Reads and parses a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`CmmfError::Checkpoint`] on I/O failure or any [`Self::from_json`]
+    /// error.
+    pub fn load(path: &Path) -> Result<Self, CmmfError> {
+        let text = std::fs::read_to_string(path).map_err(|e| CmmfError::Checkpoint {
+            reason: format!("reading {}: {e}", path.display()),
+        })?;
+        Self::from_json(&text)
+    }
+}
+
+fn fmt_usizes(v: &[usize]) -> String {
+    let mut out = String::with_capacity(2 + 4 * v.len());
+    out.push('[');
+    for (i, x) in v.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+    out
+}
+
+fn missing(field: &str) -> CmmfError {
+    CmmfError::Checkpoint {
+        reason: format!("checkpoint is missing field `{field}`"),
+    }
+}
+
+fn malformed(field: &str) -> CmmfError {
+    CmmfError::Checkpoint {
+        reason: format!("checkpoint field `{field}` is malformed"),
+    }
+}
+
+fn req_u64(doc: &JsonValue, field: &str) -> Result<u64, CmmfError> {
+    doc.get(field)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| missing(field))
+}
+
+fn usizes(doc: &JsonValue, field: &str) -> Result<Vec<usize>, CmmfError> {
+    doc.get(field)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| missing(field))?
+        .iter()
+        .map(|v| v.as_usize().ok_or_else(|| malformed(field)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunCheckpoint {
+        RunCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: RunCheckpoint::fingerprint_of(&CmmfConfig::default()),
+            completed_steps: 2,
+            init: vec![5, 9, 1, 0, 12, 3, 7, 2],
+            picks: vec![
+                vec![PickRecord {
+                    config: 42,
+                    stage_index: 1,
+                    acquisition_bits: 0.125f64.to_bits(),
+                }],
+                vec![
+                    PickRecord {
+                        config: 17,
+                        stage_index: 0,
+                        acquisition_bits: f64::MAX.to_bits(),
+                    },
+                    PickRecord {
+                        config: 18,
+                        stage_index: 2,
+                        acquisition_bits: 0,
+                    },
+                ],
+            ],
+            unsampled: vec![11, 4, 6, 8, 10],
+            rng_state: [u64::MAX, 1, 0x9E37_79B9_7F4A_7C15, 7],
+            sim_seconds_bits: 1234.5f64.to_bits(),
+            hv_history_bits: vec![
+                [1.0f64.to_bits(), 2.0f64.to_bits(), 3.0f64.to_bits()],
+                [1.5f64.to_bits(), 2.5f64.to_bits(), 3.5f64.to_bits()],
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let ckpt = sample();
+        let parsed = RunCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        assert_eq!(ckpt, parsed);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut ckpt = sample();
+        ckpt.version = CHECKPOINT_VERSION + 1;
+        assert!(matches!(
+            RunCheckpoint::from_json(&ckpt.to_json()),
+            Err(CmmfError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for text in ["", "{", "{}", "[1,2,3]", r#"{"version": 1}"#] {
+            assert!(
+                matches!(
+                    RunCheckpoint::from_json(text),
+                    Err(CmmfError::Checkpoint { .. })
+                ),
+                "accepted {text:?}"
+            );
+        }
+        // Truncated pick sets are inconsistent with completed_steps.
+        let mut ckpt = sample();
+        ckpt.picks.pop();
+        assert!(RunCheckpoint::from_json(&ckpt.to_json()).is_err());
+    }
+
+    #[test]
+    fn fingerprint_pins_result_relevant_fields_only() {
+        let base = CmmfConfig::default();
+        let fp = RunCheckpoint::fingerprint_of(&base);
+        // threads and tracer are result-transparent: same fingerprint.
+        let mut threaded = base.clone();
+        threaded.threads = 7;
+        assert_eq!(fp, RunCheckpoint::fingerprint_of(&threaded));
+        // Anything that steers the run changes it.
+        let mut other = base.clone();
+        other.seed += 1;
+        assert_ne!(fp, RunCheckpoint::fingerprint_of(&other));
+        let mut other = base.clone();
+        other.mc_samples += 1;
+        assert_ne!(fp, RunCheckpoint::fingerprint_of(&other));
+        let mut other = base;
+        other.gp.seed ^= 1;
+        assert_ne!(fp, RunCheckpoint::fingerprint_of(&other));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("cmmf-checkpoint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let ckpt = sample();
+        ckpt.save(&path).unwrap();
+        assert_eq!(RunCheckpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_file(&path).ok();
+    }
+}

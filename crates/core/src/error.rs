@@ -21,6 +21,12 @@ pub enum CmmfError {
         /// Description of the violated invariant.
         reason: String,
     },
+    /// A checkpoint could not be written, read, or applied (I/O failure,
+    /// malformed JSON, version or configuration mismatch).
+    Checkpoint {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CmmfError {
@@ -36,6 +42,7 @@ impl fmt::Display for CmmfError {
             CmmfError::Model(e) => write!(f, "surrogate model failure: {e}"),
             CmmfError::Space(e) => write!(f, "design space failure: {e}"),
             CmmfError::Internal { reason } => write!(f, "internal invariant violated: {reason}"),
+            CmmfError::Checkpoint { reason } => write!(f, "checkpoint failure: {reason}"),
         }
     }
 }

@@ -30,7 +30,7 @@
 //! use hls_model::benchmarks::{self, Benchmark};
 //!
 //! # fn main() -> Result<(), cmmf::CmmfError> {
-//! let space = benchmarks::build(Benchmark::Gemm).pruned_space()?;
+//! let space = benchmarks::build(Benchmark::Gemm)?.pruned_space()?;
 //! let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::Gemm));
 //! let result = Optimizer::new(CmmfConfig::default()).run(&space, &sim)?;
 //! println!(
@@ -42,12 +42,21 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 pub mod eipv;
 mod error;
 mod models;
 mod optimizer;
 pub mod runner;
 
+pub use checkpoint::RunCheckpoint;
 pub use error::CmmfError;
 pub use models::{FidelityDataSet, FidelityModelStack, FitMode, ModelVariant};
 pub use optimizer::{CandidateChoice, CmmfConfig, Optimizer, RunResult};
+// The observability layer (see ARCHITECTURE.md, "Observability & resume") —
+// re-exported so downstream code can attach a tracer without naming the
+// `cmmf-trace` crate directly.
+pub use trace::{
+    aggregate_step_metrics, JsonlTracer, MemoryTracer, NullTracer, StepMetrics, TraceEvent, Tracer,
+    TracerHandle,
+};

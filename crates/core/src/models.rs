@@ -83,6 +83,16 @@ impl FitMode {
     fn reuses_hyperparams(self) -> bool {
         !matches!(self, FitMode::Optimize)
     }
+
+    /// The lowercase mode name, the journal's `fit_mode` vocabulary
+    /// (`ModelFit` events).
+    pub fn name(self) -> &'static str {
+        match self {
+            FitMode::Optimize => "optimize",
+            FitMode::Refit => "refit",
+            FitMode::Extend => "extend",
+        }
+    }
 }
 
 /// Per-fidelity training data: encoded configurations and (normalized)
@@ -202,19 +212,17 @@ impl FidelityModelStack {
             },
             _ => MultiTaskGp::fit(Matern52Ard::new(x_dim), &data.xs[0], &data.ys[0], gp_cfg)?,
         };
-        let mut stack = FidelityModelStack::CorrelatedNonlinear {
-            base,
-            uppers: Vec::new(),
-        };
+        let mut uppers: Vec<CorrelatedLevel> = Vec::with_capacity(N_FIDELITIES - 1);
         for f in 1..N_FIDELITIES {
-            // Lower-fidelity posterior means at this fidelity's inputs.
+            // Lower-fidelity posterior means at this fidelity's inputs,
+            // through the levels fitted so far.
             let prevs: Vec<MultiTaskPrediction> = {
                 use rayon::prelude::*;
-                let stack_ref = &stack;
+                let (base, uppers) = (&base, &uppers[..]);
                 data.xs[f]
                     .par_iter()
                     .with_min_len(8)
-                    .map(|x| stack_ref.predict(f - 1, x))
+                    .map(|x| predict_nonlinear(base, uppers, f - 1, x))
                     .collect::<Result<_, _>>()?
             };
             // Per-objective linear backbone.
@@ -265,14 +273,9 @@ impl FidelityModelStack {
                     gp_cfg,
                 )?,
             };
-            match &mut stack {
-                FidelityModelStack::CorrelatedNonlinear { uppers, .. } => {
-                    uppers.push(CorrelatedLevel { rhos, gp });
-                }
-                _ => unreachable!("stack constructed above"),
-            }
+            uppers.push(CorrelatedLevel { rhos, gp });
         }
-        Ok(stack)
+        Ok(FidelityModelStack::CorrelatedNonlinear { base, uppers })
     }
 
     fn fit_correlated_plain(
@@ -374,11 +377,7 @@ impl FidelityModelStack {
         }
         match self {
             FidelityModelStack::CorrelatedNonlinear { base, uppers } => {
-                let mut pred = base.predict(x)?;
-                for level in uppers.iter().take(f) {
-                    pred = propagate_unscented(level, x, &pred)?;
-                }
-                Ok(pred)
+                predict_nonlinear(base, uppers, f, x)
             }
             FidelityModelStack::CorrelatedPlain(models) => Ok(models[f].predict(x)?),
             FidelityModelStack::IndependentLinear(per_obj) => {
@@ -443,6 +442,24 @@ impl FidelityModelStack {
 /// the lower posterior are mapped through `ρ ⊙ v + z([x, v])` and
 /// moment-matched. Without this, the chain's high-fidelity variance collapses
 /// and the acquisition stops escalating fidelities.
+/// Nonlinear-chain prediction at fidelity `f`: the base GP's posterior
+/// propagated through the first `f` correlated levels. Shared by
+/// [`FidelityModelStack::predict`] and the fit loop (which predicts through a
+/// partially built chain while fitting the next level, so it cannot hold a
+/// complete stack yet).
+fn predict_nonlinear(
+    base: &MultiTaskGp<Matern52Ard>,
+    uppers: &[CorrelatedLevel],
+    f: usize,
+    x: &[f64],
+) -> Result<MultiTaskPrediction, CmmfError> {
+    let mut pred = base.predict(x)?;
+    for level in uppers.iter().take(f) {
+        pred = propagate_unscented(level, x, &pred)?;
+    }
+    Ok(pred)
+}
+
 fn propagate_unscented(
     level: &CorrelatedLevel,
     x: &[f64],

@@ -1,5 +1,6 @@
 //! The overall optimization flow of Algorithm 2.
 
+use crate::checkpoint::{PickRecord, RunCheckpoint, CHECKPOINT_VERSION};
 use crate::eipv::{eipv_correlated_mc_seeded, peipv, EipvScorer};
 use crate::models::{FidelityDataSet, FidelityModelStack, FitMode, ModelVariant, N_OBJECTIVES};
 use crate::CmmfError;
@@ -13,6 +14,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
+use std::path::Path;
+use std::time::Instant;
+use trace::{TraceEvent, TracerHandle};
 
 /// Configuration of the Algorithm-2 loop. Defaults follow Sec. V-B: 8 initial
 /// configurations, 40 optimization steps.
@@ -94,6 +98,16 @@ pub struct CmmfConfig {
     pub gp: GpConfig,
     /// Master seed: fixes initialization, candidate pools, and EIPV sampling.
     pub seed: u64,
+    /// Observability sink: the loop's serial sections emit typed
+    /// [`trace::TraceEvent`]s — step starts, model fits, acquisition
+    /// argmaxes, simulated tool runs, front updates — through this handle
+    /// (see ARCHITECTURE.md, "Observability & resume"). The default is the
+    /// disabled [`trace::NullTracer`], and instrumented sites skip even
+    /// constructing the events when it reports disabled. A tracer can observe
+    /// a run but never influence it — enabling one changes no decision
+    /// (pinned by `tracer_does_not_change_the_result`) — so this field is
+    /// transparent to `PartialEq` and excluded from checkpoint fingerprints.
+    pub tracer: TracerHandle,
 }
 
 impl Default for CmmfConfig {
@@ -122,6 +136,7 @@ impl Default for CmmfConfig {
                 ..Default::default()
             },
             seed: 2021,
+            tracer: TracerHandle::null(),
         }
     }
 }
@@ -177,6 +192,701 @@ pub struct Optimizer {
     cfg: CmmfConfig,
 }
 
+/// The live state of one Algorithm-2 run: everything [`LoopState::run_step`]
+/// reads and writes, separated from [`Optimizer`] so a run can be snapshotted
+/// ([`LoopState::checkpoint`]) and reconstructed ([`LoopState::restore`]) at
+/// any step boundary.
+struct LoopState<'a> {
+    cfg: &'a CmmfConfig,
+    space: &'a DesignSpace,
+    sim: &'a FlowSimulator,
+    rng: StdRng,
+    /// Not-yet-sampled configuration indices, in shuffled order (the tail is
+    /// each step's candidate pool).
+    unsampled: Vec<usize>,
+    /// The initialization draw, in observation order.
+    init: Vec<usize>,
+    /// Observations per fidelity: (config, outcome).
+    obs: [Vec<(usize, Observation)>; 3],
+    sim_seconds: f64,
+    candidate_set: Vec<CandidateChoice>,
+    /// Per completed step, the picks as checkpoint records (mirrors
+    /// `candidate_set`, partitioned by step — batches can end early, so the
+    /// partition is not implied by `batch_size`).
+    picks: Vec<Vec<PickRecord>>,
+    stack: Option<FidelityModelStack>,
+    hv_history: Vec<[f64; 3]>,
+    /// Steps completed so far (the next step index to run).
+    steps_done: usize,
+    /// True while [`LoopState::restore`] replays checkpointed decisions:
+    /// suppresses `ToolRun` events (the runs already happened) and leaves
+    /// `sim_seconds` to the checkpointed value.
+    replaying: bool,
+}
+
+impl<'a> LoopState<'a> {
+    /// Validates the configuration against the space (shared by fresh starts
+    /// and resumes).
+    fn validate(cfg: &CmmfConfig, space: &DesignSpace) -> Result<(), CmmfError> {
+        if space.len() < cfg.n_init + cfg.n_iter {
+            return Err(CmmfError::SpaceTooSmall {
+                required: cfg.n_init + cfg.n_iter,
+                available: space.len(),
+            });
+        }
+        if cfg.n_init_impl == 0 || cfg.n_init_syn < cfg.n_init_impl || cfg.n_init < cfg.n_init_syn {
+            return Err(CmmfError::Internal {
+                reason: "initialization sizes must be nested and non-zero".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The top stage of the `rank`-th initialization configuration (the first
+    /// ranks go all the way to implementation, Algorithm 2 lines 3-5).
+    fn init_top_stage(cfg: &CmmfConfig, rank: usize) -> Stage {
+        if rank < cfg.n_init_impl {
+            Stage::Impl
+        } else if rank < cfg.n_init_syn {
+            Stage::Syn
+        } else {
+            Stage::Hls
+        }
+    }
+
+    /// Fresh state: draws and observes the initialization set
+    /// (Algorithm 2, lines 3-5).
+    fn start(
+        cfg: &'a CmmfConfig,
+        space: &'a DesignSpace,
+        sim: &'a FlowSimulator,
+    ) -> Result<Self, CmmfError> {
+        Self::validate(cfg, space)?;
+        cfg.tracer.emit(|| TraceEvent::RunStarted {
+            seed: cfg.seed,
+            n_iter: cfg.n_iter,
+            resumed_at: None,
+        });
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut unsampled: Vec<usize> = (0..space.len()).collect();
+        unsampled.shuffle(&mut rng);
+        let init: Vec<usize> = unsampled.split_off(unsampled.len() - cfg.n_init);
+        let mut state = LoopState {
+            cfg,
+            space,
+            sim,
+            rng,
+            unsampled,
+            init: init.clone(),
+            obs: Default::default(),
+            sim_seconds: 0.0,
+            candidate_set: Vec::with_capacity(cfg.n_iter),
+            picks: Vec::with_capacity(cfg.n_iter),
+            stack: None,
+            hv_history: Vec::with_capacity(cfg.n_iter),
+            steps_done: 0,
+            replaying: false,
+        };
+        for (rank, &c) in init.iter().enumerate() {
+            let secs = state.observe(c, Self::init_top_stage(cfg, rank), None);
+            state.sim_seconds += secs;
+        }
+        Ok(state)
+    }
+
+    /// Reconstructs the state a checkpoint describes, bit-identically to the
+    /// run that wrote it: restores the recorded decisions (initialization,
+    /// picks, candidate order, RNG position) and *replays* the derived state
+    /// — observations through the deterministic simulator, and the surrogate
+    /// stack by re-fitting from the last hyperparameter-optimization step
+    /// (at most `refit_every − 1` cheap refits plus one full fit; GP fits
+    /// seed their own RNG per call, so the replayed chain is exact).
+    ///
+    /// The checkpoint must come from a run with this configuration on this
+    /// same design space and simulator; the fingerprint pins the former, and
+    /// out-of-range configuration indices catch gross mismatches of the
+    /// latter.
+    fn restore(
+        cfg: &'a CmmfConfig,
+        space: &'a DesignSpace,
+        sim: &'a FlowSimulator,
+        ckpt: &RunCheckpoint,
+    ) -> Result<Self, CmmfError> {
+        Self::validate(cfg, space)?;
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CmmfError::Checkpoint {
+                reason: format!(
+                    "checkpoint version {} is not the supported {CHECKPOINT_VERSION}",
+                    ckpt.version
+                ),
+            });
+        }
+        let expected = RunCheckpoint::fingerprint_of(cfg);
+        if ckpt.fingerprint != expected {
+            return Err(CmmfError::Checkpoint {
+                reason: format!(
+                    "configuration mismatch: checkpoint was written under\n  {}\nbut this run is\n  {}",
+                    ckpt.fingerprint, expected
+                ),
+            });
+        }
+        let completed = ckpt.completed_steps;
+        if ckpt.init.len() != cfg.n_init
+            || completed > cfg.n_iter
+            || ckpt.picks.len() != completed
+            || ckpt.hv_history_bits.len() != completed
+        {
+            return Err(CmmfError::Checkpoint {
+                reason: "inconsistent checkpoint shape".into(),
+            });
+        }
+        cfg.tracer.emit(|| TraceEvent::RunStarted {
+            seed: cfg.seed,
+            n_iter: cfg.n_iter,
+            resumed_at: Some(completed),
+        });
+        let in_range = |c: usize| c < space.len();
+        if !ckpt.init.iter().all(|&c| in_range(c))
+            || !ckpt.unsampled.iter().all(|&c| in_range(c))
+            || !ckpt.picks.iter().flatten().all(|p| in_range(p.config))
+        {
+            return Err(CmmfError::Checkpoint {
+                reason: "configuration index out of range — was this checkpoint \
+                         written for a different design space?"
+                    .into(),
+            });
+        }
+        let mut state = LoopState {
+            cfg,
+            space,
+            sim,
+            rng: StdRng::from_state(ckpt.rng_state),
+            unsampled: ckpt.unsampled.clone(),
+            init: ckpt.init.clone(),
+            obs: Default::default(),
+            sim_seconds: f64::from_bits(ckpt.sim_seconds_bits),
+            candidate_set: Vec::with_capacity(cfg.n_iter),
+            picks: ckpt.picks.clone(),
+            stack: None,
+            hv_history: ckpt
+                .hv_history_bits
+                .iter()
+                .map(|hv| [0, 1, 2].map(|d| f64::from_bits(hv[d])))
+                .collect(),
+            steps_done: completed,
+            replaying: true,
+        };
+        for (rank, &c) in ckpt.init.iter().enumerate() {
+            state.observe(c, Self::init_top_stage(cfg, rank), None);
+        }
+        // Replay the completed steps. Observations replay in full (they feed
+        // every later fit); surrogate fits replay only from the last
+        // `FitMode::Optimize` step, whose fit does not depend on the previous
+        // stack — the cheap refits after it chain off its caches exactly as
+        // the interrupted run's did.
+        let refit_from = if completed == 0 {
+            0
+        } else {
+            ((completed - 1) / cfg.refit_every.max(1)) * cfg.refit_every.max(1)
+        };
+        for (t, step_picks) in ckpt.picks.iter().enumerate() {
+            if t >= refit_from {
+                let (data, _, _) = state.training_data();
+                let mode = if t.is_multiple_of(cfg.refit_every) {
+                    FitMode::Optimize
+                } else if cfg.incremental {
+                    FitMode::Extend
+                } else {
+                    FitMode::Refit
+                };
+                state.stack = Some(FidelityModelStack::fit(
+                    cfg.variant,
+                    &data,
+                    &cfg.gp,
+                    state.stack.as_ref(),
+                    mode,
+                )?);
+            }
+            for p in step_picks {
+                let stage =
+                    Stage::from_index(p.stage_index).ok_or_else(|| CmmfError::Checkpoint {
+                        reason: format!("invalid stage index {} in step {t}", p.stage_index),
+                    })?;
+                state.observe(p.config, stage, None);
+                state.candidate_set.push(CandidateChoice {
+                    config: p.config,
+                    stage,
+                    acquisition: f64::from_bits(p.acquisition_bits),
+                });
+            }
+        }
+        state.replaying = false;
+        Ok(state)
+    }
+
+    /// Snapshots the run after the last completed step.
+    fn checkpoint(&self) -> RunCheckpoint {
+        RunCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: RunCheckpoint::fingerprint_of(self.cfg),
+            completed_steps: self.steps_done,
+            init: self.init.clone(),
+            picks: self.picks.clone(),
+            unsampled: self.unsampled.clone(),
+            rng_state: self.rng.state(),
+            sim_seconds_bits: self.sim_seconds.to_bits(),
+            hv_history_bits: self
+                .hv_history
+                .iter()
+                .map(|hv| [0, 1, 2].map(|d| hv[d].to_bits()))
+                .collect(),
+        }
+    }
+
+    /// One optimization step (Algorithm 2, lines 6-15). Returns `false` when
+    /// the loop should stop early (candidate pool exhausted).
+    fn run_step(&mut self, t: usize) -> Result<bool, CmmfError> {
+        let cfg = self.cfg;
+        let space = self.space;
+        let sim = self.sim;
+        let tracer = &cfg.tracer;
+        tracer.emit(|| TraceEvent::StepStarted {
+            step: t,
+            observed: [self.obs[0].len(), self.obs[1].len(), self.obs[2].len()],
+        });
+
+        // Materialize normalized training data (penalizing invalids).
+        let (data, mins, spans) = self.training_data();
+        let mode = if t.is_multiple_of(cfg.refit_every) {
+            FitMode::Optimize
+        } else if cfg.incremental {
+            FitMode::Extend
+        } else {
+            FitMode::Refit
+        };
+        let fit_started = tracer.enabled().then(Instant::now);
+        let new_stack =
+            FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, self.stack.as_ref(), mode)?;
+        tracer.emit(|| TraceEvent::ModelFit {
+            step: t,
+            fit_mode: mode.name(),
+            seconds: fit_started.map_or(0.0, |s| s.elapsed().as_secs_f64()),
+        });
+
+        // Per-fidelity Pareto fronts of the normalized observations.
+        let fronts: Vec<Vec<Vec<f64>>> = (0..3).map(|f| pareto_front(&data.ys[f])).collect();
+        let reference = vec![2.5; N_OBJECTIVES]; // dominates the 2.0 penalty
+
+        // Candidate pool.
+        self.unsampled.shuffle(&mut self.rng);
+        let pool_len = cfg.candidate_pool.min(self.unsampled.len());
+        if pool_len == 0 {
+            self.stack = Some(new_stack);
+            return Ok(false);
+        }
+        let pool: Vec<usize> = self.unsampled[self.unsampled.len() - pool_len..].to_vec();
+
+        // Per-step caches: candidate encodings and posterior predictions
+        // are invariant across batch slots (only the fantasy fronts
+        // change between picks), so compute each once per (candidate,
+        // stage) here instead of `batch_size`× per candidate inside the
+        // scoring closures. Ordered parallel collects keep the values
+        // bit-identical to the serial path for any thread count.
+        let stack_ref = &new_stack;
+        let encoded: Vec<Vec<f64>> = pool
+            .par_iter()
+            .with_min_len(8)
+            .map(|&c| space.encode(c))
+            .collect();
+        let cand_preds: Vec<Vec<MultiTaskPrediction>> = encoded
+            .par_iter()
+            .with_min_len(8)
+            .map(|x| {
+                (0..3)
+                    .map(|f| stack_ref.predict(f, x))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // On the indexed path the predictive-covariance factors are also
+        // per-step invariants: factor each candidate's M x M covariance
+        // once here and share it across batch slots (the naive path
+        // factors inside each scoring call, exactly as before).
+        let cand_chols: Vec<Vec<Option<Cholesky>>> = if cfg.indexed_eipv {
+            cand_preds
+                .par_iter()
+                .with_min_len(8)
+                .map(|preds| preds.iter().map(|p| Cholesky::new(&p.cov).ok()).collect())
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // Acquisition scorers, one per fidelity: the fantasy front's
+        // cell decomposition is built once *outside* the per-candidate
+        // fan-out below and shared by every candidate and MC draw.
+        // Rebuilt only when a fantasy update actually changes the front.
+        let mut scorers: Vec<Option<EipvScorer>> = if cfg.indexed_eipv {
+            fronts
+                .iter()
+                .map(|f| Some(EipvScorer::new(f, &reference)))
+                .collect()
+        } else {
+            vec![None; 3]
+        };
+
+        // Select a batch of `batch_size` (candidate, fidelity) pairs
+        // (lines 7-11; batch > 1 models parallel tool instances). The
+        // first pick is the plain PEIPV argmax; subsequent picks maximize
+        // EIPV against fronts augmented with the *fantasized* (posterior
+        // mean) outcomes of the earlier picks — greedy q-EIPV.
+        //
+        // The argmax fans out over the candidate pool. Each (candidate,
+        // fidelity) pair draws its Monte-Carlo samples from its own RNG
+        // stream — seeded from (master seed, step, batch slot, config,
+        // fidelity) — and the winner is chosen by a serial first-max scan
+        // in pool order, so the selection is independent of thread count
+        // and scheduling.
+        let step_seed = derive_stream_seed(cfg.seed, &[t as u64]);
+        let mut fantasy_fronts = fronts.clone();
+        let mut picked: Vec<CandidateChoice> = Vec::with_capacity(cfg.batch_size.max(1));
+        for q in 0..cfg.batch_size.max(1) {
+            let slot_started = tracer.enabled().then(Instant::now);
+            let q_seed = derive_stream_seed(step_seed, &[q as u64]);
+            let picked_so_far = &picked;
+            let fantasy = &fantasy_fronts;
+            let reference = &reference;
+            let cand_preds = &cand_preds;
+            let cand_chols = &cand_chols;
+            let scorers_ref = &scorers;
+            // Each candidate's best stage, carried with the *raw* EIPV of the
+            // winning stage so the journal can report both sides of Eq. 10.
+            let scored: Vec<Option<(CandidateChoice, f64)>> = (0..pool.len())
+                .into_par_iter()
+                .map(|idx| -> Result<Option<(CandidateChoice, f64)>, CmmfError> {
+                    let c = pool[idx];
+                    if picked_so_far.iter().any(|p| p.config == c) {
+                        return Ok(None);
+                    }
+                    let t_impl = sim.stage_seconds(space, c, Stage::Impl);
+                    let mut best: Option<(CandidateChoice, f64)> = None;
+                    for stage in Stage::all() {
+                        let f = stage.index();
+                        let pred = &cand_preds[idx][f];
+                        let seed = derive_stream_seed(q_seed, &[c as u64, f as u64]);
+                        let raw = match &scorers_ref[f] {
+                            Some(scorer) => scorer.eipv_mc_seeded(
+                                pred,
+                                cand_chols[idx][f].as_ref(),
+                                cfg.mc_samples,
+                                seed,
+                            ),
+                            None => eipv_correlated_mc_seeded(
+                                pred,
+                                &fantasy[f],
+                                reference,
+                                cfg.mc_samples,
+                                seed,
+                            ),
+                        };
+                        let score = if cfg.use_cost_penalty {
+                            peipv(
+                                raw,
+                                t_impl,
+                                sim.stage_seconds(space, c, stage),
+                                cfg.cost_exponent,
+                            )
+                        } else {
+                            raw
+                        };
+                        if best.map(|(b, _)| score > b.acquisition).unwrap_or(true) {
+                            best = Some((
+                                CandidateChoice {
+                                    config: c,
+                                    stage,
+                                    acquisition: score,
+                                },
+                                raw,
+                            ));
+                        }
+                    }
+                    Ok(best)
+                })
+                .collect::<Result<Vec<_>, CmmfError>>()?;
+            // Serial first-max scan in pool order: ties resolve to the
+            // earliest candidate, exactly as the serial loop would.
+            let n_scored = scored.iter().flatten().count();
+            let mut best: Option<(CandidateChoice, f64)> = None;
+            for cand in scored.into_iter().flatten() {
+                if best
+                    .map(|(b, _)| cand.0.acquisition > b.acquisition)
+                    .unwrap_or(true)
+                {
+                    best = Some(cand);
+                }
+            }
+            let Some((mut choice, choice_raw)) = best else {
+                break;
+            };
+            let choice_idx = pool
+                .iter()
+                .position(|&c| c == choice.config)
+                .ok_or_else(|| CmmfError::Internal {
+                    reason: "winning candidate is missing from the scoring pool".into(),
+                })?;
+
+            // Fidelity-escalation guard: if the surrogate is already
+            // confident at the chosen point and fidelity, running that
+            // stage buys no information — climb to the next stage instead.
+            if cfg.escalate_threshold > 0.0 {
+                while choice.stage < Stage::Impl {
+                    let p = &cand_preds[choice_idx][choice.stage.index()];
+                    let mean_std =
+                        p.vars().iter().map(|v| v.sqrt()).sum::<f64>() / p.mean.len() as f64;
+                    if mean_std >= cfg.escalate_threshold {
+                        break;
+                    }
+                    choice.stage = if choice.stage == Stage::Hls {
+                        Stage::Syn
+                    } else {
+                        Stage::Impl
+                    };
+                }
+            }
+            tracer.emit(|| TraceEvent::AcquisitionScored {
+                step: t,
+                slot: q,
+                config: choice.config,
+                fidelity: choice.stage.index(),
+                candidates: n_scored,
+                eipv: choice_raw,
+                penalized: choice.acquisition,
+                seconds: slot_started.map_or(0.0, |s| s.elapsed().as_secs_f64()),
+            });
+
+            // Fantasize the outcome at the chosen fidelity so the next
+            // batch member seeks improvement elsewhere.
+            let fi = choice.stage.index();
+            let pred = &cand_preds[choice_idx][fi];
+            let new_front = pareto_front(
+                &fantasy_fronts[fi]
+                    .iter()
+                    .cloned()
+                    .chain(std::iter::once(pred.mean.clone()))
+                    .collect::<Vec<_>>(),
+            );
+            // Rebuild this fidelity's scorer only when the fantasized
+            // outcome actually changed the front (a dominated fantasy
+            // leaves it untouched) and another batch slot will read it.
+            if new_front != fantasy_fronts[fi] {
+                if scorers[fi].is_some() && q + 1 < cfg.batch_size.max(1) {
+                    scorers[fi] = Some(EipvScorer::new(&new_front, reference));
+                }
+                fantasy_fronts[fi] = new_front;
+            }
+            picked.push(choice);
+        }
+        if picked.is_empty() {
+            return Err(CmmfError::Internal {
+                reason: "no candidate scored".into(),
+            });
+        }
+
+        // Run the flow for every batch member (lines 12-14). With batch
+        // size q > 1 and q parallel tool licenses, the wall-clock cost of
+        // the step is the *maximum* stage time, not the sum.
+        let mut batch_seconds = 0.0f64;
+        for choice in &picked {
+            let secs = self.observe(choice.config, choice.stage, Some(t));
+            batch_seconds = if cfg.batch_parallel_tools {
+                batch_seconds.max(secs)
+            } else {
+                batch_seconds + secs
+            };
+            self.unsampled.retain(|&c| c != choice.config);
+            self.candidate_set.push(*choice);
+        }
+        self.picks.push(
+            picked
+                .iter()
+                .map(|c| PickRecord {
+                    config: c.config,
+                    stage_index: c.stage.index(),
+                    acquisition_bits: c.acquisition.to_bits(),
+                })
+                .collect(),
+        );
+        self.sim_seconds += batch_seconds;
+        self.stack = Some(new_stack);
+
+        // Convergence trace: hypervolume of each fidelity's observed
+        // front after this step's runs.
+        let (data_after, _, _) = self.training_data();
+        let mut hv = [0.0f64; 3];
+        let mut front_sizes = [0usize; 3];
+        for (f, h) in hv.iter_mut().enumerate() {
+            let front = pareto_front(&data_after.ys[f]);
+            front_sizes[f] = front.len();
+            *h = hypervolume(&front, &[2.5; N_OBJECTIVES]);
+        }
+        self.hv_history.push(hv);
+        tracer.emit(|| TraceEvent::FrontUpdated {
+            step: t,
+            hv,
+            front_sizes,
+        });
+        let _ = (&mins, &spans);
+        self.steps_done = t + 1;
+        Ok(true)
+    }
+
+    /// Final Pareto identification (after the loop).
+    fn finish(mut self) -> Result<RunResult, CmmfError> {
+        let cfg = self.cfg;
+        let space = self.space;
+        let sim = self.sim;
+        let stack = self.stack.take();
+
+        let mut evaluated: Vec<usize> = self.init.clone();
+        evaluated.extend(self.candidate_set.iter().map(|c| c.config));
+
+        // Model-based identification: predict the top fidelity over a random
+        // subsample of the un-evaluated space and keep the predicted-Pareto
+        // configurations as additional proposals.
+        let mut proposed: Vec<usize> = evaluated.clone();
+        if cfg.final_prediction_pool > 0 {
+            if let Some(stack) = stack.as_ref() {
+                self.unsampled.shuffle(&mut self.rng);
+                let pool_len = cfg.final_prediction_pool.min(self.unsampled.len());
+                let pool = &self.unsampled[..pool_len];
+                let preds: Vec<Vec<f64>> = pool
+                    .par_iter()
+                    .with_min_len(16)
+                    .map(|&c| stack.predict(2, &space.encode(c)).map(|p| p.mean))
+                    .collect::<Result<Vec<_>, _>>()?;
+                for k in pareto::pareto_front_indices(&preds) {
+                    proposed.push(pool[k]);
+                }
+            }
+        }
+
+        let truth = sim.truth_objectives(space);
+        let mut measured: Vec<Vec<f64>> = proposed
+            .iter()
+            .filter_map(|&c| truth[c].map(|t| t.to_vec()))
+            .collect();
+        // Distinct proposals can share ground-truth objectives (and a config
+        // can be both evaluated and model-proposed); keep one copy each.
+        // `total_cmp` gives a total order even if a simulator model ever
+        // produces a NaN objective, so the sort cannot panic.
+        measured.sort_by(|a, b| {
+            a.iter()
+                .zip(b)
+                .map(|(x, y)| x.total_cmp(y))
+                .find(|o| !o.is_eq())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        measured.dedup();
+        let measured_pareto: Vec<[f64; N_OBJECTIVES]> = pareto_front(&measured)
+            .into_iter()
+            .map(|p| [p[0], p[1], p[2]])
+            .collect();
+        let objective_correlations = stack.as_ref().and_then(|s| {
+            let per_fid: Option<Vec<_>> = (0..3).map(|f| s.task_correlations(f)).collect();
+            per_fid
+        });
+
+        cfg.tracer.emit(|| TraceEvent::RunFinished {
+            steps: self.steps_done,
+            sim_seconds: self.sim_seconds,
+            pareto_points: measured_pareto.len(),
+        });
+        Ok(RunResult {
+            candidate_set: self.candidate_set,
+            evaluated_configs: evaluated,
+            measured_pareto,
+            sim_seconds: self.sim_seconds,
+            objective_correlations,
+            hv_history: self.hv_history,
+        })
+    }
+
+    /// Runs the flow for `config` up to `top_stage`, recording one observation
+    /// per traversed fidelity (the flow produces lower-stage reports on its
+    /// way up, Fig. 2). Returns the simulated seconds consumed. `step` labels
+    /// the emitted `ToolRun` events (`None` during initialization).
+    fn observe(&mut self, config: usize, top_stage: Stage, step: Option<usize>) -> f64 {
+        let cfg = self.cfg;
+        let trace_runs = cfg.tracer.enabled() && !self.replaying;
+        let mut prev_secs = 0.0;
+        for stage in Stage::all() {
+            if stage > top_stage {
+                break;
+            }
+            let o = match self.sim.run(self.space, config, stage) {
+                RunOutcome::Valid(r) => Observation::Valid(r.objectives()),
+                RunOutcome::Invalid { .. } => Observation::Invalid,
+            };
+            if trace_runs {
+                // `stage_seconds` is cumulative up the flow; the journal
+                // reports each stage's marginal share.
+                let cum = self.sim.stage_seconds(self.space, config, stage);
+                let seconds = cum - prev_secs;
+                prev_secs = cum;
+                cfg.tracer.emit(|| TraceEvent::ToolRun {
+                    step,
+                    config,
+                    stage: stage.name(),
+                    seconds,
+                    valid: matches!(o, Observation::Valid(_)),
+                });
+            }
+            self.obs[stage.index()].push((config, o));
+        }
+        self.sim.stage_seconds(self.space, config, top_stage)
+    }
+
+    /// Builds normalized per-fidelity training data. Valid observations are
+    /// min-max normalized per objective over all fidelities pooled; invalid
+    /// designs are materialized at 2.0 — far beyond the worst valid value
+    /// (the paper's "10x worse than the current worst" in spirit, clamped so
+    /// the GP stays well-conditioned).
+    fn training_data(&self) -> (FidelityDataSet, [f64; N_OBJECTIVES], [f64; N_OBJECTIVES]) {
+        let mut mins = [f64::INFINITY; N_OBJECTIVES];
+        let mut maxs = [f64::NEG_INFINITY; N_OBJECTIVES];
+        for fid in &self.obs {
+            for (_, o) in fid {
+                if let Observation::Valid(y) = o {
+                    for d in 0..N_OBJECTIVES {
+                        mins[d] = mins[d].min(y[d]);
+                        maxs[d] = maxs[d].max(y[d]);
+                    }
+                }
+            }
+        }
+        let mut spans = [1.0; N_OBJECTIVES];
+        for d in 0..N_OBJECTIVES {
+            if !mins[d].is_finite() {
+                mins[d] = 0.0;
+                maxs[d] = 1.0;
+            }
+            spans[d] = (maxs[d] - mins[d]).max(1e-12);
+        }
+        let mut data = FidelityDataSet::default();
+        for (f, fid) in self.obs.iter().enumerate() {
+            for (c, o) in fid {
+                data.xs[f].push(self.space.encode(*c));
+                data.ys[f].push(match o {
+                    Observation::Valid(y) => (0..N_OBJECTIVES)
+                        .map(|d| (y[d] - mins[d]) / spans[d])
+                        .collect(),
+                    Observation::Invalid => vec![2.0; N_OBJECTIVES],
+                });
+            }
+        }
+        (data, mins, spans)
+    }
+}
+
 impl Optimizer {
     /// Creates an optimizer with the given configuration.
     pub fn new(cfg: CmmfConfig) -> Self {
@@ -207,7 +917,7 @@ impl Optimizer {
     /// use hls_model::benchmarks::{self, Benchmark};
     ///
     /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-    /// let space = benchmarks::build(Benchmark::SpmvCrs).pruned_space()?;
+    /// let space = benchmarks::build(Benchmark::SpmvCrs)?.pruned_space()?;
     /// let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
     ///
     /// let mut cfg = CmmfConfig {
@@ -234,9 +944,98 @@ impl Optimizer {
     ///   initialization plus one iteration.
     /// * [`CmmfError::Model`] if surrogate fitting fails irrecoverably.
     pub fn run(&self, space: &DesignSpace, sim: &FlowSimulator) -> Result<RunResult, CmmfError> {
-        // threads == 0 inherits the ambient rayon default (an enclosing
-        // `ThreadPool::install`, `build_global`, or the hardware parallelism)
-        // so harness binaries can set a process-wide `--threads` once.
+        self.with_pool(|| {
+            let state = LoopState::start(&self.cfg, space, sim)?;
+            Self::drive(state, None)
+        })
+    }
+
+    /// Runs initialization plus at most `steps` optimization steps and
+    /// returns the checkpoint — the deterministic "kill at step k" primitive
+    /// behind the resume tests and the CI smoke. `steps` is clamped to
+    /// [`CmmfConfig::n_iter`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Optimizer::run`].
+    pub fn run_until(
+        &self,
+        space: &DesignSpace,
+        sim: &FlowSimulator,
+        steps: usize,
+    ) -> Result<RunCheckpoint, CmmfError> {
+        self.with_pool(|| {
+            let cfg = &self.cfg;
+            let mut state = LoopState::start(cfg, space, sim)?;
+            for t in 0..steps.min(cfg.n_iter) {
+                if !state.run_step(t)? {
+                    break;
+                }
+            }
+            Ok(state.checkpoint())
+        })
+    }
+
+    /// Resumes a checkpointed run and drives it to completion. The result is
+    /// bit-identical to the uninterrupted run that would have produced the
+    /// same checkpoint (pinned by `resume_is_bit_identical`): the recorded
+    /// decisions are replayed through the deterministic simulator and GP
+    /// fits, then the loop continues from the recorded RNG position.
+    ///
+    /// The configuration must match the one that wrote the checkpoint
+    /// (fingerprinted; `threads` and `tracer` may differ), and `space`/`sim`
+    /// must be the same design space and simulator.
+    ///
+    /// # Errors
+    ///
+    /// * [`CmmfError::Checkpoint`] if the checkpoint's version, fingerprint,
+    ///   or shape does not match this configuration and space.
+    /// * Everything [`Optimizer::run`] can return.
+    pub fn resume(
+        &self,
+        ckpt: &RunCheckpoint,
+        space: &DesignSpace,
+        sim: &FlowSimulator,
+    ) -> Result<RunResult, CmmfError> {
+        self.with_pool(|| {
+            let state = LoopState::restore(&self.cfg, space, sim, ckpt)?;
+            Self::drive(state, None)
+        })
+    }
+
+    /// Runs like [`Optimizer::run`], but checkpoints to `path` after every
+    /// completed step (atomic write) and — if `path` already holds a
+    /// checkpoint — resumes from it instead of starting over. The crash
+    /// recovery loop of a long sweep is therefore just "run the same command
+    /// again".
+    ///
+    /// # Errors
+    ///
+    /// * [`CmmfError::Checkpoint`] if an existing checkpoint at `path` cannot
+    ///   be read or does not match this configuration, or if a checkpoint
+    ///   cannot be written.
+    /// * Everything [`Optimizer::run`] can return.
+    pub fn run_with_checkpoints(
+        &self,
+        space: &DesignSpace,
+        sim: &FlowSimulator,
+        path: &Path,
+    ) -> Result<RunResult, CmmfError> {
+        self.with_pool(|| {
+            let state = if path.exists() {
+                LoopState::restore(&self.cfg, space, sim, &RunCheckpoint::load(path)?)?
+            } else {
+                LoopState::start(&self.cfg, space, sim)?
+            };
+            Self::drive(state, Some(path))
+        })
+    }
+
+    /// Sets up the run's thread pool. `threads == 0` inherits the ambient
+    /// rayon default (an enclosing `ThreadPool::install`, `build_global`, or
+    /// the hardware parallelism) so harness binaries can set a process-wide
+    /// `--threads` once.
+    fn with_pool<T>(&self, f: impl FnOnce() -> Result<T, CmmfError>) -> Result<T, CmmfError> {
         let n = if self.cfg.threads == 0 {
             rayon::current_num_threads()
         } else {
@@ -248,408 +1047,30 @@ impl Optimizer {
             .map_err(|e| CmmfError::Internal {
                 reason: format!("thread pool: {e}"),
             })?;
-        pool.install(|| self.run_inner(space, sim))
+        pool.install(f)
     }
 
-    /// Algorithm 2 proper, executed inside the thread pool set up by [`run`].
-    ///
-    /// [`run`]: Optimizer::run
-    fn run_inner(&self, space: &DesignSpace, sim: &FlowSimulator) -> Result<RunResult, CmmfError> {
-        let cfg = &self.cfg;
-        if space.len() < cfg.n_init + cfg.n_iter {
-            return Err(CmmfError::SpaceTooSmall {
-                required: cfg.n_init + cfg.n_iter,
-                available: space.len(),
-            });
-        }
-        if cfg.n_init_impl == 0 || cfg.n_init_syn < cfg.n_init_impl || cfg.n_init < cfg.n_init_syn {
-            return Err(CmmfError::Internal {
-                reason: "initialization sizes must be nested and non-zero".into(),
-            });
-        }
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-        // --- Initialization (Algorithm 2, lines 3-5) -----------------------
-        let mut unsampled: Vec<usize> = (0..space.len()).collect();
-        unsampled.shuffle(&mut rng);
-        let init: Vec<usize> = unsampled.split_off(unsampled.len() - cfg.n_init);
-
-        // Observations per fidelity: (config, Observation).
-        let mut obs: [Vec<(usize, Observation)>; 3] = Default::default();
-        let mut sim_seconds = 0.0;
-        for (rank, &c) in init.iter().enumerate() {
-            let top_stage = if rank < cfg.n_init_impl {
-                Stage::Impl
-            } else if rank < cfg.n_init_syn {
-                Stage::Syn
-            } else {
-                Stage::Hls
-            };
-            sim_seconds += self.observe(space, sim, c, top_stage, &mut obs);
-        }
-
-        // --- Iterations (Algorithm 2, lines 6-15) --------------------------
-        let mut candidate_set: Vec<CandidateChoice> = Vec::with_capacity(cfg.n_iter);
-        let mut stack: Option<FidelityModelStack> = None;
-        let mut hv_history: Vec<[f64; 3]> = Vec::with_capacity(cfg.n_iter);
-
-        for t in 0..cfg.n_iter {
-            // Materialize normalized training data (penalizing invalids).
-            let (data, mins, spans) = self.training_data(space, &obs);
-            let mode = if t % cfg.refit_every == 0 {
-                FitMode::Optimize
-            } else if cfg.incremental {
-                FitMode::Extend
-            } else {
-                FitMode::Refit
-            };
-            let new_stack =
-                FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, stack.as_ref(), mode)?;
-
-            // Per-fidelity Pareto fronts of the normalized observations.
-            let fronts: Vec<Vec<Vec<f64>>> = (0..3).map(|f| pareto_front(&data.ys[f])).collect();
-            let reference = vec![2.5; N_OBJECTIVES]; // dominates the 2.0 penalty
-
-            // Candidate pool.
-            unsampled.shuffle(&mut rng);
-            let pool_len = cfg.candidate_pool.min(unsampled.len());
-            if pool_len == 0 {
-                stack = Some(new_stack);
+    /// The main loop: executes the remaining steps (checkpointing after each
+    /// when `ckpt_path` is set) and finishes. The run-started announcement is
+    /// emitted by [`LoopState::start`]/[`LoopState::restore`] so it precedes
+    /// the initialization or replay tool runs.
+    fn drive(mut state: LoopState<'_>, ckpt_path: Option<&Path>) -> Result<RunResult, CmmfError> {
+        let cfg = state.cfg;
+        let first = state.steps_done;
+        for t in first..cfg.n_iter {
+            if !state.run_step(t)? {
                 break;
             }
-            let pool = &unsampled[unsampled.len() - pool_len..];
-
-            // Per-step caches: candidate encodings and posterior predictions
-            // are invariant across batch slots (only the fantasy fronts
-            // change between picks), so compute each once per (candidate,
-            // stage) here instead of `batch_size`× per candidate inside the
-            // scoring closures. Ordered parallel collects keep the values
-            // bit-identical to the serial path for any thread count.
-            let stack_ref = &new_stack;
-            let encoded: Vec<Vec<f64>> = pool
-                .par_iter()
-                .with_min_len(8)
-                .map(|&c| space.encode(c))
-                .collect();
-            let cand_preds: Vec<Vec<MultiTaskPrediction>> = encoded
-                .par_iter()
-                .with_min_len(8)
-                .map(|x| {
-                    (0..3)
-                        .map(|f| stack_ref.predict(f, x))
-                        .collect::<Result<Vec<_>, _>>()
-                })
-                .collect::<Result<Vec<_>, _>>()?;
-            // On the indexed path the predictive-covariance factors are also
-            // per-step invariants: factor each candidate's M x M covariance
-            // once here and share it across batch slots (the naive path
-            // factors inside each scoring call, exactly as before).
-            let cand_chols: Vec<Vec<Option<Cholesky>>> = if cfg.indexed_eipv {
-                cand_preds
-                    .par_iter()
-                    .with_min_len(8)
-                    .map(|preds| preds.iter().map(|p| Cholesky::new(&p.cov).ok()).collect())
-                    .collect()
-            } else {
-                Vec::new()
-            };
-
-            // Acquisition scorers, one per fidelity: the fantasy front's
-            // cell decomposition is built once *outside* the per-candidate
-            // fan-out below and shared by every candidate and MC draw.
-            // Rebuilt only when a fantasy update actually changes the front.
-            let mut scorers: Vec<Option<EipvScorer>> = if cfg.indexed_eipv {
-                fronts
-                    .iter()
-                    .map(|f| Some(EipvScorer::new(f, &reference)))
-                    .collect()
-            } else {
-                vec![None; 3]
-            };
-
-            // Select a batch of `batch_size` (candidate, fidelity) pairs
-            // (lines 7-11; batch > 1 models parallel tool instances). The
-            // first pick is the plain PEIPV argmax; subsequent picks maximize
-            // EIPV against fronts augmented with the *fantasized* (posterior
-            // mean) outcomes of the earlier picks — greedy q-EIPV.
-            //
-            // The argmax fans out over the candidate pool. Each (candidate,
-            // fidelity) pair draws its Monte-Carlo samples from its own RNG
-            // stream — seeded from (master seed, step, batch slot, config,
-            // fidelity) — and the winner is chosen by a serial first-max scan
-            // in pool order, so the selection is independent of thread count
-            // and scheduling.
-            let step_seed = derive_stream_seed(cfg.seed, &[t as u64]);
-            let mut fantasy_fronts = fronts.clone();
-            let mut picked: Vec<CandidateChoice> = Vec::with_capacity(cfg.batch_size.max(1));
-            for q in 0..cfg.batch_size.max(1) {
-                let q_seed = derive_stream_seed(step_seed, &[q as u64]);
-                let picked_so_far = &picked;
-                let fantasy = &fantasy_fronts;
-                let reference = &reference;
-                let cand_preds = &cand_preds;
-                let cand_chols = &cand_chols;
-                let scorers_ref = &scorers;
-                let scored: Vec<Option<CandidateChoice>> = (0..pool.len())
-                    .into_par_iter()
-                    .map(|idx| -> Result<Option<CandidateChoice>, CmmfError> {
-                        let c = pool[idx];
-                        if picked_so_far.iter().any(|p| p.config == c) {
-                            return Ok(None);
-                        }
-                        let t_impl = sim.stage_seconds(space, c, Stage::Impl);
-                        let mut best: Option<CandidateChoice> = None;
-                        for stage in Stage::all() {
-                            let f = stage.index();
-                            let pred = &cand_preds[idx][f];
-                            let seed = derive_stream_seed(q_seed, &[c as u64, f as u64]);
-                            let raw = match &scorers_ref[f] {
-                                Some(scorer) => scorer.eipv_mc_seeded(
-                                    pred,
-                                    cand_chols[idx][f].as_ref(),
-                                    cfg.mc_samples,
-                                    seed,
-                                ),
-                                None => eipv_correlated_mc_seeded(
-                                    pred,
-                                    &fantasy[f],
-                                    reference,
-                                    cfg.mc_samples,
-                                    seed,
-                                ),
-                            };
-                            let score = if cfg.use_cost_penalty {
-                                peipv(
-                                    raw,
-                                    t_impl,
-                                    sim.stage_seconds(space, c, stage),
-                                    cfg.cost_exponent,
-                                )
-                            } else {
-                                raw
-                            };
-                            if best.map(|b| score > b.acquisition).unwrap_or(true) {
-                                best = Some(CandidateChoice {
-                                    config: c,
-                                    stage,
-                                    acquisition: score,
-                                });
-                            }
-                        }
-                        Ok(best)
-                    })
-                    .collect::<Result<Vec<_>, CmmfError>>()?;
-                // Serial first-max scan in pool order: ties resolve to the
-                // earliest candidate, exactly as the serial loop would.
-                let mut best: Option<CandidateChoice> = None;
-                for cand in scored.into_iter().flatten() {
-                    if best
-                        .map(|b| cand.acquisition > b.acquisition)
-                        .unwrap_or(true)
-                    {
-                        best = Some(cand);
-                    }
-                }
-                let Some(mut choice) = best else { break };
-                let choice_idx = pool
-                    .iter()
-                    .position(|&c| c == choice.config)
-                    .expect("winning candidate came from the pool");
-
-                // Fidelity-escalation guard: if the surrogate is already
-                // confident at the chosen point and fidelity, running that
-                // stage buys no information — climb to the next stage instead.
-                if cfg.escalate_threshold > 0.0 {
-                    while choice.stage < Stage::Impl {
-                        let p = &cand_preds[choice_idx][choice.stage.index()];
-                        let mean_std =
-                            p.vars().iter().map(|v| v.sqrt()).sum::<f64>() / p.mean.len() as f64;
-                        if mean_std >= cfg.escalate_threshold {
-                            break;
-                        }
-                        choice.stage = if choice.stage == Stage::Hls {
-                            Stage::Syn
-                        } else {
-                            Stage::Impl
-                        };
-                    }
-                }
-
-                // Fantasize the outcome at the chosen fidelity so the next
-                // batch member seeks improvement elsewhere.
-                let fi = choice.stage.index();
-                let pred = &cand_preds[choice_idx][fi];
-                let new_front = pareto_front(
-                    &fantasy_fronts[fi]
-                        .iter()
-                        .cloned()
-                        .chain(std::iter::once(pred.mean.clone()))
-                        .collect::<Vec<_>>(),
-                );
-                // Rebuild this fidelity's scorer only when the fantasized
-                // outcome actually changed the front (a dominated fantasy
-                // leaves it untouched) and another batch slot will read it.
-                if new_front != fantasy_fronts[fi] {
-                    if scorers[fi].is_some() && q + 1 < cfg.batch_size.max(1) {
-                        scorers[fi] = Some(EipvScorer::new(&new_front, reference));
-                    }
-                    fantasy_fronts[fi] = new_front;
-                }
-                picked.push(choice);
-            }
-            if picked.is_empty() {
-                return Err(CmmfError::Internal {
-                    reason: "no candidate scored".into(),
-                });
-            }
-
-            // Run the flow for every batch member (lines 12-14). With batch
-            // size q > 1 and q parallel tool licenses, the wall-clock cost of
-            // the step is the *maximum* stage time, not the sum.
-            let mut batch_seconds = 0.0f64;
-            for choice in &picked {
-                let secs = self.observe(space, sim, choice.config, choice.stage, &mut obs);
-                batch_seconds = if cfg.batch_parallel_tools {
-                    batch_seconds.max(secs)
-                } else {
-                    batch_seconds + secs
-                };
-                unsampled.retain(|&c| c != choice.config);
-                candidate_set.push(*choice);
-            }
-            sim_seconds += batch_seconds;
-            stack = Some(new_stack);
-
-            // Convergence trace: hypervolume of each fidelity's observed
-            // front after this step's runs.
-            let (data_after, _, _) = self.training_data(space, &obs);
-            let mut hv = [0.0f64; 3];
-            for (f, h) in hv.iter_mut().enumerate() {
-                *h = hypervolume(&pareto_front(&data_after.ys[f]), &[2.5; N_OBJECTIVES]);
-            }
-            hv_history.push(hv);
-            let _ = (&mins, &spans);
-        }
-
-        // --- Final Pareto identification -----------------------------------
-        let mut evaluated: Vec<usize> = init.clone();
-        evaluated.extend(candidate_set.iter().map(|c| c.config));
-
-        // Model-based identification: predict the top fidelity over a random
-        // subsample of the un-evaluated space and keep the predicted-Pareto
-        // configurations as additional proposals.
-        let mut proposed: Vec<usize> = evaluated.clone();
-        if cfg.final_prediction_pool > 0 {
-            if let Some(stack) = stack.as_ref() {
-                unsampled.shuffle(&mut rng);
-                let pool_len = cfg.final_prediction_pool.min(unsampled.len());
-                let pool = &unsampled[..pool_len];
-                let preds: Vec<Vec<f64>> = pool
-                    .par_iter()
-                    .with_min_len(16)
-                    .map(|&c| stack.predict(2, &space.encode(c)).map(|p| p.mean))
-                    .collect::<Result<Vec<_>, _>>()?;
-                for k in pareto::pareto_front_indices(&preds) {
-                    proposed.push(pool[k]);
-                }
-            }
-        }
-
-        let truth = sim.truth_objectives(space);
-        let mut measured: Vec<Vec<f64>> = proposed
-            .iter()
-            .filter_map(|&c| truth[c].map(|t| t.to_vec()))
-            .collect();
-        // Distinct proposals can share ground-truth objectives (and a config
-        // can be both evaluated and model-proposed); keep one copy each.
-        measured.sort_by(|a, b| a.partial_cmp(b).expect("finite objectives"));
-        measured.dedup();
-        let measured_pareto: Vec<[f64; N_OBJECTIVES]> = pareto_front(&measured)
-            .into_iter()
-            .map(|p| [p[0], p[1], p[2]])
-            .collect();
-        let objective_correlations = stack.as_ref().and_then(|s| {
-            let per_fid: Option<Vec<_>> = (0..3).map(|f| s.task_correlations(f)).collect();
-            per_fid
-        });
-
-        Ok(RunResult {
-            candidate_set,
-            evaluated_configs: evaluated,
-            measured_pareto,
-            sim_seconds,
-            objective_correlations,
-            hv_history,
-        })
-    }
-
-    /// Runs the flow for `config` up to `top_stage`, recording one observation
-    /// per traversed fidelity (the flow produces lower-stage reports on its
-    /// way up, Fig. 2). Returns the simulated seconds consumed.
-    fn observe(
-        &self,
-        space: &DesignSpace,
-        sim: &FlowSimulator,
-        config: usize,
-        top_stage: Stage,
-        obs: &mut [Vec<(usize, Observation)>; 3],
-    ) -> f64 {
-        for stage in Stage::all() {
-            if stage > top_stage {
-                break;
-            }
-            let o = match sim.run(space, config, stage) {
-                RunOutcome::Valid(r) => Observation::Valid(r.objectives()),
-                RunOutcome::Invalid { .. } => Observation::Invalid,
-            };
-            obs[stage.index()].push((config, o));
-        }
-        sim.stage_seconds(space, config, top_stage)
-    }
-
-    /// Builds normalized per-fidelity training data. Valid observations are
-    /// min-max normalized per objective over all fidelities pooled; invalid
-    /// designs are materialized at 2.0 — far beyond the worst valid value
-    /// (the paper's "10x worse than the current worst" in spirit, clamped so
-    /// the GP stays well-conditioned).
-    fn training_data(
-        &self,
-        space: &DesignSpace,
-        obs: &[Vec<(usize, Observation)>; 3],
-    ) -> (FidelityDataSet, [f64; N_OBJECTIVES], [f64; N_OBJECTIVES]) {
-        let mut mins = [f64::INFINITY; N_OBJECTIVES];
-        let mut maxs = [f64::NEG_INFINITY; N_OBJECTIVES];
-        for fid in obs {
-            for (_, o) in fid {
-                if let Observation::Valid(y) = o {
-                    for d in 0..N_OBJECTIVES {
-                        mins[d] = mins[d].min(y[d]);
-                        maxs[d] = maxs[d].max(y[d]);
-                    }
-                }
-            }
-        }
-        let mut spans = [1.0; N_OBJECTIVES];
-        for d in 0..N_OBJECTIVES {
-            if !mins[d].is_finite() {
-                mins[d] = 0.0;
-                maxs[d] = 1.0;
-            }
-            spans[d] = (maxs[d] - mins[d]).max(1e-12);
-        }
-        let mut data = FidelityDataSet::default();
-        for (f, fid) in obs.iter().enumerate() {
-            for (c, o) in fid {
-                data.xs[f].push(space.encode(*c));
-                data.ys[f].push(match o {
-                    Observation::Valid(y) => (0..N_OBJECTIVES)
-                        .map(|d| (y[d] - mins[d]) / spans[d])
-                        .collect(),
-                    Observation::Invalid => vec![2.0; N_OBJECTIVES],
+            if let Some(path) = ckpt_path {
+                let ckpt = state.checkpoint();
+                let bytes = ckpt.save(path)?;
+                cfg.tracer.emit(|| TraceEvent::CheckpointWritten {
+                    step: state.steps_done,
+                    bytes,
                 });
             }
         }
-        (data, mins, spans)
+        state.finish()
     }
 }
 
@@ -658,6 +1079,8 @@ mod tests {
     use super::*;
     use fidelity_sim::SimParams;
     use hls_model::benchmarks::{self, Benchmark};
+    use std::sync::Arc;
+    use trace::MemoryTracer;
 
     fn quick_cfg(seed: u64) -> CmmfConfig {
         CmmfConfig {
@@ -677,9 +1100,25 @@ mod tests {
 
     fn setup(b: Benchmark) -> (DesignSpace, FlowSimulator) {
         (
-            benchmarks::build(b).pruned_space().unwrap(),
+            benchmarks::build(b).unwrap().pruned_space().unwrap(),
             FlowSimulator::new(SimParams::for_benchmark(b)),
         )
+    }
+
+    /// Full bit-identity over every deterministic `RunResult` field.
+    fn assert_same_result(a: &RunResult, b: &RunResult, label: &str) {
+        assert_eq!(a.candidate_set, b.candidate_set, "{label}: candidate_set");
+        assert_eq!(
+            a.evaluated_configs, b.evaluated_configs,
+            "{label}: evaluated_configs"
+        );
+        assert_eq!(a.measured_pareto, b.measured_pareto, "{label}: pareto");
+        assert_eq!(
+            a.sim_seconds.to_bits(),
+            b.sim_seconds.to_bits(),
+            "{label}: sim_seconds"
+        );
+        assert_eq!(a.hv_history, b.hv_history, "{label}: hv_history");
     }
 
     #[test]
@@ -728,14 +1167,7 @@ mod tests {
         let serial = run_with(1);
         for threads in [2, rayon::hardware_threads().max(3)] {
             let parallel = run_with(threads);
-            assert_eq!(
-                serial.candidate_set, parallel.candidate_set,
-                "threads={threads}"
-            );
-            assert_eq!(serial.evaluated_configs, parallel.evaluated_configs);
-            assert_eq!(serial.measured_pareto, parallel.measured_pareto);
-            assert_eq!(serial.sim_seconds.to_bits(), parallel.sim_seconds.to_bits());
-            assert_eq!(serial.hv_history, parallel.hv_history);
+            assert_same_result(&serial, &parallel, &format!("threads={threads}"));
         }
 
         // The same contract holds on the naive acquisition escape hatch
@@ -754,6 +1186,121 @@ mod tests {
             naive_parallel.sim_seconds.to_bits()
         );
         assert_eq!(naive_serial.hv_history, naive_parallel.hv_history);
+    }
+
+    #[test]
+    fn tracer_does_not_change_the_result() {
+        // The contract behind `CmmfConfig::tracer`: a tracer observes a run,
+        // it never influences it. A run with a recording tracer must be
+        // bit-identical to the untraced run.
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let untraced = Optimizer::new(quick_cfg(23)).run(&space, &sim).unwrap();
+
+        let sink = Arc::new(MemoryTracer::new());
+        let mut cfg = quick_cfg(23);
+        cfg.tracer = TracerHandle::new(sink.clone());
+        let traced = Optimizer::new(cfg).run(&space, &sim).unwrap();
+        assert_same_result(&untraced, &traced, "traced");
+
+        // The journal actually observed the run: lifecycle events frame it,
+        // every step logged a fit, an argmax, tool runs, and a front update.
+        let events = sink.events();
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::RunStarted { .. })
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::RunFinished { .. })
+        ));
+        let metrics = trace::aggregate_step_metrics(&events);
+        assert_eq!(metrics.len(), traced.candidate_set.len());
+        for (m, choice) in metrics.iter().zip(&traced.candidate_set) {
+            assert!(m.fit_mode.is_some(), "step {} has no fit", m.step);
+            assert_eq!(m.picks, vec![(choice.config, choice.stage.index())]);
+            assert!(m.tool_runs >= 1);
+            assert!(m.hv.is_some());
+        }
+        // Init tool runs carry no step label.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ToolRun { step: None, .. })));
+    }
+
+    #[test]
+    fn resume_is_bit_identical() {
+        // The checkpoint/resume contract: killing a run after step k and
+        // resuming from the checkpoint yields the same `RunResult`, bit for
+        // bit, as never stopping — at any thread count, whether k lands on a
+        // hyperparameter-refit boundary (refit_every = 3 here) or not.
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let full = Optimizer::new(quick_cfg(31)).run(&space, &sim).unwrap();
+        for k in [1, 3, 5] {
+            let ckpt = Optimizer::new(quick_cfg(31))
+                .run_until(&space, &sim, k)
+                .unwrap();
+            assert_eq!(ckpt.completed_steps, k);
+            for threads in [0, 1, 2] {
+                let mut cfg = quick_cfg(31);
+                cfg.threads = threads;
+                let resumed = Optimizer::new(cfg).resume(&ckpt, &space, &sim).unwrap();
+                assert_same_result(&full, &resumed, &format!("k={k} threads={threads}"));
+            }
+        }
+        // A checkpoint also survives its JSON round trip intact.
+        let ckpt = Optimizer::new(quick_cfg(31))
+            .run_until(&space, &sim, 2)
+            .unwrap();
+        let reparsed = RunCheckpoint::from_json(&ckpt.to_json()).unwrap();
+        let resumed = Optimizer::new(quick_cfg(31))
+            .resume(&reparsed, &space, &sim)
+            .unwrap();
+        assert_same_result(&full, &resumed, "json round trip");
+    }
+
+    #[test]
+    fn run_with_checkpoints_resumes_from_disk() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let dir = std::env::temp_dir().join(format!("cmmf-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt.json");
+        std::fs::remove_file(&path).ok();
+
+        let full = Optimizer::new(quick_cfg(37)).run(&space, &sim).unwrap();
+        // Simulate a kill after 2 steps by checkpointing there...
+        Optimizer::new(quick_cfg(37))
+            .run_until(&space, &sim, 2)
+            .unwrap()
+            .save(&path)
+            .unwrap();
+        // ...then "re-run the same command": it must pick the file up,
+        // finish the run identically, and leave a final checkpoint behind.
+        let resumed = Optimizer::new(quick_cfg(37))
+            .run_with_checkpoints(&space, &sim, &path)
+            .unwrap();
+        assert_same_result(&full, &resumed, "disk resume");
+        let last = RunCheckpoint::load(&path).unwrap();
+        assert_eq!(last.completed_steps, 6);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_config() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let ckpt = Optimizer::new(quick_cfg(41))
+            .run_until(&space, &sim, 1)
+            .unwrap();
+        let mut other = quick_cfg(42); // different seed -> different fingerprint
+        assert!(matches!(
+            Optimizer::new(other.clone()).resume(&ckpt, &space, &sim),
+            Err(CmmfError::Checkpoint { .. })
+        ));
+        // threads and tracer do not participate in the fingerprint.
+        other.seed = 41;
+        other.threads = 2;
+        other.tracer = TracerHandle::new(Arc::new(MemoryTracer::new()));
+        assert!(Optimizer::new(other).resume(&ckpt, &space, &sim).is_ok());
     }
 
     #[test]
@@ -810,11 +1357,7 @@ mod tests {
         let full = run_with(false, 1);
         for threads in [1, rayon::hardware_threads().max(2)] {
             let fast = run_with(true, threads);
-            assert_eq!(full.candidate_set, fast.candidate_set, "threads={threads}");
-            assert_eq!(full.evaluated_configs, fast.evaluated_configs);
-            assert_eq!(full.measured_pareto, fast.measured_pareto);
-            assert_eq!(full.sim_seconds.to_bits(), fast.sim_seconds.to_bits());
-            assert_eq!(full.hv_history, fast.hv_history);
+            assert_same_result(&full, &fast, &format!("threads={threads}"));
         }
     }
 
@@ -886,6 +1429,22 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 12);
+    }
+
+    #[test]
+    fn batched_runs_resume_bit_identically() {
+        // Resume must partition picks by step, not assume `batch_size` picks
+        // per step — pin it with a batched run.
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let mut cfg = quick_cfg(43);
+        cfg.batch_size = 3;
+        cfg.n_iter = 4;
+        let full = Optimizer::new(cfg.clone()).run(&space, &sim).unwrap();
+        let ckpt = Optimizer::new(cfg.clone())
+            .run_until(&space, &sim, 2)
+            .unwrap();
+        let resumed = Optimizer::new(cfg).resume(&ckpt, &space, &sim).unwrap();
+        assert_same_result(&full, &resumed, "batched resume");
     }
 
     #[test]

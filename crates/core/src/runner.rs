@@ -5,6 +5,8 @@ use crate::{CmmfConfig, CmmfError, Optimizer};
 use fidelity_sim::{FlowSimulator, N_OBJECTIVES};
 use hls_model::DesignSpace;
 use pareto::{adrs, pareto_front, DistanceMetric};
+use rand::derive_stream_seed;
+use trace::TraceEvent;
 
 /// The ground-truth Pareto front of a design space, with the normalization
 /// used to make ADRS comparable across objectives.
@@ -41,7 +43,13 @@ impl TrueFront {
         }
         let mut spans = [1.0; N_OBJECTIVES];
         for d in 0..N_OBJECTIVES {
-            spans[d] = (maxs[d] - mins[d]).max(1e-12);
+            // A degenerate objective (constant over all valid configurations)
+            // has zero span; dividing by it — or by a denormal stand-in like
+            // 1e-12 — turns every later `normalize` into ±inf/NaN and poisons
+            // ADRS. A constant axis carries no ranking information, so its
+            // span clamps to 1.0: the axis contributes the raw offset only.
+            let raw = maxs[d] - mins[d];
+            spans[d] = if raw > 1e-12 { raw } else { 1.0 };
         }
         let normalized: Vec<Vec<f64>> = valid
             .iter()
@@ -59,9 +67,21 @@ impl TrueFront {
     }
 
     /// Normalizes a raw objective vector into this front's coordinates.
+    ///
+    /// Guarded against degenerate fronts: a zero, negative, or non-finite
+    /// span (possible when a `TrueFront` is built by hand or deserialized)
+    /// falls back to 1.0 instead of producing NaN/±inf coordinates.
     pub fn normalize(&self, y: &[f64; N_OBJECTIVES]) -> Vec<f64> {
         (0..N_OBJECTIVES)
-            .map(|d| (y[d] - self.mins[d]) / self.spans[d])
+            .map(|d| {
+                let span = self.spans[d];
+                let span = if span.is_finite() && span > 1e-12 {
+                    span
+                } else {
+                    1.0
+                };
+                (y[d] - self.mins[d]) / span
+            })
             .collect()
     }
 
@@ -96,6 +116,13 @@ pub struct MethodStats {
 /// Runs the optimizer `repeats` times with distinct seeds and aggregates ADRS
 /// and runtime statistics (Sec. V-B runs 10 tests per benchmark and averages).
 ///
+/// Each repeat's loop seed and GP seed are separate SplitMix64 streams
+/// derived from `(base seed, repeat index)` via [`derive_stream_seed`] — the
+/// previous affine scheme (`base + rep · 0x9E37`) made different
+/// `(base, rep)` pairs collide, silently re-running the same experiment (see
+/// `repeat_seed_streams_are_collision_free`). The base tracer, if any, gets a
+/// `repeat_finished` event per repeat.
+///
 /// # Errors
 ///
 /// Propagates the first run error.
@@ -110,10 +137,16 @@ pub fn repeat_optimizer_runs(
     let mut seconds = Vec::with_capacity(repeats);
     for rep in 0..repeats {
         let mut cfg = base_cfg.clone();
-        cfg.seed = base_cfg.seed.wrapping_add(rep as u64 * 0x9E37);
-        cfg.gp.seed = cfg.seed ^ 0xABCD;
+        cfg.seed = derive_stream_seed(base_cfg.seed, &[rep as u64, 0]);
+        cfg.gp.seed = derive_stream_seed(base_cfg.seed, &[rep as u64, 1]);
         let result = Optimizer::new(cfg).run(space, sim)?;
-        adrs_values.push(front.adrs_of(&result.measured_pareto));
+        let run_adrs = front.adrs_of(&result.measured_pareto);
+        base_cfg.tracer.emit(|| TraceEvent::RepeatFinished {
+            repeat: rep,
+            adrs: run_adrs,
+            sim_seconds: result.sim_seconds,
+        });
+        adrs_values.push(run_adrs);
         seconds.push(result.sim_seconds);
     }
     Ok(MethodStats {
@@ -126,6 +159,11 @@ pub fn repeat_optimizer_runs(
 
 /// Aggregates externally produced per-repeat (ADRS, seconds) pairs — used for
 /// the regression baselines, which do not run through [`Optimizer`].
+///
+/// Well-defined on short inputs: zero runs yield all-zero statistics, and a
+/// single run yields its own value with a standard deviation of 0.0 (the
+/// sample standard deviation is undefined at n ≤ 1; 0.0 keeps Table-I cells
+/// printable without NaN special-casing).
 pub fn stats_from_runs(adrs_values: Vec<f64>, seconds: Vec<f64>) -> MethodStats {
     MethodStats {
         mean_adrs: linalg::stats::mean(&adrs_values),
@@ -146,6 +184,7 @@ mod tests {
     fn setup() -> (DesignSpace, FlowSimulator) {
         (
             benchmarks::build(Benchmark::SpmvCrs)
+                .unwrap()
                 .pruned_space()
                 .unwrap(),
             FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs)),
@@ -211,6 +250,80 @@ mod tests {
     }
 
     #[test]
+    fn constant_objective_front_stays_finite() {
+        // A degenerate (constant) objective axis must not poison
+        // normalization or ADRS with NaN/±inf — the guard clamps its span
+        // to 1.0 so only the offset contributes.
+        let front = TrueFront {
+            points: vec![vec![0.0, 0.0, 0.0], vec![1.0, 0.0, 0.5]],
+            mins: [1.0, 2.0, 3.0],
+            spans: [0.0, f64::NAN, 1e-300],
+        };
+        let n = front.normalize(&[1.5, 2.0, 3.25]);
+        assert!(n.iter().all(|v| v.is_finite()), "normalize produced {n:?}");
+        assert_eq!(n, vec![0.5, 0.0, 0.25]);
+        let a = front.adrs_of(&[[1.5, 2.0, 3.25]]);
+        assert!(a.is_finite(), "adrs produced {a}");
+    }
+
+    #[test]
+    fn repeat_seed_streams_are_collision_free() {
+        // Regression for the old affine derivation (`base + rep * 0x9E37`,
+        // gp seed `^ 0xABCD`): base 0 repeat 1 and base 0x9E37 repeat 0
+        // produced the *same* seeds, silently re-running one experiment as
+        // two. Stream derivation keeps every (base, rep, role) seed distinct.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for base in [0u64, 0x9E37, 1, 2021, u64::MAX] {
+            for rep in 0..50u64 {
+                for role in [0u64, 1] {
+                    assert!(
+                        seen.insert(rand::derive_stream_seed(base, &[rep, role])),
+                        "seed collision at base={base:#x} rep={rep} role={role}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_on_short_inputs_are_defined() {
+        // Zero runs: all-zero statistics, no NaN.
+        let empty = stats_from_runs(vec![], vec![]);
+        assert_eq!(empty.mean_adrs, 0.0);
+        assert_eq!(empty.std_adrs, 0.0);
+        assert_eq!(empty.mean_seconds, 0.0);
+        // One run: its own value, std 0.0 (sample std is undefined at n = 1).
+        let single = stats_from_runs(vec![0.25], vec![10.0]);
+        assert_eq!(single.mean_adrs, 0.25);
+        assert_eq!(single.std_adrs, 0.0);
+        assert_eq!(single.mean_seconds, 10.0);
+    }
+
+    #[test]
+    fn repeats_emit_repeat_finished_events() {
+        let (space, sim) = setup();
+        let front = TrueFront::compute(&space, &sim);
+        let sink = std::sync::Arc::new(trace::MemoryTracer::new());
+        let mut cfg = quick_cfg();
+        cfg.tracer = trace::TracerHandle::new(sink.clone());
+        let stats = repeat_optimizer_runs(&cfg, &space, &sim, &front, 2).unwrap();
+        let finished: Vec<(usize, f64)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RepeatFinished { repeat, adrs, .. } => Some((*repeat, *adrs)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(finished.len(), 2);
+        for ((rep, adrs), expected) in finished.iter().zip(&stats.adrs_values) {
+            assert_eq!(finished[*rep].0, *rep);
+            assert_eq!(adrs, expected);
+        }
+    }
+
+    #[test]
     fn repeats_aggregate() {
         let (space, sim) = setup();
         let front = TrueFront::compute(&space, &sim);
@@ -229,7 +342,8 @@ mod tests {
         let mut cfg = quick_cfg();
         cfg.n_iter = 12;
         cfg.variant = ModelVariant::paper();
-        let stats = repeat_optimizer_runs(&cfg, &space, &sim, &front, 2).unwrap();
+        cfg.seed = 1;
+        let stats = repeat_optimizer_runs(&cfg, &space, &sim, &front, 3).unwrap();
 
         // Random baseline with the same budget (8 + 12 evaluations).
         use rand::seq::SliceRandom;

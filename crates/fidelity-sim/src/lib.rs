@@ -36,7 +36,7 @@
 //! use cmmf_fidelity_sim::{FlowSimulator, SimParams, Stage};
 //! use hls_model::benchmarks::{self, Benchmark};
 //!
-//! let space = benchmarks::build(Benchmark::Gemm).pruned_space().unwrap();
+//! let space = benchmarks::build(Benchmark::Gemm).unwrap().pruned_space().unwrap();
 //! let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::Gemm));
 //! match sim.run(&space, 0, Stage::Impl) {
 //!     cmmf_fidelity_sim::RunOutcome::Valid(report) => {

@@ -34,15 +34,32 @@ impl Stage {
             Stage::Impl => 2,
         }
     }
+
+    /// Inverse of [`Stage::index`]; `None` for indices above 2. Used when
+    /// deserializing checkpointed decisions.
+    pub fn from_index(index: usize) -> Option<Stage> {
+        match index {
+            0 => Some(Stage::Hls),
+            1 => Some(Stage::Syn),
+            2 => Some(Stage::Impl),
+            _ => None,
+        }
+    }
+
+    /// The lowercase stage name (`"hls"`, `"syn"`, `"impl"`), the journal's
+    /// stage vocabulary.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Hls => "hls",
+            Stage::Syn => "syn",
+            Stage::Impl => "impl",
+        }
+    }
 }
 
 impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Stage::Hls => write!(f, "hls"),
-            Stage::Syn => write!(f, "syn"),
-            Stage::Impl => write!(f, "impl"),
-        }
+        f.write_str(self.name())
     }
 }
 
@@ -495,7 +512,7 @@ mod tests {
     use hls_model::benchmarks::{self, Benchmark};
 
     fn setup(b: Benchmark) -> (DesignSpace, FlowSimulator) {
-        let space = benchmarks::build(b).pruned_space().unwrap();
+        let space = benchmarks::build(b).unwrap().pruned_space().unwrap();
         (space, FlowSimulator::new(SimParams::for_benchmark(b)))
     }
 

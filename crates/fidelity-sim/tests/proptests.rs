@@ -14,7 +14,7 @@ proptest! {
 
     #[test]
     fn reports_are_positive_and_consistent(b in any_benchmark(), pick in 0.0f64..1.0) {
-        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let space = benchmarks::build(b).unwrap().pruned_space().expect("builds");
         let sim = FlowSimulator::new(SimParams::for_benchmark(b));
         let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
         for stage in Stage::all() {
@@ -32,7 +32,7 @@ proptest! {
 
     #[test]
     fn determinism(b in any_benchmark(), pick in 0.0f64..1.0) {
-        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let space = benchmarks::build(b).unwrap().pruned_space().expect("builds");
         let sim = FlowSimulator::new(SimParams::for_benchmark(b));
         let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
         for stage in Stage::all() {
@@ -42,7 +42,7 @@ proptest! {
 
     #[test]
     fn stage_times_increase_with_fidelity(b in any_benchmark(), pick in 0.0f64..1.0) {
-        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let space = benchmarks::build(b).unwrap().pruned_space().expect("builds");
         let sim = FlowSimulator::new(SimParams::for_benchmark(b));
         let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
         let t: Vec<f64> = Stage::all()
@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn validity_is_monotone_in_stage(b in any_benchmark(), pick in 0.0f64..1.0) {
         // If a config is invalid at some stage it stays invalid above it.
-        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let space = benchmarks::build(b).unwrap().pruned_space().expect("builds");
         let sim = FlowSimulator::new(SimParams::for_benchmark(b));
         let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
         let valid: Vec<bool> = Stage::all()
@@ -69,7 +69,7 @@ proptest! {
 
     #[test]
     fn truth_matches_validity(b in any_benchmark(), pick in 0.0f64..1.0) {
-        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let space = benchmarks::build(b).unwrap().pruned_space().expect("builds");
         let sim = FlowSimulator::new(SimParams::for_benchmark(b));
         let i = ((pick * space.len() as f64) as usize).min(space.len() - 1);
         let truth = sim.truth_objectives(&space);

@@ -110,11 +110,14 @@ impl BenchmarkModel {
 
 /// Builds the model for `which`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics only on an internal inconsistency in the shipped benchmark
-/// definitions (they are covered by tests).
-pub fn build(which: Benchmark) -> BenchmarkModel {
+/// Propagates [`ModelError`] from the kernel-IR builders. The shipped
+/// benchmark definitions are internally consistent (covered by tests), so a
+/// failure here indicates a corrupted build rather than user error — but it
+/// surfaces as a typed error instead of a panic so harness binaries can
+/// report it cleanly.
+pub fn build(which: Benchmark) -> Result<BenchmarkModel, ModelError> {
     let builder = match which {
         Benchmark::Gemm => gemm(),
         Benchmark::SortRadix => sort_radix(),
@@ -125,23 +128,23 @@ pub fn build(which: Benchmark) -> BenchmarkModel {
         Benchmark::Fft => fft(),
         Benchmark::Kmp => kmp(),
         Benchmark::MdKnn => md_knn(),
-    };
-    BenchmarkModel { which, builder }
+    }?;
+    Ok(BenchmarkModel { which, builder })
 }
 
 const CB: [PartitionKind; 2] = [PartitionKind::Cyclic, PartitionKind::Block];
 
-fn gemm() -> DesignSpaceBuilder {
+fn gemm() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("gemm");
-    let i = k.add_loop("i", 64, None, 0.0, 0.0, 0.0).unwrap();
-    let j = k.add_loop("j", 64, Some(i), 1.0, 1.0, 0.0).unwrap();
-    let kk = k.add_loop("k", 64, Some(j), 2.0, 2.0, 0.8).unwrap(); // MAC chain
-    let a = k.add_array("A", 64 * 64, vec![kk]).unwrap();
-    let b = k.add_array("B", 64 * 64, vec![kk]).unwrap();
+    let i = k.add_loop("i", 64, None, 0.0, 0.0, 0.0)?;
+    let j = k.add_loop("j", 64, Some(i), 1.0, 1.0, 0.0)?;
+    let kk = k.add_loop("k", 64, Some(j), 2.0, 2.0, 0.8)?; // MAC chain
+    let a = k.add_array("A", 64 * 64, vec![kk])?;
+    let b = k.add_array("B", 64 * 64, vec![kk])?;
     // C is written in a separate accumulation-flush nest.
-    let i2 = k.add_loop("i2", 64, None, 0.0, 0.0, 0.0).unwrap();
-    let j2 = k.add_loop("j2", 64, Some(i2), 1.0, 1.0, 0.0).unwrap();
-    let c = k.add_array("C", 64 * 64, vec![j2]).unwrap();
+    let i2 = k.add_loop("i2", 64, None, 0.0, 0.0, 0.0)?;
+    let j2 = k.add_loop("j2", 64, Some(i2), 1.0, 1.0, 0.0)?;
+    let c = k.add_array("C", 64 * 64, vec![j2])?;
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(kk, &[1, 2, 4, 8, 16])
         .unroll(j2, &[1, 2, 4, 8, 16])
@@ -151,24 +154,24 @@ fn gemm() -> DesignSpaceBuilder {
         .pipeline(kk, &[0, 1, 2])
         .pipeline(j2, &[0, 1, 2])
         .inline();
-    bld
+    Ok(bld)
 }
 
-fn sort_radix() -> DesignSpaceBuilder {
+fn sort_radix() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("sort_radix");
     // Histogram phase.
-    let h = k.add_loop("hist", 2048, None, 2.0, 2.0, 0.3).unwrap();
-    let a = k.add_array("a", 2048, vec![h]).unwrap();
-    let bucket = k.add_array("bucket", 128, vec![h]).unwrap();
+    let h = k.add_loop("hist", 2048, None, 2.0, 2.0, 0.3)?;
+    let a = k.add_array("a", 2048, vec![h])?;
+    let bucket = k.add_array("bucket", 128, vec![h])?;
     // Prefix-scan phase (sequential dependence).
-    let s = k.add_loop("scan", 128, None, 1.0, 1.0, 0.9).unwrap();
-    let sum = k.add_array("sum", 128, vec![s]).unwrap();
+    let s = k.add_loop("scan", 128, None, 1.0, 1.0, 0.9)?;
+    let sum = k.add_array("sum", 128, vec![s])?;
     // Scatter phase.
-    let m = k.add_loop("scatter", 2048, None, 2.0, 3.0, 0.4).unwrap();
-    let b = k.add_array("b", 2048, vec![m]).unwrap();
+    let m = k.add_loop("scatter", 2048, None, 2.0, 3.0, 0.4)?;
+    let b = k.add_array("b", 2048, vec![m])?;
     // Digit-extraction helper phase.
-    let d = k.add_loop("digit", 2048, None, 1.0, 1.0, 0.0).unwrap();
-    let dig = k.add_array("dig", 2048, vec![d]).unwrap();
+    let d = k.add_loop("digit", 2048, None, 1.0, 1.0, 0.0)?;
+    let dig = k.add_array("dig", 2048, vec![d])?;
     // Partition-factor lists are deliberately wider than the unroll lists: the
     // raw cross product is astronomical (the paper reports 3.8e12 for this
     // benchmark), while the tree pruner keeps only matching factors.
@@ -187,19 +190,19 @@ fn sort_radix() -> DesignSpaceBuilder {
         .pipeline(s, &[0, 1])
         .pipeline(m, &[0, 1, 2])
         .inline();
-    bld
+    Ok(bld)
 }
 
-fn spmv_ellpack() -> DesignSpaceBuilder {
+fn spmv_ellpack() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("spmv_ellpack");
-    let i = k.add_loop("i", 494, None, 0.0, 0.0, 0.0).unwrap();
-    let j = k.add_loop("j", 10, Some(i), 2.0, 3.0, 0.7).unwrap();
-    let nzval = k.add_array("nzval", 4940, vec![j]).unwrap();
-    let cols = k.add_array("cols", 4940, vec![j]).unwrap();
-    let vec_ = k.add_array("vec", 494, vec![j]).unwrap();
+    let i = k.add_loop("i", 494, None, 0.0, 0.0, 0.0)?;
+    let j = k.add_loop("j", 10, Some(i), 2.0, 3.0, 0.7)?;
+    let nzval = k.add_array("nzval", 4940, vec![j])?;
+    let cols = k.add_array("cols", 4940, vec![j])?;
+    let vec_ = k.add_array("vec", 494, vec![j])?;
     // Output write-back nest.
-    let w = k.add_loop("wb", 494, None, 1.0, 1.0, 0.0).unwrap();
-    let out = k.add_array("out", 494, vec![w]).unwrap();
+    let w = k.add_loop("wb", 494, None, 1.0, 1.0, 0.0)?;
+    let out = k.add_array("out", 494, vec![w])?;
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(j, &[1, 2, 5, 10])
         .unroll(w, &[1, 2, 5, 10])
@@ -211,23 +214,23 @@ fn spmv_ellpack() -> DesignSpaceBuilder {
         .pipeline(i, &[0, 1])
         .pipeline(w, &[0, 1])
         .inline();
-    bld
+    Ok(bld)
 }
 
-fn spmv_crs() -> DesignSpaceBuilder {
+fn spmv_crs() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("spmv_crs");
     // Irregular row loop with data-dependent inner bounds (avg 7 nnz/row).
-    let i = k.add_loop("i", 494, None, 1.0, 2.0, 0.1).unwrap();
-    let j = k.add_loop("j", 7, Some(i), 2.0, 3.0, 0.8).unwrap();
-    let val = k.add_array("val", 1666, vec![j]).unwrap();
-    let cols = k.add_array("cols", 1666, vec![j]).unwrap();
-    let vec_ = k.add_array("vec", 494, vec![j]).unwrap();
+    let i = k.add_loop("i", 494, None, 1.0, 2.0, 0.1)?;
+    let j = k.add_loop("j", 7, Some(i), 2.0, 3.0, 0.8)?;
+    let val = k.add_array("val", 1666, vec![j])?;
+    let cols = k.add_array("cols", 1666, vec![j])?;
+    let vec_ = k.add_array("vec", 494, vec![j])?;
     // Row-delimiter lookups happen in the row loop (ancestor of j, so the
     // pruner will pin the row loop rolled).
-    let rowd = k.add_array("rowDelim", 495, vec![i]).unwrap();
+    let rowd = k.add_array("rowDelim", 495, vec![i])?;
     // Result normalization phase.
-    let n = k.add_loop("norm", 494, None, 1.0, 1.0, 0.0).unwrap();
-    let out = k.add_array("out", 494, vec![n]).unwrap();
+    let n = k.add_loop("norm", 494, None, 1.0, 1.0, 0.0)?;
+    let out = k.add_array("out", 494, vec![n])?;
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(j, &[1, 7])
         .unroll(n, &[1, 2, 4, 8])
@@ -240,21 +243,19 @@ fn spmv_crs() -> DesignSpaceBuilder {
         .pipeline(i, &[0, 1])
         .pipeline(n, &[0, 1])
         .inline();
-    bld
+    Ok(bld)
 }
 
-fn stencil3d() -> DesignSpaceBuilder {
+fn stencil3d() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("stencil3d");
-    let i = k.add_loop("i", 32, None, 0.0, 0.0, 0.0).unwrap();
-    let j = k.add_loop("j", 32, Some(i), 0.0, 0.0, 0.0).unwrap();
-    let kk = k.add_loop("k", 32, Some(j), 7.0, 8.0, 0.2).unwrap(); // 7-point stencil
-    let orig = k.add_array("orig", 34 * 34 * 34, vec![kk]).unwrap();
-    let sol = k.add_array("sol", 32 * 32 * 32, vec![kk]).unwrap();
+    let i = k.add_loop("i", 32, None, 0.0, 0.0, 0.0)?;
+    let j = k.add_loop("j", 32, Some(i), 0.0, 0.0, 0.0)?;
+    let kk = k.add_loop("k", 32, Some(j), 7.0, 8.0, 0.2)?; // 7-point stencil
+    let orig = k.add_array("orig", 34 * 34 * 34, vec![kk])?;
+    let sol = k.add_array("sol", 32 * 32 * 32, vec![kk])?;
     // Boundary-copy phase.
-    let bdy = k
-        .add_loop("boundary", 32 * 32, None, 1.0, 2.0, 0.0)
-        .unwrap();
-    let halo = k.add_array("halo", 34 * 34 * 6, vec![bdy]).unwrap();
+    let bdy = k.add_loop("boundary", 32 * 32, None, 1.0, 2.0, 0.0)?;
+    let halo = k.add_array("halo", 34 * 34 * 6, vec![bdy])?;
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(kk, &[1, 2, 4, 8])
         .unroll(bdy, &[1, 2, 4])
@@ -265,27 +266,25 @@ fn stencil3d() -> DesignSpaceBuilder {
         .pipeline(j, &[0, 1])
         .pipeline(bdy, &[0, 1])
         .inline();
-    bld
+    Ok(bld)
 }
 
-fn ismart2() -> DesignSpaceBuilder {
+fn ismart2() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("ismart2");
     // Depthwise 3x3 convolution over a 20x20x16 feature map.
-    let oc = k.add_loop("out_ch", 16, None, 0.0, 0.0, 0.0).unwrap();
-    let row = k.add_loop("row", 20, Some(oc), 0.0, 0.0, 0.0).unwrap();
-    let col = k.add_loop("col", 20, Some(row), 1.0, 1.0, 0.0).unwrap();
-    let k1 = k.add_loop("k1", 3, Some(col), 0.0, 0.0, 0.0).unwrap();
-    let k2 = k.add_loop("k2", 3, Some(k1), 2.0, 2.0, 0.6).unwrap();
-    let ifm = k.add_array("ifm", 22 * 22 * 16, vec![k2]).unwrap();
-    let wgt = k.add_array("wgt", 3 * 3 * 16, vec![k2]).unwrap();
+    let oc = k.add_loop("out_ch", 16, None, 0.0, 0.0, 0.0)?;
+    let row = k.add_loop("row", 20, Some(oc), 0.0, 0.0, 0.0)?;
+    let col = k.add_loop("col", 20, Some(row), 1.0, 1.0, 0.0)?;
+    let k1 = k.add_loop("k1", 3, Some(col), 0.0, 0.0, 0.0)?;
+    let k2 = k.add_loop("k2", 3, Some(k1), 2.0, 2.0, 0.6)?;
+    let ifm = k.add_array("ifm", 22 * 22 * 16, vec![k2])?;
+    let wgt = k.add_array("wgt", 3 * 3 * 16, vec![k2])?;
     // Write-back of the output feature map.
-    let w = k.add_loop("wb", 20 * 20 * 16, None, 1.0, 1.0, 0.0).unwrap();
-    let ofm = k.add_array("ofm", 20 * 20 * 16, vec![w]).unwrap();
+    let w = k.add_loop("wb", 20 * 20 * 16, None, 1.0, 1.0, 0.0)?;
+    let ofm = k.add_array("ofm", 20 * 20 * 16, vec![w])?;
     // 2x2 max pooling.
-    let p = k
-        .add_loop("pool", 10 * 10 * 16, None, 3.0, 4.0, 0.1)
-        .unwrap();
-    let pool = k.add_array("pooled", 10 * 10 * 16, vec![p]).unwrap();
+    let p = k.add_loop("pool", 10 * 10 * 16, None, 3.0, 4.0, 0.1)?;
+    let pool = k.add_array("pooled", 10 * 10 * 16, vec![p])?;
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(k2, &[1, 3, 9])
         .unroll(w, &[1, 2, 4, 8])
@@ -299,22 +298,20 @@ fn ismart2() -> DesignSpaceBuilder {
         .pipeline(w, &[0, 1])
         .pipeline(p, &[0, 1])
         .inline();
-    bld
+    Ok(bld)
 }
 
-fn fft() -> DesignSpaceBuilder {
+fn fft() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("fft");
     // log2(1024) = 10 butterfly stages; model the dominant inner loop of one
     // stage plus the bit-reversal permutation phase.
-    let stage = k.add_loop("stage", 10, None, 0.0, 0.0, 0.0).unwrap();
-    let bfly = k
-        .add_loop("butterfly", 512, Some(stage), 6.0, 4.0, 0.3)
-        .unwrap();
-    let real = k.add_array("real", 1024, vec![bfly]).unwrap();
-    let imag = k.add_array("imag", 1024, vec![bfly]).unwrap();
-    let tw = k.add_array("twiddle", 512, vec![bfly]).unwrap();
-    let rev = k.add_loop("bitrev", 1024, None, 1.0, 2.0, 0.0).unwrap();
-    let scratch = k.add_array("scratch", 1024, vec![rev]).unwrap();
+    let stage = k.add_loop("stage", 10, None, 0.0, 0.0, 0.0)?;
+    let bfly = k.add_loop("butterfly", 512, Some(stage), 6.0, 4.0, 0.3)?;
+    let real = k.add_array("real", 1024, vec![bfly])?;
+    let imag = k.add_array("imag", 1024, vec![bfly])?;
+    let tw = k.add_array("twiddle", 512, vec![bfly])?;
+    let rev = k.add_loop("bitrev", 1024, None, 1.0, 2.0, 0.0)?;
+    let scratch = k.add_array("scratch", 1024, vec![rev])?;
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(bfly, &[1, 2, 4, 8])
         .unroll(rev, &[1, 2, 4])
@@ -325,17 +322,17 @@ fn fft() -> DesignSpaceBuilder {
         .pipeline(bfly, &[0, 1, 2])
         .pipeline(rev, &[0, 1])
         .inline();
-    bld
+    Ok(bld)
 }
 
-fn kmp() -> DesignSpaceBuilder {
+fn kmp() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("kmp");
     // Failure-table construction (sequential) and the matching scan.
-    let build = k.add_loop("table", 32, None, 2.0, 2.0, 0.9).unwrap();
-    let pat = k.add_array("pattern", 32, vec![build]).unwrap();
-    let fail = k.add_array("failure", 32, vec![build]).unwrap();
-    let scan = k.add_loop("scan", 32768, None, 2.0, 2.0, 0.7).unwrap();
-    let text = k.add_array("text", 32768, vec![scan]).unwrap();
+    let build = k.add_loop("table", 32, None, 2.0, 2.0, 0.9)?;
+    let pat = k.add_array("pattern", 32, vec![build])?;
+    let fail = k.add_array("failure", 32, vec![build])?;
+    let scan = k.add_loop("scan", 32768, None, 2.0, 2.0, 0.7)?;
+    let text = k.add_array("text", 32768, vec![scan])?;
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(scan, &[1, 2, 4, 8])
         .unroll(build, &[1, 2])
@@ -345,20 +342,18 @@ fn kmp() -> DesignSpaceBuilder {
         .pipeline(scan, &[0, 1, 2])
         .pipeline(build, &[0, 1])
         .inline();
-    bld
+    Ok(bld)
 }
 
-fn md_knn() -> DesignSpaceBuilder {
+fn md_knn() -> Result<DesignSpaceBuilder, ModelError> {
     let mut k = KernelIr::new("md_knn");
     // Per-atom loop over 16 neighbours computing LJ forces.
-    let atom = k.add_loop("atom", 256, None, 0.0, 0.0, 0.0).unwrap();
-    let nbr = k
-        .add_loop("neighbor", 16, Some(atom), 12.0, 6.0, 0.4)
-        .unwrap();
-    let pos = k.add_array("position", 768, vec![nbr]).unwrap();
-    let nl = k.add_array("neighbor_list", 4096, vec![nbr]).unwrap();
-    let wb = k.add_loop("force_wb", 256, None, 3.0, 3.0, 0.0).unwrap();
-    let force = k.add_array("force", 768, vec![wb]).unwrap();
+    let atom = k.add_loop("atom", 256, None, 0.0, 0.0, 0.0)?;
+    let nbr = k.add_loop("neighbor", 16, Some(atom), 12.0, 6.0, 0.4)?;
+    let pos = k.add_array("position", 768, vec![nbr])?;
+    let nl = k.add_array("neighbor_list", 4096, vec![nbr])?;
+    let wb = k.add_loop("force_wb", 256, None, 3.0, 3.0, 0.0)?;
+    let force = k.add_array("force", 768, vec![wb])?;
     let mut bld = DesignSpaceBuilder::new(k);
     bld.unroll(nbr, &[1, 2, 4, 8, 16])
         .unroll(wb, &[1, 2, 4])
@@ -369,7 +364,7 @@ fn md_knn() -> DesignSpaceBuilder {
         .pipeline(atom, &[0, 1])
         .pipeline(wb, &[0, 1])
         .inline();
-    bld
+    Ok(bld)
 }
 
 #[cfg(test)]
@@ -379,7 +374,7 @@ mod tests {
     #[test]
     fn all_benchmarks_build_pruned_spaces() {
         for b in Benchmark::all() {
-            let model = build(b);
+            let model = build(b).unwrap();
             let space = model
                 .pruned_space()
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
@@ -396,7 +391,7 @@ mod tests {
     #[test]
     fn pruning_factors_are_large() {
         for b in Benchmark::all() {
-            let model = build(b);
+            let model = build(b).unwrap();
             let space = model.pruned_space().unwrap();
             let factor = model.full_size() / space.len() as f64;
             assert!(
@@ -409,7 +404,7 @@ mod tests {
 
     #[test]
     fn sort_radix_space_is_astronomical_before_pruning() {
-        let model = build(Benchmark::SortRadix);
+        let model = build(Benchmark::SortRadix).unwrap();
         // The paper reports 3.8e12 -> 20000; our model is within the same
         // orders of magnitude.
         assert!(model.full_size() > 1e9, "full={}", model.full_size());
@@ -420,7 +415,7 @@ mod tests {
     #[test]
     fn encodings_are_unit_box_and_distinct() {
         for b in Benchmark::all() {
-            let space = build(b).pruned_space().unwrap();
+            let space = build(b).unwrap().pruned_space().unwrap();
             let x0 = space.encode(0);
             let x1 = space.encode(space.len() - 1);
             assert_eq!(x0.len(), space.dim());
@@ -440,7 +435,7 @@ mod tests {
     #[test]
     fn extended_benchmarks_build_and_prune() {
         for b in Benchmark::extended() {
-            let model = build(b);
+            let model = build(b).unwrap();
             let space = model
                 .pruned_space()
                 .unwrap_or_else(|e| panic!("{}: {e}", b.name()));
@@ -455,7 +450,7 @@ mod tests {
 
     #[test]
     fn resolved_configs_respect_compatibility() {
-        let space = build(Benchmark::Gemm).pruned_space().unwrap();
+        let space = build(Benchmark::Gemm).unwrap().pruned_space().unwrap();
         let kernel = space.kernel();
         let a = kernel.array_by_name("A").unwrap();
         let kk = kernel.loop_by_name("k").unwrap();

@@ -26,7 +26,7 @@
 //! ```
 //! use cmmf_hls_model::benchmarks::{self, Benchmark};
 //!
-//! let b = benchmarks::build(Benchmark::Gemm);
+//! let b = benchmarks::build(Benchmark::Gemm).expect("gemm model builds");
 //! let space = b.pruned_space().expect("gemm space builds");
 //! assert!(space.len() > 0);
 //! // Pruning removes a large fraction of the raw cross product.

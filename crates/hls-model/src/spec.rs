@@ -64,7 +64,9 @@ pub fn parse(text: &str) -> Result<DesignSpaceBuilder, ModelError> {
         }
         let lineno = lineno + 1;
         let mut parts = line.split_whitespace();
-        let head = parts.next().expect("non-empty line has a head");
+        let Some(head) = parts.next() else {
+            continue; // unreachable for a trimmed non-empty line, but cheap to guard
+        };
         match head {
             "kernel" => {
                 let name = parts.next().ok_or_else(|| ModelError::Parse {
@@ -149,7 +151,9 @@ pub fn parse(text: &str) -> Result<DesignSpaceBuilder, ModelError> {
 
     for (lineno, line) in site_lines {
         let mut parts = line.split_whitespace();
-        let head = parts.next().expect("recorded lines are non-empty");
+        let Some(head) = parts.next() else {
+            continue;
+        };
         match head {
             "unroll" => {
                 let name = parts.next().ok_or_else(|| ModelError::Parse {
@@ -208,7 +212,15 @@ pub fn parse(text: &str) -> Result<DesignSpaceBuilder, ModelError> {
             "inline" => {
                 builder.inline();
             }
-            _ => unreachable!("only site heads are recorded"),
+            other => {
+                // The recording match above only admits the four site heads;
+                // reaching this arm means the two matches drifted apart.
+                // Surface it as a typed error instead of a panic.
+                return Err(ModelError::Parse {
+                    line: lineno,
+                    reason: format!("internal: unhandled site head `{other}`"),
+                });
+            }
         }
     }
     Ok(builder)

@@ -146,7 +146,10 @@ proptest! {
 #[test]
 fn merged_trees_cover_every_array_exactly_once() {
     for b in Benchmark::all() {
-        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let space = benchmarks::build(b)
+            .unwrap()
+            .pruned_space()
+            .expect("builds");
         let trees = merged_trees(space.kernel());
         let mut seen = vec![0usize; space.kernel().arrays().len()];
         for t in &trees {
@@ -161,7 +164,10 @@ fn merged_trees_cover_every_array_exactly_once() {
 #[test]
 fn loop_ids_in_trees_exist() {
     for b in Benchmark::all() {
-        let space = benchmarks::build(b).pruned_space().expect("builds");
+        let space = benchmarks::build(b)
+            .unwrap()
+            .pruned_space()
+            .expect("builds");
         let n = space.kernel().loops().len();
         for t in merged_trees(space.kernel()) {
             for l in t.all_loops() {

@@ -173,6 +173,16 @@ mod tests {
     }
 
     #[test]
+    fn mean_and_std_edges_are_defined() {
+        // The documented 0- and 1-length contracts: no NaN, ever. Table-I
+        // aggregation relies on these when a sweep is cut short.
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(mean(&[4.25]), 4.25);
+        assert_eq!(std_dev(&[4.25]), 0.0);
+    }
+
+    #[test]
     fn mean_and_std() {
         let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
         assert!((mean(&xs) - 5.0).abs() < 1e-12);

@@ -1,0 +1,742 @@
+//! # cmmf-trace — structured observability for the optimization loop
+//!
+//! A zero-dependency event layer (in-tree like the `rand`/`rayon` subsets —
+//! std only, no crates.io) that makes long Algorithm-2 runs auditable: the
+//! optimizer emits typed [`TraceEvent`]s at every decision point — model
+//! fits, acquisition argmaxes, simulated tool runs, front updates,
+//! checkpoints — and a pluggable [`Tracer`] sink records them.
+//!
+//! Three sinks ship:
+//!
+//! * [`NullTracer`] — the default; reports `enabled() == false`, so
+//!   instrumented code skips even *constructing* events ([`TracerHandle::emit`]
+//!   takes a closure). A traced-off run is bit-identical to an untraced one
+//!   by construction, and the optimizer's tests pin that a traced-**on** run
+//!   is too: tracing can observe decisions but never influence them.
+//! * [`MemoryTracer`] — buffers events in memory for tests and for
+//!   [`StepMetrics`] aggregation.
+//! * [`JsonlTracer`] — appends one JSON object per event to a journal file
+//!   (JSON Lines). The schema is pinned by tests; see [`TraceEvent::to_json`].
+//!
+//! The [`json`] module is the minimal JSON reader/writer behind the journal
+//! and the optimizer's checkpoint format.
+//!
+//! # Examples
+//!
+//! ```
+//! use cmmf_trace::{MemoryTracer, TraceEvent, TracerHandle};
+//! use std::sync::Arc;
+//!
+//! let sink = Arc::new(MemoryTracer::new());
+//! let tracer = TracerHandle::new(sink.clone());
+//! tracer.emit(|| TraceEvent::StepStarted { step: 0, observed: [8, 5, 3] });
+//! assert_eq!(sink.events().len(), 1);
+//!
+//! // The null tracer never runs the closure:
+//! let null = TracerHandle::null();
+//! null.emit(|| unreachable!("never constructed"));
+//! ```
+
+pub mod json;
+
+use std::fmt;
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// One structured event from the optimization loop.
+///
+/// `seconds` fields marked *wall* are host wall-clock timings (they vary
+/// run-to-run and are for profiling only); fields marked *simulated* are
+/// deterministic simulator tool times and reproduce exactly for a seed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A run began (or resumed: `resumed_at` is the first step executed).
+    RunStarted {
+        /// The master seed of the run.
+        seed: u64,
+        /// Total optimization steps configured.
+        n_iter: usize,
+        /// `Some(k)` when resuming from a checkpoint at step `k`.
+        resumed_at: Option<usize>,
+    },
+    /// An optimization step began.
+    StepStarted {
+        /// Step index, 0-based.
+        step: usize,
+        /// Observations per fidelity entering the step (hls, syn, impl).
+        observed: [usize; 3],
+    },
+    /// The surrogate stack was (re)fitted.
+    ModelFit {
+        /// Step index.
+        step: usize,
+        /// `"optimize"`, `"refit"`, or `"extend"`.
+        fit_mode: &'static str,
+        /// Wall seconds spent fitting.
+        seconds: f64,
+    },
+    /// One batch slot's acquisition argmax finished.
+    AcquisitionScored {
+        /// Step index.
+        step: usize,
+        /// Batch slot (0-based; 0 is the plain PEIPV argmax).
+        slot: usize,
+        /// Winning configuration index.
+        config: usize,
+        /// Winning fidelity index (0 = hls, 1 = syn, 2 = impl), after the
+        /// escalation guard.
+        fidelity: usize,
+        /// Candidates scored.
+        candidates: usize,
+        /// The winner's raw EIPV (before the Eq. 10 cost penalty).
+        eipv: f64,
+        /// The winner's penalized acquisition value (equals `eipv` when the
+        /// penalty is disabled).
+        penalized: f64,
+        /// Wall seconds spent scoring this slot.
+        seconds: f64,
+    },
+    /// One simulated flow stage ran for a configuration.
+    ToolRun {
+        /// Step index; `None` during initialization.
+        step: Option<usize>,
+        /// Configuration index.
+        config: usize,
+        /// Stage name (`"hls"`, `"syn"`, `"impl"`).
+        stage: &'static str,
+        /// Simulated tool seconds of this stage.
+        seconds: f64,
+        /// Whether the design was valid at this stage.
+        valid: bool,
+    },
+    /// The per-fidelity observed Pareto fronts after a step's runs.
+    FrontUpdated {
+        /// Step index.
+        step: usize,
+        /// Hypervolume per fidelity (normalized units, reference `[2.5; 3]`).
+        hv: [f64; 3],
+        /// Front size per fidelity.
+        front_sizes: [usize; 3],
+    },
+    /// A checkpoint was serialized.
+    CheckpointWritten {
+        /// Steps completed at the time of writing.
+        step: usize,
+        /// Serialized size in bytes.
+        bytes: usize,
+    },
+    /// The run finished (including final Pareto identification).
+    RunFinished {
+        /// Optimization steps executed.
+        steps: usize,
+        /// Total simulated tool seconds.
+        sim_seconds: f64,
+        /// Size of the learned Pareto set.
+        pareto_points: usize,
+    },
+    /// One repeat of a multi-repeat experiment finished (emitted by the
+    /// experiment runner, not the optimizer).
+    RepeatFinished {
+        /// Repeat index, 0-based.
+        repeat: usize,
+        /// ADRS of the repeat against the true front.
+        adrs: f64,
+        /// Simulated tool seconds of the repeat.
+        sim_seconds: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's step index, if it belongs to one.
+    pub fn step(&self) -> Option<usize> {
+        match self {
+            TraceEvent::StepStarted { step, .. }
+            | TraceEvent::ModelFit { step, .. }
+            | TraceEvent::AcquisitionScored { step, .. }
+            | TraceEvent::FrontUpdated { step, .. }
+            | TraceEvent::CheckpointWritten { step, .. } => Some(*step),
+            TraceEvent::ToolRun { step, .. } => *step,
+            _ => None,
+        }
+    }
+
+    /// The snake_case discriminant used as the `"event"` field of the JSON
+    /// encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStarted { .. } => "run_started",
+            TraceEvent::StepStarted { .. } => "step_started",
+            TraceEvent::ModelFit { .. } => "model_fit",
+            TraceEvent::AcquisitionScored { .. } => "acquisition_scored",
+            TraceEvent::ToolRun { .. } => "tool_run",
+            TraceEvent::FrontUpdated { .. } => "front_updated",
+            TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
+            TraceEvent::RunFinished { .. } => "run_finished",
+            TraceEvent::RepeatFinished { .. } => "repeat_finished",
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline), the
+    /// line format of [`JsonlTracer`]. Field names and order are a stable
+    /// schema, pinned by this crate's tests; non-finite floats become `null`.
+    pub fn to_json(&self) -> String {
+        use json::num;
+        let head = format!("{{\"event\":\"{}\"", self.kind());
+        let body = match self {
+            TraceEvent::RunStarted {
+                seed,
+                n_iter,
+                resumed_at,
+            } => format!(
+                ",\"seed\":{seed},\"n_iter\":{n_iter},\"resumed_at\":{}",
+                match resumed_at {
+                    Some(k) => k.to_string(),
+                    None => "null".into(),
+                }
+            ),
+            TraceEvent::StepStarted { step, observed } => format!(
+                ",\"step\":{step},\"observed\":[{},{},{}]",
+                observed[0], observed[1], observed[2]
+            ),
+            TraceEvent::ModelFit {
+                step,
+                fit_mode,
+                seconds,
+            } => format!(
+                ",\"step\":{step},\"fit_mode\":\"{fit_mode}\",\"seconds\":{}",
+                num(*seconds)
+            ),
+            TraceEvent::AcquisitionScored {
+                step,
+                slot,
+                config,
+                fidelity,
+                candidates,
+                eipv,
+                penalized,
+                seconds,
+            } => format!(
+                ",\"step\":{step},\"slot\":{slot},\"config\":{config},\"fidelity\":{fidelity},\
+                 \"candidates\":{candidates},\"eipv\":{},\"penalized\":{},\"seconds\":{}",
+                num(*eipv),
+                num(*penalized),
+                num(*seconds)
+            ),
+            TraceEvent::ToolRun {
+                step,
+                config,
+                stage,
+                seconds,
+                valid,
+            } => format!(
+                ",\"step\":{},\"config\":{config},\"stage\":\"{stage}\",\"seconds\":{},\"valid\":{valid}",
+                match step {
+                    Some(s) => s.to_string(),
+                    None => "null".into(),
+                },
+                num(*seconds)
+            ),
+            TraceEvent::FrontUpdated {
+                step,
+                hv,
+                front_sizes,
+            } => format!(
+                ",\"step\":{step},\"hv\":[{},{},{}],\"front_sizes\":[{},{},{}]",
+                num(hv[0]),
+                num(hv[1]),
+                num(hv[2]),
+                front_sizes[0],
+                front_sizes[1],
+                front_sizes[2]
+            ),
+            TraceEvent::CheckpointWritten { step, bytes } => {
+                format!(",\"step\":{step},\"bytes\":{bytes}")
+            }
+            TraceEvent::RunFinished {
+                steps,
+                sim_seconds,
+                pareto_points,
+            } => format!(
+                ",\"steps\":{steps},\"sim_seconds\":{},\"pareto_points\":{pareto_points}",
+                num(*sim_seconds)
+            ),
+            TraceEvent::RepeatFinished {
+                repeat,
+                adrs,
+                sim_seconds,
+            } => format!(
+                ",\"repeat\":{repeat},\"adrs\":{},\"sim_seconds\":{}",
+                num(*adrs),
+                num(*sim_seconds)
+            ),
+        };
+        format!("{head}{body}}}")
+    }
+}
+
+/// A sink for [`TraceEvent`]s.
+///
+/// Implementations must be cheap when [`Tracer::enabled`] is `false` — the
+/// instrumentation skips event construction entirely in that case, so a
+/// disabled tracer costs one boolean load per site.
+pub trait Tracer: Send + Sync + fmt::Debug {
+    /// Records one event. Called from the optimizer's serial sections only,
+    /// but sinks must still be `Sync` (the handle is shared freely).
+    fn record(&self, event: &TraceEvent);
+
+    /// Whether events should be constructed and recorded at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// The no-op sink: `enabled()` is `false`, so instrumented code never even
+/// builds the events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn record(&self, _event: &TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// An in-memory sink: buffers every event for later inspection or
+/// [`StepMetrics`] aggregation.
+#[derive(Debug, Default)]
+pub struct MemoryTracer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemoryTracer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the buffered events, in record order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("tracer lock").clone()
+    }
+
+    /// Per-step aggregated metrics over the buffered events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder of the lock panicked.
+    pub fn step_metrics(&self) -> Vec<StepMetrics> {
+        aggregate_step_metrics(&self.events.lock().expect("tracer lock"))
+    }
+}
+
+impl Tracer for MemoryTracer {
+    fn record(&self, event: &TraceEvent) {
+        self.events.lock().expect("tracer lock").push(event.clone());
+    }
+}
+
+/// A JSON-Lines journal sink: one [`TraceEvent::to_json`] object per line.
+pub struct JsonlTracer {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for JsonlTracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JsonlTracer")
+    }
+}
+
+impl JsonlTracer {
+    /// Creates (truncating) a journal file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from creating the file.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::from_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Wraps an arbitrary writer (tests use `Vec<u8>` via a cursor).
+    pub fn from_writer(out: Box<dyn Write + Send>) -> Self {
+        JsonlTracer {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl Tracer for JsonlTracer {
+    fn record(&self, event: &TraceEvent) {
+        let mut out = self.out.lock().expect("tracer lock");
+        // A failed journal write must not abort the run it observes.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("tracer lock").flush();
+    }
+}
+
+impl Drop for JsonlTracer {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A cloneable, comparison-transparent handle to a [`Tracer`], embeddable in
+/// configuration structs.
+///
+/// Equality always holds between two handles: a tracer observes a run but can
+/// never change its result (pinned by the optimizer's identity tests), so two
+/// configurations differing only in their tracer describe the same
+/// experiment.
+#[derive(Clone)]
+pub struct TracerHandle {
+    inner: Arc<dyn Tracer>,
+    enabled: bool,
+}
+
+impl TracerHandle {
+    /// Wraps a sink.
+    pub fn new(tracer: Arc<dyn Tracer>) -> Self {
+        let enabled = tracer.enabled();
+        TracerHandle {
+            inner: tracer,
+            enabled,
+        }
+    }
+
+    /// The no-op handle ([`NullTracer`]).
+    pub fn null() -> Self {
+        TracerHandle::new(Arc::new(NullTracer))
+    }
+
+    /// Whether events should be constructed at this site.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records the event built by `make`, or does nothing (without calling
+    /// `make`) when disabled.
+    #[inline]
+    pub fn emit(&self, make: impl FnOnce() -> TraceEvent) {
+        if self.enabled {
+            self.inner.record(&make());
+        }
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        self.inner.flush();
+    }
+}
+
+impl fmt::Debug for TracerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TracerHandle({})",
+            if self.enabled { "on" } else { "off" }
+        )
+    }
+}
+
+impl Default for TracerHandle {
+    fn default() -> Self {
+        TracerHandle::null()
+    }
+}
+
+impl PartialEq for TracerHandle {
+    fn eq(&self, _other: &Self) -> bool {
+        true // tracers observe runs, they never define them — see type docs
+    }
+}
+
+/// Per-step aggregation of a run's journal: where the step's time went and
+/// what it decided.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StepMetrics {
+    /// Step index.
+    pub step: usize,
+    /// Fit mode of the step's model fit (`"optimize"`, `"refit"`, `"extend"`).
+    pub fit_mode: Option<&'static str>,
+    /// Wall seconds spent fitting the surrogate stack.
+    pub model_fit_seconds: f64,
+    /// Wall seconds spent in acquisition scoring, summed over batch slots.
+    pub scoring_seconds: f64,
+    /// `(config, fidelity)` picks of the step, in slot order.
+    pub picks: Vec<(usize, usize)>,
+    /// Candidates scored, summed over batch slots.
+    pub candidates_scored: usize,
+    /// Simulated flow stages run during the step.
+    pub tool_runs: usize,
+    /// Invalid designs among the step's tool runs.
+    pub invalid_runs: usize,
+    /// Simulated tool seconds, summed over the step's stage runs.
+    pub tool_seconds: f64,
+    /// Post-step observed-front hypervolume per fidelity, if recorded.
+    pub hv: Option<[f64; 3]>,
+}
+
+/// Folds a journal's events into per-step [`StepMetrics`], ordered by step.
+/// Events without a step (initialization tool runs, run lifecycle) are
+/// skipped.
+pub fn aggregate_step_metrics(events: &[TraceEvent]) -> Vec<StepMetrics> {
+    let mut steps: Vec<StepMetrics> = Vec::new();
+    let at = |step: usize, steps: &mut Vec<StepMetrics>| -> usize {
+        if let Some(i) = steps.iter().position(|m| m.step == step) {
+            return i;
+        }
+        steps.push(StepMetrics {
+            step,
+            ..StepMetrics::default()
+        });
+        steps.len() - 1
+    };
+    for ev in events {
+        match ev {
+            TraceEvent::ModelFit {
+                step,
+                fit_mode,
+                seconds,
+            } => {
+                let i = at(*step, &mut steps);
+                steps[i].fit_mode = Some(fit_mode);
+                steps[i].model_fit_seconds += seconds;
+            }
+            TraceEvent::AcquisitionScored {
+                step,
+                config,
+                fidelity,
+                candidates,
+                seconds,
+                ..
+            } => {
+                let i = at(*step, &mut steps);
+                steps[i].scoring_seconds += seconds;
+                steps[i].candidates_scored += candidates;
+                steps[i].picks.push((*config, *fidelity));
+            }
+            TraceEvent::ToolRun {
+                step: Some(step),
+                seconds,
+                valid,
+                ..
+            } => {
+                let i = at(*step, &mut steps);
+                steps[i].tool_runs += 1;
+                steps[i].invalid_runs += usize::from(!valid);
+                steps[i].tool_seconds += seconds;
+            }
+            TraceEvent::FrontUpdated { step, hv, .. } => {
+                let i = at(*step, &mut steps);
+                steps[i].hv = Some(*hv);
+            }
+            _ => {}
+        }
+    }
+    steps.sort_by_key(|m| m.step);
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::RunStarted {
+                seed: 2021,
+                n_iter: 2,
+                resumed_at: None,
+            },
+            TraceEvent::ToolRun {
+                step: None,
+                config: 7,
+                stage: "impl",
+                seconds: 1500.0,
+                valid: true,
+            },
+            TraceEvent::StepStarted {
+                step: 0,
+                observed: [8, 5, 3],
+            },
+            TraceEvent::ModelFit {
+                step: 0,
+                fit_mode: "optimize",
+                seconds: 0.25,
+            },
+            TraceEvent::AcquisitionScored {
+                step: 0,
+                slot: 0,
+                config: 42,
+                fidelity: 1,
+                candidates: 40,
+                eipv: 0.125,
+                penalized: 0.5,
+                seconds: 0.03125,
+            },
+            TraceEvent::ToolRun {
+                step: Some(0),
+                config: 42,
+                stage: "hls",
+                seconds: 30.0,
+                valid: true,
+            },
+            TraceEvent::ToolRun {
+                step: Some(0),
+                config: 42,
+                stage: "syn",
+                seconds: 240.0,
+                valid: false,
+            },
+            TraceEvent::FrontUpdated {
+                step: 0,
+                hv: [10.5, 9.25, 8.0],
+                front_sizes: [4, 3, 2],
+            },
+            TraceEvent::CheckpointWritten {
+                step: 1,
+                bytes: 512,
+            },
+            TraceEvent::RunFinished {
+                steps: 2,
+                sim_seconds: 1770.0,
+                pareto_points: 5,
+            },
+            TraceEvent::RepeatFinished {
+                repeat: 0,
+                adrs: 0.0625,
+                sim_seconds: 1770.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_schema_is_stable() {
+        // The journal line format is a public contract: downstream tooling
+        // parses it. A failure here means the schema changed — bump the
+        // consumer docs in ARCHITECTURE.md ("Observability & resume") and
+        // update these golden lines deliberately.
+        let golden = [
+            r#"{"event":"run_started","seed":2021,"n_iter":2,"resumed_at":null}"#,
+            r#"{"event":"tool_run","step":null,"config":7,"stage":"impl","seconds":1500.0,"valid":true}"#,
+            r#"{"event":"step_started","step":0,"observed":[8,5,3]}"#,
+            r#"{"event":"model_fit","step":0,"fit_mode":"optimize","seconds":0.25}"#,
+            r#"{"event":"acquisition_scored","step":0,"slot":0,"config":42,"fidelity":1,"candidates":40,"eipv":0.125,"penalized":0.5,"seconds":0.03125}"#,
+            r#"{"event":"tool_run","step":0,"config":42,"stage":"hls","seconds":30.0,"valid":true}"#,
+            r#"{"event":"tool_run","step":0,"config":42,"stage":"syn","seconds":240.0,"valid":false}"#,
+            r#"{"event":"front_updated","step":0,"hv":[10.5,9.25,8.0],"front_sizes":[4,3,2]}"#,
+            r#"{"event":"checkpoint_written","step":1,"bytes":512}"#,
+            r#"{"event":"run_finished","steps":2,"sim_seconds":1770.0,"pareto_points":5}"#,
+            r#"{"event":"repeat_finished","repeat":0,"adrs":0.0625,"sim_seconds":1770.0}"#,
+        ];
+        for (ev, want) in sample_events().iter().zip(golden) {
+            assert_eq!(ev.to_json(), want);
+        }
+    }
+
+    #[test]
+    fn every_event_line_parses_as_json() {
+        for ev in sample_events() {
+            let v = json::parse(&ev.to_json()).unwrap_or_else(|e| panic!("{e}: {ev:?}"));
+            assert_eq!(
+                v.get("event").and_then(json::JsonValue::as_str),
+                Some(ev.kind())
+            );
+        }
+    }
+
+    #[test]
+    fn memory_tracer_buffers_in_order() {
+        let sink = MemoryTracer::new();
+        for ev in sample_events() {
+            sink.record(&ev);
+        }
+        assert_eq!(sink.events(), sample_events());
+    }
+
+    #[test]
+    fn jsonl_tracer_writes_lines() {
+        use std::sync::{Arc, Mutex};
+
+        // A shared Vec<u8> sink so the test can read what was written.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let tracer = JsonlTracer::from_writer(Box::new(buf.clone()));
+        for ev in sample_events() {
+            tracer.record(&ev);
+        }
+        tracer.flush();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), sample_events().len());
+        for line in lines {
+            json::parse(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn null_tracer_skips_event_construction() {
+        let handle = TracerHandle::null();
+        assert!(!handle.enabled());
+        handle.emit(|| unreachable!("disabled tracer must not build events"));
+    }
+
+    #[test]
+    fn handles_compare_equal_regardless_of_sink() {
+        let a = TracerHandle::null();
+        let b = TracerHandle::new(Arc::new(MemoryTracer::new()));
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "TracerHandle(off)");
+        assert_eq!(format!("{b:?}"), "TracerHandle(on)");
+    }
+
+    #[test]
+    fn step_metrics_aggregate_per_step() {
+        let m = aggregate_step_metrics(&sample_events());
+        // Steps 0 (full) and 1 (checkpoint only — no aggregatable events, so
+        // absent).
+        assert_eq!(m.len(), 1);
+        let s0 = &m[0];
+        assert_eq!(s0.step, 0);
+        assert_eq!(s0.fit_mode, Some("optimize"));
+        assert_eq!(s0.model_fit_seconds, 0.25);
+        assert_eq!(s0.scoring_seconds, 0.03125);
+        assert_eq!(s0.picks, vec![(42, 1)]);
+        assert_eq!(s0.candidates_scored, 40);
+        assert_eq!(s0.tool_runs, 2);
+        assert_eq!(s0.invalid_runs, 1);
+        assert_eq!(s0.tool_seconds, 270.0);
+        assert_eq!(s0.hv, Some([10.5, 9.25, 8.0]));
+        // The init-phase tool run (step: None) is not attributed to any step.
+        let metrics_tracer = MemoryTracer::new();
+        for ev in sample_events() {
+            metrics_tracer.record(&ev);
+        }
+        assert_eq!(metrics_tracer.step_metrics(), m);
+    }
+}

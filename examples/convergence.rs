@@ -14,7 +14,7 @@ use cmmf_hls::hls_model::benchmarks::{self, Benchmark};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = Benchmark::SpmvCrs;
-    let space = benchmarks::build(b).pruned_space()?;
+    let space = benchmarks::build(b)?.pruned_space()?;
     let sim = FlowSimulator::new(SimParams::for_benchmark(b));
     let front = TrueFront::compute(&space, &sim);
 

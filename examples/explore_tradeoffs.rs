@@ -14,7 +14,7 @@ use cmmf_hls::pareto::pareto_front_indices;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let b = Benchmark::Ismart2;
-    let space = benchmarks::build(b).pruned_space()?;
+    let space = benchmarks::build(b)?.pruned_space()?;
     let sim = FlowSimulator::new(SimParams::for_benchmark(b));
 
     // Ground-truth PPA for the whole pruned space (the luxury of a simulator).

@@ -12,7 +12,7 @@ use cmmf_hls::hls_model::benchmarks::{self, Benchmark};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the tree-pruned directive design space for GEMM.
-    let model = benchmarks::build(Benchmark::Gemm);
+    let model = benchmarks::build(Benchmark::Gemm)?;
     let space = model.pruned_space()?;
     println!(
         "GEMM design space: {:.2e} raw configurations pruned to {} ({} directive sites)",

@@ -4,17 +4,26 @@
 //! ```text
 //! cmmf-dse <spec-file> [--iters N] [--seed S] [--variant ours|fpl18]
 //!          [--divergence D] [--batch Q] [--csv]
+//!          [--checkpoint FILE] [--journal FILE]
 //! ```
+//!
+//! `--checkpoint FILE` writes a resumable checkpoint after every BO step and,
+//! if FILE already exists, resumes from it — re-running the same command after
+//! a kill continues the run bit-identically. `--journal FILE` appends one JSON
+//! line per loop event (model fits, acquisition argmaxes, tool runs, front
+//! updates; see ARCHITECTURE.md, "Observability & resume").
 //!
 //! The flow is evaluated by the built-in three-stage simulator (see the
 //! `cmmf-fidelity-sim` crate docs); `--divergence` controls how non-linearly
 //! the HLS reports relate to post-implementation reality (0 = trust HLS,
 //! 1 = HLS is badly misleading).
 
-use cmmf_hls::cmmf::{CmmfConfig, ModelVariant, Optimizer};
+use cmmf_hls::cmmf::{CmmfConfig, JsonlTracer, ModelVariant, Optimizer, TracerHandle};
 use cmmf_hls::fidelity_sim::{FlowSimulator, SimParams};
 use cmmf_hls::hls_model::spec;
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     spec_path: String,
@@ -24,6 +33,8 @@ struct Args {
     divergence: f64,
     batch: usize,
     csv: bool,
+    checkpoint: Option<PathBuf>,
+    journal: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         divergence: 0.3,
         batch: 1,
         csv: false,
+        checkpoint: None,
+        journal: None,
     };
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or(format!("{flag} needs a value"))
@@ -70,9 +83,16 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--csv" => parsed.csv = true,
+            "--checkpoint" => {
+                parsed.checkpoint = Some(PathBuf::from(next_value(&mut args, "--checkpoint")?))
+            }
+            "--journal" => {
+                parsed.journal = Some(PathBuf::from(next_value(&mut args, "--journal")?))
+            }
             "--help" | "-h" => {
                 return Err("usage: cmmf-dse <spec-file> [--iters N] [--seed S] \
-                            [--variant ours|fpl18] [--divergence D] [--batch Q] [--csv]"
+                            [--variant ours|fpl18] [--divergence D] [--batch Q] [--csv] \
+                            [--checkpoint FILE] [--journal FILE]"
                     .into())
             }
             other if parsed.spec_path.is_empty() && !other.starts_with('-') => {
@@ -119,16 +139,29 @@ fn run(args: &Args) -> Result<(), String> {
         divergence: args.divergence.clamp(0.0, 1.0),
         ..SimParams::default()
     });
-    let cfg = CmmfConfig {
+    let mut cfg = CmmfConfig {
         n_iter: args.iters,
         seed: args.seed,
         variant: args.variant,
         batch_size: args.batch.max(1),
         ..Default::default()
     };
-    let result = Optimizer::new(cfg)
-        .run(&space, &sim)
-        .map_err(|e| e.to_string())?;
+    if let Some(path) = &args.journal {
+        let sink = JsonlTracer::create(path)
+            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        cfg.tracer = TracerHandle::new(Arc::new(sink));
+    }
+    let opt = Optimizer::new(cfg);
+    let result = match &args.checkpoint {
+        Some(path) => {
+            if path.exists() {
+                eprintln!("resuming from checkpoint {}", path.display());
+            }
+            opt.run_with_checkpoints(&space, &sim, path)
+        }
+        None => opt.run(&space, &sim),
+    }
+    .map_err(|e| e.to_string())?;
 
     eprintln!(
         "evaluated {} configurations in {:.1} simulated tool-hours",

@@ -30,7 +30,10 @@ fn full_pipeline_on_every_benchmark() {
     // One quick optimizer run per benchmark: build space, simulate, optimize,
     // and evaluate — the complete paper pipeline.
     for b in Benchmark::all() {
-        let space = benchmarks::build(b).pruned_space().expect("space builds");
+        let space = benchmarks::build(b)
+            .unwrap()
+            .pruned_space()
+            .expect("space builds");
         let sim = FlowSimulator::new(SimParams::for_benchmark(b));
         let front = TrueFront::compute(&space, &sim);
         let r = Optimizer::new(quick_cfg(5))
@@ -53,7 +56,10 @@ fn paper_method_beats_regression_baselines_on_divergent_benchmark() {
     // 48 full-flow runs — and the GP method should still be at least
     // competitive on ADRS while being far cheaper.
     let b = Benchmark::SpmvEllpack;
-    let space = benchmarks::build(b).pruned_space().expect("space builds");
+    let space = benchmarks::build(b)
+        .unwrap()
+        .pruned_space()
+        .expect("space builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(b));
     let front = TrueFront::compute(&space, &sim);
 
@@ -84,6 +90,7 @@ fn paper_method_beats_regression_baselines_on_divergent_benchmark() {
 #[test]
 fn variants_are_interchangeable_in_the_loop() {
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("space builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
@@ -111,6 +118,7 @@ fn variants_are_interchangeable_in_the_loop() {
 #[test]
 fn learned_front_is_mutually_nondominated() {
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("space builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
@@ -129,6 +137,7 @@ fn learned_front_is_mutually_nondominated() {
 #[test]
 fn runner_statistics_are_reproducible() {
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("space builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
@@ -143,6 +152,7 @@ fn nested_fidelity_observation_sets_hold_in_practice() {
     // Re-run the loop and check the Fig. 2 invariant: every configuration
     // observed at a higher stage was also observed at all lower stages.
     let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
         .pruned_space()
         .expect("space builds");
     let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
