@@ -28,6 +28,26 @@ struct Network {
     layers: Vec<(Vec<Vec<f64>>, Vec<f64>)>,
 }
 
+impl Network {
+    /// Forward pass: returns the per-layer activations and the scalar output.
+    fn forward(&self, x: &[f64]) -> (Vec<Vec<f64>>, f64) {
+        let mut act = x.to_vec();
+        let mut acts = vec![act.clone()];
+        for (li, (w, b)) in self.layers.iter().enumerate() {
+            let last = li == self.layers.len() - 1;
+            let mut next = vec![0.0; b.len()];
+            for (o, (row, bias)) in w.iter().zip(b).enumerate() {
+                let z: f64 = row.iter().zip(&act).map(|(wi, ai)| wi * ai).sum::<f64>() + bias;
+                next[o] = if last { z } else { z.tanh() };
+            }
+            act = next;
+            acts.push(act.clone());
+        }
+        let out = acts.last().map_or(0.0, |a| a[0]);
+        (acts, out)
+    }
+}
+
 impl MlpRegressor {
     /// Creates an untrained MLP with the given hidden layer sizes.
     ///
@@ -53,24 +73,6 @@ impl MlpRegressor {
     /// The paper-style configuration: 2 hidden layers.
     pub fn paper_default(seed: u64) -> Self {
         MlpRegressor::new(&[32, 32], 1500, 0.01, seed)
-    }
-
-    fn forward(&self, x: &[f64]) -> (Vec<Vec<f64>>, f64) {
-        let net = self.net.as_ref().expect("predict called before fit");
-        let mut act = x.to_vec();
-        let mut acts = vec![act.clone()];
-        for (li, (w, b)) in net.layers.iter().enumerate() {
-            let last = li == net.layers.len() - 1;
-            let mut next = vec![0.0; b.len()];
-            for (o, (row, bias)) in w.iter().zip(b).enumerate() {
-                let z: f64 = row.iter().zip(&act).map(|(wi, ai)| wi * ai).sum::<f64>() + bias;
-                next[o] = if last { z } else { z.tanh() };
-            }
-            act = next;
-            acts.push(act.clone());
-        }
-        let out = acts.last().expect("nonempty")[0];
-        (acts, out)
     }
 }
 
@@ -115,26 +117,18 @@ impl Regressor for MlpRegressor {
                 .collect();
             layers.push((wmat, vec![0.0; n_out]));
         }
-        self.net = Some(Network { layers });
+        // Train a local network and publish it only once fitting finishes,
+        // so there is no half-initialized `Option` to unwrap anywhere.
+        let mut net = Network { layers };
 
         // Adam state mirrors the parameter structure.
-        let mut m_w: Vec<Vec<Vec<f64>>> = self
-            .net
-            .as_ref()
-            .expect("set")
+        let mut m_w: Vec<Vec<Vec<f64>>> = net
             .layers
             .iter()
             .map(|(w, _)| w.iter().map(|r| vec![0.0; r.len()]).collect())
             .collect();
         let mut v_w = m_w.clone();
-        let mut m_b: Vec<Vec<f64>> = self
-            .net
-            .as_ref()
-            .expect("set")
-            .layers
-            .iter()
-            .map(|(_, b)| vec![0.0; b.len()])
-            .collect();
+        let mut m_b: Vec<Vec<f64>> = net.layers.iter().map(|(_, b)| vec![0.0; b.len()]).collect();
         let mut v_b = m_b.clone();
 
         const B1: f64 = 0.9;
@@ -144,7 +138,6 @@ impl Regressor for MlpRegressor {
 
         for step in 1..=self.epochs {
             // Accumulate full-batch gradients.
-            let net = self.net.as_ref().expect("set");
             let n_layers = net.layers.len();
             let mut g_w: Vec<Vec<Vec<f64>>> = net
                 .layers
@@ -155,8 +148,7 @@ impl Regressor for MlpRegressor {
                 net.layers.iter().map(|(_, b)| vec![0.0; b.len()]).collect();
 
             for (x, y) in xn.iter().zip(&yn) {
-                let (acts, out) = self.forward(x);
-                let net = self.net.as_ref().expect("set");
+                let (acts, out) = net.forward(x);
                 // Backprop: delta at output.
                 let mut delta = vec![2.0 * (out - y) / n];
                 for li in (0..n_layers).rev() {
@@ -187,7 +179,6 @@ impl Regressor for MlpRegressor {
             // Adam update.
             let bc1 = 1.0 - B1.powi(step as i32);
             let bc2 = 1.0 - B2.powi(step as i32);
-            let net = self.net.as_mut().expect("set");
             for li in 0..n_layers {
                 let (w, b) = &mut net.layers[li];
                 for (o, row) in w.iter_mut().enumerate() {
@@ -208,16 +199,21 @@ impl Regressor for MlpRegressor {
                 }
             }
         }
+        self.net = Some(net);
         Ok(())
     }
 
+    /// Returns NaN when called before a successful [`Regressor::fit`].
     fn predict(&self, x: &[f64]) -> f64 {
+        let Some(net) = &self.net else {
+            return f64::NAN;
+        };
         let xn: Vec<f64> = x
             .iter()
             .zip(&self.x_stats)
             .map(|(v, (m, s))| (v - m) / s)
             .collect();
-        let (_, out) = self.forward(&xn);
+        let (_, out) = net.forward(&xn);
         self.y_stats.0 + self.y_stats.1 * out
     }
 }
@@ -281,10 +277,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "predict called before fit")]
-    fn predict_before_fit_panics() {
+    fn predict_before_fit_is_nan_not_panic() {
+        // P1: library code must not panic — an unfit model now reports NaN,
+        // which downstream validation treats as "no prediction".
         let mlp = MlpRegressor::paper_default(0);
-        let _ = mlp.predict(&[0.0]);
+        assert!(mlp.predict(&[0.0]).is_nan());
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Baseline design-space-exploration methods from the paper's Table I
 //! (Sec. V-A):
 //!

@@ -16,7 +16,7 @@ use pareto::pareto_front_indices;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// NSGA-II settings.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,11 +82,11 @@ pub fn run_nsga2(
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     // Fitness cache: config index -> objectives (invalid = worst-penalized).
-    let mut cache: HashMap<usize, [f64; N_OBJECTIVES]> = HashMap::new();
+    let mut cache: BTreeMap<usize, [f64; N_OBJECTIVES]> = BTreeMap::new();
     let mut sim_seconds = 0.0;
     let mut worst = [1.0f64; N_OBJECTIVES];
     let evaluate = |c: usize,
-                    cache: &mut HashMap<usize, [f64; N_OBJECTIVES]>,
+                    cache: &mut BTreeMap<usize, [f64; N_OBJECTIVES]>,
                     worst: &mut [f64; N_OBJECTIVES],
                     sim_seconds: &mut f64|
      -> [f64; N_OBJECTIVES] {
@@ -170,12 +170,7 @@ pub fn run_nsga2(
             .collect();
         let pool_ranks = non_dominated_ranks(&pool_objs);
         let pool_crowd = crowding_distance(&pool_objs);
-        let mut idx: Vec<usize> = (0..pool.len()).collect();
-        idx.sort_by(|&a, &b| {
-            pool_ranks[a]
-                .cmp(&pool_ranks[b])
-                .then(pool_crowd[b].total_cmp(&pool_crowd[a]))
-        });
+        let idx = environmental_order(&pool_ranks, &pool_crowd);
         population = idx[..cfg.population.min(idx.len())]
             .iter()
             .map(|&i| pool[i])
@@ -199,6 +194,16 @@ pub fn run_nsga2(
         sim_seconds,
         evaluations: cache.len(),
     })
+}
+
+/// Orders pool members for environmental selection: ascending non-domination
+/// rank, ties broken by *descending* crowding distance. Uses `total_cmp`, so
+/// the ordering stays total — and the sort panic-free — even when degenerate
+/// objectives make crowding distances NaN.
+fn environmental_order(ranks: &[usize], crowd: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..ranks.len()).collect();
+    idx.sort_by(|&a, &b| ranks[a].cmp(&ranks[b]).then(crowd[b].total_cmp(&crowd[a])));
+    idx
 }
 
 /// Maps a free genome (option indices that may not correspond to any
@@ -328,6 +333,46 @@ mod tests {
             run_nsga2(&space, &sim, &cfg),
             Err(BaselineError::SpaceTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn selection_survives_nan_objectives() {
+        // Regression for the D4 rule: NSGA-II's ranking + crowding +
+        // environmental-selection pipeline must stay panic-free and total
+        // when objective vectors contain NaN/∞ (e.g. a degenerate span or a
+        // penalized invalid). `sort_by` with `partial_cmp` would either
+        // panic here or silently produce a non-total order.
+        let objs: Vec<Vec<f64>> = vec![
+            vec![0.1, f64::NAN, 0.3],
+            vec![f64::NAN, f64::NAN, f64::NAN],
+            vec![0.2, 0.1, 0.9],
+            vec![0.0, 0.4, f64::INFINITY],
+            vec![0.2, 0.1, 0.9],
+        ];
+        let ranks = non_dominated_ranks(&objs);
+        let crowd = crowding_distance(&objs);
+        assert_eq!(ranks.len(), objs.len());
+        assert_eq!(crowd.len(), objs.len());
+        let order = environmental_order(&ranks, &crowd);
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "order must be a permutation");
+        // Ranks must be non-decreasing along the selected order.
+        for w in order.windows(2) {
+            assert!(ranks[w[0]] <= ranks[w[1]], "rank order violated: {order:?}");
+        }
+    }
+
+    #[test]
+    fn environmental_order_is_deterministic_with_nan_crowding() {
+        // total_cmp gives NaN a fixed place in the order, so two calls agree
+        // bit-for-bit — the property the BO-loop comparisons rely on.
+        let ranks = vec![0, 0, 1, 0, 1];
+        let crowd = vec![f64::NAN, 1.0, f64::INFINITY, f64::NAN, 0.0];
+        let a = environmental_order(&ranks, &crowd);
+        let b = environmental_order(&ranks, &crowd);
+        assert_eq!(a, b);
+        assert_eq!(a[..3].iter().filter(|&&i| ranks[i] == 0).count(), 3);
     }
 
     #[test]

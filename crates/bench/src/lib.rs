@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Shared harness code for regenerating the paper's tables and figures.
 //!
 //! Each `src/bin/` binary regenerates one experiment (see `DESIGN.md`'s

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # cmmf — Correlated Multi-objective Multi-fidelity optimization for HLS directives
 //!
 //! The paper's primary contribution (Sun et al., DATE 2021): a Gaussian-process

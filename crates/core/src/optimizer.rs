@@ -15,8 +15,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::path::Path;
-use std::time::Instant;
-use trace::{TraceEvent, TracerHandle};
+use trace::{Stopwatch, TraceEvent, TracerHandle};
 
 /// Configuration of the Algorithm-2 loop. Defaults follow Sec. V-B: 8 initial
 /// configurations, 40 optimization steps.
@@ -464,13 +463,13 @@ impl<'a> LoopState<'a> {
         } else {
             FitMode::Refit
         };
-        let fit_started = tracer.enabled().then(Instant::now);
+        let fit_started = tracer.enabled().then(Stopwatch::start);
         let new_stack =
             FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, self.stack.as_ref(), mode)?;
         tracer.emit(|| TraceEvent::ModelFit {
             step: t,
             fit_mode: mode.name(),
-            seconds: fit_started.map_or(0.0, |s| s.elapsed().as_secs_f64()),
+            seconds: fit_started.map_or(0.0, |s| s.seconds()),
         });
 
         // Per-fidelity Pareto fronts of the normalized observations.
@@ -550,7 +549,7 @@ impl<'a> LoopState<'a> {
         let mut fantasy_fronts = fronts.clone();
         let mut picked: Vec<CandidateChoice> = Vec::with_capacity(cfg.batch_size.max(1));
         for q in 0..cfg.batch_size.max(1) {
-            let slot_started = tracer.enabled().then(Instant::now);
+            let slot_started = tracer.enabled().then(Stopwatch::start);
             let q_seed = derive_stream_seed(step_seed, &[q as u64]);
             let picked_so_far = &picked;
             let fantasy = &fantasy_fronts;
@@ -660,7 +659,7 @@ impl<'a> LoopState<'a> {
                 candidates: n_scored,
                 eipv: choice_raw,
                 penalized: choice.acquisition,
-                seconds: slot_started.map_or(0.0, |s| s.elapsed().as_secs_f64()),
+                seconds: slot_started.map_or(0.0, |s| s.seconds()),
             });
 
             // Fantasize the outcome at the chosen fidelity so the next

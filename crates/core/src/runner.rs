@@ -272,8 +272,8 @@ mod tests {
         // gp seed `^ 0xABCD`): base 0 repeat 1 and base 0x9E37 repeat 0
         // produced the *same* seeds, silently re-running one experiment as
         // two. Stream derivation keeps every (base, rep, role) seed distinct.
-        use std::collections::HashSet;
-        let mut seen = HashSet::new();
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
         for base in [0u64, 0x9E37, 1, 2021, u64::MAX] {
             for rep in 0..50u64 {
                 for role in [0u64, 1] {

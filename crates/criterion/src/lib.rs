@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Offline, minimal stand-in for the `criterion` benchmark harness.
 //!
 //! The build environment has no crates.io access, so this crate implements
@@ -225,6 +227,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Times `iters` calls of `f` (set by the harness calibration).
+    #[allow(clippy::disallowed_methods)] // cmmf-lint D2: the bench harness is a clock owner
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
         let start = Instant::now();
         for _ in 0..self.iters {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! A three-stage FPGA design-flow **simulator** — the stand-in for Xilinx
 //! Vivado HLS 2018.2 targeting a Virtex-7 VC707 board in the paper's
 //! experiments (Fig. 2).

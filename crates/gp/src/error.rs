@@ -21,6 +21,12 @@ pub enum GpError {
     /// The underlying linear algebra failed (typically a covariance matrix that
     /// could not be factorized).
     Numerical(LinalgError),
+    /// An internal invariant was violated — indicates a bug in this crate,
+    /// surfaced as an error instead of a panic (rule `P1`).
+    Internal {
+        /// Description of the broken invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GpError {
@@ -36,6 +42,9 @@ impl fmt::Display for GpError {
                 )
             }
             GpError::Numerical(e) => write!(f, "numerical failure: {e}"),
+            GpError::Internal { reason } => {
+                write!(f, "internal invariant violated: {reason}")
+            }
         }
     }
 }

@@ -230,7 +230,7 @@ impl Matern52Grouped {
     /// Panics if `groups` is empty or group ids are not contiguous from 0.
     pub fn new(groups: Vec<usize>) -> Self {
         assert!(!groups.is_empty(), "need at least one dimension");
-        let n_groups = groups.iter().max().expect("non-empty") + 1;
+        let n_groups = groups.iter().max().map_or(0, |&g| g + 1);
         for g in 0..n_groups {
             assert!(groups.contains(&g), "group ids must be contiguous from 0");
         }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Gaussian-process regression substrate for the `cmmf-hls` workspace.
 //!
 //! The paper's method needs four modelling ingredients, all provided here from

@@ -111,7 +111,9 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             let objective = |p: &[f64]| {
                 let mut k = base_kernel.clone();
                 k.set_log_params(&p[..n_kp]);
-                let b = b_from_params(&p[n_kp..n_kp + n_l], n_tasks);
+                let Ok(b) = b_from_params(&p[n_kp..n_kp + n_l], n_tasks) else {
+                    return f64::INFINITY;
+                };
                 let noise: Vec<f64> = p[n_kp + n_l..]
                     .iter()
                     .map(|lp| lp.exp().max(floor))
@@ -126,7 +128,7 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             let best = multi_start_nelder_mead(objective, &p0, 1.0, cfg.restarts, &opts, &mut rng);
             if best.value.is_finite() {
                 kernel.set_log_params(&best.x[..n_kp]);
-                b = b_from_params(&best.x[n_kp..n_kp + n_l], n_tasks);
+                b = b_from_params(&best.x[n_kp..n_kp + n_l], n_tasks)?;
                 noise = best.x[n_kp + n_l..]
                     .iter()
                     .map(|lp| lp.exp().max(floor))
@@ -254,7 +256,9 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     /// Returns [`GpError::DimensionMismatch`] if `x.len() != self.dim()`.
     pub fn predict(&self, x: &[f64]) -> Result<MultiTaskPrediction, GpError> {
         let mut out = self.predict_chunk(&[x])?;
-        Ok(out.pop().expect("one query yields one prediction"))
+        out.pop().ok_or_else(|| GpError::Internal {
+            reason: "predict_chunk returned no prediction for one query".into(),
+        })
     }
 
     /// Joint posteriors at many points.
@@ -400,8 +404,10 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
 }
 
 /// Reconstructs `B = L Lᵀ` from lower-triangle parameters (diagonal entries in
-/// log space so `B` is always positive definite).
-fn b_from_params(p: &[f64], m: usize) -> Matrix {
+/// log space so `B` is always positive definite). The matmul of an `m × m`
+/// matrix with its transpose cannot mismatch, but the error is propagated
+/// rather than unwrapped (rule `P1`).
+fn b_from_params(p: &[f64], m: usize) -> Result<Matrix, GpError> {
     let mut l = Matrix::zeros(m, m);
     let mut idx = 0;
     for t in 0..m {
@@ -410,7 +416,8 @@ fn b_from_params(p: &[f64], m: usize) -> Matrix {
             idx += 1;
         }
     }
-    l.matmul(&l.transpose()).expect("square matmul cannot fail")
+    let lt = l.transpose();
+    Ok(l.matmul(&lt)?)
 }
 
 fn validate_multi(xs: &[Vec<f64>], ys: &[Vec<f64>], dim: usize) -> Result<usize, GpError> {

@@ -14,8 +14,11 @@ use crate::space::Site;
 /// encodes to 0.
 pub fn encode_value(options: &[u32], value: u32) -> f64 {
     debug_assert!(!options.is_empty());
-    let lo = *options.first().expect("non-empty options") as f64;
-    let hi = *options.last().expect("non-empty options") as f64;
+    // An empty option list encodes to 0, like a single-option site.
+    let (Some(&lo), Some(&hi)) = (options.first(), options.last()) else {
+        return 0.0;
+    };
+    let (lo, hi) = (lo as f64, hi as f64);
     if hi > lo {
         (value as f64 - lo) / (hi - lo)
     } else {

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! HLS directive modelling for the `cmmf-hls` workspace (Sec. III of the paper).
 //!
 //! This crate is the "front end" of the reproduction: it captures the structure

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Dense linear algebra and scalar statistics substrate for the `cmmf-hls` workspace.
 //!
 //! The offline crate set has no mature linear-algebra or statistics crates, so this

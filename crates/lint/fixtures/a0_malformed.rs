@@ -1,0 +1,6 @@
+//! A0 fixture: every allow below is malformed and must be reported.
+// cmmf-lint: allow(D1)
+// cmmf-lint: allow(D1) --
+// cmmf-lint: allow(NOPE) -- unknown rule id
+// cmmf-lint: allow() -- empty rule list
+fn placeholder() {}

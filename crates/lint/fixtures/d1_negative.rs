@@ -1,0 +1,11 @@
+//! D1 negative fixture: ordered collections are deterministic.
+//! A `HashMap` mentioned in a doc comment must not fire, and neither must
+//! the string literal below.
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+fn cache() -> BTreeMap<u32, f64> {
+    let _seen: BTreeSet<u32> = BTreeSet::new();
+    let _label = "HashMap inside a string is not code";
+    BTreeMap::new()
+}

@@ -1,0 +1,8 @@
+//! D1 positive fixture: hash collections in result-affecting code.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn cache() -> HashMap<u32, f64> {
+    let _seen: HashSet<u32> = HashSet::new();
+    HashMap::new()
+}

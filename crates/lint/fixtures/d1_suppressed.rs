@@ -1,0 +1,8 @@
+//! D1 suppressed fixture: both suppression placements.
+// cmmf-lint: allow(D1) -- fixture: preceding-line form covers the use below
+use std::collections::HashMap;
+
+fn cache() -> HashMap<u32, f64> { // cmmf-lint: allow(D1) -- fixture: same-line form
+    // cmmf-lint: allow(D1) -- fixture: never iterated, only probed by key
+    HashMap::new()
+}

@@ -1,0 +1,5 @@
+//! D2 negative fixture: timings route through the tracing layer.
+fn timed(enabled: bool) -> f64 {
+    let sw = enabled.then(trace::Stopwatch::start);
+    sw.map_or(0.0, |s| s.seconds())
+}

@@ -1,0 +1,8 @@
+//! D2 positive fixture: clock reads on a result path.
+use std::time::Duration;
+use std::time::Instant;
+
+fn timed() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+//! D2 suppressed fixture.
+// cmmf-lint: allow(D2) -- fixture: duration arithmetic only, no clock read
+use std::time::Duration;
+
+fn half(d: Duration) -> Duration {
+    d / 2
+}

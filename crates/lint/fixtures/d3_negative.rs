@@ -1,0 +1,5 @@
+//! D3 negative fixture: every stream derives from the run seed.
+fn rng(seed: u64, step: u64) {
+    let s = rand::derive_stream_seed(seed, &[step]);
+    let _r = StdRng::seed_from_u64(s);
+}

@@ -1,0 +1,7 @@
+//! D3 positive fixture: entropy-seeded RNG construction.
+fn rng() {
+    let mut a = rand::thread_rng();
+    let b = StdRng::from_entropy();
+    let c = StdRng::from_os_rng();
+    let d = OsRng;
+}

@@ -1,0 +1,4 @@
+//! D3 suppressed fixture.
+fn rng() {
+    let mut a = rand::thread_rng(); // cmmf-lint: allow(D3) -- fixture: demo only
+}

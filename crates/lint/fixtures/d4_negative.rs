@@ -1,0 +1,5 @@
+//! D4 negative fixture: total ordering is NaN-safe.
+fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}

@@ -1,0 +1,5 @@
+//! D4 positive fixture: partial float ordering.
+fn sorted(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}

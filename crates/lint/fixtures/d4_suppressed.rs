@@ -1,0 +1,4 @@
+//! D4 suppressed fixture.
+fn cmp(a: f64, b: f64) -> Option<core::cmp::Ordering> {
+    a.partial_cmp(&b) // cmmf-lint: allow(D4) -- fixture: Option is handled, not unwrapped
+}

@@ -1,0 +1,20 @@
+//! P1 negative fixture: `Result` propagation, lookalike methods, and test
+//! code are all fine.
+fn f(x: Option<u32>, r: Result<u32, ()>) -> Result<u32, ()> {
+    let a = x.ok_or(())?;
+    let b = r.unwrap_or_default();
+    let c = r.unwrap_or_else(|_| 7);
+    Ok(a + b + c)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Result<u32, ()> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+        if false {
+            panic!("test code is exempt from P1");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! P1 positive fixture: the whole panic family in library code.
+fn f(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("must be ok");
+    match a + b {
+        0 => panic!("zero"),
+        1 => unreachable!(),
+        2 => todo!(),
+        3 => unimplemented!(),
+        n => n,
+    }
+}

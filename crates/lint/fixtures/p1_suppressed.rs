@@ -1,0 +1,8 @@
+//! P1 suppressed fixture.
+fn join_all(handles: Vec<std::thread::JoinHandle<u32>>) -> Vec<u32> {
+    handles
+        .into_iter()
+        // cmmf-lint: allow(P1) -- fixture: propagating a worker panic is join's contract
+        .map(|h| h.join().expect("worker panicked"))
+        .collect()
+}

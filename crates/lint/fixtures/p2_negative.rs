@@ -1,0 +1,6 @@
+//! P2 negative fixture: safe indexing; `unsafe` in strings and comments
+//! (like this one) does not fire.
+fn peek(xs: &[u32]) -> u32 {
+    let _label = "unsafe in a string is not code";
+    xs.first().copied().unwrap_or(0)
+}

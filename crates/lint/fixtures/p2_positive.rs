@@ -1,0 +1,14 @@
+//! P2 positive fixture: unsafe is banned everywhere, tests included.
+fn peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn even_in_tests() {
+        let x: u32 = 5;
+        let p = &x as *const u32;
+        assert_eq!(unsafe { *p }, 5);
+    }
+}

@@ -1,0 +1,4 @@
+//! P2 suppressed fixture (the real policy never grants this; fixture only).
+fn peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.get_unchecked(0) } // cmmf-lint: allow(P2) -- fixture: demo of suppression mechanics
+}

@@ -1,0 +1,386 @@
+//! A minimal token-level Rust lexer.
+//!
+//! The linter has no access to crates.io (so no `syn`); instead it scans a
+//! token stream that is precise about the only things a *pattern* linter must
+//! never get wrong: what is code and what is not. The lexer correctly skips
+//!
+//! * line comments (`//`, `///`, `//!`) — emitted as [`Tok::LineComment`] so
+//!   the suppression parser can read them,
+//! * nested block comments (`/* /* .. */ */`, including doc blocks),
+//! * string literals with escapes (`"a \" b"`), byte strings (`b".."`),
+//! * raw strings with arbitrary hash fences (`r"..."`, `r#".."#`,
+//!   `br##".."##`) — a raw string containing `unwrap(` must not fire P1,
+//! * char literals vs. lifetimes (`'a'` vs. `'a` and `'static`),
+//! * numeric literals including floats and exponents (`1.5e-9`), so `0..n`
+//!   ranges still lex as two separate dots.
+//!
+//! Everything that survives is an identifier (keywords included) or a single
+//! punctuation character, each tagged with its 1-based source line.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `fn`, `r#async` → `async`).
+    Ident(String),
+    /// A single punctuation character (`.`, `(`, `#`, `!`, `:`, …).
+    Punct(char),
+    /// A `//` line comment, with the text after the slashes (doc comments
+    /// included). Kept so suppression comments can be parsed.
+    LineComment(String),
+    /// A literal (string, raw string, char, byte, or number). The content is
+    /// intentionally dropped: literals can never trigger a rule.
+    Literal,
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: Tok,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream. The lexer is total: unexpected bytes
+/// (stray backslashes, unterminated literals) never abort the scan — they
+/// degrade to punctuation or consume to end of input, which is the right
+/// behaviour for a linter that must not be DoS-able by weird-but-compiling
+/// (or even non-compiling) source.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, maintaining the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Tok, line: u32) {
+        self.out.push(Token { kind, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                'b' | 'c' if self.peek(1) == Some('"') => {
+                    // Byte/C string: consume the prefix, then the string.
+                    self.bump();
+                    self.string_literal(line);
+                }
+                'r' if self.raw_string_ahead(1) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'b' | 'c' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && is_ident_start(self.peek(2)) => {
+                    // Raw identifier `r#ident`: lex as the bare identifier so
+                    // `r#unsafe` style escapes cannot hide a banned name.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(Some(c)) => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(Tok::Punct(c), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when the chars at `self.pos + ahead` begin a raw-string fence:
+    /// zero or more `#` then `"`.
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Tok::LineComment(text), line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        // Block comments cannot carry suppressions; drop the content but emit
+        // nothing — rules only look at idents and puncts anyway.
+        let _ = line;
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    /// Raw string, positioned at the first `#` or the opening quote.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    /// `'` starts either a char literal or a lifetime. A lifetime is `'`
+    /// followed by an identifier **not** closed by another `'`.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume escape then scan to close.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(Tok::Literal, line);
+            }
+            Some(c) if is_ident_start(Some(c)) && self.peek(1) != Some('\'') => {
+                // Lifetime or loop label: consume the identifier, no close.
+                while is_ident_continue(self.peek(0)) {
+                    self.bump();
+                }
+                self.push(Tok::Literal, line);
+            }
+            Some(_) => {
+                // Plain char literal `'x'` (possibly multibyte).
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(Tok::Literal, line);
+            }
+            None => self.push(Tok::Punct('\''), line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        // Integer/float with optional `.` (only before a digit, so `0..n`
+        // keeps its two dots) and optional exponent with sign.
+        while is_ident_continue(self.peek(0)) {
+            let prev = self.peek(0);
+            self.bump();
+            // Exponent sign: `1e-9` / `1E+9`.
+            if matches!(prev, Some('e') | Some('E'))
+                && matches!(self.peek(0), Some('+') | Some('-'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                self.bump();
+            }
+        }
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+            self.bump();
+            while is_ident_continue(self.peek(0)) {
+                let prev = self.peek(0);
+                self.bump();
+                if matches!(prev, Some('e') | Some('E'))
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            }
+        }
+        self.push(Tok::Literal, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut name = String::new();
+        while is_ident_continue(self.peek(0)) {
+            if let Some(c) = self.bump() {
+                name.push(c);
+            }
+        }
+        self.push(Tok::Ident(name), line);
+    }
+}
+
+fn is_ident_start(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_alphabetic() || c == '_')
+}
+
+fn is_ident_continue(c: Option<char>) -> bool {
+    matches!(c, Some(c) if c.is_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_code_lexes_to_idents_and_puncts() {
+        let toks = lex("fn main() { let x = a.b(); }");
+        let names = idents("fn main() { let x = a.b(); }");
+        assert_eq!(names, ["fn", "main", "let", "x", "a", "b"]);
+        assert!(toks.iter().any(|t| t.kind == Tok::Punct('.')));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        assert_eq!(idents(r#"let s = "HashMap::new() fake";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        assert_eq!(idents(r#"let s = "a \" b"; after"#), ["let", "s", "after"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_hide_content() {
+        let src = "let s = r##\"contains \"# quote and more\"##; tail";
+        assert_eq!(idents(src), ["let", "s", "tail"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        assert_eq!(idents("a /* x /* y */ z */ b"), ["a", "b"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(
+            idents("let c = 'x'; fn f<'a>(v: &'a str) {}"),
+            ["let", "c", "fn", "f", "v", "str"]
+        );
+        assert_eq!(
+            idents(r"let nl = '\n'; let q = '\''; after"),
+            ["let", "nl", "let", "q", "after"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = lex("for i in 0..10 { let x = 1.5e-9; }");
+        let dots = toks.iter().filter(|t| t.kind == Tok::Punct('.')).count();
+        assert_eq!(dots, 2, "0..10 must keep both dots");
+        // 1.5e-9 lexes as one literal: the `-` is part of the exponent.
+        assert!(!toks.iter().any(|t| t.kind == Tok::Punct('-')));
+    }
+
+    #[test]
+    fn line_comments_are_emitted_with_text() {
+        let toks = lex("code // trailing note\nmore");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Tok::LineComment(" trailing note".into())));
+    }
+
+    #[test]
+    fn raw_identifiers_unmask_the_keyword() {
+        assert_eq!(idents("let r#type = 1; r#match"), ["let", "type", "match"]);
+    }
+}

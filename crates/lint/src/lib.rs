@@ -1,0 +1,423 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # cmmf-lint — workspace determinism & panic-freedom linter
+//!
+//! Every load-bearing guarantee this reproduction ships — bit-identical rayon
+//! parallelism, extend == refit bit-equality, indexed == naive EIPV,
+//! kill-and-resume bit-identity — is a *determinism* invariant. The pinning
+//! tests catch regressions after the fact; this linter catches the
+//! ingredients that cause them (`HashMap` iteration, clock reads, unseeded
+//! RNGs, `partial_cmp` on floats) *statically*, plus the panic-freedom sweep
+//! (`P1`/`P2`) that keeps library code `Result`-propagating.
+//!
+//! The design is deliberately primitive: a hand-rolled token lexer
+//! ([`lexer`]) that is exact about comments, strings, raw strings, and char
+//! literals, and a pattern engine ([`rules`]) over the token stream with a
+//! per-crate policy matrix. No `syn`, no dependencies — the linter must run
+//! in the hermetic build container and must not depend on anything it audits.
+//!
+//! Run it as:
+//!
+//! ```text
+//! cargo run -p cmmf-lint -- --workspace [--json] [--root <dir>]
+//! ```
+//!
+//! Suppress a finding with a reasoned allow on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // cmmf-lint: allow(P1) -- propagating a worker thread's panic is join's contract
+//! ```
+//!
+//! See `ARCHITECTURE.md` § "Static invariants" for the full rule table and
+//! the policy matrix.
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{Tok, Token};
+use rules::{FileClass, RuleId};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A finding that survived policy filtering and suppression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// The offending token text.
+    pub excerpt: String,
+    /// Explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} ({})",
+            self.path,
+            self.line,
+            self.rule.id(),
+            self.message,
+            self.excerpt
+        )
+    }
+}
+
+/// The result of scanning one file or a whole workspace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of matches silenced by a well-formed `allow` comment.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Merges another report into this one (workspace accumulation).
+    fn absorb(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.files_scanned += other.files_scanned;
+        self.suppressed += other.suppressed;
+    }
+
+    /// Canonical ordering so reports are byte-stable across runs.
+    fn sort(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    /// Serializes the report as a single stable JSON object
+    /// (`schema_version` 1). Field order is fixed; findings are sorted.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"schema_version\":1,\"files_scanned\":");
+        s.push_str(&self.files_scanned.to_string());
+        s.push_str(",\"suppressed\":");
+        s.push_str(&self.suppressed.to_string());
+        s.push_str(",\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"rule\":\"");
+            s.push_str(f.rule.id());
+            s.push_str("\",\"path\":");
+            s.push_str(&json_string(&f.path));
+            s.push_str(",\"line\":");
+            s.push_str(&f.line.to_string());
+            s.push_str(",\"excerpt\":");
+            s.push_str(&json_string(&f.excerpt));
+            s.push_str(",\"message\":");
+            s.push_str(&json_string(&f.message));
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Errors from the workspace walker.
+#[derive(Debug)]
+pub enum LintError {
+    /// An IO failure, with the path that caused it.
+    Io {
+        /// The path being read.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// `Cargo.toml` of a member crate has no `name = "..."` line.
+    NoPackageName(PathBuf),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            LintError::NoPackageName(p) => {
+                write!(f, "{}: no `name = \"..\"` in [package]", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// A parsed suppression: silences `rules` on line `target_line`.
+struct Suppression {
+    target_line: u32,
+    rules: Vec<RuleId>,
+}
+
+/// Scans one source string as `pkg`/`class` and returns the surviving
+/// findings. `path` is only used to label findings.
+pub fn scan_source(src: &str, pkg: &str, class: FileClass, path: &str) -> Report {
+    let all = lexer::lex(src);
+    let significant: Vec<Token> = all
+        .iter()
+        .filter(|t| !matches!(t.kind, Tok::LineComment(_)))
+        .cloned()
+        .collect();
+    let in_test = rules::mark_test_regions(&significant);
+    let matches = rules::run_rules(&significant, &in_test);
+
+    let (suppressions, mut findings) = parse_suppressions(&all, &significant, path);
+    let mut suppressed = 0usize;
+
+    for (m, tested) in matches {
+        if !rules::rule_enabled(m.rule, pkg, class, tested) {
+            continue;
+        }
+        let silenced = suppressions
+            .iter()
+            .any(|s| s.target_line == m.line && s.rules.contains(&m.rule));
+        if silenced {
+            suppressed += 1;
+        } else {
+            findings.push(Finding {
+                rule: m.rule,
+                path: path.to_string(),
+                line: m.line,
+                excerpt: m.excerpt,
+                message: m.message,
+            });
+        }
+    }
+
+    let mut report = Report {
+        findings,
+        files_scanned: 1,
+        suppressed,
+    };
+    report.sort();
+    report
+}
+
+/// Extracts `cmmf-lint: allow(..) -- reason` comments. A comment sharing its
+/// line with code targets that line; a comment alone on its line targets the
+/// next line holding a significant token. Malformed allows (no parsable rule
+/// list, unknown rule name, or missing `-- reason`) become `A0` findings.
+fn parse_suppressions(
+    all: &[Token],
+    significant: &[Token],
+    path: &str,
+) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for t in all {
+        let Tok::LineComment(text) = &t.kind else {
+            continue;
+        };
+        // Doc comments start with an extra `/` or `!`; strip before matching.
+        let body = text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = body.strip_prefix("cmmf-lint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Some(rules) => {
+                let has_code_on_line = significant.iter().any(|s| s.line == t.line);
+                let target_line = if has_code_on_line {
+                    t.line
+                } else {
+                    significant
+                        .iter()
+                        .map(|s| s.line)
+                        .filter(|&l| l > t.line)
+                        .min()
+                        .unwrap_or(t.line + 1)
+                };
+                sups.push(Suppression { target_line, rules });
+            }
+            None => bad.push(Finding {
+                rule: RuleId::A0,
+                path: path.to_string(),
+                line: t.line,
+                excerpt: body.to_string(),
+                message: "malformed suppression; use `cmmf-lint: allow(<rules>) -- <reason>`"
+                    .to_string(),
+            }),
+        }
+    }
+    (sups, bad)
+}
+
+/// Parses `allow(D1, P1) -- reason`; `None` when malformed or reasonless.
+fn parse_allow(s: &str) -> Option<Vec<RuleId>> {
+    let rest = s.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let rules: Option<Vec<RuleId>> = rest[..close]
+        .split(',')
+        .map(|r| RuleId::parse(r.trim()))
+        .collect();
+    let rules = rules?;
+    if rules.is_empty() {
+        return None;
+    }
+    let tail = rest[close + 1..].trim();
+    let reason = tail.strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(rules)
+}
+
+/// One workspace member to scan.
+struct Member {
+    /// Package name from `Cargo.toml`.
+    pkg: String,
+    /// Member root directory.
+    dir: PathBuf,
+}
+
+/// Scans the whole workspace rooted at `root`: the root package plus every
+/// `crates/*` member. Only `src/`, `tests/`, `benches/`, and `examples/`
+/// subtrees are visited, so non-compiled fixtures (e.g. this crate's
+/// `fixtures/`) are never linted.
+pub fn scan_workspace(root: &Path) -> Result<Report, LintError> {
+    let mut members = vec![Member {
+        pkg: package_name(&root.join("Cargo.toml"))?,
+        dir: root.to_path_buf(),
+    }];
+    let crates_dir = root.join("crates");
+    let entries = read_dir_sorted(&crates_dir)?;
+    for dir in entries {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            members.push(Member {
+                pkg: package_name(&manifest)?,
+                dir,
+            });
+        }
+    }
+
+    let mut report = Report::default();
+    for m in &members {
+        for (sub, base_class) in [
+            ("src", FileClass::Lib),
+            ("tests", FileClass::Tests),
+            ("benches", FileClass::Benches),
+            ("examples", FileClass::Examples),
+        ] {
+            let sub_dir = m.dir.join(sub);
+            if !sub_dir.is_dir() {
+                continue;
+            }
+            for file in rs_files_under(&sub_dir)? {
+                let class = classify(&file, &sub_dir, base_class);
+                let src = std::fs::read_to_string(&file).map_err(|e| LintError::Io {
+                    path: file.clone(),
+                    source: e,
+                })?;
+                let rel = file
+                    .strip_prefix(root)
+                    .unwrap_or(&file)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                report.absorb(scan_source(&src, &m.pkg, class, &rel));
+            }
+        }
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// `src/bin/**` and `src/main.rs` are binaries; everything else keeps the
+/// directory's base class.
+fn classify(file: &Path, sub_dir: &Path, base: FileClass) -> FileClass {
+    if base != FileClass::Lib {
+        return base;
+    }
+    let rel = file.strip_prefix(sub_dir).unwrap_or(file);
+    let is_bin = rel.starts_with("bin") || rel == Path::new("main.rs");
+    if is_bin {
+        FileClass::Bin
+    } else {
+        FileClass::Lib
+    }
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rs_files_under(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in read_dir_sorted(&d)? {
+            if entry.is_dir() {
+                stack.push(entry);
+            } else if entry.extension().is_some_and(|e| e == "rs") {
+                out.push(entry);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Directory entries in lexicographic order (scan order must be stable).
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| LintError::Io {
+        path: dir.to_path_buf(),
+        source: e,
+    })?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| LintError::Io {
+            path: dir.to_path_buf(),
+            source: e,
+        })?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Reads `name = "…"` from the `[package]` section of a manifest.
+fn package_name(manifest: &Path) -> Result<String, LintError> {
+    let text = std::fs::read_to_string(manifest).map_err(|e| LintError::Io {
+        path: manifest.to_path_buf(),
+        source: e,
+    })?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let v = rest.trim().trim_matches('"');
+                    return Ok(v.to_string());
+                }
+            }
+        }
+    }
+    Err(LintError::NoPackageName(manifest.to_path_buf()))
+}

@@ -1,0 +1,114 @@
+//! CLI for `cmmf-lint`. See the library docs for the rule set.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or IO error.
+
+use cmmf_lint::rules::RuleId;
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+cmmf-lint — workspace determinism & panic-freedom linter
+
+USAGE:
+    cargo run -p cmmf-lint -- --workspace [--json] [--root <dir>]
+
+OPTIONS:
+    --workspace     Scan the whole workspace (required mode)
+    --json          Emit a machine-readable JSON report on stdout
+    --root <dir>    Workspace root (default: walk up from the current dir)
+    --rules         Print the rule table and exit
+    --help          Show this help
+";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut workspace = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return 2;
+                }
+            },
+            "--rules" => {
+                for r in RuleId::ALL {
+                    println!("{:3}  {}", r.id(), r.summary());
+                }
+                return 0;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    if !workspace {
+        eprint!("{USAGE}");
+        return 2;
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("could not locate a workspace root (no Cargo.toml with [workspace] upward of the current directory); pass --root");
+            return 2;
+        }
+    };
+
+    let report = match cmmf_lint::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cmmf-lint: {e}");
+            return 2;
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "cmmf-lint: {} finding(s), {} suppressed, {} files scanned",
+            report.findings.len(),
+            report.suppressed,
+            report.files_scanned
+        );
+    }
+    if report.findings.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring a
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Fixture-based self-tests: for every rule, one fixture that fires, one
+//! that stays silent, and one where a reasoned `allow` suppresses the match.
+//! Fixtures live in `crates/lint/fixtures/` — a directory the workspace
+//! walker deliberately never visits, so the positive fixtures cannot fail
+//! the workspace-clean gate.
+
+use cmmf_lint::rules::{FileClass, RuleId};
+use cmmf_lint::{scan_source, Report};
+
+/// Scans a fixture as library code of the core crate (the strictest policy
+/// row: every rule applies there).
+fn scan_as_core(src: &str, label: &str) -> Report {
+    scan_source(src, "cmmf", FileClass::Lib, label)
+}
+
+fn count(report: &Report, rule: RuleId) -> usize {
+    report.findings.iter().filter(|f| f.rule == rule).count()
+}
+
+fn lines(report: &Report, rule: RuleId) -> Vec<u32> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+// ---------------------------------------------------------------- D1
+
+#[test]
+fn d1_fires_on_hash_collections() {
+    let r = scan_as_core(include_str!("../fixtures/d1_positive.rs"), "d1_pos");
+    assert_eq!(lines(&r, RuleId::D1), [2, 3, 5, 6, 6, 7]);
+}
+
+#[test]
+fn d1_silent_on_btree_and_comments() {
+    let r = scan_as_core(include_str!("../fixtures/d1_negative.rs"), "d1_neg");
+    assert_eq!(count(&r, RuleId::D1), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn d1_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/d1_suppressed.rs"), "d1_sup");
+    assert_eq!(count(&r, RuleId::D1), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 3);
+}
+
+#[test]
+fn d1_exempt_in_harness_crates() {
+    let src = include_str!("../fixtures/d1_positive.rs");
+    let r = scan_source(src, "cmmf-bench", FileClass::Lib, "d1_bench");
+    assert_eq!(count(&r, RuleId::D1), 0);
+}
+
+// ---------------------------------------------------------------- D2
+
+#[test]
+fn d2_fires_on_clock_reads() {
+    let r = scan_as_core(include_str!("../fixtures/d2_positive.rs"), "d2_pos");
+    assert_eq!(lines(&r, RuleId::D2), [2, 3, 3, 6]);
+}
+
+#[test]
+fn d2_silent_on_stopwatch_indirection() {
+    let r = scan_as_core(include_str!("../fixtures/d2_negative.rs"), "d2_neg");
+    assert_eq!(count(&r, RuleId::D2), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn d2_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/d2_suppressed.rs"), "d2_sup");
+    assert_eq!(count(&r, RuleId::D2), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn d2_exempt_in_clock_owner_crates_and_bins() {
+    let src = include_str!("../fixtures/d2_positive.rs");
+    for pkg in ["cmmf-trace", "cmmf-criterion", "cmmf-bench"] {
+        let r = scan_source(src, pkg, FileClass::Lib, "d2_owner");
+        assert_eq!(count(&r, RuleId::D2), 0, "{pkg} owns the clock");
+    }
+    let r = scan_source(src, "cmmf", FileClass::Bin, "d2_bin");
+    assert_eq!(count(&r, RuleId::D2), 0, "bins may time things");
+}
+
+// ---------------------------------------------------------------- D3
+
+#[test]
+fn d3_fires_on_entropy_rngs() {
+    let r = scan_as_core(include_str!("../fixtures/d3_positive.rs"), "d3_pos");
+    assert_eq!(lines(&r, RuleId::D3), [3, 4, 5, 6]);
+}
+
+#[test]
+fn d3_silent_on_derived_streams() {
+    let r = scan_as_core(include_str!("../fixtures/d3_negative.rs"), "d3_neg");
+    assert_eq!(count(&r, RuleId::D3), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn d3_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/d3_suppressed.rs"), "d3_sup");
+    assert_eq!(count(&r, RuleId::D3), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+// ---------------------------------------------------------------- D4
+
+#[test]
+fn d4_fires_on_partial_float_ordering() {
+    let r = scan_as_core(include_str!("../fixtures/d4_positive.rs"), "d4_pos");
+    assert_eq!(lines(&r, RuleId::D4), [3]);
+}
+
+#[test]
+fn d4_silent_on_total_cmp() {
+    let r = scan_as_core(include_str!("../fixtures/d4_negative.rs"), "d4_neg");
+    assert_eq!(count(&r, RuleId::D4), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn d4_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/d4_suppressed.rs"), "d4_sup");
+    assert_eq!(count(&r, RuleId::D4), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+// ---------------------------------------------------------------- P1
+
+#[test]
+fn p1_fires_on_the_whole_panic_family() {
+    let r = scan_as_core(include_str!("../fixtures/p1_positive.rs"), "p1_pos");
+    assert_eq!(lines(&r, RuleId::P1), [3, 4, 6, 7, 8, 9]);
+}
+
+#[test]
+fn p1_silent_on_propagation_lookalikes_and_tests() {
+    let r = scan_as_core(include_str!("../fixtures/p1_negative.rs"), "p1_neg");
+    assert_eq!(count(&r, RuleId::P1), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn p1_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/p1_suppressed.rs"), "p1_sup");
+    assert_eq!(count(&r, RuleId::P1), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn p1_exempt_outside_library_code() {
+    let src = include_str!("../fixtures/p1_positive.rs");
+    for class in [
+        FileClass::Bin,
+        FileClass::Tests,
+        FileClass::Benches,
+        FileClass::Examples,
+    ] {
+        let r = scan_source(src, "cmmf", class, "p1_class");
+        assert_eq!(count(&r, RuleId::P1), 0, "{} is exempt", class.name());
+    }
+}
+
+// ---------------------------------------------------------------- P2
+
+#[test]
+fn p2_fires_everywhere_even_in_tests() {
+    let r = scan_as_core(include_str!("../fixtures/p2_positive.rs"), "p2_pos");
+    assert_eq!(lines(&r, RuleId::P2), [3, 12]);
+    let t = scan_source(
+        include_str!("../fixtures/p2_positive.rs"),
+        "cmmf-bench",
+        FileClass::Tests,
+        "p2_tests",
+    );
+    assert_eq!(count(&t, RuleId::P2), 2, "no crate or class is exempt");
+}
+
+#[test]
+fn p2_silent_on_safe_code() {
+    let r = scan_as_core(include_str!("../fixtures/p2_negative.rs"), "p2_neg");
+    assert_eq!(count(&r, RuleId::P2), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn p2_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/p2_suppressed.rs"), "p2_sup");
+    assert_eq!(count(&r, RuleId::P2), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+// ---------------------------------------------------------------- A0
+
+#[test]
+fn a0_reports_every_malformed_allow() {
+    let r = scan_as_core(include_str!("../fixtures/a0_malformed.rs"), "a0");
+    assert_eq!(lines(&r, RuleId::A0), [2, 3, 4, 5]);
+}
+
+// ------------------------------------------------ acceptance criterion
+
+#[test]
+fn a_hashmap_introduced_into_core_is_caught() {
+    // The ISSUE's litmus test, in miniature: pasting a hash-collection cache
+    // into result-affecting library code must produce a finding (and in CI,
+    // a red build via the `lint` job plus `workspace_is_clean`).
+    let src = "pub fn cache_layer() {\n    let mut seen = std::collections::HashMap::new();\n    seen.insert(1u32, 2u32);\n}\n";
+    let r = scan_source(src, "cmmf", FileClass::Lib, "crates/core/src/injected.rs");
+    assert_eq!(count(&r, RuleId::D1), 1);
+    assert_eq!(r.findings[0].line, 2);
+    // The JSON report carries the finding with its stable schema.
+    let json = r.to_json();
+    assert!(json.contains("\"schema_version\":1"));
+    assert!(json.contains("\"rule\":\"D1\""));
+    assert!(json.contains("crates/core/src/injected.rs"));
+}

@@ -1,0 +1,123 @@
+//! End-to-end lexer edge cases, driven through the full scan pipeline: the
+//! cases where a naive regex linter would lie. Violating snippets are built
+//! with string concatenation or escapes so this test file itself stays clean
+//! under the workspace scan.
+
+use cmmf_lint::rules::{FileClass, RuleId};
+use cmmf_lint::scan_source;
+
+fn core_findings(src: &str, rule: RuleId) -> Vec<u32> {
+    scan_source(src, "cmmf", FileClass::Lib, "edge_case")
+        .findings
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn raw_string_containing_unwrap_call_is_not_code() {
+    // let msg = r#"please don't .unwrap( here"#; x.ok();
+    let src = "fn f(x: Result<u32, ()>) {\n    let _msg = r#\"please don't .unwrap( here\"#;\n    let _ = x.ok();\n}\n";
+    assert!(core_findings(src, RuleId::P1).is_empty());
+}
+
+#[test]
+fn raw_string_with_hash_fences_cannot_leak_tokens() {
+    // r##"a "# fence with .unwrap() inside"## — the inner `"#` must not
+    // terminate the literal early and expose the call as tokens.
+    let src = "fn f() {\n    let _s = r##\"a \"# fence with .unwrap() inside\"##;\n}\n";
+    assert!(core_findings(src, RuleId::P1).is_empty());
+}
+
+#[test]
+fn hash_collections_in_comments_and_doc_comments_are_not_code() {
+    let src = "\
+//! Module docs may discuss `HashMap` freely.
+/// So may item docs: HashSet iteration order, HashMap capacity.
+// And plain comments: HashMap HashMap HashMap.
+/* Block comments too: HashSet /* nested: HashMap */ still fine. */
+fn clean() {}
+";
+    assert!(core_findings(src, RuleId::D1).is_empty());
+}
+
+#[test]
+fn a_real_violation_next_to_comment_mentions_still_fires() {
+    // Comment noise on surrounding lines must not mask line 3's real use.
+    let src = "\
+// HashMap in a comment
+fn f() {
+    let _m = std::collections::HashMap::<u32, u32>::new(); // HashMap again
+}
+";
+    assert_eq!(core_findings(src, RuleId::D1), [3]);
+}
+
+#[test]
+fn suppression_on_preceding_line_covers_only_the_next_code_line() {
+    let src = "\
+fn f(a: Option<u32>, b: Option<u32>) -> u32 {
+    // cmmf-lint: allow(P1) -- edge-case fixture: covers line 3 only
+    let x = a.unwrap();
+    let y = b.unwrap();
+    x + y
+}
+";
+    // Line 3 suppressed; line 4 still fires.
+    assert_eq!(core_findings(src, RuleId::P1), [4]);
+}
+
+#[test]
+fn same_line_suppression_covers_only_its_own_line() {
+    let src = "\
+fn f(a: Option<u32>, b: Option<u32>) -> u32 {
+    let x = a.unwrap(); // cmmf-lint: allow(P1) -- edge-case fixture: this line only
+    let y = b.unwrap();
+    x + y
+}
+";
+    assert_eq!(core_findings(src, RuleId::P1), [3]);
+}
+
+#[test]
+fn preceding_line_suppression_skips_blank_and_comment_lines() {
+    let src = "\
+fn f(a: Option<u32>) -> u32 {
+    // cmmf-lint: allow(P1) -- edge-case fixture: reaches past the comment below
+    // (an ordinary comment line in between)
+
+    a.unwrap()
+}
+";
+    assert!(core_findings(src, RuleId::P1).is_empty());
+}
+
+#[test]
+fn char_literals_and_lifetimes_do_not_confuse_the_scan() {
+    // A quote-heavy file: lifetimes, labels, char literals with escapes.
+    let src = "\
+fn first<'a>(s: &'a str) -> char {
+    'outer: for c in s.chars() {
+        if c != '\\'' && c != '\\n' {
+            break 'outer;
+        }
+    }
+    s.chars().next().unwrap_or('?')
+}
+";
+    let r = scan_source(src, "cmmf", FileClass::Lib, "quotes");
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+}
+
+#[test]
+fn suppression_does_not_bleed_across_rules() {
+    // An allow(D1) must not silence a P1 finding on the same line.
+    let src = "\
+fn f(a: Option<u32>) -> u32 {
+    // cmmf-lint: allow(D1) -- edge-case fixture: wrong rule on purpose
+    a.unwrap()
+}
+";
+    assert_eq!(core_findings(src, RuleId::P1), [3]);
+}

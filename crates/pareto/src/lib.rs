@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Pareto-optimality utilities for multi-objective optimization (Secs. II-C and
 //! IV-B of the paper): dominance tests, Pareto-front extraction, exact
 //! hypervolume (any dimension, fast paths for 2D/3D), the grid-cell

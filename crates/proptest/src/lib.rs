@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Offline, deterministic stand-in for the `proptest` crate.
 //!
 //! The build environment has no crates.io access, so this crate implements

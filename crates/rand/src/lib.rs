@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Offline, deterministic stand-in for the `rand` crate.
 //!
 //! The build environment for this workspace has no access to crates.io, so

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! Offline, API-compatible subset of [`rayon`] — the workspace's parallel
 //! execution layer.
 //!
@@ -209,6 +211,7 @@ fn par_map_indices<R: Send>(len: usize, min_len: usize, f: impl Fn(usize) -> R +
         // The calling thread takes the first chunk.
         chunks.push(run_chunk(bounds[0]..bounds[1]));
         for h in handles {
+            // cmmf-lint: allow(P1) -- re-raising a worker's panic on the calling thread is join's contract; swallowing it would silently drop a chunk of results
             chunks.push(h.join().expect("parallel worker panicked"));
         }
     });

@@ -164,7 +164,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -226,12 +226,15 @@ impl<'a> Parser<'a> {
                 return Err(self.err("malformed exponent"));
             }
         }
-        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        // The scanned range is ASCII digits/sign/dot/exponent by
+        // construction, but degrade to a parse error rather than panic.
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ascii bytes in number"))?;
         Ok(JsonValue::Number(tok.to_string()))
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -272,7 +275,11 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 scalar (input is a &str, so this is safe).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                    // `peek()` returned Some, so `rest` is non-empty; treat
+                    // the impossible empty case as an unterminated string.
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unterminated string"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -281,7 +288,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -304,7 +311,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut kv = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -315,7 +322,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             kv.push((key, value));

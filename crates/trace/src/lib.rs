@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # cmmf-trace — structured observability for the optimization loop
 //!
 //! A zero-dependency event layer (in-tree like the `rand`/`rayon` subsets —
@@ -294,6 +296,37 @@ pub trait Tracer: Send + Sync + fmt::Debug {
     fn flush(&self) {}
 }
 
+/// Acquires a mutex even if a previous holder panicked: the tracer only
+/// guards append-only buffers, so a poisoned value is still well-formed and
+/// observability must never add a second panic on top of a failing run.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A wall-clock stopwatch for trace timings.
+///
+/// This is the **only** sanctioned clock access in the workspace: the `D2`
+/// lint rule (see `cmmf-lint` and `clippy.toml`) bans `std::time` everywhere
+/// outside the tracing/bench layers, so result-path code that wants to report
+/// a duration in a [`TraceEvent`] starts a `Stopwatch` here — typically
+/// behind `tracer.enabled().then(Stopwatch::start)`, which also guarantees a
+/// disabled tracer performs no clock read at all.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(std::time::Instant);
+
+impl Stopwatch {
+    /// Reads the monotonic clock and starts timing.
+    #[allow(clippy::disallowed_methods)] // the one sanctioned Instant::now
+    pub fn start() -> Self {
+        Stopwatch(std::time::Instant::now())
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
 /// The no-op sink: `enabled()` is `false`, so instrumented code never even
 /// builds the events.
 #[derive(Debug, Default, Clone, Copy)]
@@ -321,27 +354,19 @@ impl MemoryTracer {
     }
 
     /// A copy of the buffered events, in record order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of the lock panicked.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.events.lock().expect("tracer lock").clone()
+        lock_unpoisoned(&self.events).clone()
     }
 
     /// Per-step aggregated metrics over the buffered events.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder of the lock panicked.
     pub fn step_metrics(&self) -> Vec<StepMetrics> {
-        aggregate_step_metrics(&self.events.lock().expect("tracer lock"))
+        aggregate_step_metrics(&lock_unpoisoned(&self.events))
     }
 }
 
 impl Tracer for MemoryTracer {
     fn record(&self, event: &TraceEvent) {
-        self.events.lock().expect("tracer lock").push(event.clone());
+        lock_unpoisoned(&self.events).push(event.clone());
     }
 }
 
@@ -377,13 +402,13 @@ impl JsonlTracer {
 
 impl Tracer for JsonlTracer {
     fn record(&self, event: &TraceEvent) {
-        let mut out = self.out.lock().expect("tracer lock");
+        let mut out = lock_unpoisoned(&self.out);
         // A failed journal write must not abort the run it observes.
         let _ = writeln!(out, "{}", event.to_json());
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("tracer lock").flush();
+        let _ = lock_unpoisoned(&self.out).flush();
     }
 }
 

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 //! # cmmf-hls — Correlated Multi-objective Multi-fidelity Optimization for HLS Directives
 //!
 //! Umbrella crate for the reproduction of *Sun et al., "Correlated

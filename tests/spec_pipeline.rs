@@ -62,7 +62,14 @@ fn spec_to_pareto_front() {
     }
     // No duplicate points after dedup.
     let mut pts = result.measured_pareto.clone();
-    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // Lexicographic total order over the objective triples (NaN-safe).
+    pts.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let before = pts.len();
     pts.dedup();
     assert_eq!(before, pts.len(), "duplicate Pareto points survived dedup");
