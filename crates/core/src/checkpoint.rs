@@ -26,8 +26,10 @@ use std::path::Path;
 use trace::json::{self, JsonValue};
 
 /// Current checkpoint schema version. Bumped on any incompatible change;
-/// loading a different version is a [`CmmfError::Checkpoint`].
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// loading a different version is a [`CmmfError::Checkpoint`]. Version 2
+/// added the asynchronous-scheduler section (`is_async`, `dispatches`,
+/// `schedule`, `in_flight`) and the `async_slots` fingerprint field.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// One recorded batch pick of a completed step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +42,44 @@ pub struct PickRecord {
     pub acquisition_bits: u64,
 }
 
+/// One scheduler event of an asynchronous run's BO phase, in virtual-clock
+/// order. The event log is what makes a mid-overlap kill resumable: replaying
+/// it interleaves the recorded dispatch decisions and completions exactly as
+/// the interrupted run did, reconstructing the surrogate-fit chain and the
+/// virtual clock bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleEvent {
+    /// The `i`-th entry of `dispatches` entered the scheduler.
+    Dispatch(usize),
+    /// The `i`-th entry of `dispatches` finished its simulated flow and was
+    /// observed.
+    Complete(usize),
+    /// The candidate pool was found empty at a dispatch attempt (the loop
+    /// stops dispatching but keeps draining in-flight runs). Records the
+    /// surrogate fit the attempt performed.
+    Exhausted,
+}
+
+impl ScheduleEvent {
+    /// The `[kind, index]` encoding used by the JSON schema.
+    fn encode(self) -> [u64; 2] {
+        match self {
+            ScheduleEvent::Dispatch(i) => [0, i as u64],
+            ScheduleEvent::Complete(i) => [1, i as u64],
+            ScheduleEvent::Exhausted => [2, 0],
+        }
+    }
+
+    fn decode(kind: u64, index: u64) -> Option<Self> {
+        match kind {
+            0 => Some(ScheduleEvent::Dispatch(index as usize)),
+            1 => Some(ScheduleEvent::Complete(index as usize)),
+            2 => Some(ScheduleEvent::Exhausted),
+            _ => None,
+        }
+    }
+}
+
 /// A serializable snapshot of the loop after `completed_steps` steps.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunCheckpoint {
@@ -47,19 +87,38 @@ pub struct RunCheckpoint {
     pub version: u64,
     /// Fingerprint of every result-relevant [`CmmfConfig`] field.
     pub fingerprint: String,
-    /// Optimization steps completed (the next step to run).
+    /// True when written by the asynchronous scheduler
+    /// ([`crate::AsyncOptimizer`]): the `dispatches`/`schedule`/`in_flight`
+    /// section is then authoritative and `picks` stays empty. Sequential
+    /// checkpoints leave the async section empty instead. Each optimizer
+    /// resumes only its own kind.
+    pub is_async: bool,
+    /// Optimization steps completed — picks observed for the sequential loop,
+    /// completions folded in for the asynchronous one.
     pub completed_steps: usize,
     /// The initialization draw, in observation order (rank decides each
     /// configuration's top stage).
     pub init: Vec<usize>,
-    /// Per completed step, the batch picks in pick order.
+    /// Per completed step, the batch picks in pick order (sequential runs).
     pub picks: Vec<Vec<PickRecord>>,
+    /// Async section: the BO picks in dispatch order.
+    pub dispatches: Vec<PickRecord>,
+    /// Async section: the interleaved dispatch/completion event log of the BO
+    /// phase (initialization runs replay implicitly from `init`).
+    pub schedule: Vec<ScheduleEvent>,
+    /// Async section: the in-flight set — runs dispatched but not complete at
+    /// the snapshot, as `[dispatch index, finish-time f64 bits]` in dispatch
+    /// order. Redundant with a `schedule` replay; stored so resume can verify
+    /// the replayed schedule against the recorded one (a mismatched simulator
+    /// or space fails loudly instead of diverging).
+    pub in_flight: Vec<[u64; 2]>,
     /// The not-yet-sampled configuration indices, in the exact (shuffled)
     /// order the interrupted run held them.
     pub unsampled: Vec<usize>,
     /// The master RNG's xoshiro256++ state at the end of the last step.
     pub rng_state: [u64; 4],
-    /// Accumulated simulated tool seconds, as `f64` bits.
+    /// Accumulated simulated tool seconds — the virtual-clock reading for
+    /// async runs — as `f64` bits.
     pub sim_seconds_bits: u64,
     /// Per completed step, the observed-front hypervolume per fidelity, as
     /// `f64` bits.
@@ -77,7 +136,7 @@ impl RunCheckpoint {
              variant={:?};use_cost_penalty={};cost_exponent={:#x};candidate_pool={};\
              mc_samples={};batch_size={};batch_parallel_tools={};final_prediction_pool={};\
              escalate_threshold={:#x};refit_every={};incremental={};indexed_eipv={};\
-             gp={:?};seed={}",
+             async_slots={};gp={:?};seed={}",
             cfg.n_init,
             cfg.n_init_syn,
             cfg.n_init_impl,
@@ -94,6 +153,7 @@ impl RunCheckpoint {
             cfg.refit_every,
             cfg.incremental,
             cfg.indexed_eipv,
+            cfg.async_slots,
             cfg.gp,
             cfg.seed,
         )
@@ -103,9 +163,10 @@ impl RunCheckpoint {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 16 * self.unsampled.len());
         out.push_str(&format!(
-            "{{\n  \"version\": {},\n  \"fingerprint\": \"{}\",\n  \"completed_steps\": {},\n",
+            "{{\n  \"version\": {},\n  \"fingerprint\": \"{}\",\n  \"is_async\": {},\n  \"completed_steps\": {},\n",
             self.version,
             json::escape(&self.fingerprint),
+            self.is_async,
             self.completed_steps
         ));
         out.push_str(&format!("  \"init\": {},\n", fmt_usizes(&self.init)));
@@ -119,12 +180,34 @@ impl RunCheckpoint {
                 if j > 0 {
                     out.push(',');
                 }
-                out.push_str(&format!(
-                    "[{},{},{}]",
-                    p.config, p.stage_index, p.acquisition_bits
-                ));
+                out.push_str(&fmt_pick(p));
             }
             out.push(']');
+        }
+        out.push_str("],\n");
+        out.push_str("  \"dispatches\": [");
+        for (i, p) in self.dispatches.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&fmt_pick(p));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"schedule\": [");
+        for (i, ev) in self.schedule.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let [kind, index] = ev.encode();
+            out.push_str(&format!("[{kind},{index}]"));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"in_flight\": [");
+        for (i, run) in self.in_flight.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", run[0], run[1]));
         }
         out.push_str("],\n");
         out.push_str(&format!(
@@ -173,6 +256,10 @@ impl RunCheckpoint {
             .and_then(JsonValue::as_str)
             .ok_or_else(|| missing("fingerprint"))?
             .to_string();
+        let is_async = doc
+            .get("is_async")
+            .and_then(JsonValue::as_bool)
+            .ok_or_else(|| missing("is_async"))?;
         let completed_steps = req_u64(&doc, "completed_steps")? as usize;
         let init = usizes(&doc, "init")?;
         let unsampled = usizes(&doc, "unsampled")?;
@@ -185,18 +272,24 @@ impl RunCheckpoint {
             let step = step.as_array().ok_or_else(|| malformed("picks"))?;
             let mut recs = Vec::with_capacity(step.len());
             for p in step {
-                let triple = p.as_array().ok_or_else(|| malformed("picks"))?;
-                if triple.len() != 3 {
-                    return Err(malformed("picks"));
-                }
-                recs.push(PickRecord {
-                    config: triple[0].as_usize().ok_or_else(|| malformed("picks"))?,
-                    stage_index: triple[1].as_usize().ok_or_else(|| malformed("picks"))?,
-                    acquisition_bits: triple[2].as_u64().ok_or_else(|| malformed("picks"))?,
-                });
+                recs.push(pick_record(p, "picks")?);
             }
             picks.push(recs);
         }
+        let dispatches: Vec<PickRecord> = doc
+            .get("dispatches")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("dispatches"))?
+            .iter()
+            .map(|p| pick_record(p, "dispatches"))
+            .collect::<Result<_, _>>()?;
+        let schedule: Vec<ScheduleEvent> = pairs(&doc, "schedule")?
+            .into_iter()
+            .map(|[kind, index]| {
+                ScheduleEvent::decode(kind, index).ok_or_else(|| malformed("schedule"))
+            })
+            .collect::<Result<_, _>>()?;
+        let in_flight = pairs(&doc, "in_flight")?;
         let rng_raw = doc
             .get("rng_state")
             .and_then(JsonValue::as_array)
@@ -225,22 +318,54 @@ impl RunCheckpoint {
             }
             hv_history_bits.push(hv);
         }
-        if picks.len() != completed_steps || hv_history_bits.len() != completed_steps {
+        if hv_history_bits.len() != completed_steps {
             return Err(CmmfError::Checkpoint {
                 reason: format!(
-                    "inconsistent checkpoint: {} steps but {} pick sets and {} hv rows",
+                    "inconsistent checkpoint: {} steps but {} hv rows",
+                    completed_steps,
+                    hv_history_bits.len()
+                ),
+            });
+        }
+        if is_async {
+            let completions = schedule
+                .iter()
+                .filter(|ev| matches!(ev, ScheduleEvent::Complete(_)))
+                .count();
+            if !picks.is_empty() || completions != completed_steps {
+                return Err(CmmfError::Checkpoint {
+                    reason: format!(
+                        "inconsistent async checkpoint: {completed_steps} steps but \
+                         {completions} completions and {} sequential pick sets",
+                        picks.len()
+                    ),
+                });
+            }
+        } else if picks.len() != completed_steps
+            || !dispatches.is_empty()
+            || !schedule.is_empty()
+            || !in_flight.is_empty()
+        {
+            return Err(CmmfError::Checkpoint {
+                reason: format!(
+                    "inconsistent sequential checkpoint: {} steps, {} pick sets, \
+                     {} scheduler events",
                     completed_steps,
                     picks.len(),
-                    hv_history_bits.len()
+                    schedule.len()
                 ),
             });
         }
         Ok(RunCheckpoint {
             version,
             fingerprint,
+            is_async,
             completed_steps,
             init,
             picks,
+            dispatches,
+            schedule,
+            in_flight,
             unsampled,
             rng_state,
             sim_seconds_bits,
@@ -281,6 +406,10 @@ impl RunCheckpoint {
     }
 }
 
+fn fmt_pick(p: &PickRecord) -> String {
+    format!("[{},{},{}]", p.config, p.stage_index, p.acquisition_bits)
+}
+
 fn fmt_usizes(v: &[usize]) -> String {
     let mut out = String::with_capacity(2 + 4 * v.len());
     out.push('[');
@@ -306,6 +435,36 @@ fn malformed(field: &str) -> CmmfError {
     }
 }
 
+fn pick_record(v: &JsonValue, field: &str) -> Result<PickRecord, CmmfError> {
+    let triple = v.as_array().ok_or_else(|| malformed(field))?;
+    if triple.len() != 3 {
+        return Err(malformed(field));
+    }
+    Ok(PickRecord {
+        config: triple[0].as_usize().ok_or_else(|| malformed(field))?,
+        stage_index: triple[1].as_usize().ok_or_else(|| malformed(field))?,
+        acquisition_bits: triple[2].as_u64().ok_or_else(|| malformed(field))?,
+    })
+}
+
+fn pairs(doc: &JsonValue, field: &str) -> Result<Vec<[u64; 2]>, CmmfError> {
+    doc.get(field)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| missing(field))?
+        .iter()
+        .map(|v| {
+            let pair = v.as_array().ok_or_else(|| malformed(field))?;
+            if pair.len() != 2 {
+                return Err(malformed(field));
+            }
+            Ok([
+                pair[0].as_u64().ok_or_else(|| malformed(field))?,
+                pair[1].as_u64().ok_or_else(|| malformed(field))?,
+            ])
+        })
+        .collect()
+}
+
 fn req_u64(doc: &JsonValue, field: &str) -> Result<u64, CmmfError> {
     doc.get(field)
         .and_then(JsonValue::as_u64)
@@ -329,6 +488,7 @@ mod tests {
         RunCheckpoint {
             version: CHECKPOINT_VERSION,
             fingerprint: RunCheckpoint::fingerprint_of(&CmmfConfig::default()),
+            is_async: false,
             completed_steps: 2,
             init: vec![5, 9, 1, 0, 12, 3, 7, 2],
             picks: vec![
@@ -350,6 +510,55 @@ mod tests {
                     },
                 ],
             ],
+            dispatches: Vec::new(),
+            schedule: Vec::new(),
+            in_flight: Vec::new(),
+            unsampled: vec![11, 4, 6, 8, 10],
+            rng_state: [u64::MAX, 1, 0x9E37_79B9_7F4A_7C15, 7],
+            sim_seconds_bits: 1234.5f64.to_bits(),
+            hv_history_bits: vec![
+                [1.0f64.to_bits(), 2.0f64.to_bits(), 3.0f64.to_bits()],
+                [1.5f64.to_bits(), 2.5f64.to_bits(), 3.5f64.to_bits()],
+            ],
+        }
+    }
+
+    /// A mid-overlap async snapshot: two runs dispatched and completed, one
+    /// still in flight, one pick after a pool-exhaustion event.
+    fn sample_async() -> RunCheckpoint {
+        RunCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: RunCheckpoint::fingerprint_of(&CmmfConfig::default()),
+            is_async: true,
+            completed_steps: 2,
+            init: vec![5, 9, 1, 0, 12, 3, 7, 2],
+            picks: Vec::new(),
+            dispatches: vec![
+                PickRecord {
+                    config: 42,
+                    stage_index: 1,
+                    acquisition_bits: 0.125f64.to_bits(),
+                },
+                PickRecord {
+                    config: 17,
+                    stage_index: 0,
+                    acquisition_bits: f64::MAX.to_bits(),
+                },
+                PickRecord {
+                    config: 18,
+                    stage_index: 2,
+                    acquisition_bits: 0,
+                },
+            ],
+            schedule: vec![
+                ScheduleEvent::Dispatch(0),
+                ScheduleEvent::Dispatch(1),
+                ScheduleEvent::Complete(1),
+                ScheduleEvent::Dispatch(2),
+                ScheduleEvent::Exhausted,
+                ScheduleEvent::Complete(0),
+            ],
+            in_flight: vec![[2, 3100.25f64.to_bits()]],
             unsampled: vec![11, 4, 6, 8, 10],
             rng_state: [u64::MAX, 1, 0x9E37_79B9_7F4A_7C15, 7],
             sim_seconds_bits: 1234.5f64.to_bits(),
@@ -362,9 +571,10 @@ mod tests {
 
     #[test]
     fn json_round_trip_is_exact() {
-        let ckpt = sample();
-        let parsed = RunCheckpoint::from_json(&ckpt.to_json()).unwrap();
-        assert_eq!(ckpt, parsed);
+        for ckpt in [sample(), sample_async()] {
+            let parsed = RunCheckpoint::from_json(&ckpt.to_json()).unwrap();
+            assert_eq!(ckpt, parsed);
+        }
     }
 
     #[test]
@@ -392,6 +602,18 @@ mod tests {
         let mut ckpt = sample();
         ckpt.picks.pop();
         assert!(RunCheckpoint::from_json(&ckpt.to_json()).is_err());
+        // A sequential checkpoint must not carry scheduler events...
+        let mut ckpt = sample();
+        ckpt.schedule.push(ScheduleEvent::Dispatch(0));
+        assert!(RunCheckpoint::from_json(&ckpt.to_json()).is_err());
+        // ...and an async one must agree on its completion count and carry no
+        // sequential picks.
+        let mut ckpt = sample_async();
+        ckpt.schedule.pop();
+        assert!(RunCheckpoint::from_json(&ckpt.to_json()).is_err());
+        let mut ckpt = sample_async();
+        ckpt.picks = sample().picks;
+        assert!(RunCheckpoint::from_json(&ckpt.to_json()).is_err());
     }
 
     #[test]
@@ -408,6 +630,10 @@ mod tests {
         assert_ne!(fp, RunCheckpoint::fingerprint_of(&other));
         let mut other = base.clone();
         other.mc_samples += 1;
+        assert_ne!(fp, RunCheckpoint::fingerprint_of(&other));
+        // The in-flight slot count steers the async schedule.
+        let mut other = base.clone();
+        other.async_slots = 7;
         assert_ne!(fp, RunCheckpoint::fingerprint_of(&other));
         let mut other = base;
         other.gp.seed ^= 1;

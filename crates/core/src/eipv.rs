@@ -64,7 +64,7 @@ const MC_CHUNK: usize = 32;
 
 /// Seeded, parallel variant of [`eipv_correlated_mc`].
 ///
-/// The `n_samples` draws are split into fixed-size chunks of [`MC_CHUNK`];
+/// The `n_samples` draws are split into fixed-size chunks of `MC_CHUNK`;
 /// chunk `k` samples from its own `StdRng` seeded with
 /// `derive_stream_seed(seed, &[k])`. Chunks are evaluated in parallel but
 /// their partial sums are combined in chunk order, so the result is

@@ -21,6 +21,10 @@
 //!   space evaluated by the [`fidelity_sim`] flow simulator, with nested
 //!   per-fidelity observation sets `X_impl ⊆ X_syn ⊆ X_hls` and the 10x
 //!   invalid-design penalty of Sec. IV-C.
+//! * [`AsyncOptimizer`] — the same loop driven by a discrete-event virtual
+//!   clock that keeps up to [`CmmfConfig::async_slots`] simulated tool runs
+//!   in flight, fantasizing pending outcomes into the acquisition (see the
+//!   [`scheduler`] module docs).
 //! * [`runner`] — multi-repeat experiment driver computing the paper's ADRS
 //!   metric (Eq. 11) against the simulator's true Pareto front.
 //!
@@ -50,15 +54,17 @@ mod error;
 mod models;
 mod optimizer;
 pub mod runner;
+pub mod scheduler;
 
-pub use checkpoint::RunCheckpoint;
+pub use checkpoint::{RunCheckpoint, ScheduleEvent};
 pub use error::CmmfError;
 pub use models::{FidelityDataSet, FidelityModelStack, FitMode, ModelVariant};
 pub use optimizer::{CandidateChoice, CmmfConfig, Optimizer, RunResult};
+pub use scheduler::AsyncOptimizer;
 // The observability layer (see ARCHITECTURE.md, "Observability & resume") —
 // re-exported so downstream code can attach a tracer without naming the
 // `cmmf-trace` crate directly.
 pub use trace::{
     aggregate_step_metrics, JsonlTracer, MemoryTracer, NullTracer, StepMetrics, TraceEvent, Tracer,
-    TracerHandle,
+    TracerHandle, VirtualClock,
 };

@@ -86,6 +86,12 @@ pub struct CmmfConfig {
     /// configs, stages) identical; acquisition values may differ in the last
     /// bits (see `indexed_eipv_matches_naive_path`).
     pub indexed_eipv: bool,
+    /// Simulated tool runs kept in flight by the asynchronous scheduler
+    /// ([`crate::AsyncOptimizer`]); 0 behaves like 1 (fully serialized
+    /// dispatch). The sequential [`Optimizer`] ignores this field, but it is
+    /// fingerprinted: an async schedule depends on it, so a checkpoint cannot
+    /// silently resume under a different slot count.
+    pub async_slots: usize,
     /// Worker threads for the parallel hot paths (candidate scoring, EIPV
     /// Monte-Carlo sampling, kernel-matrix assembly, batch prediction);
     /// 0 uses all hardware threads. Every parallel reduction combines its
@@ -128,6 +134,7 @@ impl Default for CmmfConfig {
             refit_every: 5,
             incremental: true,
             indexed_eipv: true,
+            async_slots: 0,
             threads: 0,
             gp: GpConfig {
                 restarts: 2,
@@ -178,7 +185,7 @@ pub struct RunResult {
 
 /// One raw observation of a configuration at a fidelity.
 #[derive(Debug, Clone, Copy)]
-enum Observation {
+pub(crate) enum Observation {
     Valid([f64; N_OBJECTIVES]),
     /// Invalid designs get objective values 10x worse than the current worst
     /// when training data is materialized (Sec. IV-C).
@@ -194,39 +201,73 @@ pub struct Optimizer {
 /// The live state of one Algorithm-2 run: everything [`LoopState::run_step`]
 /// reads and writes, separated from [`Optimizer`] so a run can be snapshotted
 /// ([`LoopState::checkpoint`]) and reconstructed ([`LoopState::restore`]) at
-/// any step boundary.
-struct LoopState<'a> {
-    cfg: &'a CmmfConfig,
-    space: &'a DesignSpace,
-    sim: &'a FlowSimulator,
-    rng: StdRng,
+/// any step boundary. The asynchronous scheduler (`crate::scheduler`) embeds
+/// a `LoopState` too and drives it through the pub(crate) helpers below, so
+/// both loops share one implementation of fitting, scoring, and observation
+/// bookkeeping.
+pub(crate) struct LoopState<'a> {
+    pub(crate) cfg: &'a CmmfConfig,
+    pub(crate) space: &'a DesignSpace,
+    pub(crate) sim: &'a FlowSimulator,
+    pub(crate) rng: StdRng,
     /// Not-yet-sampled configuration indices, in shuffled order (the tail is
     /// each step's candidate pool).
-    unsampled: Vec<usize>,
+    pub(crate) unsampled: Vec<usize>,
     /// The initialization draw, in observation order.
-    init: Vec<usize>,
+    pub(crate) init: Vec<usize>,
     /// Observations per fidelity: (config, outcome).
-    obs: [Vec<(usize, Observation)>; 3],
-    sim_seconds: f64,
-    candidate_set: Vec<CandidateChoice>,
+    pub(crate) obs: [Vec<(usize, Observation)>; 3],
+    pub(crate) sim_seconds: f64,
+    pub(crate) candidate_set: Vec<CandidateChoice>,
     /// Per completed step, the picks as checkpoint records (mirrors
     /// `candidate_set`, partitioned by step — batches can end early, so the
-    /// partition is not implied by `batch_size`).
-    picks: Vec<Vec<PickRecord>>,
-    stack: Option<FidelityModelStack>,
-    hv_history: Vec<[f64; 3]>,
+    /// partition is not implied by `batch_size`). Unused by the asynchronous
+    /// scheduler, which records dispatch-ordered picks instead.
+    pub(crate) picks: Vec<Vec<PickRecord>>,
+    pub(crate) stack: Option<FidelityModelStack>,
+    pub(crate) hv_history: Vec<[f64; 3]>,
     /// Steps completed so far (the next step index to run).
-    steps_done: usize,
+    pub(crate) steps_done: usize,
     /// True while [`LoopState::restore`] replays checkpointed decisions:
     /// suppresses `ToolRun` events (the runs already happened) and leaves
     /// `sim_seconds` to the checkpointed value.
-    replaying: bool,
+    pub(crate) replaying: bool,
+}
+
+/// A step's candidate pool with its per-(candidate, fidelity) posterior
+/// caches, shared across batch slots (sequential loop) or read once per
+/// dispatch (async scheduler).
+/// Per-fidelity Pareto fronts of the normalized observations: `fronts[f]` is
+/// the front at fidelity `f`, each point one `N_OBJECTIVES`-vector.
+pub(crate) type FidelityFronts = Vec<Vec<Vec<f64>>>;
+
+pub(crate) struct CandidatePrep {
+    /// Candidate configuration indices, in pool order (the argmax tie-break
+    /// order).
+    pub(crate) pool: Vec<usize>,
+    /// Posterior prediction per candidate and fidelity.
+    pub(crate) preds: Vec<Vec<MultiTaskPrediction>>,
+    /// Predictive-covariance Cholesky factors (indexed scorer path only).
+    pub(crate) chols: Vec<Vec<Option<Cholesky>>>,
+}
+
+/// One acquisition argmax outcome of [`LoopState::select_pick`].
+pub(crate) struct SelectedPick {
+    /// The winning (config, stage, penalized-acquisition) choice, after the
+    /// fidelity-escalation guard.
+    pub(crate) choice: CandidateChoice,
+    /// The winner's raw EIPV (before the Eq. 10 penalty).
+    pub(crate) raw_eipv: f64,
+    /// The winner's index into the pool (and the prep caches).
+    pub(crate) pool_idx: usize,
+    /// Candidates scored (pool minus exclusions).
+    pub(crate) n_scored: usize,
 }
 
 impl<'a> LoopState<'a> {
     /// Validates the configuration against the space (shared by fresh starts
     /// and resumes).
-    fn validate(cfg: &CmmfConfig, space: &DesignSpace) -> Result<(), CmmfError> {
+    pub(crate) fn validate(cfg: &CmmfConfig, space: &DesignSpace) -> Result<(), CmmfError> {
         if space.len() < cfg.n_init + cfg.n_iter {
             return Err(CmmfError::SpaceTooSmall {
                 required: cfg.n_init + cfg.n_iter,
@@ -243,7 +284,7 @@ impl<'a> LoopState<'a> {
 
     /// The top stage of the `rank`-th initialization configuration (the first
     /// ranks go all the way to implementation, Algorithm 2 lines 3-5).
-    fn init_top_stage(cfg: &CmmfConfig, rank: usize) -> Stage {
+    pub(crate) fn init_top_stage(cfg: &CmmfConfig, rank: usize) -> Stage {
         if rank < cfg.n_init_impl {
             Stage::Impl
         } else if rank < cfg.n_init_syn {
@@ -253,9 +294,11 @@ impl<'a> LoopState<'a> {
         }
     }
 
-    /// Fresh state: draws and observes the initialization set
-    /// (Algorithm 2, lines 3-5).
-    fn start(
+    /// A validated, seeded state with the initialization set *drawn but not
+    /// observed* — the shared front half of [`LoopState::start`] and the
+    /// asynchronous scheduler's start, which interleave the initialization
+    /// runs differently (all-at-once here, through `k` slots there).
+    pub(crate) fn fresh_shell(
         cfg: &'a CmmfConfig,
         space: &'a DesignSpace,
         sim: &'a FlowSimulator,
@@ -270,13 +313,13 @@ impl<'a> LoopState<'a> {
         let mut unsampled: Vec<usize> = (0..space.len()).collect();
         unsampled.shuffle(&mut rng);
         let init: Vec<usize> = unsampled.split_off(unsampled.len() - cfg.n_init);
-        let mut state = LoopState {
+        Ok(LoopState {
             cfg,
             space,
             sim,
             rng,
             unsampled,
-            init: init.clone(),
+            init,
             obs: Default::default(),
             sim_seconds: 0.0,
             candidate_set: Vec::with_capacity(cfg.n_iter),
@@ -285,12 +328,46 @@ impl<'a> LoopState<'a> {
             hv_history: Vec::with_capacity(cfg.n_iter),
             steps_done: 0,
             replaying: false,
-        };
-        for (rank, &c) in init.iter().enumerate() {
+        })
+    }
+
+    /// Fresh state: draws and observes the initialization set
+    /// (Algorithm 2, lines 3-5).
+    fn start(
+        cfg: &'a CmmfConfig,
+        space: &'a DesignSpace,
+        sim: &'a FlowSimulator,
+    ) -> Result<Self, CmmfError> {
+        let mut state = Self::fresh_shell(cfg, space, sim)?;
+        for rank in 0..state.init.len() {
+            let c = state.init[rank];
             let secs = state.observe(c, Self::init_top_stage(cfg, rank), None);
             state.sim_seconds += secs;
         }
         Ok(state)
+    }
+
+    /// Version and fingerprint gate shared by the sequential and asynchronous
+    /// resume paths.
+    pub(crate) fn check_compat(cfg: &CmmfConfig, ckpt: &RunCheckpoint) -> Result<(), CmmfError> {
+        if ckpt.version != CHECKPOINT_VERSION {
+            return Err(CmmfError::Checkpoint {
+                reason: format!(
+                    "checkpoint version {} is not the supported {CHECKPOINT_VERSION}",
+                    ckpt.version
+                ),
+            });
+        }
+        let expected = RunCheckpoint::fingerprint_of(cfg);
+        if ckpt.fingerprint != expected {
+            return Err(CmmfError::Checkpoint {
+                reason: format!(
+                    "configuration mismatch: checkpoint was written under\n  {}\nbut this run is\n  {}",
+                    ckpt.fingerprint, expected
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Reconstructs the state a checkpoint describes, bit-identically to the
@@ -312,21 +389,12 @@ impl<'a> LoopState<'a> {
         ckpt: &RunCheckpoint,
     ) -> Result<Self, CmmfError> {
         Self::validate(cfg, space)?;
-        if ckpt.version != CHECKPOINT_VERSION {
+        Self::check_compat(cfg, ckpt)?;
+        if ckpt.is_async {
             return Err(CmmfError::Checkpoint {
-                reason: format!(
-                    "checkpoint version {} is not the supported {CHECKPOINT_VERSION}",
-                    ckpt.version
-                ),
-            });
-        }
-        let expected = RunCheckpoint::fingerprint_of(cfg);
-        if ckpt.fingerprint != expected {
-            return Err(CmmfError::Checkpoint {
-                reason: format!(
-                    "configuration mismatch: checkpoint was written under\n  {}\nbut this run is\n  {}",
-                    ckpt.fingerprint, expected
-                ),
+                reason: "checkpoint was written by the asynchronous scheduler; \
+                         resume it with AsyncOptimizer"
+                    .into(),
             });
         }
         let completed = ckpt.completed_steps;
@@ -431,6 +499,10 @@ impl<'a> LoopState<'a> {
             completed_steps: self.steps_done,
             init: self.init.clone(),
             picks: self.picks.clone(),
+            is_async: false,
+            dispatches: Vec::new(),
+            schedule: Vec::new(),
+            in_flight: Vec::new(),
             unsampled: self.unsampled.clone(),
             rng_state: self.rng.state(),
             sim_seconds_bits: self.sim_seconds.to_bits(),
@@ -446,92 +518,28 @@ impl<'a> LoopState<'a> {
     /// the loop should stop early (candidate pool exhausted).
     fn run_step(&mut self, t: usize) -> Result<bool, CmmfError> {
         let cfg = self.cfg;
-        let space = self.space;
-        let sim = self.sim;
         let tracer = &cfg.tracer;
         tracer.emit(|| TraceEvent::StepStarted {
             step: t,
             observed: [self.obs[0].len(), self.obs[1].len(), self.obs[2].len()],
         });
 
-        // Materialize normalized training data (penalizing invalids).
-        let (data, mins, spans) = self.training_data();
-        let mode = if t.is_multiple_of(cfg.refit_every) {
-            FitMode::Optimize
-        } else if cfg.incremental {
-            FitMode::Extend
-        } else {
-            FitMode::Refit
-        };
-        let fit_started = tracer.enabled().then(Stopwatch::start);
-        let new_stack =
-            FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, self.stack.as_ref(), mode)?;
-        tracer.emit(|| TraceEvent::ModelFit {
-            step: t,
-            fit_mode: mode.name(),
-            seconds: fit_started.map_or(0.0, |s| s.seconds()),
-        });
-
-        // Per-fidelity Pareto fronts of the normalized observations.
-        let fronts: Vec<Vec<Vec<f64>>> = (0..3).map(|f| pareto_front(&data.ys[f])).collect();
+        // Materialize training data, fit the surrogate stack, and take the
+        // per-fidelity observed fronts.
+        let (new_stack, fronts) = self.fit_step_stack(t)?;
         let reference = vec![2.5; N_OBJECTIVES]; // dominates the 2.0 penalty
 
-        // Candidate pool.
-        self.unsampled.shuffle(&mut self.rng);
-        let pool_len = cfg.candidate_pool.min(self.unsampled.len());
-        if pool_len == 0 {
+        // Candidate pool with its per-(candidate, fidelity) posterior caches.
+        let Some(prep) = self.prepare_candidates(&new_stack)? else {
             self.stack = Some(new_stack);
             return Ok(false);
-        }
-        let pool: Vec<usize> = self.unsampled[self.unsampled.len() - pool_len..].to_vec();
-
-        // Per-step caches: candidate encodings and posterior predictions
-        // are invariant across batch slots (only the fantasy fronts
-        // change between picks), so compute each once per (candidate,
-        // stage) here instead of `batch_size`× per candidate inside the
-        // scoring closures. Ordered parallel collects keep the values
-        // bit-identical to the serial path for any thread count.
-        let stack_ref = &new_stack;
-        let encoded: Vec<Vec<f64>> = pool
-            .par_iter()
-            .with_min_len(8)
-            .map(|&c| space.encode(c))
-            .collect();
-        let cand_preds: Vec<Vec<MultiTaskPrediction>> = encoded
-            .par_iter()
-            .with_min_len(8)
-            .map(|x| {
-                (0..3)
-                    .map(|f| stack_ref.predict(f, x))
-                    .collect::<Result<Vec<_>, _>>()
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        // On the indexed path the predictive-covariance factors are also
-        // per-step invariants: factor each candidate's M x M covariance
-        // once here and share it across batch slots (the naive path
-        // factors inside each scoring call, exactly as before).
-        let cand_chols: Vec<Vec<Option<Cholesky>>> = if cfg.indexed_eipv {
-            cand_preds
-                .par_iter()
-                .with_min_len(8)
-                .map(|preds| preds.iter().map(|p| Cholesky::new(&p.cov).ok()).collect())
-                .collect()
-        } else {
-            Vec::new()
         };
 
         // Acquisition scorers, one per fidelity: the fantasy front's
         // cell decomposition is built once *outside* the per-candidate
         // fan-out below and shared by every candidate and MC draw.
         // Rebuilt only when a fantasy update actually changes the front.
-        let mut scorers: Vec<Option<EipvScorer>> = if cfg.indexed_eipv {
-            fronts
-                .iter()
-                .map(|f| Some(EipvScorer::new(f, &reference)))
-                .collect()
-        } else {
-            vec![None; 3]
-        };
+        let mut scorers = Self::build_scorers(cfg, &fronts, &reference);
 
         // Select a batch of `batch_size` (candidate, fidelity) pairs
         // (lines 7-11; batch > 1 models parallel tool instances). The
@@ -551,113 +559,25 @@ impl<'a> LoopState<'a> {
         for q in 0..cfg.batch_size.max(1) {
             let slot_started = tracer.enabled().then(Stopwatch::start);
             let q_seed = derive_stream_seed(step_seed, &[q as u64]);
-            let picked_so_far = &picked;
-            let fantasy = &fantasy_fronts;
-            let reference = &reference;
-            let cand_preds = &cand_preds;
-            let cand_chols = &cand_chols;
-            let scorers_ref = &scorers;
-            // Each candidate's best stage, carried with the *raw* EIPV of the
-            // winning stage so the journal can report both sides of Eq. 10.
-            let scored: Vec<Option<(CandidateChoice, f64)>> = (0..pool.len())
-                .into_par_iter()
-                .map(|idx| -> Result<Option<(CandidateChoice, f64)>, CmmfError> {
-                    let c = pool[idx];
-                    if picked_so_far.iter().any(|p| p.config == c) {
-                        return Ok(None);
-                    }
-                    let t_impl = sim.stage_seconds(space, c, Stage::Impl);
-                    let mut best: Option<(CandidateChoice, f64)> = None;
-                    for stage in Stage::all() {
-                        let f = stage.index();
-                        let pred = &cand_preds[idx][f];
-                        let seed = derive_stream_seed(q_seed, &[c as u64, f as u64]);
-                        let raw = match &scorers_ref[f] {
-                            Some(scorer) => scorer.eipv_mc_seeded(
-                                pred,
-                                cand_chols[idx][f].as_ref(),
-                                cfg.mc_samples,
-                                seed,
-                            ),
-                            None => eipv_correlated_mc_seeded(
-                                pred,
-                                &fantasy[f],
-                                reference,
-                                cfg.mc_samples,
-                                seed,
-                            ),
-                        };
-                        let score = if cfg.use_cost_penalty {
-                            peipv(
-                                raw,
-                                t_impl,
-                                sim.stage_seconds(space, c, stage),
-                                cfg.cost_exponent,
-                            )
-                        } else {
-                            raw
-                        };
-                        if best.map(|(b, _)| score > b.acquisition).unwrap_or(true) {
-                            best = Some((
-                                CandidateChoice {
-                                    config: c,
-                                    stage,
-                                    acquisition: score,
-                                },
-                                raw,
-                            ));
-                        }
-                    }
-                    Ok(best)
-                })
-                .collect::<Result<Vec<_>, CmmfError>>()?;
-            // Serial first-max scan in pool order: ties resolve to the
-            // earliest candidate, exactly as the serial loop would.
-            let n_scored = scored.iter().flatten().count();
-            let mut best: Option<(CandidateChoice, f64)> = None;
-            for cand in scored.into_iter().flatten() {
-                if best
-                    .map(|(b, _)| cand.0.acquisition > b.acquisition)
-                    .unwrap_or(true)
-                {
-                    best = Some(cand);
-                }
-            }
-            let Some((mut choice, choice_raw)) = best else {
+            let Some(sel) = self.select_pick(
+                &prep,
+                &scorers,
+                &fantasy_fronts,
+                &reference,
+                q_seed,
+                &picked,
+            )?
+            else {
                 break;
             };
-            let choice_idx = pool
-                .iter()
-                .position(|&c| c == choice.config)
-                .ok_or_else(|| CmmfError::Internal {
-                    reason: "winning candidate is missing from the scoring pool".into(),
-                })?;
-
-            // Fidelity-escalation guard: if the surrogate is already
-            // confident at the chosen point and fidelity, running that
-            // stage buys no information — climb to the next stage instead.
-            if cfg.escalate_threshold > 0.0 {
-                while choice.stage < Stage::Impl {
-                    let p = &cand_preds[choice_idx][choice.stage.index()];
-                    let mean_std =
-                        p.vars().iter().map(|v| v.sqrt()).sum::<f64>() / p.mean.len() as f64;
-                    if mean_std >= cfg.escalate_threshold {
-                        break;
-                    }
-                    choice.stage = if choice.stage == Stage::Hls {
-                        Stage::Syn
-                    } else {
-                        Stage::Impl
-                    };
-                }
-            }
+            let choice = sel.choice;
             tracer.emit(|| TraceEvent::AcquisitionScored {
                 step: t,
                 slot: q,
                 config: choice.config,
                 fidelity: choice.stage.index(),
-                candidates: n_scored,
-                eipv: choice_raw,
+                candidates: sel.n_scored,
+                eipv: sel.raw_eipv,
                 penalized: choice.acquisition,
                 seconds: slot_started.map_or(0.0, |s| s.seconds()),
             });
@@ -665,7 +585,7 @@ impl<'a> LoopState<'a> {
             // Fantasize the outcome at the chosen fidelity so the next
             // batch member seeks improvement elsewhere.
             let fi = choice.stage.index();
-            let pred = &cand_preds[choice_idx][fi];
+            let pred = &prep.preds[sel.pool_idx][fi];
             let new_front = pareto_front(
                 &fantasy_fronts[fi]
                     .iter()
@@ -678,7 +598,7 @@ impl<'a> LoopState<'a> {
             // leaves it untouched) and another batch slot will read it.
             if new_front != fantasy_fronts[fi] {
                 if scorers[fi].is_some() && q + 1 < cfg.batch_size.max(1) {
-                    scorers[fi] = Some(EipvScorer::new(&new_front, reference));
+                    scorers[fi] = Some(EipvScorer::new(&new_front, &reference));
                 }
                 fantasy_fronts[fi] = new_front;
             }
@@ -717,8 +637,245 @@ impl<'a> LoopState<'a> {
         self.sim_seconds += batch_seconds;
         self.stack = Some(new_stack);
 
-        // Convergence trace: hypervolume of each fidelity's observed
-        // front after this step's runs.
+        self.record_front(t);
+        self.steps_done = t + 1;
+        Ok(true)
+    }
+
+    /// The step's surrogate refresh: materializes normalized training data,
+    /// fits the stack under the `refit_every` schedule, emits `ModelFit`, and
+    /// returns the new stack with the per-fidelity Pareto fronts of the
+    /// normalized observations. Does *not* install the stack — callers decide
+    /// when (the sequential loop after its observations, the async scheduler
+    /// at dispatch time).
+    pub(crate) fn fit_step_stack(
+        &mut self,
+        t: usize,
+    ) -> Result<(FidelityModelStack, FidelityFronts), CmmfError> {
+        let cfg = self.cfg;
+        let tracer = &cfg.tracer;
+        let (data, _, _) = self.training_data();
+        let mode = Self::fit_mode(cfg, t);
+        let fit_started = tracer.enabled().then(Stopwatch::start);
+        let new_stack =
+            FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, self.stack.as_ref(), mode)?;
+        tracer.emit(|| TraceEvent::ModelFit {
+            step: t,
+            fit_mode: mode.name(),
+            seconds: fit_started.map_or(0.0, |s| s.seconds()),
+        });
+        let fronts: Vec<Vec<Vec<f64>>> = (0..3).map(|f| pareto_front(&data.ys[f])).collect();
+        Ok((new_stack, fronts))
+    }
+
+    /// The `refit_every` schedule: a full hyperparameter re-optimization on
+    /// multiples of `refit_every`, cheap hyperparameter-reusing refits
+    /// (incremental when configured) in between.
+    pub(crate) fn fit_mode(cfg: &CmmfConfig, t: usize) -> FitMode {
+        if t.is_multiple_of(cfg.refit_every) {
+            FitMode::Optimize
+        } else if cfg.incremental {
+            FitMode::Extend
+        } else {
+            FitMode::Refit
+        }
+    }
+
+    /// Draws the step's candidate pool (one RNG shuffle — both loops consume
+    /// exactly one per dispatch decision) and precomputes the per-(candidate,
+    /// fidelity) posterior caches shared by every scoring slot. Returns
+    /// `None` when the pool is empty (space exhausted). Ordered parallel
+    /// collects keep the values bit-identical to the serial path for any
+    /// thread count.
+    pub(crate) fn prepare_candidates(
+        &mut self,
+        stack: &FidelityModelStack,
+    ) -> Result<Option<CandidatePrep>, CmmfError> {
+        let cfg = self.cfg;
+        let space = self.space;
+        self.unsampled.shuffle(&mut self.rng);
+        let pool_len = cfg.candidate_pool.min(self.unsampled.len());
+        if pool_len == 0 {
+            return Ok(None);
+        }
+        let pool: Vec<usize> = self.unsampled[self.unsampled.len() - pool_len..].to_vec();
+
+        // Candidate encodings and posterior predictions are invariant across
+        // batch slots (only the fantasy fronts change between picks), so
+        // compute each once per (candidate, stage) here instead of inside the
+        // scoring closures.
+        let encoded: Vec<Vec<f64>> = pool
+            .par_iter()
+            .with_min_len(8)
+            .map(|&c| space.encode(c))
+            .collect();
+        let preds: Vec<Vec<MultiTaskPrediction>> = encoded
+            .par_iter()
+            .with_min_len(8)
+            .map(|x| {
+                (0..3)
+                    .map(|f| stack.predict(f, x))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // On the indexed path the predictive-covariance factors are also
+        // per-step invariants: factor each candidate's M x M covariance
+        // once and share it across scoring slots (the naive path factors
+        // inside each scoring call, exactly as before).
+        let chols: Vec<Vec<Option<Cholesky>>> = if cfg.indexed_eipv {
+            preds
+                .par_iter()
+                .with_min_len(8)
+                .map(|preds| preds.iter().map(|p| Cholesky::new(&p.cov).ok()).collect())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Ok(Some(CandidatePrep { pool, preds, chols }))
+    }
+
+    /// Cell-indexed acquisition scorers per fidelity (or `None`s on the naive
+    /// path), decomposing each front once for all candidates and MC draws.
+    pub(crate) fn build_scorers(
+        cfg: &CmmfConfig,
+        fronts: &[Vec<Vec<f64>>],
+        reference: &[f64],
+    ) -> Vec<Option<EipvScorer>> {
+        if cfg.indexed_eipv {
+            fronts
+                .iter()
+                .map(|f| Some(EipvScorer::new(f, reference)))
+                .collect()
+        } else {
+            vec![None; 3]
+        }
+    }
+
+    /// One greedy q-EIPV argmax over the prepared pool: scores every
+    /// non-excluded candidate at every fidelity from its own seeded MC
+    /// stream, applies the Eq. 10 penalty, picks the winner by a serial
+    /// first-max scan in pool order (thread-count independent), and applies
+    /// the fidelity-escalation guard. Returns `None` when nothing scored
+    /// (every pool member excluded).
+    pub(crate) fn select_pick(
+        &self,
+        prep: &CandidatePrep,
+        scorers: &[Option<EipvScorer>],
+        fantasy: &[Vec<Vec<f64>>],
+        reference: &[f64],
+        q_seed: u64,
+        exclude: &[CandidateChoice],
+    ) -> Result<Option<SelectedPick>, CmmfError> {
+        let cfg = self.cfg;
+        let space = self.space;
+        let sim = self.sim;
+        let pool = &prep.pool;
+        let cand_preds = &prep.preds;
+        let cand_chols = &prep.chols;
+        // Each candidate's best stage, carried with the *raw* EIPV of the
+        // winning stage so the journal can report both sides of Eq. 10.
+        let scored: Vec<Option<(CandidateChoice, f64)>> = (0..pool.len())
+            .into_par_iter()
+            .map(|idx| -> Result<Option<(CandidateChoice, f64)>, CmmfError> {
+                let c = pool[idx];
+                if exclude.iter().any(|p| p.config == c) {
+                    return Ok(None);
+                }
+                let t_impl = sim.stage_seconds(space, c, Stage::Impl);
+                let mut best: Option<(CandidateChoice, f64)> = None;
+                for stage in Stage::all() {
+                    let f = stage.index();
+                    let pred = &cand_preds[idx][f];
+                    let seed = derive_stream_seed(q_seed, &[c as u64, f as u64]);
+                    let raw = match &scorers[f] {
+                        Some(scorer) => scorer.eipv_mc_seeded(
+                            pred,
+                            cand_chols[idx][f].as_ref(),
+                            cfg.mc_samples,
+                            seed,
+                        ),
+                        None => eipv_correlated_mc_seeded(
+                            pred,
+                            &fantasy[f],
+                            reference,
+                            cfg.mc_samples,
+                            seed,
+                        ),
+                    };
+                    let score = if cfg.use_cost_penalty {
+                        peipv(
+                            raw,
+                            t_impl,
+                            sim.stage_seconds(space, c, stage),
+                            cfg.cost_exponent,
+                        )
+                    } else {
+                        raw
+                    };
+                    if best.map(|(b, _)| score > b.acquisition).unwrap_or(true) {
+                        best = Some((
+                            CandidateChoice {
+                                config: c,
+                                stage,
+                                acquisition: score,
+                            },
+                            raw,
+                        ));
+                    }
+                }
+                Ok(best)
+            })
+            .collect::<Result<Vec<_>, CmmfError>>()?;
+        // Serial first-max scan in pool order: ties resolve to the
+        // earliest candidate, exactly as the serial loop would.
+        let n_scored = scored.iter().flatten().count();
+        let mut best: Option<(CandidateChoice, f64)> = None;
+        for cand in scored.into_iter().flatten() {
+            if best
+                .map(|(b, _)| cand.0.acquisition > b.acquisition)
+                .unwrap_or(true)
+            {
+                best = Some(cand);
+            }
+        }
+        let Some((mut choice, raw_eipv)) = best else {
+            return Ok(None);
+        };
+        let pool_idx = pool
+            .iter()
+            .position(|&c| c == choice.config)
+            .ok_or_else(|| CmmfError::Internal {
+                reason: "winning candidate is missing from the scoring pool".into(),
+            })?;
+
+        // Fidelity-escalation guard: if the surrogate is already
+        // confident at the chosen point and fidelity, running that
+        // stage buys no information — climb to the next stage instead.
+        if cfg.escalate_threshold > 0.0 {
+            while choice.stage < Stage::Impl {
+                let p = &cand_preds[pool_idx][choice.stage.index()];
+                let mean_std = p.vars().iter().map(|v| v.sqrt()).sum::<f64>() / p.mean.len() as f64;
+                if mean_std >= cfg.escalate_threshold {
+                    break;
+                }
+                choice.stage = if choice.stage == Stage::Hls {
+                    Stage::Syn
+                } else {
+                    Stage::Impl
+                };
+            }
+        }
+        Ok(Some(SelectedPick {
+            choice,
+            raw_eipv,
+            pool_idx,
+            n_scored,
+        }))
+    }
+
+    /// Convergence trace: hypervolume of each fidelity's observed front,
+    /// appended to the history and emitted as `FrontUpdated` for `step`.
+    pub(crate) fn record_front(&mut self, step: usize) {
         let (data_after, _, _) = self.training_data();
         let mut hv = [0.0f64; 3];
         let mut front_sizes = [0usize; 3];
@@ -728,18 +885,15 @@ impl<'a> LoopState<'a> {
             *h = hypervolume(&front, &[2.5; N_OBJECTIVES]);
         }
         self.hv_history.push(hv);
-        tracer.emit(|| TraceEvent::FrontUpdated {
-            step: t,
+        self.cfg.tracer.emit(|| TraceEvent::FrontUpdated {
+            step,
             hv,
             front_sizes,
         });
-        let _ = (&mins, &spans);
-        self.steps_done = t + 1;
-        Ok(true)
     }
 
     /// Final Pareto identification (after the loop).
-    fn finish(mut self) -> Result<RunResult, CmmfError> {
+    pub(crate) fn finish(mut self) -> Result<RunResult, CmmfError> {
         let cfg = self.cfg;
         let space = self.space;
         let sim = self.sim;
@@ -813,10 +967,9 @@ impl<'a> LoopState<'a> {
     /// per traversed fidelity (the flow produces lower-stage reports on its
     /// way up, Fig. 2). Returns the simulated seconds consumed. `step` labels
     /// the emitted `ToolRun` events (`None` during initialization).
-    fn observe(&mut self, config: usize, top_stage: Stage, step: Option<usize>) -> f64 {
+    pub(crate) fn observe(&mut self, config: usize, top_stage: Stage, step: Option<usize>) -> f64 {
         let cfg = self.cfg;
         let trace_runs = cfg.tracer.enabled() && !self.replaying;
-        let mut prev_secs = 0.0;
         for stage in Stage::all() {
             if stage > top_stage {
                 break;
@@ -828,9 +981,7 @@ impl<'a> LoopState<'a> {
             if trace_runs {
                 // `stage_seconds` is cumulative up the flow; the journal
                 // reports each stage's marginal share.
-                let cum = self.sim.stage_seconds(self.space, config, stage);
-                let seconds = cum - prev_secs;
-                prev_secs = cum;
+                let seconds = self.sim.marginal_stage_seconds(self.space, config, stage);
                 cfg.tracer.emit(|| TraceEvent::ToolRun {
                     step,
                     config,
@@ -849,7 +1000,9 @@ impl<'a> LoopState<'a> {
     /// designs are materialized at 2.0 — far beyond the worst valid value
     /// (the paper's "10x worse than the current worst" in spirit, clamped so
     /// the GP stays well-conditioned).
-    fn training_data(&self) -> (FidelityDataSet, [f64; N_OBJECTIVES], [f64; N_OBJECTIVES]) {
+    pub(crate) fn training_data(
+        &self,
+    ) -> (FidelityDataSet, [f64; N_OBJECTIVES], [f64; N_OBJECTIVES]) {
         let mut mins = [f64::INFINITY; N_OBJECTIVES];
         let mut maxs = [f64::NEG_INFINITY; N_OBJECTIVES];
         for fid in &self.obs {
@@ -1030,23 +1183,9 @@ impl Optimizer {
         })
     }
 
-    /// Sets up the run's thread pool. `threads == 0` inherits the ambient
-    /// rayon default (an enclosing `ThreadPool::install`, `build_global`, or
-    /// the hardware parallelism) so harness binaries can set a process-wide
-    /// `--threads` once.
+    /// Sets up the run's thread pool (see [`with_pool`]).
     fn with_pool<T>(&self, f: impl FnOnce() -> Result<T, CmmfError>) -> Result<T, CmmfError> {
-        let n = if self.cfg.threads == 0 {
-            rayon::current_num_threads()
-        } else {
-            self.cfg.threads
-        };
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(n)
-            .build()
-            .map_err(|e| CmmfError::Internal {
-                reason: format!("thread pool: {e}"),
-            })?;
-        pool.install(f)
+        with_pool(self.cfg.threads, f)
     }
 
     /// The main loop: executes the remaining steps (checkpointing after each
@@ -1071,6 +1210,29 @@ impl Optimizer {
         }
         state.finish()
     }
+}
+
+/// Runs `f` on a dedicated rayon pool of `threads` workers. `threads == 0`
+/// inherits the ambient rayon default (an enclosing `ThreadPool::install`,
+/// `build_global`, or the hardware parallelism) so harness binaries can set a
+/// process-wide `--threads` once. Shared by [`Optimizer`] and
+/// [`crate::AsyncOptimizer`].
+pub(crate) fn with_pool<T>(
+    threads: usize,
+    f: impl FnOnce() -> Result<T, CmmfError>,
+) -> Result<T, CmmfError> {
+    let n = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .map_err(|e| CmmfError::Internal {
+            reason: format!("thread pool: {e}"),
+        })?;
+    pool.install(f)
 }
 
 #[cfg(test)]

@@ -216,6 +216,25 @@ impl FlowSimulator {
         }
     }
 
+    /// Wall-clock seconds of `stage` *alone* for configuration `config`: the
+    /// marginal share of the cumulative [`FlowSimulator::stage_seconds`]
+    /// attributable to this stage (what a journal `tool_run` line or a
+    /// per-stage scheduler slot accounts for). Marginals are strictly
+    /// positive, ordered `hls < syn < impl` for any configuration, and sum to
+    /// the cumulative cost of the top stage up to float rounding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config >= space.len()`.
+    pub fn marginal_stage_seconds(&self, space: &DesignSpace, config: usize, stage: Stage) -> f64 {
+        let cum = self.stage_seconds(space, config, stage);
+        match stage {
+            Stage::Hls => cum,
+            Stage::Syn => cum - self.stage_seconds(space, config, Stage::Hls),
+            Stage::Impl => cum - self.stage_seconds(space, config, Stage::Syn),
+        }
+    }
+
     /// Ground-truth (post-implementation, noise-free) objectives for every
     /// configuration; `None` marks invalid designs. This is how the
     /// experiments obtain the *real* Pareto front that ADRS is measured
@@ -532,6 +551,55 @@ mod tests {
             .map(|&s| sim.stage_seconds(&space, 0, s))
             .collect();
         assert!(t[0] < t[1] && t[1] < t[2], "{t:?}");
+    }
+
+    #[test]
+    fn stage_costs_are_monotone_across_the_suite() {
+        // The Eq. 10 premise T_hls << T_syn << T_impl must hold for every
+        // benchmark and configuration, both cumulatively and per stage — the
+        // async scheduler's cost model leans on the marginals directly.
+        for b in Benchmark::all() {
+            let (space, sim) = setup(b);
+            for c in (0..space.len()).step_by(space.len() / 16 + 1) {
+                let cum: Vec<f64> = Stage::all()
+                    .iter()
+                    .map(|&s| sim.stage_seconds(&space, c, s))
+                    .collect();
+                assert!(
+                    cum[0] < cum[1] && cum[1] < cum[2],
+                    "{}: config {c}: cumulative costs not ordered: {cum:?}",
+                    b.name()
+                );
+                let marginal: Vec<f64> = Stage::all()
+                    .iter()
+                    .map(|&s| sim.marginal_stage_seconds(&space, c, s))
+                    .collect();
+                assert!(
+                    0.0 < marginal[0] && marginal[0] < marginal[1] && marginal[1] < marginal[2],
+                    "{}: config {c}: marginal costs not ordered: {marginal:?}",
+                    b.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn marginal_stage_costs_sum_to_cumulative() {
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        for c in (0..space.len()).step_by(11) {
+            for &top in &Stage::all() {
+                let total: f64 = Stage::all()
+                    .iter()
+                    .filter(|s| **s <= top)
+                    .map(|&s| sim.marginal_stage_seconds(&space, c, s))
+                    .sum();
+                let cum = sim.stage_seconds(&space, c, top);
+                assert!(
+                    (total - cum).abs() <= 1e-9 * cum,
+                    "config {c} {top}: marginals sum to {total}, cumulative is {cum}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -156,7 +156,7 @@ const PANIC_FREE: [&str; 12] = [
 ///   trace crate (JSONL field order is pinned by a schema test).
 /// * `D2`: library code only, everywhere except the clock owners — bins,
 ///   tests, and benches may time things; results may not.
-/// * `P1`: library code only, of the [`PANIC_FREE`] crates — tests, bins,
+/// * `P1`: library code only, of the `PANIC_FREE` crates — tests, bins,
 ///   benches, and examples are free to unwrap.
 pub fn rule_enabled(rule: RuleId, pkg: &str, class: FileClass, in_test: bool) -> bool {
     match rule {

@@ -138,7 +138,7 @@ pub struct Any<T> {
     _marker: std::marker::PhantomData<T>,
 }
 
-/// Values generatable by [`any`].
+/// Values generatable by [`prelude::any()`].
 pub trait Arbitrary: Sized {
     /// Generates one arbitrary value.
     fn arbitrary(rng: &mut StdRng) -> Self;
@@ -238,7 +238,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -1,6 +1,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-//! Offline, API-compatible subset of [`rayon`] — the workspace's parallel
+//! Offline, API-compatible subset of `rayon` — the workspace's parallel
 //! execution layer.
 //!
 //! The build environment has no crates.io access, so this crate provides the

@@ -112,6 +112,41 @@ pub enum TraceEvent {
         /// Whether the design was valid at this stage.
         valid: bool,
     },
+    /// A simulated tool run entered the asynchronous scheduler (see
+    /// `AsyncOptimizer` in the core crate). All times are **virtual-clock**
+    /// simulated seconds, deterministic for a seed.
+    RunDispatched {
+        /// Global dispatch sequence number (initialization runs included).
+        seq: usize,
+        /// BO dispatch index; `None` during initialization.
+        step: Option<usize>,
+        /// Configuration index.
+        config: usize,
+        /// Dispatched fidelity index (0 = hls, 1 = syn, 2 = impl).
+        fidelity: usize,
+        /// Virtual-clock seconds at dispatch (simulated).
+        clock: f64,
+        /// Virtual-clock seconds at which the run will complete (simulated).
+        finish: f64,
+        /// Runs in flight after this dispatch.
+        in_flight: usize,
+    },
+    /// A dispatched tool run completed and its observation was folded into
+    /// the loop. Emitted after the run's `tool_run` stage events.
+    RunCompleted {
+        /// Global dispatch sequence number of the completed run.
+        seq: usize,
+        /// BO dispatch index; `None` during initialization.
+        step: Option<usize>,
+        /// Configuration index.
+        config: usize,
+        /// Completed fidelity index (0 = hls, 1 = syn, 2 = impl).
+        fidelity: usize,
+        /// Virtual-clock seconds at completion (simulated).
+        clock: f64,
+        /// Runs still in flight after this completion.
+        in_flight: usize,
+    },
     /// The per-fidelity observed Pareto fronts after a step's runs.
     FrontUpdated {
         /// Step index.
@@ -158,7 +193,9 @@ impl TraceEvent {
             | TraceEvent::AcquisitionScored { step, .. }
             | TraceEvent::FrontUpdated { step, .. }
             | TraceEvent::CheckpointWritten { step, .. } => Some(*step),
-            TraceEvent::ToolRun { step, .. } => *step,
+            TraceEvent::ToolRun { step, .. }
+            | TraceEvent::RunDispatched { step, .. }
+            | TraceEvent::RunCompleted { step, .. } => *step,
             _ => None,
         }
     }
@@ -172,6 +209,8 @@ impl TraceEvent {
             TraceEvent::ModelFit { .. } => "model_fit",
             TraceEvent::AcquisitionScored { .. } => "acquisition_scored",
             TraceEvent::ToolRun { .. } => "tool_run",
+            TraceEvent::RunDispatched { .. } => "run_dispatched",
+            TraceEvent::RunCompleted { .. } => "run_completed",
             TraceEvent::FrontUpdated { .. } => "front_updated",
             TraceEvent::CheckpointWritten { .. } => "checkpoint_written",
             TraceEvent::RunFinished { .. } => "run_finished",
@@ -238,6 +277,40 @@ impl TraceEvent {
                     None => "null".into(),
                 },
                 num(*seconds)
+            ),
+            TraceEvent::RunDispatched {
+                seq,
+                step,
+                config,
+                fidelity,
+                clock,
+                finish,
+                in_flight,
+            } => format!(
+                ",\"seq\":{seq},\"step\":{},\"config\":{config},\"fidelity\":{fidelity},\
+                 \"clock\":{},\"finish\":{},\"in_flight\":{in_flight}",
+                match step {
+                    Some(s) => s.to_string(),
+                    None => "null".into(),
+                },
+                num(*clock),
+                num(*finish)
+            ),
+            TraceEvent::RunCompleted {
+                seq,
+                step,
+                config,
+                fidelity,
+                clock,
+                in_flight,
+            } => format!(
+                ",\"seq\":{seq},\"step\":{},\"config\":{config},\"fidelity\":{fidelity},\
+                 \"clock\":{},\"in_flight\":{in_flight}",
+                match step {
+                    Some(s) => s.to_string(),
+                    None => "null".into(),
+                },
+                num(*clock)
             ),
             TraceEvent::FrontUpdated {
                 step,
@@ -324,6 +397,52 @@ impl Stopwatch {
     /// Seconds elapsed since [`Stopwatch::start`].
     pub fn seconds(&self) -> f64 {
         self.0.elapsed().as_secs_f64()
+    }
+}
+
+/// A deterministic discrete-event clock for simulated schedules.
+///
+/// The complement of [`Stopwatch`]: where the stopwatch is the workspace's
+/// one sanctioned *host* clock read, a `VirtualClock` never touches host time
+/// at all. It only moves when its owner advances it to an event time, and it
+/// refuses to run backwards, so two identical advance sequences read
+/// bit-identically on any machine — the asynchronous scheduler's determinism
+/// contract (`schedule_is_deterministic` in the core crate) rests on this.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_trace::VirtualClock;
+///
+/// let mut clock = VirtualClock::new();
+/// assert_eq!(clock.advance_to(25.0), 25.0);
+/// assert_eq!(clock.advance_to(10.0), 25.0); // time is monotone
+/// assert_eq!(clock.now(), 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VirtualClock {
+    now: f64,
+}
+
+impl VirtualClock {
+    /// A clock reading zero simulated seconds.
+    pub fn new() -> Self {
+        VirtualClock { now: 0.0 }
+    }
+
+    /// The current reading in simulated seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock to `t` and returns the new reading. A `t` at or
+    /// before the current reading (or a NaN) leaves the clock unchanged:
+    /// simulated time is monotone non-decreasing by construction.
+    pub fn advance_to(&mut self, t: f64) -> f64 {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
     }
 }
 
@@ -627,6 +746,32 @@ mod tests {
                 seconds: 240.0,
                 valid: false,
             },
+            TraceEvent::RunDispatched {
+                seq: 9,
+                step: Some(1),
+                config: 42,
+                fidelity: 1,
+                clock: 1770.0,
+                finish: 2010.0,
+                in_flight: 3,
+            },
+            TraceEvent::RunDispatched {
+                seq: 0,
+                step: None,
+                config: 7,
+                fidelity: 2,
+                clock: 0.0,
+                finish: 1500.0,
+                in_flight: 1,
+            },
+            TraceEvent::RunCompleted {
+                seq: 9,
+                step: Some(1),
+                config: 42,
+                fidelity: 1,
+                clock: 2010.0,
+                in_flight: 2,
+            },
             TraceEvent::FrontUpdated {
                 step: 0,
                 hv: [10.5, 9.25, 8.0],
@@ -663,6 +808,9 @@ mod tests {
             r#"{"event":"acquisition_scored","step":0,"slot":0,"config":42,"fidelity":1,"candidates":40,"eipv":0.125,"penalized":0.5,"seconds":0.03125}"#,
             r#"{"event":"tool_run","step":0,"config":42,"stage":"hls","seconds":30.0,"valid":true}"#,
             r#"{"event":"tool_run","step":0,"config":42,"stage":"syn","seconds":240.0,"valid":false}"#,
+            r#"{"event":"run_dispatched","seq":9,"step":1,"config":42,"fidelity":1,"clock":1770.0,"finish":2010.0,"in_flight":3}"#,
+            r#"{"event":"run_dispatched","seq":0,"step":null,"config":7,"fidelity":2,"clock":0.0,"finish":1500.0,"in_flight":1}"#,
+            r#"{"event":"run_completed","seq":9,"step":1,"config":42,"fidelity":1,"clock":2010.0,"in_flight":2}"#,
             r#"{"event":"front_updated","step":0,"hv":[10.5,9.25,8.0],"front_sizes":[4,3,2]}"#,
             r#"{"event":"checkpoint_written","step":1,"bytes":512}"#,
             r#"{"event":"run_finished","steps":2,"sim_seconds":1770.0,"pareto_points":5}"#,
@@ -738,6 +886,39 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(format!("{a:?}"), "TracerHandle(off)");
         assert_eq!(format!("{b:?}"), "TracerHandle(on)");
+    }
+
+    #[test]
+    fn virtual_clock_is_monotone() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now(), 0.0);
+        assert_eq!(clock.advance_to(25.0), 25.0);
+        // Going backwards (an earlier event observed late) is a no-op.
+        assert_eq!(clock.advance_to(10.0), 25.0);
+        // So is a NaN event time: the clock never becomes unordered.
+        assert_eq!(clock.advance_to(f64::NAN), 25.0);
+        assert_eq!(clock.advance_to(25.0), 25.0);
+        assert_eq!(clock.advance_to(1400.5), 1400.5);
+    }
+
+    #[test]
+    fn virtual_clock_accumulates_bit_identically() {
+        // The scheduler contract: replaying the same event times yields the
+        // same readings to the last bit — including awkward increments whose
+        // sums depend on association order.
+        let events = [25.0, 25.0 + 280.3, 25.0 + 280.3 + 0.1, 1e9, 1e9 + 1e-7];
+        let run = || {
+            let mut clock = VirtualClock::new();
+            events
+                .iter()
+                .map(|&t| clock.advance_to(t).to_bits())
+                .collect::<Vec<u64>>()
+        };
+        assert_eq!(run(), run());
+        let readings = run();
+        for w in readings.windows(2) {
+            assert!(f64::from_bits(w[1]) >= f64::from_bits(w[0]));
+        }
     }
 
     #[test]

@@ -3,22 +3,29 @@
 //!
 //! ```text
 //! cmmf-dse <spec-file> [--iters N] [--seed S] [--variant ours|fpl18]
-//!          [--divergence D] [--batch Q] [--csv]
+//!          [--divergence D] [--batch Q] [--async-slots K] [--csv]
 //!          [--checkpoint FILE] [--journal FILE]
 //! ```
 //!
-//! `--checkpoint FILE` writes a resumable checkpoint after every BO step and,
-//! if FILE already exists, resumes from it — re-running the same command after
-//! a kill continues the run bit-identically. `--journal FILE` appends one JSON
-//! line per loop event (model fits, acquisition argmaxes, tool runs, front
-//! updates; see ARCHITECTURE.md, "Observability & resume").
+//! `--async-slots K` (K >= 1) switches to the asynchronous scheduler: up to K
+//! simulated tool runs stay in flight on a deterministic virtual clock, and
+//! the reported simulated time is the schedule's *makespan* (see
+//! ARCHITECTURE.md, "Scheduler & virtual clock"). `--checkpoint FILE` writes
+//! a resumable checkpoint after every BO step (or, async, every completion)
+//! and, if FILE already exists, resumes from it — re-running the same command
+//! after a kill continues the run bit-identically, even mid-overlap.
+//! `--journal FILE` appends one JSON line per loop event (model fits,
+//! acquisition argmaxes, tool runs, dispatches/completions, front updates;
+//! see ARCHITECTURE.md, "Observability & resume").
 //!
 //! The flow is evaluated by the built-in three-stage simulator (see the
 //! `cmmf-fidelity-sim` crate docs); `--divergence` controls how non-linearly
 //! the HLS reports relate to post-implementation reality (0 = trust HLS,
 //! 1 = HLS is badly misleading).
 
-use cmmf_hls::cmmf::{CmmfConfig, JsonlTracer, ModelVariant, Optimizer, TracerHandle};
+use cmmf_hls::cmmf::{
+    AsyncOptimizer, CmmfConfig, JsonlTracer, ModelVariant, Optimizer, TracerHandle,
+};
 use cmmf_hls::fidelity_sim::{FlowSimulator, SimParams};
 use cmmf_hls::hls_model::spec;
 use std::path::PathBuf;
@@ -32,6 +39,7 @@ struct Args {
     variant: ModelVariant,
     divergence: f64,
     batch: usize,
+    async_slots: usize,
     csv: bool,
     checkpoint: Option<PathBuf>,
     journal: Option<PathBuf>,
@@ -46,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
         variant: ModelVariant::paper(),
         divergence: 0.3,
         batch: 1,
+        async_slots: 0,
         csv: false,
         checkpoint: None,
         journal: None,
@@ -82,6 +91,14 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown variant `{other}` (ours|fpl18)")),
                 }
             }
+            "--async-slots" => {
+                parsed.async_slots = next_value(&mut args, "--async-slots")?
+                    .parse()
+                    .map_err(|e| format!("--async-slots: {e}"))?;
+                if parsed.async_slots == 0 {
+                    return Err("--async-slots must be at least 1".into());
+                }
+            }
             "--csv" => parsed.csv = true,
             "--checkpoint" => {
                 parsed.checkpoint = Some(PathBuf::from(next_value(&mut args, "--checkpoint")?))
@@ -91,7 +108,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err("usage: cmmf-dse <spec-file> [--iters N] [--seed S] \
-                            [--variant ours|fpl18] [--divergence D] [--batch Q] [--csv] \
+                            [--variant ours|fpl18] [--divergence D] [--batch Q] \
+                            [--async-slots K] [--csv] \
                             [--checkpoint FILE] [--journal FILE]"
                     .into())
             }
@@ -144,6 +162,7 @@ fn run(args: &Args) -> Result<(), String> {
         seed: args.seed,
         variant: args.variant,
         batch_size: args.batch.max(1),
+        async_slots: args.async_slots,
         ..Default::default()
     };
     if let Some(path) = &args.journal {
@@ -151,22 +170,35 @@ fn run(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
         cfg.tracer = TracerHandle::new(Arc::new(sink));
     }
-    let opt = Optimizer::new(cfg);
-    let result = match &args.checkpoint {
-        Some(path) => {
-            if path.exists() {
-                eprintln!("resuming from checkpoint {}", path.display());
-            }
-            opt.run_with_checkpoints(&space, &sim, path)
+    if let Some(path) = &args.checkpoint {
+        if path.exists() {
+            eprintln!("resuming from checkpoint {}", path.display());
         }
-        None => opt.run(&space, &sim),
+    }
+    let result = if args.async_slots > 0 {
+        let opt = AsyncOptimizer::new(cfg);
+        match &args.checkpoint {
+            Some(path) => opt.run_with_checkpoints(&space, &sim, path),
+            None => opt.run(&space, &sim),
+        }
+    } else {
+        let opt = Optimizer::new(cfg);
+        match &args.checkpoint {
+            Some(path) => opt.run_with_checkpoints(&space, &sim, path),
+            None => opt.run(&space, &sim),
+        }
     }
     .map_err(|e| e.to_string())?;
 
     eprintln!(
-        "evaluated {} configurations in {:.1} simulated tool-hours",
+        "evaluated {} configurations in {:.1} simulated {}tool-hours",
         result.evaluated_configs.len(),
-        result.sim_seconds / 3600.0
+        result.sim_seconds / 3600.0,
+        if args.async_slots > 1 {
+            "(makespan) "
+        } else {
+            ""
+        }
     );
 
     if args.csv {
