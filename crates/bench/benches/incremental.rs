@@ -10,7 +10,8 @@
 //! guarantees bit-identical results, and this harness asserts that before
 //! timing anything. `--smoke` runs only those contract assertions (the CI
 //! gate); a full run also writes `BENCH_incremental.json` with the measured
-//! refit/extend speedups at n ∈ {50, 100, 200}.
+//! refit/extend speedups at n ∈ {50, 100, 200} plus an end-to-end optimizer
+//! pair at a realistic budget (≥ 100 observations at the lowest fidelity).
 
 use cmmf::{CmmfConfig, Optimizer};
 use criterion::Criterion;
@@ -177,6 +178,48 @@ fn bench_optimizer_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Realistic budget: ≥ 100 observations at the lowest fidelity (16 initial +
+/// 90 steps), where the `O(n³)`-vs-`O(n²·k)` gap actually bites.
+fn realistic_cfgs() -> (CmmfConfig, CmmfConfig) {
+    let (mut full, mut fast) = optimizer_cfgs();
+    for cfg in [&mut full, &mut fast] {
+        cfg.n_init = 16;
+        cfg.n_init_syn = 8;
+        cfg.n_init_impl = 4;
+        cfg.n_iter = 90;
+        cfg.refit_every = 10;
+        cfg.seed = 61;
+    }
+    (full, fast)
+}
+
+fn bench_optimizer_realistic(c: &mut Criterion) {
+    let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
+        .pruned_space()
+        .expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
+    let (full_cfg, fast_cfg) = realistic_cfgs();
+    let n_obs = fast_cfg.n_init + fast_cfg.n_iter;
+    let mut group = c.benchmark_group(format!("optimizer_run_spmv-crs_realistic_n{n_obs}"));
+    group.sample_size(2);
+    group.bench_function("full_refit", |b| {
+        b.iter(|| {
+            Optimizer::new(full_cfg.clone())
+                .run(&space, &sim)
+                .expect("runs")
+        })
+    });
+    group.bench_function("extend", |b| {
+        b.iter(|| {
+            Optimizer::new(fast_cfg.clone())
+                .run(&space, &sim)
+                .expect("runs")
+        })
+    });
+    group.finish();
+}
+
 /// Wraps the criterion report with the host parallelism and per-group
 /// full-refit/extend speedups, and writes `BENCH_incremental.json`.
 fn write_report(report: &criterion::Report) {
@@ -228,5 +271,6 @@ fn main() {
     let mut c = Criterion::default().configure_from_args();
     bench_refit_vs_extend(&mut c);
     bench_optimizer_end_to_end(&mut c);
+    bench_optimizer_realistic(&mut c);
     write_report(c.report());
 }

@@ -1,0 +1,376 @@
+//! The model-stack fast path: blocked Cholesky, fused Gram assembly, batched
+//! triangular solves, low-rank downdating, and the buffer arena — each timed
+//! against the pre-blocking reference path it replaced.
+//!
+//! Usage: `cargo bench -p cmmf-bench --bench linalg [-- <filter>]`
+//!        `cargo bench -p cmmf-bench --bench linalg -- --smoke`
+//!
+//! Every pair runs the *same* computation on the legacy path (scalar
+//! column-by-column recurrences, per-entry Gram evaluation, fresh
+//! allocations) and the fast path (blocked panels, mirrored half-Gram
+//! assembly, arena-recycled buffers). The fast paths are bit-identical by
+//! construction — the blocked factorization applies the scalar recurrence's
+//! exact subtraction chains, and the fused assembly evaluates the exact same
+//! kernel arithmetic — and this harness asserts that before timing anything,
+//! including end to end through the optimizer (`downdate` is the one
+//! toleranced pair: the rotation update agrees with a fresh factorization to
+//! `O(ε·κ)`, not bitwise). `--smoke` runs only the contract assertions (the
+//! CI gate); a full run also writes `BENCH_linalg.json` with the measured
+//! legacy/fast speedups, including a realistic-budget (n ≥ 100 observations)
+//! end-to-end optimizer pair.
+
+use cmmf::{CmmfConfig, Optimizer, RunResult};
+use criterion::Criterion;
+use fidelity_sim::{FlowSimulator, SimParams};
+use gp::kernel::{Kernel, Matern52Ard};
+use hls_model::benchmarks::{self, Benchmark};
+use linalg::{set_cholesky_panel, Cholesky, Matrix, Workspace};
+use std::hint::black_box;
+
+const DIM: usize = 6;
+
+/// Deterministic synthetic inputs — a low-discrepancy-ish integer hash so
+/// runs are reproducible without an RNG.
+fn inputs(n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..DIM)
+                .map(|d| ((i * 7 + d * 13 + i * i * 3) % 97) as f64 / 97.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// A well-conditioned SPD matrix of the exact shape the GP layer factorizes:
+/// a Matérn-5/2 Gram over those inputs plus diagonal noise.
+fn spd(n: usize) -> Matrix {
+    let xs = inputs(n);
+    let mut a = Matrix::zeros(n, n);
+    Matern52Ard::new(DIM).gram_into(&xs, &mut a);
+    a.add_diag(1e-2);
+    a
+}
+
+/// Blocked-vs-scalar contract: the factor, the jitter decision, and the
+/// solves must agree bit-for-bit at every panel width.
+fn assert_blocked_contract(n: usize) {
+    let a = spd(n);
+    let scalar = Cholesky::new_with_panel(&a, 1).expect("factorizes");
+    for panel in [8usize, 32, 64, n] {
+        let blocked = Cholesky::new_with_panel(&a, panel).expect("factorizes");
+        assert_eq!(
+            blocked.jitter().to_bits(),
+            scalar.jitter().to_bits(),
+            "jitter diverged at n={n} panel={panel}"
+        );
+        for i in 0..n {
+            for j in 0..=i {
+                assert_eq!(
+                    blocked.l()[(i, j)].to_bits(),
+                    scalar.l()[(i, j)].to_bits(),
+                    "L diverged at n={n} panel={panel} entry ({i},{j})"
+                );
+            }
+        }
+    }
+    println!("contract ok: blocked == scalar Cholesky bit-for-bit at n={n}");
+}
+
+/// Fused-assembly contract: the mirrored half-Gram equals per-entry
+/// evaluation bit-for-bit (kernel symmetry is exact, not approximate).
+fn assert_gram_contract(n: usize) {
+    let xs = inputs(n);
+    let kernel = Matern52Ard::new(DIM);
+    let mut fused = Matrix::zeros(n, n);
+    kernel.gram_into(&xs, &mut fused);
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                fused[(i, j)].to_bits(),
+                kernel.eval(&xs[i], &xs[j]).to_bits(),
+                "gram diverged at ({i},{j})"
+            );
+        }
+    }
+    println!("contract ok: fused gram == per-entry eval bit-for-bit at n={n}");
+}
+
+/// Batched-solve contract: the column-blocked `solve_mat` equals per-column
+/// `solve_vec` bit-for-bit.
+fn assert_solve_contract(n: usize, q: usize) {
+    let chol = Cholesky::new(&spd(n)).expect("factorizes");
+    let b = Matrix::from_fn(n, q, |i, j| ((i * 5 + j * 11) % 17) as f64 / 17.0 - 0.4);
+    let batched = chol.solve_mat(&b).expect("solves");
+    for j in 0..q {
+        let col: Vec<f64> = (0..n).map(|i| b[(i, j)]).collect();
+        let x = chol.solve_vec(&col).expect("solves");
+        for i in 0..n {
+            assert_eq!(
+                batched[(i, j)].to_bits(),
+                x[i].to_bits(),
+                "solve diverged at n={n} column {j} row {i}"
+            );
+        }
+    }
+    println!("contract ok: batched solve == per-column solve bit-for-bit at n={n} q={q}");
+}
+
+/// Downdate contract: removing the `k` oldest rows by rotation agrees with a
+/// fresh factorization of the trailing block to `O(ε·κ)` — toleranced, the
+/// one pair in this harness that is not bitwise.
+fn assert_downdate_contract(n: usize, k: usize) {
+    let a = spd(n);
+    let chol = Cholesky::new(&a).expect("factorizes");
+    let down = chol.downdate(k).expect("downdates");
+    let m = n - k;
+    let trail = Matrix::from_fn(m, m, |i, j| a[(k + i, k + j)]);
+    let fresh = Cholesky::new(&trail).expect("factorizes");
+    let rhs: Vec<f64> = (0..m).map(|i| ((i * 3) % 7) as f64 / 7.0 - 0.3).collect();
+    let xd = down.solve_vec(&rhs).expect("solves");
+    let xf = fresh.solve_vec(&rhs).expect("solves");
+    for i in 0..m {
+        assert!(
+            (xd[i] - xf[i]).abs() <= 1e-8 * xf[i].abs().max(1.0),
+            "downdate solve diverged at n={n} k={k} row {i}: {} vs {}",
+            xd[i],
+            xf[i]
+        );
+    }
+    println!("contract ok: downdate(k={k}) matches trailing refactorization at n={n}");
+}
+
+/// A short optimizer budget for the end-to-end equivalence contract.
+fn quick_cfg() -> CmmfConfig {
+    let mut cfg = CmmfConfig {
+        n_iter: 6,
+        candidate_pool: 40,
+        mc_samples: 8,
+        refit_every: 3,
+        final_prediction_pool: 200,
+        seed: 53,
+        ..Default::default()
+    };
+    cfg.gp.restarts = 0;
+    cfg.gp.max_evals = 60;
+    cfg
+}
+
+/// A realistic optimizer budget: ≥ 100 observations at the lowest fidelity
+/// (16 initial + 90 steps), the regime the fast paths are built for.
+fn realistic_cfg() -> CmmfConfig {
+    let mut cfg = CmmfConfig {
+        n_init: 16,
+        n_init_syn: 8,
+        n_init_impl: 4,
+        n_iter: 90,
+        candidate_pool: 60,
+        mc_samples: 8,
+        refit_every: 5,
+        final_prediction_pool: 200,
+        seed: 61,
+        ..Default::default()
+    };
+    cfg.gp.restarts = 0;
+    cfg.gp.max_evals = 60;
+    cfg
+}
+
+/// Runs one optimizer arm: the legacy arm pins the scalar Cholesky and
+/// disables the arena (the pre-PR model stack); the fast arm uses the
+/// defaults. The panel override is process-global, so it is always restored.
+fn run_arm(
+    cfg: &CmmfConfig,
+    space: &hls_model::DesignSpace,
+    sim: &FlowSimulator,
+    legacy: bool,
+) -> RunResult {
+    set_cholesky_panel(if legacy { 1 } else { 0 });
+    let mut cfg = cfg.clone();
+    cfg.arena = !legacy;
+    let r = Optimizer::new(cfg).run(space, sim).expect("runs");
+    set_cholesky_panel(0);
+    r
+}
+
+/// End-to-end contract: the full `RunResult` agrees between the legacy and
+/// fast arms, bit for bit.
+fn assert_optimizer_contract() {
+    let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
+        .pruned_space()
+        .expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
+    let cfg = quick_cfg();
+    let legacy = run_arm(&cfg, &space, &sim, true);
+    let fast = run_arm(&cfg, &space, &sim, false);
+    assert_eq!(legacy.candidate_set, fast.candidate_set);
+    assert_eq!(legacy.evaluated_configs, fast.evaluated_configs);
+    assert_eq!(legacy.measured_pareto, fast.measured_pareto);
+    assert_eq!(legacy.sim_seconds.to_bits(), fast.sim_seconds.to_bits());
+    assert_eq!(legacy.hv_history, fast.hv_history);
+    println!("contract ok: optimizer RunResult identical on legacy and fast paths");
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    for n in [100usize, 200] {
+        let a = spd(n);
+        let mut group = c.benchmark_group(format!("cholesky_factorize_n{n}"));
+        group.sample_size(10);
+        group.bench_function("legacy", |b| {
+            b.iter(|| black_box(Cholesky::new_with_panel(&a, 1).expect("factorizes")))
+        });
+        group.bench_function("fast", |b| {
+            b.iter(|| black_box(Cholesky::new(&a).expect("factorizes")))
+        });
+        group.finish();
+    }
+}
+
+fn bench_gram(c: &mut Criterion) {
+    let n = 300;
+    let xs = inputs(n);
+    let kernel = Matern52Ard::new(DIM);
+    let ws = Workspace::new();
+    let mut group = c.benchmark_group(format!("gram_assembly_n{n}"));
+    group.sample_size(10);
+    // Legacy: every entry evaluated into a fresh allocation (the pre-PR
+    // per-entry assembly).
+    group.bench_function("legacy", |b| {
+        b.iter(|| black_box(Matrix::from_fn(n, n, |i, j| kernel.eval(&xs[i], &xs[j]))))
+    });
+    // Fast: lower-triangle + mirror into an arena-recycled buffer.
+    group.bench_function("fast", |b| {
+        b.iter(|| {
+            let mut m = ws.take_matrix(n, n);
+            kernel.gram_into(&xs, &mut m);
+            let probe = m[(n - 1, 0)];
+            ws.put_matrix(m);
+            black_box(probe)
+        })
+    });
+    group.finish();
+}
+
+fn bench_solve_mat(c: &mut Criterion) {
+    let (n, q) = (200, 24);
+    let chol = Cholesky::new(&spd(n)).expect("factorizes");
+    let b = Matrix::from_fn(n, q, |i, j| ((i * 5 + j * 11) % 17) as f64 / 17.0 - 0.4);
+    let cols: Vec<Vec<f64>> = (0..q)
+        .map(|j| (0..n).map(|i| b[(i, j)]).collect())
+        .collect();
+    let mut group = c.benchmark_group(format!("solve_mat_n{n}_q{q}"));
+    group.sample_size(10);
+    group.bench_function("legacy", |bch| {
+        bch.iter(|| {
+            let mut acc = 0.0;
+            for col in &cols {
+                acc += chol.solve_vec(col).expect("solves")[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("fast", |bch| {
+        bch.iter(|| black_box(chol.solve_mat(&b).expect("solves")))
+    });
+    group.finish();
+}
+
+fn bench_downdate(c: &mut Criterion) {
+    let (n, k) = (200, 8);
+    let a = spd(n);
+    let chol = Cholesky::new(&a).expect("factorizes");
+    let m = n - k;
+    let trail = Matrix::from_fn(m, m, |i, j| a[(k + i, k + j)]);
+    let mut group = c.benchmark_group(format!("downdate_n{n}_k{k}"));
+    group.sample_size(10);
+    // Legacy: a sliding window refactorizes the trailing block from scratch.
+    group.bench_function("legacy", |b| {
+        b.iter(|| black_box(Cholesky::new(&trail).expect("factorizes")))
+    });
+    group.bench_function("fast", |b| {
+        b.iter(|| black_box(chol.downdate(k).expect("downdates")))
+    });
+    group.finish();
+}
+
+fn bench_optimizer_realistic(c: &mut Criterion) {
+    let space = benchmarks::build(Benchmark::SpmvCrs)
+        .unwrap()
+        .pruned_space()
+        .expect("builds");
+    let sim = FlowSimulator::new(SimParams::for_benchmark(Benchmark::SpmvCrs));
+    let cfg = realistic_cfg();
+    let n_obs = cfg.n_init + cfg.n_iter;
+    let mut group = c.benchmark_group(format!("optimizer_realistic_n{n_obs}"));
+    group.sample_size(2);
+    group.bench_function("legacy", |b| {
+        b.iter(|| black_box(run_arm(&cfg, &space, &sim, true)))
+    });
+    group.bench_function("fast", |b| {
+        b.iter(|| black_box(run_arm(&cfg, &space, &sim, false)))
+    });
+    group.finish();
+}
+
+fn contracts() {
+    assert_blocked_contract(200);
+    assert_gram_contract(150);
+    assert_solve_contract(200, 24);
+    assert_downdate_contract(200, 8);
+    assert_optimizer_contract();
+}
+
+/// Wraps the criterion report with the host parallelism and per-group
+/// legacy/fast speedups, and writes `BENCH_linalg.json`.
+fn write_report(report: &criterion::Report) {
+    let mut speedups = String::new();
+    let mut ids: Vec<&str> = report
+        .measurements
+        .iter()
+        .filter_map(|m| m.id.strip_suffix("/legacy"))
+        .collect();
+    ids.dedup();
+    for (i, group) in ids.iter().enumerate() {
+        let find = |suffix: &str| {
+            report
+                .measurements
+                .iter()
+                .find(|m| m.id == format!("{group}/{suffix}"))
+                .map(|m| m.mean_ns)
+        };
+        if let (Some(legacy), Some(fast)) = (find("legacy"), find("fast")) {
+            speedups.push_str(&format!(
+                "    {{\"group\": \"{group}\", \"speedup\": {:.2}}}{}\n",
+                legacy / fast,
+                if i + 1 < ids.len() { "," } else { "" }
+            ));
+            println!("{group}: {:.2}x speedup", legacy / fast);
+        }
+    }
+    let json = format!(
+        "{{\n  \"hardware_threads\": {},\n  \"speedups\": [\n{}  ],\n  \"measurements\": {}\n}}\n",
+        rayon::hardware_threads(),
+        speedups,
+        report.to_json().replace('\n', "\n  "),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_linalg.json");
+    std::fs::write(path, json).expect("write BENCH_linalg.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI contract gate: assert equivalence everywhere, time nothing.
+        contracts();
+        println!("smoke ok");
+        return;
+    }
+    contracts();
+    let mut c = Criterion::default().configure_from_args();
+    bench_cholesky(&mut c);
+    bench_gram(&mut c);
+    bench_solve_mat(&mut c);
+    bench_downdate(&mut c);
+    bench_optimizer_realistic(&mut c);
+    write_report(c.report());
+}

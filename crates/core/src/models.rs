@@ -8,7 +8,7 @@ use gp::multifidelity::{
     FidelityData, LinearMultiFidelityGp, MultiFidelityConfig, NonLinearMultiFidelityGp,
 };
 use gp::{GpConfig, MultiTaskGp, MultiTaskPrediction};
-use linalg::Matrix;
+use linalg::{Matrix, Workspace};
 
 /// Number of fidelities (hls, syn, impl).
 pub const N_FIDELITIES: usize = 3;
@@ -178,15 +178,37 @@ impl FidelityModelStack {
         previous: Option<&FidelityModelStack>,
         mode: FitMode,
     ) -> Result<Self, CmmfError> {
+        Self::fit_in(variant, data, gp_cfg, previous, mode, Workspace::off())
+    }
+
+    /// [`FidelityModelStack::fit`] with an explicit buffer arena shared by
+    /// every underlying GP fit in the stack (see [`gp::Gp::fit_in`]): the
+    /// Gram/joint-covariance/factor buffers that each fidelity's
+    /// marginal-likelihood search churns through are recycled instead of
+    /// reallocated. Bit-identical to [`FidelityModelStack::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FidelityModelStack::fit`].
+    pub fn fit_in(
+        variant: ModelVariant,
+        data: &FidelityDataSet,
+        gp_cfg: &GpConfig,
+        previous: Option<&FidelityModelStack>,
+        mode: FitMode,
+        ws: &Workspace,
+    ) -> Result<Self, CmmfError> {
         if data.any_empty() {
             return Err(CmmfError::Internal {
                 reason: "fit called with an empty fidelity".into(),
             });
         }
         match (variant.correlated_objectives, variant.nonlinear_fidelity) {
-            (true, true) => Self::fit_correlated_nonlinear(data, gp_cfg, previous, mode),
-            (true, false) => Self::fit_correlated_plain(data, gp_cfg, previous, mode),
-            (false, nonlinear) => Self::fit_independent(data, gp_cfg, nonlinear, previous, mode),
+            (true, true) => Self::fit_correlated_nonlinear(data, gp_cfg, previous, mode, ws),
+            (true, false) => Self::fit_correlated_plain(data, gp_cfg, previous, mode, ws),
+            (false, nonlinear) => {
+                Self::fit_independent(data, gp_cfg, nonlinear, previous, mode, ws)
+            }
         }
     }
 
@@ -195,6 +217,7 @@ impl FidelityModelStack {
         gp_cfg: &GpConfig,
         previous: Option<&FidelityModelStack>,
         mode: FitMode,
+        ws: &Workspace,
     ) -> Result<Self, CmmfError> {
         let x_dim = data.xs[0][0].len();
         let prev_parts = match previous {
@@ -207,10 +230,16 @@ impl FidelityModelStack {
         };
         let base = match prev_parts {
             Some((b, _)) if b.dim() == x_dim => match mode {
-                FitMode::Extend => b.extend(&data.xs[0], &data.ys[0])?,
-                _ => b.refit(&data.xs[0], &data.ys[0])?,
+                FitMode::Extend => b.extend_in(&data.xs[0], &data.ys[0], ws)?,
+                _ => b.refit_in(&data.xs[0], &data.ys[0], ws)?,
             },
-            _ => MultiTaskGp::fit(Matern52Ard::new(x_dim), &data.xs[0], &data.ys[0], gp_cfg)?,
+            _ => MultiTaskGp::fit_in(
+                Matern52Ard::new(x_dim),
+                &data.xs[0],
+                &data.ys[0],
+                gp_cfg,
+                ws,
+            )?,
         };
         let mut uppers: Vec<CorrelatedLevel> = Vec::with_capacity(N_FIDELITIES - 1);
         for f in 1..N_FIDELITIES {
@@ -222,7 +251,7 @@ impl FidelityModelStack {
                 data.xs[f]
                     .par_iter()
                     .with_min_len(8)
-                    .map(|x| predict_nonlinear(base, uppers, f - 1, x))
+                    .map(|x| predict_nonlinear(base, uppers, f - 1, x, ws))
                     .collect::<Result<_, _>>()?
             };
             // Per-objective linear backbone.
@@ -263,14 +292,15 @@ impl FidelityModelStack {
                     // The augmented inputs shift whenever a lower fidelity
                     // grew; `extend`'s prefix check falls back to a full
                     // refit in that case, so this is always bit-safe.
-                    FitMode::Extend => level.gp.extend(&aug, &residuals)?,
-                    _ => level.gp.refit(&aug, &residuals)?,
+                    FitMode::Extend => level.gp.extend_in(&aug, &residuals, ws)?,
+                    _ => level.gp.refit_in(&aug, &residuals, ws)?,
                 },
-                _ => MultiTaskGp::fit(
+                _ => MultiTaskGp::fit_in(
                     Matern52Grouped::iso_plus_tail(x_dim, N_OBJECTIVES),
                     &aug,
                     &residuals,
                     gp_cfg,
+                    ws,
                 )?,
             };
             uppers.push(CorrelatedLevel { rhos, gp });
@@ -283,6 +313,7 @@ impl FidelityModelStack {
         gp_cfg: &GpConfig,
         previous: Option<&FidelityModelStack>,
         mode: FitMode,
+        ws: &Workspace,
     ) -> Result<Self, CmmfError> {
         let x_dim = data.xs[0][0].len();
         let mut fitted = Vec::with_capacity(N_FIDELITIES);
@@ -295,10 +326,16 @@ impl FidelityModelStack {
             };
             let model = match prev_model {
                 Some(m) if m.dim() == x_dim => match mode {
-                    FitMode::Extend => m.extend(&data.xs[f], &data.ys[f])?,
-                    _ => m.refit(&data.xs[f], &data.ys[f])?,
+                    FitMode::Extend => m.extend_in(&data.xs[f], &data.ys[f], ws)?,
+                    _ => m.refit_in(&data.xs[f], &data.ys[f], ws)?,
                 },
-                _ => MultiTaskGp::fit(Matern52Ard::new(x_dim), &data.xs[f], &data.ys[f], gp_cfg)?,
+                _ => MultiTaskGp::fit_in(
+                    Matern52Ard::new(x_dim),
+                    &data.xs[f],
+                    &data.ys[f],
+                    gp_cfg,
+                    ws,
+                )?,
             };
             fitted.push(model);
         }
@@ -311,6 +348,7 @@ impl FidelityModelStack {
         nonlinear: bool,
         previous: Option<&FidelityModelStack>,
         mode: FitMode,
+        ws: &Workspace,
     ) -> Result<Self, CmmfError> {
         let mf_cfg = MultiFidelityConfig {
             gp: gp_cfg.clone(),
@@ -337,9 +375,9 @@ impl FidelityModelStack {
                     _ => None,
                 };
                 per_obj_nonlinear.push(match (prev, mode) {
-                    (Some(m), FitMode::Extend) => m.extend(&levels)?,
-                    (Some(m), _) => m.refit(&levels)?,
-                    (None, _) => NonLinearMultiFidelityGp::fit(&levels, &mf_cfg)?,
+                    (Some(m), FitMode::Extend) => m.extend_in(&levels, ws)?,
+                    (Some(m), _) => m.refit_in(&levels, ws)?,
+                    (None, _) => NonLinearMultiFidelityGp::fit_in(&levels, &mf_cfg, ws)?,
                 });
             } else {
                 let prev = match previous {
@@ -349,9 +387,9 @@ impl FidelityModelStack {
                     _ => None,
                 };
                 per_obj_linear.push(match (prev, mode) {
-                    (Some(m), FitMode::Extend) => m.extend(&levels)?,
-                    (Some(m), _) => m.refit(&levels)?,
-                    (None, _) => LinearMultiFidelityGp::fit(&levels, &mf_cfg)?,
+                    (Some(m), FitMode::Extend) => m.extend_in(&levels, ws)?,
+                    (Some(m), _) => m.refit_in(&levels, ws)?,
+                    (None, _) => LinearMultiFidelityGp::fit_in(&levels, &mf_cfg, ws)?,
                 });
             }
         }
@@ -370,6 +408,23 @@ impl FidelityModelStack {
     /// [`CmmfError::Model`] on dimension mismatches, or
     /// [`CmmfError::Internal`] for an out-of-range fidelity.
     pub fn predict(&self, f: usize, x: &[f64]) -> Result<MultiTaskPrediction, CmmfError> {
+        self.predict_in(f, x, Workspace::off())
+    }
+
+    /// [`FidelityModelStack::predict`] with an explicit buffer arena: the
+    /// correlated variants route every per-point triangular solve through
+    /// `ws` (the independent variants' solves are single vectors and are left
+    /// alone). Bit-identical to [`FidelityModelStack::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FidelityModelStack::predict`].
+    pub fn predict_in(
+        &self,
+        f: usize,
+        x: &[f64],
+        ws: &Workspace,
+    ) -> Result<MultiTaskPrediction, CmmfError> {
         if f >= N_FIDELITIES {
             return Err(CmmfError::Internal {
                 reason: format!("fidelity {f} out of range"),
@@ -377,9 +432,9 @@ impl FidelityModelStack {
         }
         match self {
             FidelityModelStack::CorrelatedNonlinear { base, uppers } => {
-                predict_nonlinear(base, uppers, f, x)
+                predict_nonlinear(base, uppers, f, x, ws)
             }
-            FidelityModelStack::CorrelatedPlain(models) => Ok(models[f].predict(x)?),
+            FidelityModelStack::CorrelatedPlain(models) => Ok(models[f].predict_in(x, ws)?),
             FidelityModelStack::IndependentLinear(per_obj) => {
                 let mut mean = Vec::with_capacity(N_OBJECTIVES);
                 let mut vars = Vec::with_capacity(N_OBJECTIVES);
@@ -405,6 +460,61 @@ impl FidelityModelStack {
                     mean,
                     cov: Matrix::from_diag(&vars),
                 })
+            }
+        }
+    }
+
+    /// Joint posteriors at fidelity `f` for many encoded inputs at once.
+    /// Bit-identical to mapping [`FidelityModelStack::predict`] over `xs`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FidelityModelStack::predict`].
+    pub fn predict_batch(
+        &self,
+        f: usize,
+        xs: &[Vec<f64>],
+    ) -> Result<Vec<MultiTaskPrediction>, CmmfError> {
+        self.predict_batch_in(f, xs, Workspace::off())
+    }
+
+    /// [`FidelityModelStack::predict_batch`] with an explicit buffer arena.
+    ///
+    /// The correlated variants gain real batching: the plain stack runs one
+    /// chunked [`MultiTaskGp::predict_batch_in`], and the non-linear chain
+    /// propagates level-synchronously — all points' sigma points are stacked
+    /// into a single level-GP batch per level, so each traversal of a level's
+    /// `nM × nM` factor serves a wide column block instead of one sigma point
+    /// (see `propagate_unscented_batch`). The independent variants fall back
+    /// to the per-point path. Bit-identical to per-point prediction in every
+    /// variant.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FidelityModelStack::predict`].
+    pub fn predict_batch_in(
+        &self,
+        f: usize,
+        xs: &[Vec<f64>],
+        ws: &Workspace,
+    ) -> Result<Vec<MultiTaskPrediction>, CmmfError> {
+        if f >= N_FIDELITIES {
+            return Err(CmmfError::Internal {
+                reason: format!("fidelity {f} out of range"),
+            });
+        }
+        match self {
+            FidelityModelStack::CorrelatedNonlinear { base, uppers } => {
+                let mut preds = base.predict_batch_in(xs, ws)?;
+                for level in uppers.iter().take(f) {
+                    preds = propagate_unscented_batch(level, xs, &preds, ws)?;
+                }
+                Ok(preds)
+            }
+            FidelityModelStack::CorrelatedPlain(models) => Ok(models[f].predict_batch_in(xs, ws)?),
+            FidelityModelStack::IndependentLinear(_)
+            | FidelityModelStack::IndependentNonlinear(_) => {
+                xs.iter().map(|x| self.predict_in(f, x, ws)).collect()
             }
         }
     }
@@ -452,10 +562,11 @@ fn predict_nonlinear(
     uppers: &[CorrelatedLevel],
     f: usize,
     x: &[f64],
+    ws: &Workspace,
 ) -> Result<MultiTaskPrediction, CmmfError> {
-    let mut pred = base.predict(x)?;
+    let mut pred = base.predict_in(x, ws)?;
     for level in uppers.iter().take(f) {
-        pred = propagate_unscented(level, x, &pred)?;
+        pred = propagate_unscented(level, x, &pred, ws)?;
     }
     Ok(pred)
 }
@@ -464,68 +575,106 @@ fn propagate_unscented(
     level: &CorrelatedLevel,
     x: &[f64],
     lower: &MultiTaskPrediction,
+    ws: &Workspace,
 ) -> Result<MultiTaskPrediction, CmmfError> {
-    let m = lower.mean.len();
+    let mut out = propagate_unscented_batch(level, &[x.to_vec()], std::slice::from_ref(lower), ws)?;
+    out.pop().ok_or_else(|| CmmfError::Internal {
+        reason: "unscented propagation returned no prediction for one query".into(),
+    })
+}
+
+/// Batched form of [`propagate_unscented`]: every query point's sigma points
+/// are stacked into one level-GP query list, so the expensive triangular
+/// solves against the level's `nM × nM` factor run as wide column blocks
+/// instead of one sweep per sigma point. The per-point sigma construction and
+/// moment-matching are the single-point code verbatim, and the batched level
+/// prediction is bitwise-pinned to its per-point form, so this is
+/// bit-identical to mapping [`propagate_unscented`] over the points.
+fn propagate_unscented_batch(
+    level: &CorrelatedLevel,
+    xs: &[Vec<f64>],
+    lowers: &[MultiTaskPrediction],
+    ws: &Workspace,
+) -> Result<Vec<MultiTaskPrediction>, CmmfError> {
     let lambda = 1.0;
-    let scale = ((m as f64) + lambda).sqrt();
 
-    // Sigma points of the lower posterior; fall back to the mean if the
+    // Sigma points of each lower posterior; fall back to the mean if the
     // covariance is numerically singular (e.g. exactly at a training point).
-    let mut sigma_points: Vec<Vec<f64>> = vec![lower.mean.clone()];
-    if let Ok(chol) = linalg::Cholesky::new(&lower.cov) {
-        let l = chol.l();
-        for i in 0..m {
-            let mut plus = lower.mean.clone();
-            let mut minus = lower.mean.clone();
-            for j in 0..m {
-                let d = scale * l[(j, i)];
-                plus[j] += d;
-                minus[j] -= d;
+    let mut sigma_sets: Vec<Vec<Vec<f64>>> = Vec::with_capacity(lowers.len());
+    let mut aug: Vec<Vec<f64>> = Vec::new();
+    for (x, lower) in xs.iter().zip(lowers) {
+        let m = lower.mean.len();
+        let scale = ((m as f64) + lambda).sqrt();
+        let mut sigma_points: Vec<Vec<f64>> = vec![lower.mean.clone()];
+        if let Ok(chol) = linalg::Cholesky::new(&lower.cov) {
+            let l = chol.l();
+            for i in 0..m {
+                let mut plus = lower.mean.clone();
+                let mut minus = lower.mean.clone();
+                for j in 0..m {
+                    let d = scale * l[(j, i)];
+                    plus[j] += d;
+                    minus[j] -= d;
+                }
+                sigma_points.push(plus);
+                sigma_points.push(minus);
             }
-            sigma_points.push(plus);
-            sigma_points.push(minus);
         }
+        for s in &sigma_points {
+            let mut a = x.clone();
+            a.extend(s.iter().copied());
+            aug.push(a);
+        }
+        sigma_sets.push(sigma_points);
     }
-
-    let w0 = lambda / (m as f64 + lambda);
-    let wi = 1.0 / (2.0 * (m as f64 + lambda));
-    let weights: Vec<f64> = if sigma_points.len() == 1 {
-        vec![1.0]
-    } else {
-        let mut w = vec![w0];
-        w.extend(std::iter::repeat_n(wi, 2 * m));
-        w
-    };
 
     struct Mapped {
         mean: Vec<f64>,
         cov: Matrix,
     }
-    let mut mapped = Vec::with_capacity(sigma_points.len());
-    for s in &sigma_points {
-        let mut aug = x.to_vec();
-        aug.extend(s.iter().copied());
-        let q = level.gp.predict(&aug)?;
-        let mean = (0..m).map(|o| level.rhos[o] * s[o] + q.mean[o]).collect();
-        mapped.push(Mapped { mean, cov: q.cov });
-    }
+    let mut qs = level.gp.predict_batch_in(&aug, ws)?.into_iter();
 
-    // Moment-match the mixture.
-    let mut mean = vec![0.0; m];
-    for (w, p) in weights.iter().zip(&mapped) {
-        for (mi, pm) in mean.iter_mut().zip(&p.mean) {
-            *mi += w * pm;
+    let mut out = Vec::with_capacity(lowers.len());
+    for (lower, sigma_points) in lowers.iter().zip(&sigma_sets) {
+        let m = lower.mean.len();
+        let w0 = lambda / (m as f64 + lambda);
+        let wi = 1.0 / (2.0 * (m as f64 + lambda));
+        let weights: Vec<f64> = if sigma_points.len() == 1 {
+            vec![1.0]
+        } else {
+            let mut w = vec![w0];
+            w.extend(std::iter::repeat_n(wi, 2 * m));
+            w
+        };
+
+        let mut mapped = Vec::with_capacity(sigma_points.len());
+        for s in sigma_points {
+            let q = qs.next().ok_or_else(|| CmmfError::Internal {
+                reason: "level GP returned fewer predictions than sigma points".into(),
+            })?;
+            let mean = (0..m).map(|o| level.rhos[o] * s[o] + q.mean[o]).collect();
+            mapped.push(Mapped { mean, cov: q.cov });
         }
-    }
-    let mut cov = Matrix::zeros(m, m);
-    for (w, p) in weights.iter().zip(&mapped) {
-        for i in 0..m {
-            for j in 0..m {
-                cov[(i, j)] += w * (p.cov[(i, j)] + (p.mean[i] - mean[i]) * (p.mean[j] - mean[j]));
+
+        // Moment-match the mixture.
+        let mut mean = vec![0.0; m];
+        for (w, p) in weights.iter().zip(&mapped) {
+            for (mi, pm) in mean.iter_mut().zip(&p.mean) {
+                *mi += w * pm;
             }
         }
+        let mut cov = Matrix::zeros(m, m);
+        for (w, p) in weights.iter().zip(&mapped) {
+            for i in 0..m {
+                for j in 0..m {
+                    cov[(i, j)] +=
+                        w * (p.cov[(i, j)] + (p.mean[i] - mean[i]) * (p.mean[j] - mean[j]));
+                }
+            }
+        }
+        out.push(MultiTaskPrediction { mean, cov });
     }
-    Ok(MultiTaskPrediction { mean, cov })
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -576,6 +725,41 @@ mod tests {
                 nonlinear_fidelity: true,
             },
         ]
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_bitwise_in_every_variant() {
+        // The batched stack prediction (level-synchronous sigma-point
+        // stacking for the non-linear chain, chunked GP batches for the
+        // plain one) must reproduce the per-point path bit for bit — the
+        // optimizer's candidate caches are built through it.
+        let data = synthetic();
+        let cfg = quick_cfg();
+        let xs: Vec<Vec<f64>> = (0..7).map(|i| vec![0.05 + 0.13 * i as f64]).collect();
+        for variant in all_variants() {
+            let stack = FidelityModelStack::fit(variant, &data, &cfg, None, FitMode::Optimize)
+                .unwrap_or_else(|e| panic!("{}: {e}", variant.name()));
+            for f in 0..N_FIDELITIES {
+                let batch = stack.predict_batch(f, &xs).expect("batch predicts");
+                assert_eq!(batch.len(), xs.len());
+                for (x, b) in xs.iter().zip(&batch) {
+                    let p = stack.predict(f, x).expect("predicts");
+                    for (bm, pm) in b.mean.iter().zip(&p.mean) {
+                        assert_eq!(bm.to_bits(), pm.to_bits(), "{} f={f}", variant.name());
+                    }
+                    for i in 0..N_OBJECTIVES {
+                        for j in 0..N_OBJECTIVES {
+                            assert_eq!(
+                                b.cov[(i, j)].to_bits(),
+                                p.cov[(i, j)].to_bits(),
+                                "{} f={f}",
+                                variant.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]
@@ -669,6 +853,43 @@ mod tests {
                     let x = [i as f64 / 6.0];
                     let a = refit.predict(f, &x).unwrap();
                     let b = extend.predict(f, &x).unwrap();
+                    for o in 0..N_OBJECTIVES {
+                        assert_eq!(
+                            a.mean[o].to_bits(),
+                            b.mean[o].to_bits(),
+                            "{} f={f} x={x:?} obj={o}",
+                            variant.name()
+                        );
+                        for u in 0..N_OBJECTIVES {
+                            assert_eq!(
+                                a.cov[(o, u)].to_bits(),
+                                b.cov[(o, u)].to_bits(),
+                                "{} f={f} x={x:?} cov ({o},{u})",
+                                variant.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fit_in_with_arena_matches_fit_bitwise_for_all_variants() {
+        let data = synthetic();
+        let cfg = quick_cfg();
+        for variant in all_variants() {
+            let plain =
+                FidelityModelStack::fit(variant, &data, &cfg, None, FitMode::Optimize).unwrap();
+            let ws = Workspace::new();
+            let pooled =
+                FidelityModelStack::fit_in(variant, &data, &cfg, None, FitMode::Optimize, &ws)
+                    .unwrap();
+            for f in 0..N_FIDELITIES {
+                for i in 0..5 {
+                    let x = [i as f64 / 4.0];
+                    let a = plain.predict(f, &x).unwrap();
+                    let b = pooled.predict_in(f, &x, &ws).unwrap();
                     for o in 0..N_OBJECTIVES {
                         assert_eq!(
                             a.mean[o].to_bits(),

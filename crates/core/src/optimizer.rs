@@ -7,7 +7,7 @@ use crate::CmmfError;
 use fidelity_sim::{FlowSimulator, RunOutcome, Stage};
 use gp::{GpConfig, MultiTaskPrediction};
 use hls_model::DesignSpace;
-use linalg::Cholesky;
+use linalg::{Cholesky, Workspace};
 use pareto::{hypervolume, pareto_front};
 use rand::derive_stream_seed;
 use rand::rngs::StdRng;
@@ -99,6 +99,17 @@ pub struct CmmfConfig {
     /// bit-identical [`RunResult`]** — see DESIGN.md, "Determinism &
     /// parallelism".
     pub threads: usize,
+    /// Recycle the surrogate layer's large buffers (Gram matrices, joint
+    /// covariances, Cholesky factors, solve scratch) through a run-scoped
+    /// [`linalg::Workspace`] arena instead of the allocator. Pooling is
+    /// result-transparent by construction — recycled buffers are returned
+    /// zero-filled, exactly as fresh allocations would be — so this flag
+    /// changes no decision or value (pinned by
+    /// `arena_does_not_change_the_result`); like `threads` and `tracer` it is
+    /// excluded from checkpoint fingerprints. `false` is the escape hatch
+    /// that allocates every buffer fresh, kept so the equivalence can be
+    /// pinned by tests and the reuse measured by benches.
+    pub arena: bool,
     /// Per-model GP fitting configuration.
     pub gp: GpConfig,
     /// Master seed: fixes initialization, candidate pools, and EIPV sampling.
@@ -136,6 +147,7 @@ impl Default for CmmfConfig {
             indexed_eipv: true,
             async_slots: 0,
             threads: 0,
+            arena: true,
             gp: GpConfig {
                 restarts: 2,
                 max_evals: 450,
@@ -225,6 +237,9 @@ pub(crate) struct LoopState<'a> {
     /// scheduler, which records dispatch-ordered picks instead.
     pub(crate) picks: Vec<Vec<PickRecord>>,
     pub(crate) stack: Option<FidelityModelStack>,
+    /// Run-scoped buffer arena threaded through every surrogate fit and
+    /// batch prediction (disabled pass-through when `cfg.arena` is off).
+    pub(crate) ws: Workspace,
     pub(crate) hv_history: Vec<[f64; 3]>,
     /// Steps completed so far (the next step index to run).
     pub(crate) steps_done: usize,
@@ -282,6 +297,15 @@ impl<'a> LoopState<'a> {
         Ok(())
     }
 
+    /// The run's buffer arena per [`CmmfConfig::arena`].
+    pub(crate) fn workspace_for(cfg: &CmmfConfig) -> Workspace {
+        if cfg.arena {
+            Workspace::new()
+        } else {
+            Workspace::disabled()
+        }
+    }
+
     /// The top stage of the `rank`-th initialization configuration (the first
     /// ranks go all the way to implementation, Algorithm 2 lines 3-5).
     pub(crate) fn init_top_stage(cfg: &CmmfConfig, rank: usize) -> Stage {
@@ -325,6 +349,7 @@ impl<'a> LoopState<'a> {
             candidate_set: Vec::with_capacity(cfg.n_iter),
             picks: Vec::with_capacity(cfg.n_iter),
             stack: None,
+            ws: Self::workspace_for(cfg),
             hv_history: Vec::with_capacity(cfg.n_iter),
             steps_done: 0,
             replaying: false,
@@ -435,6 +460,7 @@ impl<'a> LoopState<'a> {
             candidate_set: Vec::with_capacity(cfg.n_iter),
             picks: ckpt.picks.clone(),
             stack: None,
+            ws: Self::workspace_for(cfg),
             hv_history: ckpt
                 .hv_history_bits
                 .iter()
@@ -466,12 +492,13 @@ impl<'a> LoopState<'a> {
                 } else {
                     FitMode::Refit
                 };
-                state.stack = Some(FidelityModelStack::fit(
+                state.stack = Some(FidelityModelStack::fit_in(
                     cfg.variant,
                     &data,
                     &cfg.gp,
                     state.stack.as_ref(),
                     mode,
+                    &state.ws,
                 )?);
             }
             for p in step_picks {
@@ -657,8 +684,14 @@ impl<'a> LoopState<'a> {
         let (data, _, _) = self.training_data();
         let mode = Self::fit_mode(cfg, t);
         let fit_started = tracer.enabled().then(Stopwatch::start);
-        let new_stack =
-            FidelityModelStack::fit(cfg.variant, &data, &cfg.gp, self.stack.as_ref(), mode)?;
+        let new_stack = FidelityModelStack::fit_in(
+            cfg.variant,
+            &data,
+            &cfg.gp,
+            self.stack.as_ref(),
+            mode,
+            &self.ws,
+        )?;
         tracer.emit(|| TraceEvent::ModelFit {
             step: t,
             fit_mode: mode.name(),
@@ -709,15 +742,19 @@ impl<'a> LoopState<'a> {
             .with_min_len(8)
             .map(|&c| space.encode(c))
             .collect();
-        let preds: Vec<Vec<MultiTaskPrediction>> = encoded
-            .par_iter()
-            .with_min_len(8)
-            .map(|x| {
-                (0..3)
-                    .map(|f| stack.predict(f, x))
-                    .collect::<Result<Vec<_>, _>>()
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        // One batched stack prediction per fidelity (wide column blocks per
+        // factor traversal), transposed back to the per-candidate layout the
+        // scorers index. Bit-identical to per-candidate `predict_in` calls.
+        let ws = &self.ws;
+        let f0 = stack.predict_batch_in(0, &encoded, ws)?;
+        let f1 = stack.predict_batch_in(1, &encoded, ws)?;
+        let f2 = stack.predict_batch_in(2, &encoded, ws)?;
+        let preds: Vec<Vec<MultiTaskPrediction>> = f0
+            .into_iter()
+            .zip(f1)
+            .zip(f2)
+            .map(|((a, b), c)| vec![a, b, c])
+            .collect();
         // On the indexed path the predictive-covariance factors are also
         // per-step invariants: factor each candidate's M x M covariance
         // once and share it across scoring slots (the naive path factors
@@ -911,11 +948,17 @@ impl<'a> LoopState<'a> {
                 self.unsampled.shuffle(&mut self.rng);
                 let pool_len = cfg.final_prediction_pool.min(self.unsampled.len());
                 let pool = &self.unsampled[..pool_len];
-                let preds: Vec<Vec<f64>> = pool
+                let ws = &self.ws;
+                let encoded: Vec<Vec<f64>> = pool
                     .par_iter()
                     .with_min_len(16)
-                    .map(|&c| stack.predict(2, &space.encode(c)).map(|p| p.mean))
-                    .collect::<Result<Vec<_>, _>>()?;
+                    .map(|&c| space.encode(c))
+                    .collect();
+                let preds: Vec<Vec<f64>> = stack
+                    .predict_batch_in(2, &encoded, ws)?
+                    .into_iter()
+                    .map(|p| p.mean)
+                    .collect();
                 for k in pareto::pareto_front_indices(&preds) {
                     proposed.push(pool[k]);
                 }
@@ -1350,6 +1393,28 @@ mod tests {
     }
 
     #[test]
+    fn arena_does_not_change_the_result() {
+        // The contract behind `CmmfConfig::arena`: pooled buffers come back
+        // zero-filled, exactly like fresh allocations, so which recycled
+        // buffer a fit or prediction receives — which varies with thread
+        // interleaving — cannot influence any computed value. A pooled run
+        // must be bit-identical to a fresh-allocation run at any thread
+        // count.
+        let (space, sim) = setup(Benchmark::SpmvCrs);
+        let run_with = |arena: bool, threads: usize| {
+            let mut cfg = quick_cfg(47);
+            cfg.arena = arena;
+            cfg.threads = threads;
+            Optimizer::new(cfg).run(&space, &sim).unwrap()
+        };
+        let fresh = run_with(false, 1);
+        for threads in [1, 2] {
+            let pooled = run_with(true, threads);
+            assert_same_result(&fresh, &pooled, &format!("arena threads={threads}"));
+        }
+    }
+
+    #[test]
     fn tracer_does_not_change_the_result() {
         // The contract behind `CmmfConfig::tracer`: a tracer observes a run,
         // it never influences it. A run with a recording tracer must be
@@ -1457,9 +1522,10 @@ mod tests {
             Optimizer::new(other.clone()).resume(&ckpt, &space, &sim),
             Err(CmmfError::Checkpoint { .. })
         ));
-        // threads and tracer do not participate in the fingerprint.
+        // threads, arena, and tracer do not participate in the fingerprint.
         other.seed = 41;
         other.threads = 2;
+        other.arena = false;
         other.tracer = TracerHandle::new(Arc::new(MemoryTracer::new()));
         assert!(Optimizer::new(other).resume(&ckpt, &space, &sim).is_ok());
     }

@@ -204,7 +204,7 @@ impl<'a> AsyncState<'a> {
         for run in &self.pending {
             let fi = run.choice.stage.index();
             let x = self.base.space.encode(run.choice.config);
-            let pred = new_stack.predict(fi, &x)?;
+            let pred = new_stack.predict_in(fi, &x, &self.base.ws)?;
             let merged = pareto_front(
                 &fantasy[fi]
                     .iter()
@@ -456,6 +456,7 @@ impl<'a> AsyncState<'a> {
             candidate_set: Vec::with_capacity(cfg.n_iter),
             picks: Vec::new(),
             stack: None,
+            ws: LoopState::workspace_for(cfg),
             hv_history: ckpt
                 .hv_history_bits
                 .iter()
@@ -495,12 +496,13 @@ impl<'a> AsyncState<'a> {
         };
         let quiet_fit = |base: &mut LoopState<'a>, t: usize| -> Result<(), CmmfError> {
             let (data, _, _) = base.training_data();
-            base.stack = Some(FidelityModelStack::fit(
+            base.stack = Some(FidelityModelStack::fit_in(
                 cfg.variant,
                 &data,
                 &cfg.gp,
                 base.stack.as_ref(),
                 LoopState::fit_mode(cfg, t),
+                &base.ws,
             )?);
             Ok(())
         };

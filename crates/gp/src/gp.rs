@@ -1,7 +1,7 @@
 use crate::kernel::Kernel;
 use crate::optimize::{multi_start_nelder_mead, NelderMeadOptions};
 use crate::GpError;
-use linalg::{Cholesky, Matrix};
+use linalg::{Cholesky, Matrix, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -87,6 +87,27 @@ impl<K: Kernel + Clone> Gp<K> {
     /// * [`GpError::Numerical`] if the covariance cannot be factorized at the
     ///   optimum (rare; jitter is escalated automatically first).
     pub fn fit(kernel: K, xs: &[Vec<f64>], ys: &[f64], cfg: &GpConfig) -> Result<Self, GpError> {
+        Self::fit_in(kernel, xs, ys, cfg, Workspace::off())
+    }
+
+    /// [`Gp::fit`] with an explicit buffer arena.
+    ///
+    /// Every Nelder–Mead objective evaluation assembles and factorizes an
+    /// `n × n` covariance; with an enabled [`Workspace`] those buffers are
+    /// recycled across evaluations (and across models sharing the arena)
+    /// instead of being reallocated. Results are bit-identical to
+    /// [`Gp::fit`] — the arena only hands out zero-filled storage.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gp::fit`].
+    pub fn fit_in(
+        kernel: K,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        cfg: &GpConfig,
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         validate(xs, ys, kernel.dim())?;
         let (y_std, y_mean, y_scale) = standardize(ys);
 
@@ -102,7 +123,7 @@ impl<K: Kernel + Clone> Gp<K> {
                 let mut k = base_kernel.clone();
                 k.set_log_params(&p[..p.len() - 1]);
                 let nv = p[p.len() - 1].exp().max(floor);
-                nlml(&k, xs, &y_std, nv).unwrap_or(f64::INFINITY)
+                nlml_in(&k, xs, &y_std, nv, ws).unwrap_or(f64::INFINITY)
             };
             let mut rng = StdRng::seed_from_u64(cfg.seed);
             let opts = NelderMeadOptions {
@@ -116,7 +137,7 @@ impl<K: Kernel + Clone> Gp<K> {
             }
         }
 
-        let (km, chol, alpha, nlml_val) = factorize(&kernel, xs, &y_std, noise_var)?;
+        let (km, chol, alpha, nlml_val) = factorize_in(&kernel, xs, &y_std, noise_var, ws)?;
         Ok(Gp {
             kernel,
             xs: xs.to_vec(),
@@ -139,9 +160,19 @@ impl<K: Kernel + Clone> Gp<K> {
     ///
     /// Same conditions as [`Gp::fit`].
     pub fn refit(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, GpError> {
+        self.refit_in(xs, ys, Workspace::off())
+    }
+
+    /// [`Gp::refit`] with an explicit buffer arena (see [`Gp::fit_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gp::fit`].
+    pub fn refit_in(&self, xs: &[Vec<f64>], ys: &[f64], ws: &Workspace) -> Result<Self, GpError> {
         validate(xs, ys, self.kernel.dim())?;
         let (y_std, y_mean, y_scale) = standardize(ys);
-        let (km, chol, alpha, nlml_val) = factorize(&self.kernel, xs, &y_std, self.noise_var)?;
+        let (km, chol, alpha, nlml_val) =
+            factorize_in(&self.kernel, xs, &y_std, self.noise_var, ws)?;
         Ok(Gp {
             kernel: self.kernel.clone(),
             xs: xs.to_vec(),
@@ -172,14 +203,23 @@ impl<K: Kernel + Clone> Gp<K> {
     ///
     /// Same conditions as [`Gp::fit`].
     pub fn extend(&self, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, GpError> {
+        self.extend_in(xs, ys, Workspace::off())
+    }
+
+    /// [`Gp::extend`] with an explicit buffer arena (see [`Gp::fit_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gp::fit`].
+    pub fn extend_in(&self, xs: &[Vec<f64>], ys: &[f64], ws: &Workspace) -> Result<Self, GpError> {
         let n0 = self.xs.len();
         if xs.len() < n0 || xs[..n0] != self.xs[..] {
-            return self.refit(xs, ys);
+            return self.refit_in(xs, ys, ws);
         }
         validate(xs, ys, self.kernel.dim())?;
         let (y_std, y_mean, y_scale) = standardize(ys);
         let n = xs.len();
-        let mut km = Matrix::zeros(n, n);
+        let mut km = ws.take_matrix(n, n);
         for i in 0..n0 {
             km.row_mut(i)[..n0].copy_from_slice(self.km.row(i));
         }
@@ -202,6 +242,60 @@ impl<K: Kernel + Clone> Gp<K> {
         Ok(Gp {
             kernel: self.kernel.clone(),
             xs: xs.to_vec(),
+            km,
+            chol,
+            alpha,
+            noise_var: self.noise_var,
+            y_mean,
+            y_scale,
+            nlml: nlml_val,
+        })
+    }
+
+    /// Drops the **oldest** `k` training points by low-rank *downdating* of the
+    /// cached Cholesky factor instead of refactorizing — the sliding-window
+    /// companion of [`Gp::extend`] for surrogates that cap their history.
+    ///
+    /// `ys` supplies the targets for the `n − k` **remaining** points (the GP
+    /// does not retain raw targets, and a shrinking window typically changes
+    /// the normalization anyway); output standardization and `α = K⁻¹y` are
+    /// recomputed from scratch, which is `O(n²)`. Hyperparameters are reused.
+    ///
+    /// Unlike [`Gp::extend`] the rotation-based factor update is **not**
+    /// bit-identical to [`Gp::refit`] on the window — it agrees to numerical
+    /// tolerance (see [`Cholesky::downdate`]) and falls back to a full
+    /// refactorization if positive-definiteness is lost.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::InvalidTrainingData`] if `k >= self.train_len()`, if
+    ///   `ys.len()` does not match the remaining window, or if any target is
+    ///   non-finite.
+    /// * [`GpError::Numerical`] if the fallback refactorization fails.
+    pub fn downdate(&self, k: usize, ys: &[f64]) -> Result<Self, GpError> {
+        let n = self.xs.len();
+        if k >= n {
+            return Err(GpError::InvalidTrainingData {
+                reason: format!("downdate would remove {k} of {n} training points"),
+            });
+        }
+        let xs: Vec<Vec<f64>> = self.xs[k..].to_vec();
+        validate(&xs, ys, self.kernel.dim())?;
+        let (y_std, y_mean, y_scale) = standardize(ys);
+        let m = n - k;
+        // The trailing sub-block of the cached `K + σ²I` *is* the windowed
+        // covariance: its entries were produced by the same `eval` calls a
+        // fresh assembly over `xs[k..]` would make.
+        let mut km = Matrix::zeros(m, m);
+        for i in 0..m {
+            km.row_mut(i).copy_from_slice(&self.km.row(k + i)[k..]);
+        }
+        let chol = self.chol.downdate(k)?;
+        let alpha = chol.solve_vec(&y_std)?;
+        let nlml_val = nlml_from(&chol, &y_std, &alpha);
+        Ok(Gp {
+            kernel: self.kernel.clone(),
+            xs,
             km,
             chol,
             alpha,
@@ -249,11 +343,27 @@ impl<K: Kernel + Clone> Gp<K> {
     /// Returns [`GpError::DimensionMismatch`] under the same conditions as
     /// [`Gp::predict`].
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<Prediction>, GpError> {
+        self.predict_batch_in(xs, Workspace::off())
+    }
+
+    /// [`Gp::predict_batch`] with an explicit buffer arena: the per-chunk
+    /// cross-covariance and triangular-solve matrices are recycled through
+    /// `ws` instead of allocated per chunk. Bit-identical to
+    /// [`Gp::predict_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gp::predict_batch`].
+    pub fn predict_batch_in(
+        &self,
+        xs: &[Vec<f64>],
+        ws: &Workspace,
+    ) -> Result<Vec<Prediction>, GpError> {
         use rayon::prelude::*;
         const CHUNK: usize = 16;
         let chunks: Vec<Vec<Prediction>> = xs
             .par_chunks(CHUNK)
-            .map(|chunk| self.predict_chunk(chunk))
+            .map(|chunk| self.predict_chunk(chunk, ws))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(chunks.into_iter().flatten().collect())
     }
@@ -261,7 +371,11 @@ impl<K: Kernel + Clone> Gp<K> {
     /// One chunk of [`Gp::predict_batch`]: a single stacked triangular solve
     /// for every query in `chunk`, column-for-column identical to
     /// [`Gp::predict`].
-    fn predict_chunk(&self, chunk: &[Vec<f64>]) -> Result<Vec<Prediction>, GpError> {
+    fn predict_chunk(
+        &self,
+        chunk: &[Vec<f64>],
+        ws: &Workspace,
+    ) -> Result<Vec<Prediction>, GpError> {
         for x in chunk {
             if x.len() != self.kernel.dim() {
                 return Err(GpError::DimensionMismatch {
@@ -271,11 +385,10 @@ impl<K: Kernel + Clone> Gp<K> {
             }
         }
         let n = self.xs.len();
-        let kstar = Matrix::from_fn(n, chunk.len(), |i, j| {
-            self.kernel.eval(&self.xs[i], &chunk[j])
-        });
-        let v = self.chol.solve_lower_mat(&kstar)?;
-        Ok((0..chunk.len())
+        let mut kstar = ws.take_matrix(n, chunk.len());
+        self.kernel.cross_into(&self.xs, chunk, &mut kstar);
+        let v = self.chol.solve_lower_mat_in(&kstar, ws)?;
+        let preds = (0..chunk.len())
             .map(|j| {
                 let mean_std: f64 = (0..n).map(|i| kstar[(i, j)] * self.alpha[i]).sum();
                 let var_std = self.kernel.eval(&chunk[j], &chunk[j])
@@ -285,7 +398,10 @@ impl<K: Kernel + Clone> Gp<K> {
                     var: (var_std.max(0.0)) * self.y_scale * self.y_scale,
                 }
             })
-            .collect())
+            .collect();
+        ws.put_matrix(kstar);
+        ws.put_matrix(v);
+        Ok(preds)
     }
 
     /// The fitted kernel.
@@ -356,18 +472,24 @@ fn standardize(ys: &[f64]) -> (Vec<f64>, f64, f64) {
 }
 
 /// Builds and factorizes `K + σ²I`, returning `(K + σ²I, chol, α = K⁻¹y, NLML)`.
-fn factorize<K: Kernel>(
+///
+/// Assembly goes through [`Kernel::gram_into`] (lower triangle + mirror, half
+/// the kernel evaluations of a dense fill, row-block parallel above its size
+/// threshold) into a matrix taken from `ws`; the factorization scratch comes
+/// from `ws` too. The returned matrices keep their storage — they live in the
+/// fitted model — so only the per-evaluation churn is pooled.
+fn factorize_in<K: Kernel>(
     kernel: &K,
     xs: &[Vec<f64>],
     y_std: &[f64],
     noise_var: f64,
+    ws: &Workspace,
 ) -> Result<(Matrix, Cholesky, Vec<f64>, f64), GpError> {
     let n = xs.len();
-    // Row-blocked parallel assembly; bit-identical to the serial path for
-    // any thread count (see `Matrix::from_fn_par`).
-    let mut km = Matrix::from_fn_par(n, n, |i, j| kernel.eval(&xs[i], &xs[j]));
+    let mut km = ws.take_matrix(n, n);
+    kernel.gram_into(xs, &mut km);
     km.add_diag(noise_var);
-    let chol = Cholesky::new(&km)?;
+    let chol = Cholesky::new_in(&km, ws)?;
     let alpha = chol.solve_vec(y_std)?;
     let nlml = nlml_from(&chol, y_std, &alpha);
     Ok((km, chol, alpha, nlml))
@@ -383,13 +505,32 @@ fn nlml_from(chol: &Cholesky, y_std: &[f64], alpha: &[f64]) -> f64 {
 }
 
 /// Negative log marginal likelihood for given hyperparameters.
-fn nlml<K: Kernel>(
+///
+/// This is the hyperparameter-search hot path (hundreds of calls per fit):
+/// unlike [`factorize_in`] it returns the covariance and factor storage to
+/// the arena before returning, so consecutive evaluations reuse the same two
+/// `n × n` allocations.
+fn nlml_in<K: Kernel>(
     kernel: &K,
     xs: &[Vec<f64>],
     y_std: &[f64],
     noise_var: f64,
+    ws: &Workspace,
 ) -> Result<f64, GpError> {
-    factorize(kernel, xs, y_std, noise_var).map(|(_, _, _, v)| v)
+    let n = xs.len();
+    let mut km = ws.take_matrix(n, n);
+    kernel.gram_into(xs, &mut km);
+    km.add_diag(noise_var);
+    let result = Cholesky::new_in(&km, ws)
+        .map_err(GpError::from)
+        .and_then(|chol| {
+            let alpha = chol.solve_vec(y_std)?;
+            let v = nlml_from(&chol, y_std, &alpha);
+            ws.put_matrix(chol.into_l());
+            Ok(v)
+        });
+    ws.put_matrix(km);
+    result
 }
 
 #[cfg(test)]
@@ -515,6 +656,94 @@ mod tests {
         assert!(matches!(
             gp.predict(&[0.0, 0.0]),
             Err(GpError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_in_with_arena_matches_fit_bitwise_and_pools_buffers() {
+        let xs = grid_1d(14);
+        let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).cos()).collect();
+        let cfg = GpConfig::default();
+        let plain = Gp::fit(Matern52Ard::new(1), &xs, &ys, &cfg).unwrap();
+        let ws = Workspace::new();
+        let pooled = Gp::fit_in(Matern52Ard::new(1), &xs, &ys, &cfg, &ws).unwrap();
+        assert_eq!(
+            plain.neg_log_marginal_likelihood().to_bits(),
+            pooled.neg_log_marginal_likelihood().to_bits()
+        );
+        let queries: Vec<Vec<f64>> = (0..23).map(|i| vec![i as f64 / 11.0 - 0.5]).collect();
+        let a = plain.predict_batch(&queries).unwrap();
+        let b = pooled.predict_batch_in(&queries, &ws).unwrap();
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.mean.to_bits(), pb.mean.to_bits());
+            assert_eq!(pa.var.to_bits(), pb.var.to_bits());
+        }
+        // The final factorization keeps its storage (it lives in the model),
+        // but prediction scratch must have come back to the pool.
+        assert!(ws.pooled() > 0, "prediction scratch was never recycled");
+    }
+
+    #[test]
+    fn downdate_matches_refit_on_window() {
+        let xs = grid_1d(20);
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).sin() + 0.5 * x[0]).collect();
+        let gp = Gp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        for k in [1usize, 5, 12] {
+            let down = gp.downdate(k, &ys[k..]).unwrap();
+            let refit = gp.refit(&xs[k..], &ys[k..]).unwrap();
+            assert_eq!(down.train_len(), 20 - k);
+            let nd = down.neg_log_marginal_likelihood();
+            let nr = refit.neg_log_marginal_likelihood();
+            assert!(
+                (nd - nr).abs() < 1e-8 * nr.abs().max(1.0),
+                "k={k}: {nd} vs {nr}"
+            );
+            for q in [[0.05], [0.42], [0.93]] {
+                let pd = down.predict(&q).unwrap();
+                let pr = refit.predict(&q).unwrap();
+                assert!((pd.mean - pr.mean).abs() < 1e-8, "k={k} q={q:?}");
+                assert!((pd.var - pr.var).abs() < 1e-8, "k={k} q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_after_extend_slides_the_window() {
+        // extend by 4 points, downdate the oldest 4: a full sliding-window
+        // step without ever refactorizing from scratch.
+        let xs = grid_1d(16);
+        let ys: Vec<f64> = xs.iter().map(|x| (7.0 * x[0]).sin()).collect();
+        let gp = Gp::fit(
+            Matern52Ard::new(1),
+            &xs[..12],
+            &ys[..12],
+            &GpConfig::default(),
+        )
+        .unwrap();
+        let grown = gp.extend(&xs, &ys).unwrap();
+        let slid = grown.downdate(4, &ys[4..]).unwrap();
+        let refit = grown.refit(&xs[4..], &ys[4..]).unwrap();
+        assert_eq!(slid.train_len(), 12);
+        for q in [[0.11], [0.52], [0.97]] {
+            let ps = slid.predict(&q).unwrap();
+            let pr = refit.predict(&q).unwrap();
+            assert!((ps.mean - pr.mean).abs() < 1e-8, "q={q:?}");
+            assert!((ps.var - pr.var).abs() < 1e-8, "q={q:?}");
+        }
+    }
+
+    #[test]
+    fn downdate_rejects_bad_windows() {
+        let xs = grid_1d(6);
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let gp = Gp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        assert!(matches!(
+            gp.downdate(6, &[]),
+            Err(GpError::InvalidTrainingData { .. })
+        ));
+        assert!(matches!(
+            gp.downdate(2, &ys[..3]),
+            Err(GpError::InvalidTrainingData { .. })
         ));
     }
 

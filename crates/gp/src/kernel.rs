@@ -4,6 +4,15 @@
 //! Hyperparameters are exposed in **log space** through [`Kernel::log_params`] /
 //! [`Kernel::set_log_params`] so that unconstrained optimizers (Nelder–Mead) can
 //! search them directly while the natural-space values stay positive.
+//!
+//! The ARD kernels precompute per-dimension inverse-squared lengthscales
+//! (`1/ℓ_d²`) once per hyperparameter update, so the per-pair distance loops
+//! are division-free: `s += (a_d - b_d)² · w_d`. [`Kernel::eval`] and the
+//! batched [`Kernel::gram_into`] / [`Kernel::cross_into`] assembly paths share
+//! the same precomputed weights and the same per-pair operations, keeping
+//! every covariance path bit-consistent by construction.
+
+use linalg::Matrix;
 
 /// A positive-definite covariance function over `R^d`.
 ///
@@ -42,6 +51,99 @@ pub trait Kernel: Send + Sync {
     /// Implementations may panic if `p.len()` differs from
     /// `self.log_params().len()`.
     fn set_log_params(&mut self, p: &[f64]);
+
+    /// Fills `out` with the Gram matrix `out[(i, j)] = k(xs[i], xs[j])`,
+    /// writing into the caller's buffer (typically recycled through a
+    /// `linalg::Workspace`). Only the lower triangle is evaluated; the upper
+    /// is mirrored. Every in-tree kernel is *bitwise* symmetric — distances
+    /// enter as `(a_d - b_d)²`, whose sign cancels exactly, and dot products
+    /// commute exactly — so the mirrored assembly is bit-identical to
+    /// evaluating every entry, at half the evaluation count. Large matrices
+    /// assemble rows on the parallel execution layer with source-order
+    /// placement, exactly like `Matrix::from_fn_par` (bit-identical at any
+    /// thread count).
+    ///
+    /// Implementations overriding [`Kernel::eval`] must keep it bitwise
+    /// symmetric for this default to stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `xs.len() x xs.len()`.
+    fn gram_into(&self, xs: &[Vec<f64>], out: &mut Matrix) {
+        let n = xs.len();
+        assert_eq!(out.shape(), (n, n), "gram_into: buffer must be n x n");
+        if n * n < ASSEMBLY_PAR_THRESHOLD {
+            for i in 0..n {
+                let row = out.row_mut(i);
+                for (j, x) in xs.iter().enumerate().take(i + 1) {
+                    row[j] = self.eval(&xs[i], x);
+                }
+            }
+        } else {
+            use rayon::prelude::*;
+            let rows: Vec<Vec<f64>> = (0..n)
+                .into_par_iter()
+                .with_min_len(4)
+                .map(|i| (0..=i).map(|j| self.eval(&xs[i], &xs[j])).collect())
+                .collect();
+            for (i, r) in rows.iter().enumerate() {
+                out.row_mut(i)[..=i].copy_from_slice(r);
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+    }
+
+    /// Fills `out[(i, j)] = k(xs[i], queries[j])` — the cross-covariance
+    /// between the training inputs and a query chunk — into the caller's
+    /// buffer. Entry values are identical to per-entry evaluation; rows
+    /// assemble in parallel above the same threshold as
+    /// [`Kernel::gram_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `xs.len() x queries.len()`.
+    fn cross_into(&self, xs: &[Vec<f64>], queries: &[Vec<f64>], out: &mut Matrix) {
+        let n = xs.len();
+        let q = queries.len();
+        assert_eq!(out.shape(), (n, q), "cross_into: buffer must be n x q");
+        if n * q < ASSEMBLY_PAR_THRESHOLD {
+            for (i, x) in xs.iter().enumerate() {
+                let row = out.row_mut(i);
+                for (o, query) in row.iter_mut().zip(queries) {
+                    *o = self.eval(x, query);
+                }
+            }
+        } else {
+            use rayon::prelude::*;
+            let rows: Vec<Vec<f64>> = (0..n)
+                .into_par_iter()
+                .with_min_len(4)
+                .map(|i| {
+                    queries
+                        .iter()
+                        .map(|query| self.eval(&xs[i], query))
+                        .collect()
+                })
+                .collect();
+            for (i, r) in rows.iter().enumerate() {
+                out.row_mut(i).copy_from_slice(r);
+            }
+        }
+    }
+}
+
+/// Entry count above which [`Kernel::gram_into`] / [`Kernel::cross_into`]
+/// assemble rows in parallel (mirrors `Matrix::from_fn_par`'s threshold).
+const ASSEMBLY_PAR_THRESHOLD: usize = 4096;
+
+/// `1/ℓ²` per entry: the per-dimension division hoisted out of the per-pair
+/// distance loops, performed once per hyperparameter update.
+fn inv_sq(ls: &[f64]) -> Vec<f64> {
+    ls.iter().map(|l| 1.0 / (l * l)).collect()
 }
 
 /// Anisotropic squared-exponential (RBF) kernel:
@@ -50,6 +152,8 @@ pub trait Kernel: Send + Sync {
 pub struct SquaredExponentialArd {
     lengthscales: Vec<f64>,
     signal_var: f64,
+    /// `1/ℓ_d²` per dimension (derived; refreshed on every parameter update).
+    inv_sq_lengthscales: Vec<f64>,
 }
 
 impl SquaredExponentialArd {
@@ -68,9 +172,11 @@ impl SquaredExponentialArd {
             lengthscales.iter().all(|l| *l > 0.0) && signal_var > 0.0,
             "kernel parameters must be positive"
         );
+        let inv_sq_lengthscales = inv_sq(&lengthscales);
         SquaredExponentialArd {
             lengthscales,
             signal_var,
+            inv_sq_lengthscales,
         }
     }
 
@@ -90,9 +196,9 @@ impl Kernel for SquaredExponentialArd {
         debug_assert_eq!(a.len(), self.lengthscales.len());
         debug_assert_eq!(b.len(), self.lengthscales.len());
         let mut s = 0.0;
-        for ((x, y), l) in a.iter().zip(b).zip(&self.lengthscales) {
-            let d = (x - y) / l;
-            s += d * d;
+        for ((x, y), w) in a.iter().zip(b).zip(&self.inv_sq_lengthscales) {
+            let d = x - y;
+            s += d * d * w;
         }
         self.signal_var * (-0.5 * s).exp()
     }
@@ -113,6 +219,9 @@ impl Kernel for SquaredExponentialArd {
             *l = lp.exp();
         }
         self.signal_var = p[p.len() - 1].exp();
+        for (w, l) in self.inv_sq_lengthscales.iter_mut().zip(&self.lengthscales) {
+            *w = 1.0 / (l * l);
+        }
     }
 }
 
@@ -126,6 +235,8 @@ impl Kernel for SquaredExponentialArd {
 pub struct Matern52Ard {
     lengthscales: Vec<f64>,
     signal_var: f64,
+    /// `1/ℓ_d²` per dimension (derived; refreshed on every parameter update).
+    inv_sq_lengthscales: Vec<f64>,
 }
 
 impl Matern52Ard {
@@ -144,9 +255,11 @@ impl Matern52Ard {
             lengthscales.iter().all(|l| *l > 0.0) && signal_var > 0.0,
             "kernel parameters must be positive"
         );
+        let inv_sq_lengthscales = inv_sq(&lengthscales);
         Matern52Ard {
             lengthscales,
             signal_var,
+            inv_sq_lengthscales,
         }
     }
 
@@ -166,9 +279,9 @@ impl Kernel for Matern52Ard {
         debug_assert_eq!(a.len(), self.lengthscales.len());
         debug_assert_eq!(b.len(), self.lengthscales.len());
         let mut s = 0.0;
-        for ((x, y), l) in a.iter().zip(b).zip(&self.lengthscales) {
-            let d = (x - y) / l;
-            s += d * d;
+        for ((x, y), w) in a.iter().zip(b).zip(&self.inv_sq_lengthscales) {
+            let d = x - y;
+            s += d * d * w;
         }
         let r = s.sqrt();
         let sqrt5_r = 5.0_f64.sqrt() * r;
@@ -191,6 +304,9 @@ impl Kernel for Matern52Ard {
             *l = lp.exp();
         }
         self.signal_var = p[p.len() - 1].exp();
+        for (w, l) in self.inv_sq_lengthscales.iter_mut().zip(&self.lengthscales) {
+            *w = 1.0 / (l * l);
+        }
     }
 }
 
@@ -220,6 +336,9 @@ pub struct Matern52Grouped {
     /// One lengthscale per group.
     lengthscales: Vec<f64>,
     signal_var: f64,
+    /// `1/ℓ_{g(d)}²` expanded per *dimension* (derived; refreshed on every
+    /// parameter update), so the per-pair loop needs no group indirection.
+    inv_sq_by_dim: Vec<f64>,
 }
 
 impl Matern52Grouped {
@@ -234,10 +353,12 @@ impl Matern52Grouped {
         for g in 0..n_groups {
             assert!(groups.contains(&g), "group ids must be contiguous from 0");
         }
+        let inv_sq_by_dim = vec![1.0; groups.len()];
         Matern52Grouped {
             groups,
             lengthscales: vec![1.0; n_groups],
             signal_var: 1.0,
+            inv_sq_by_dim,
         }
     }
 
@@ -273,9 +394,9 @@ impl Kernel for Matern52Grouped {
         debug_assert_eq!(a.len(), self.groups.len());
         debug_assert_eq!(b.len(), self.groups.len());
         let mut s = 0.0;
-        for ((x, y), &g) in a.iter().zip(b).zip(&self.groups) {
-            let d = (x - y) / self.lengthscales[g];
-            s += d * d;
+        for ((x, y), w) in a.iter().zip(b).zip(&self.inv_sq_by_dim) {
+            let d = x - y;
+            s += d * d * w;
         }
         let r = s.sqrt();
         let sqrt5_r = 5.0_f64.sqrt() * r;
@@ -298,6 +419,10 @@ impl Kernel for Matern52Grouped {
             *l = lp.exp();
         }
         self.signal_var = p[p.len() - 1].exp();
+        for (w, &g) in self.inv_sq_by_dim.iter_mut().zip(&self.groups) {
+            let l = self.lengthscales[g];
+            *w = 1.0 / (l * l);
+        }
     }
 }
 
@@ -522,6 +647,90 @@ mod tests {
     #[should_panic(expected = "share a dimension")]
     fn sum_kernel_rejects_mismatched_dims() {
         let _ = SumKernel::new(Matern52Ard::new(1), LinearKernel::new(2));
+    }
+
+    fn wavy_inputs(n: usize, d: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..d).map(|j| ((i * d + j) as f64 * 0.37).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn hoisted_weights_match_division_formulation_closely() {
+        // The hoisted form `(x-y)²·(1/ℓ²)` and the historical `((x-y)/ℓ)²`
+        // agree to a few ulps; this pins the reformulation's error budget.
+        let ls = [0.37, 2.9, 0.004];
+        let k = Matern52Ard::with_params(ls.to_vec(), 1.7);
+        let a = [0.21, -3.0, 0.55];
+        let b = [1.9, 0.02, 0.54];
+        let mut s = 0.0;
+        for i in 0..3 {
+            let d = (a[i] - b[i]) / ls[i];
+            s += d * d;
+        }
+        let r = s.sqrt();
+        let sqrt5_r = 5.0_f64.sqrt() * r;
+        let reference = 1.7 * (1.0 + sqrt5_r + 5.0 * s / 3.0) * (-sqrt5_r).exp();
+        let got = k.eval(&a, &b);
+        assert!(
+            (got - reference).abs() <= 1e-13 * reference.abs().max(1.0),
+            "{got} vs {reference}"
+        );
+    }
+
+    #[test]
+    fn eval_is_bitwise_symmetric() {
+        let se = SquaredExponentialArd::with_params(vec![0.5, 2.0, 0.3], 1.4);
+        let m = Matern52Ard::with_params(vec![0.9, 0.2, 1.1], 0.8);
+        let g = Matern52Grouped::iso_plus_tail(2, 1);
+        let lin = LinearKernel::new(3);
+        let a = [0.13, -0.8, 2.5];
+        let b = [1.02, 0.44, -0.6];
+        assert_eq!(se.eval(&a, &b).to_bits(), se.eval(&b, &a).to_bits());
+        assert_eq!(m.eval(&a, &b).to_bits(), m.eval(&b, &a).to_bits());
+        assert_eq!(g.eval(&a, &b).to_bits(), g.eval(&b, &a).to_bits());
+        assert_eq!(lin.eval(&a, &b).to_bits(), lin.eval(&b, &a).to_bits());
+    }
+
+    #[test]
+    fn gram_into_matches_per_entry_eval_bitwise() {
+        // n=70 crosses the parallel-assembly threshold (70² > 4096).
+        for n in [1, 6, 70] {
+            let mut k = Matern52Ard::new(3);
+            k.set_log_params(&[0.3, -0.4, 0.1, 0.2]);
+            let xs = wavy_inputs(n, 3);
+            let mut out = Matrix::zeros(n, n);
+            k.gram_into(&xs, &mut out);
+            let full = Matrix::from_fn(n, n, |i, j| k.eval(&xs[i], &xs[j]));
+            for (idx, (a, b)) in out.as_slice().iter().zip(full.as_slice()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n} entry {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn gram_into_overwrites_dirty_buffers() {
+        let k = SquaredExponentialArd::new(2);
+        let xs = wavy_inputs(5, 2);
+        let mut dirty = Matrix::from_fn(5, 5, |_, _| f64::NAN);
+        k.gram_into(&xs, &mut dirty);
+        let clean = Matrix::from_fn(5, 5, |i, j| k.eval(&xs[i], &xs[j]));
+        assert_eq!(dirty.as_slice(), clean.as_slice());
+    }
+
+    #[test]
+    fn cross_into_matches_per_entry_eval_bitwise() {
+        for (n, q) in [(4, 3), (80, 60)] {
+            let k = SumKernel::new(Matern52Ard::new(2), LinearKernel::new(2));
+            let xs = wavy_inputs(n, 2);
+            let queries = wavy_inputs(q, 2);
+            let mut out = Matrix::zeros(n, q);
+            k.cross_into(&xs, &queries, &mut out);
+            let full = Matrix::from_fn(n, q, |i, j| k.eval(&xs[i], &queries[j]));
+            for (idx, (a, b)) in out.as_slice().iter().zip(full.as_slice()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n} q={q} entry {idx}");
+            }
+        }
     }
 
     #[test]

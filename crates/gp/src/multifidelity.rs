@@ -33,6 +33,7 @@
 use crate::gp::{Gp, GpConfig, Prediction};
 use crate::kernel::{Matern52Ard, Matern52Grouped};
 use crate::GpError;
+use linalg::Workspace;
 
 /// Training data for one fidelity level.
 #[derive(Debug, Clone, PartialEq)]
@@ -119,8 +120,23 @@ impl LinearMultiFidelityGp {
     ///
     /// Propagates [`GpError`] from validation or per-level GP fitting.
     pub fn fit(data: &[FidelityData], cfg: &MultiFidelityConfig) -> Result<Self, GpError> {
+        Self::fit_in(data, cfg, Workspace::off())
+    }
+
+    /// [`LinearMultiFidelityGp::fit`] with an explicit buffer arena shared by
+    /// every per-level GP fit (see [`Gp::fit_in`]). Bit-identical to
+    /// [`LinearMultiFidelityGp::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearMultiFidelityGp::fit`].
+    pub fn fit_in(
+        data: &[FidelityData],
+        cfg: &MultiFidelityConfig,
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         let dim = validate_levels(data)?;
-        let base = Gp::fit(Matern52Ard::new(dim), &data[0].xs, &data[0].ys, &cfg.gp)?;
+        let base = Gp::fit_in(Matern52Ard::new(dim), &data[0].xs, &data[0].ys, &cfg.gp, ws)?;
         let mut model = LinearMultiFidelityGp {
             base,
             deltas: Vec::new(),
@@ -141,7 +157,7 @@ impl LinearMultiFidelityGp {
                 .zip(&prev_mean)
                 .map(|(y, m)| y - rho * m)
                 .collect();
-            let delta = Gp::fit(Matern52Ard::new(dim), &level.xs, &residuals, &cfg.gp)?;
+            let delta = Gp::fit_in(Matern52Ard::new(dim), &level.xs, &residuals, &cfg.gp, ws)?;
             model.rhos.push(rho);
             model.deltas.push(delta);
         }
@@ -184,6 +200,16 @@ impl LinearMultiFidelityGp {
     /// Same conditions as [`LinearMultiFidelityGp::fit`]; additionally errors
     /// if `data` has a different number of levels than this model.
     pub fn refit(&self, data: &[FidelityData]) -> Result<Self, GpError> {
+        self.refit_in(data, Workspace::off())
+    }
+
+    /// [`LinearMultiFidelityGp::refit`] with an explicit buffer arena (see
+    /// [`Gp::fit_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearMultiFidelityGp::refit`].
+    pub fn refit_in(&self, data: &[FidelityData], ws: &Workspace) -> Result<Self, GpError> {
         validate_levels(data)?;
         if data.len() != self.n_levels() {
             return Err(GpError::InvalidTrainingData {
@@ -194,7 +220,7 @@ impl LinearMultiFidelityGp {
                 ),
             });
         }
-        let base = self.base.refit(&data[0].xs, &data[0].ys)?;
+        let base = self.base.refit_in(&data[0].xs, &data[0].ys, ws)?;
         let mut model = LinearMultiFidelityGp {
             base,
             deltas: Vec::new(),
@@ -215,7 +241,7 @@ impl LinearMultiFidelityGp {
                 .zip(&prev_mean)
                 .map(|(y, m)| y - rho * m)
                 .collect();
-            let delta = self.deltas[i].refit(&level.xs, &residuals)?;
+            let delta = self.deltas[i].refit_in(&level.xs, &residuals, ws)?;
             model.rhos.push(rho);
             model.deltas.push(delta);
         }
@@ -233,6 +259,16 @@ impl LinearMultiFidelityGp {
     ///
     /// Same conditions as [`LinearMultiFidelityGp::refit`].
     pub fn extend(&self, data: &[FidelityData]) -> Result<Self, GpError> {
+        self.extend_in(data, Workspace::off())
+    }
+
+    /// [`LinearMultiFidelityGp::extend`] with an explicit buffer arena (see
+    /// [`Gp::fit_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearMultiFidelityGp::refit`].
+    pub fn extend_in(&self, data: &[FidelityData], ws: &Workspace) -> Result<Self, GpError> {
         validate_levels(data)?;
         if data.len() != self.n_levels() {
             return Err(GpError::InvalidTrainingData {
@@ -243,7 +279,7 @@ impl LinearMultiFidelityGp {
                 ),
             });
         }
-        let base = self.base.extend(&data[0].xs, &data[0].ys)?;
+        let base = self.base.extend_in(&data[0].xs, &data[0].ys, ws)?;
         let mut model = LinearMultiFidelityGp {
             base,
             deltas: Vec::new(),
@@ -264,7 +300,7 @@ impl LinearMultiFidelityGp {
                 .zip(&prev_mean)
                 .map(|(y, m)| y - rho * m)
                 .collect();
-            let delta = self.deltas[i].extend(&level.xs, &residuals)?;
+            let delta = self.deltas[i].extend_in(&level.xs, &residuals, ws)?;
             model.rhos.push(rho);
             model.deltas.push(delta);
         }
@@ -327,8 +363,23 @@ impl NonLinearMultiFidelityGp {
     ///
     /// Propagates [`GpError`] from validation or per-level GP fitting.
     pub fn fit(data: &[FidelityData], cfg: &MultiFidelityConfig) -> Result<Self, GpError> {
+        Self::fit_in(data, cfg, Workspace::off())
+    }
+
+    /// [`NonLinearMultiFidelityGp::fit`] with an explicit buffer arena shared
+    /// by every per-level GP fit (see [`Gp::fit_in`]). Bit-identical to
+    /// [`NonLinearMultiFidelityGp::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NonLinearMultiFidelityGp::fit`].
+    pub fn fit_in(
+        data: &[FidelityData],
+        cfg: &MultiFidelityConfig,
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         let dim = validate_levels(data)?;
-        let base = Gp::fit(Matern52Ard::new(dim), &data[0].xs, &data[0].ys, &cfg.gp)?;
+        let base = Gp::fit_in(Matern52Ard::new(dim), &data[0].xs, &data[0].ys, &cfg.gp, ws)?;
         let mut model = NonLinearMultiFidelityGp {
             base,
             uppers: Vec::new(),
@@ -363,11 +414,12 @@ impl NonLinearMultiFidelityGp {
                 .zip(&prev)
                 .map(|(y, m)| y - rho * m)
                 .collect();
-            let gp = Gp::fit(
+            let gp = Gp::fit_in(
                 Matern52Grouped::iso_plus_tail(dim, 1),
                 &aug,
                 &residuals,
                 &cfg.gp,
+                ws,
             )?;
             model.uppers.push((rho, gp));
         }
@@ -430,6 +482,16 @@ impl NonLinearMultiFidelityGp {
     /// Same conditions as [`NonLinearMultiFidelityGp::fit`]; additionally
     /// errors if `data` has a different number of levels than this model.
     pub fn refit(&self, data: &[FidelityData]) -> Result<Self, GpError> {
+        self.refit_in(data, Workspace::off())
+    }
+
+    /// [`NonLinearMultiFidelityGp::refit`] with an explicit buffer arena (see
+    /// [`Gp::fit_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NonLinearMultiFidelityGp::refit`].
+    pub fn refit_in(&self, data: &[FidelityData], ws: &Workspace) -> Result<Self, GpError> {
         validate_levels(data)?;
         if data.len() != self.n_levels() {
             return Err(GpError::InvalidTrainingData {
@@ -440,7 +502,7 @@ impl NonLinearMultiFidelityGp {
                 ),
             });
         }
-        let base = self.base.refit(&data[0].xs, &data[0].ys)?;
+        let base = self.base.refit_in(&data[0].xs, &data[0].ys, ws)?;
         let mut model = NonLinearMultiFidelityGp {
             base,
             uppers: Vec::new(),
@@ -472,7 +534,7 @@ impl NonLinearMultiFidelityGp {
                 .zip(&prev)
                 .map(|(y, m)| y - rho * m)
                 .collect();
-            let gp = self.uppers[i].1.refit(&aug, &residuals)?;
+            let gp = self.uppers[i].1.refit_in(&aug, &residuals, ws)?;
             model.uppers.push((rho, gp));
         }
         Ok(model)
@@ -490,6 +552,16 @@ impl NonLinearMultiFidelityGp {
     ///
     /// Same conditions as [`NonLinearMultiFidelityGp::refit`].
     pub fn extend(&self, data: &[FidelityData]) -> Result<Self, GpError> {
+        self.extend_in(data, Workspace::off())
+    }
+
+    /// [`NonLinearMultiFidelityGp::extend`] with an explicit buffer arena
+    /// (see [`Gp::fit_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NonLinearMultiFidelityGp::refit`].
+    pub fn extend_in(&self, data: &[FidelityData], ws: &Workspace) -> Result<Self, GpError> {
         validate_levels(data)?;
         if data.len() != self.n_levels() {
             return Err(GpError::InvalidTrainingData {
@@ -500,7 +572,7 @@ impl NonLinearMultiFidelityGp {
                 ),
             });
         }
-        let base = self.base.extend(&data[0].xs, &data[0].ys)?;
+        let base = self.base.extend_in(&data[0].xs, &data[0].ys, ws)?;
         let mut model = NonLinearMultiFidelityGp {
             base,
             uppers: Vec::new(),
@@ -532,7 +604,7 @@ impl NonLinearMultiFidelityGp {
                 .zip(&prev)
                 .map(|(y, m)| y - rho * m)
                 .collect();
-            let gp = self.uppers[i].1.extend(&aug, &residuals)?;
+            let gp = self.uppers[i].1.extend_in(&aug, &residuals, ws)?;
             model.uppers.push((rho, gp));
         }
         Ok(model)

@@ -2,7 +2,7 @@ use crate::gp::GpConfig;
 use crate::kernel::Kernel;
 use crate::optimize::{multi_start_nelder_mead, NelderMeadOptions};
 use crate::GpError;
-use linalg::{Cholesky, Matrix};
+use linalg::{Cholesky, Matrix, Workspace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,6 +82,26 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
         ys: &[Vec<f64>],
         cfg: &GpConfig,
     ) -> Result<Self, GpError> {
+        Self::fit_in(kernel, xs, ys, cfg, Workspace::off())
+    }
+
+    /// [`MultiTaskGp::fit`] with an explicit buffer arena.
+    ///
+    /// The joint covariance is `nM × nM`; every marginal-likelihood
+    /// evaluation assembles and factorizes one, so recycling that storage
+    /// through `ws` removes the dominant allocation churn of a fit. Results
+    /// are bit-identical to [`MultiTaskGp::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiTaskGp::fit`].
+    pub fn fit_in(
+        kernel: K,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        cfg: &GpConfig,
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         let n_tasks = validate_multi(xs, ys, kernel.dim())?;
         let (y_std, y_means, y_scales) = standardize_multi(ys, n_tasks);
 
@@ -118,7 +138,7 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
                     .iter()
                     .map(|lp| lp.exp().max(floor))
                     .collect();
-                joint_nlml(&k, xs, &y_std, &b, &noise).unwrap_or(f64::INFINITY)
+                joint_nlml_in(&k, xs, &y_std, &b, &noise, ws).unwrap_or(f64::INFINITY)
             };
             let mut rng = StdRng::seed_from_u64(cfg.seed);
             let opts = NelderMeadOptions {
@@ -136,8 +156,8 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             }
         }
 
-        let kx = data_kernel(&kernel, xs);
-        let (chol, alpha, nlml) = joint_factorize_from(&kx, &y_std, &b, &noise, None)?;
+        let kx = data_kernel_in(&kernel, xs, ws);
+        let (chol, alpha, nlml) = joint_factorize_from_in(&kx, &y_std, &b, &noise, None, ws)?;
         Ok(MultiTaskGp {
             kernel,
             xs: xs.to_vec(),
@@ -162,6 +182,21 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     /// Same conditions as [`MultiTaskGp::fit`]; additionally rejects data whose
     /// number of objectives differs from this model's.
     pub fn refit(&self, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> Result<Self, GpError> {
+        self.refit_in(xs, ys, Workspace::off())
+    }
+
+    /// [`MultiTaskGp::refit`] with an explicit buffer arena (see
+    /// [`MultiTaskGp::fit_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiTaskGp::refit`].
+    pub fn refit_in(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         let n_tasks = validate_multi(xs, ys, self.kernel.dim())?;
         if n_tasks != self.n_tasks {
             return Err(GpError::InvalidTrainingData {
@@ -169,8 +204,9 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             });
         }
         let (y_std, y_means, y_scales) = standardize_multi(ys, n_tasks);
-        let kx = data_kernel(&self.kernel, xs);
-        let (chol, alpha, nlml) = joint_factorize_from(&kx, &y_std, &self.b, &self.noise, None)?;
+        let kx = data_kernel_in(&self.kernel, xs, ws);
+        let (chol, alpha, nlml) =
+            joint_factorize_from_in(&kx, &y_std, &self.b, &self.noise, None, ws)?;
         Ok(MultiTaskGp {
             kernel: self.kernel.clone(),
             xs: xs.to_vec(),
@@ -204,9 +240,24 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     ///
     /// Same conditions as [`MultiTaskGp::refit`].
     pub fn extend(&self, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> Result<Self, GpError> {
+        self.extend_in(xs, ys, Workspace::off())
+    }
+
+    /// [`MultiTaskGp::extend`] with an explicit buffer arena (see
+    /// [`MultiTaskGp::fit_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiTaskGp::refit`].
+    pub fn extend_in(
+        &self,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         let n0 = self.xs.len();
         if xs.len() < n0 || xs[..n0] != self.xs[..] {
-            return self.refit(xs, ys);
+            return self.refit_in(xs, ys, ws);
         }
         let n_tasks = validate_multi(xs, ys, self.kernel.dim())?;
         if n_tasks != self.n_tasks {
@@ -216,12 +267,12 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
         }
         let (y_std, y_means, y_scales) = standardize_multi(ys, n_tasks);
         let n = xs.len();
-        let mut kx = Matrix::zeros(n, n);
+        let mut kx = ws.take_matrix(n, n);
         for i in 0..n0 {
             kx.row_mut(i)[..n0].copy_from_slice(self.kx.row(i));
         }
-        // New cross rows/columns with the same row-major (i, j) orientation
-        // `data_kernel` uses, so the grown Gram matrix matches bit-for-bit.
+        // New cross rows/columns with the same per-entry `eval` calls
+        // `data_kernel_in` makes, so the grown Gram matrix matches bit-for-bit.
         for i in 0..n0 {
             for j in n0..n {
                 kx[(i, j)] = self.kernel.eval(&xs[i], &xs[j]);
@@ -233,10 +284,68 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             }
         }
         let (chol, alpha, nlml) =
-            joint_factorize_from(&kx, &y_std, &self.b, &self.noise, Some(&self.chol))?;
+            joint_factorize_from_in(&kx, &y_std, &self.b, &self.noise, Some(&self.chol), ws)?;
         Ok(MultiTaskGp {
             kernel: self.kernel.clone(),
             xs: xs.to_vec(),
+            n_tasks,
+            b: self.b.clone(),
+            noise: self.noise.clone(),
+            kx,
+            chol,
+            alpha,
+            y_means,
+            y_scales,
+            nlml,
+        })
+    }
+
+    /// Drops the **oldest** `k` training points by low-rank downdating of the
+    /// joint-covariance factor — the sliding-window companion of
+    /// [`MultiTaskGp::extend`]. Because the joint covariance is point-major,
+    /// removing `k` points removes the `k·M` *leading* rows, which is exactly
+    /// the shape [`Cholesky::downdate`] handles.
+    ///
+    /// `ys` supplies the objective rows for the `n − k` **remaining** points;
+    /// per-task standardization and `α` are recomputed (`O((nM)²)`).
+    /// Hyperparameters (kernel, `B`, noises) are reused. Like
+    /// [`crate::Gp::downdate`] the result agrees with a refit to numerical
+    /// tolerance rather than bit-for-bit, and falls back to a full
+    /// refactorization if positive-definiteness is lost.
+    ///
+    /// # Errors
+    ///
+    /// * [`GpError::InvalidTrainingData`] if `k >= self.train_len()`, the
+    ///   window shapes mismatch, or any value is non-finite.
+    /// * [`GpError::Numerical`] if the fallback refactorization fails.
+    pub fn downdate(&self, k: usize, ys: &[Vec<f64>]) -> Result<Self, GpError> {
+        let n = self.xs.len();
+        if k >= n {
+            return Err(GpError::InvalidTrainingData {
+                reason: format!("downdate would remove {k} of {n} training points"),
+            });
+        }
+        let xs: Vec<Vec<f64>> = self.xs[k..].to_vec();
+        let n_tasks = validate_multi(&xs, ys, self.kernel.dim())?;
+        if n_tasks != self.n_tasks {
+            return Err(GpError::InvalidTrainingData {
+                reason: format!("model has {} tasks, data has {n_tasks}", self.n_tasks),
+            });
+        }
+        let (y_std, y_means, y_scales) = standardize_multi(ys, n_tasks);
+        let w = n - k;
+        // The trailing sub-block of the cached data kernel is the windowed
+        // Gram matrix: same `eval` calls as a fresh assembly over `xs[k..]`.
+        let mut kx = Matrix::zeros(w, w);
+        for i in 0..w {
+            kx.row_mut(i).copy_from_slice(&self.kx.row(k + i)[k..]);
+        }
+        let chol = self.chol.downdate(k * self.n_tasks)?;
+        let alpha = chol.solve_vec(&y_std)?;
+        let nlml = joint_nlml_from(&chol, &y_std, &alpha);
+        Ok(MultiTaskGp {
+            kernel: self.kernel.clone(),
+            xs,
             n_tasks,
             b: self.b.clone(),
             noise: self.noise.clone(),
@@ -255,7 +364,18 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     ///
     /// Returns [`GpError::DimensionMismatch`] if `x.len() != self.dim()`.
     pub fn predict(&self, x: &[f64]) -> Result<MultiTaskPrediction, GpError> {
-        let mut out = self.predict_chunk(&[x])?;
+        self.predict_in(x, Workspace::off())
+    }
+
+    /// [`MultiTaskGp::predict`] with an explicit buffer arena: the stacked
+    /// `nM × M` cross-covariance and its triangular solve are recycled
+    /// through `ws`. Bit-identical to [`MultiTaskGp::predict`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiTaskGp::predict`].
+    pub fn predict_in(&self, x: &[f64], ws: &Workspace) -> Result<MultiTaskPrediction, GpError> {
+        let mut out = self.predict_chunk(&[x], ws)?;
         out.pop().ok_or_else(|| GpError::Internal {
             reason: "predict_chunk returned no prediction for one query".into(),
         })
@@ -276,13 +396,28 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     /// Returns [`GpError::DimensionMismatch`] under the same conditions as
     /// [`MultiTaskGp::predict`].
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Result<Vec<MultiTaskPrediction>, GpError> {
+        self.predict_batch_in(xs, Workspace::off())
+    }
+
+    /// [`MultiTaskGp::predict_batch`] with an explicit buffer arena: the
+    /// per-chunk stacked cross-covariance and triangular-solve matrices are
+    /// recycled through `ws`. Bit-identical to [`MultiTaskGp::predict_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiTaskGp::predict_batch`].
+    pub fn predict_batch_in(
+        &self,
+        xs: &[Vec<f64>],
+        ws: &Workspace,
+    ) -> Result<Vec<MultiTaskPrediction>, GpError> {
         use rayon::prelude::*;
         const CHUNK: usize = 8;
         let chunks: Vec<Vec<MultiTaskPrediction>> = xs
             .par_chunks(CHUNK)
             .map(|chunk| {
                 let refs: Vec<&[f64]> = chunk.iter().map(|x| x.as_slice()).collect();
-                self.predict_chunk(&refs)
+                self.predict_chunk(&refs, ws)
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(chunks.into_iter().flatten().collect())
@@ -292,7 +427,11 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     /// [`MultiTaskGp::predict_batch`]: the chunk's cross-covariance columns
     /// (query point `j`, task `u` at column `j·M + u`, point-major rows
     /// matching the factorization layout) are solved in one batched sweep.
-    fn predict_chunk(&self, chunk: &[&[f64]]) -> Result<Vec<MultiTaskPrediction>, GpError> {
+    fn predict_chunk(
+        &self,
+        chunk: &[&[f64]],
+        ws: &Workspace,
+    ) -> Result<Vec<MultiTaskPrediction>, GpError> {
         for x in chunk {
             if x.len() != self.kernel.dim() {
                 return Err(GpError::DimensionMismatch {
@@ -303,7 +442,7 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
         }
         let n = self.xs.len();
         let m = self.n_tasks;
-        let mut cmat = Matrix::zeros(n * m, chunk.len() * m);
+        let mut cmat = ws.take_matrix(n * m, chunk.len() * m);
         let mut kxx = Vec::with_capacity(chunk.len());
         for (j, x) in chunk.iter().enumerate() {
             let kq: Vec<f64> = self.xs.iter().map(|xi| self.kernel.eval(xi, x)).collect();
@@ -317,7 +456,7 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
                 }
             }
         }
-        let w = self.chol.solve_lower_mat(&cmat)?; // L^{-1} C, all columns at once
+        let w = self.chol.solve_lower_mat_in(&cmat, ws)?; // L^{-1} C, all columns at once
 
         let mut out = Vec::with_capacity(chunk.len());
         for j in 0..chunk.len() {
@@ -355,6 +494,8 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             }
             out.push(MultiTaskPrediction { mean, cov });
         }
+        ws.put_matrix(cmat);
+        ws.put_matrix(w);
         Ok(out)
     }
 
@@ -488,10 +629,14 @@ fn standardize_multi(ys: &[Vec<f64>], n_tasks: usize) -> (Vec<f64>, Vec<f64>, Ve
     (y_std, y_means, y_scales)
 }
 
-/// Row-blocked parallel assembly of the shared data-kernel Gram matrix
-/// (Eq. 9's `k_C`); bit-identical to the serial path for any thread count.
-fn data_kernel<K: Kernel>(kernel: &K, xs: &[Vec<f64>]) -> Matrix {
-    Matrix::from_fn_par(xs.len(), xs.len(), |i, j| kernel.eval(&xs[i], &xs[j]))
+/// Assembly of the shared data-kernel Gram matrix (Eq. 9's `k_C`) through
+/// [`Kernel::gram_into`]: lower triangle + mirror (half the evaluations of a
+/// dense fill, bit-identical, row-block parallel above its size threshold)
+/// into a matrix taken from `ws`.
+fn data_kernel_in<K: Kernel>(kernel: &K, xs: &[Vec<f64>], ws: &Workspace) -> Matrix {
+    let mut kx = ws.take_matrix(xs.len(), xs.len());
+    kernel.gram_into(xs, &mut kx);
+    kx
 }
 
 /// Builds and factorizes the joint `nM x nM` covariance from the data-kernel
@@ -499,41 +644,60 @@ fn data_kernel<K: Kernel>(kernel: &K, xs: &[Vec<f64>]) -> Matrix {
 /// (`Σ = k_C ⊗ B`, entry `i*M + t`), so growing the training set appends
 /// trailing rows — when `prev` holds the factor of a leading block the new
 /// factor is obtained by [`Cholesky::extend`] instead of from scratch
-/// (bit-identical either way).
-fn joint_factorize_from(
+/// (bit-identical either way). The `Σ` scratch matrix is taken from and
+/// returned to `ws`.
+fn joint_factorize_from_in(
     kx: &Matrix,
     y_std: &[f64],
     b: &Matrix,
     noise: &[f64],
     prev: Option<&Cholesky>,
+    ws: &Workspace,
 ) -> Result<(Cholesky, Vec<f64>, f64), GpError> {
     let n = kx.rows();
     let m = b.rows();
-    let mut sigma = kx.kron(b);
+    let mut sigma = ws.take_matrix(n * m, n * m);
+    kx.kron_into(b, &mut sigma);
     for i in 0..n {
         for t in 0..m {
             sigma[(i * m + t, i * m + t)] += noise[t];
         }
     }
     let chol = match prev {
-        Some(c) => c.extend(&sigma)?,
-        None => Cholesky::new(&sigma)?,
+        Some(c) => c.extend(&sigma),
+        None => Cholesky::new_in(&sigma, ws),
     };
+    ws.put_matrix(sigma);
+    let chol = chol?;
     let alpha = chol.solve_vec(y_std)?;
-    let fit: f64 = y_std.iter().zip(&alpha).map(|(y, a)| y * a).sum();
-    let nlml =
-        0.5 * fit + 0.5 * chol.log_det() + 0.5 * (n * m) as f64 * (2.0 * std::f64::consts::PI).ln();
+    let nlml = joint_nlml_from(&chol, y_std, &alpha);
     Ok((chol, alpha, nlml))
 }
 
-fn joint_nlml<K: Kernel>(
+/// Joint NLML shared by the full, incremental, and downdate paths so all
+/// three produce identical floats from identical factors.
+fn joint_nlml_from(chol: &Cholesky, y_std: &[f64], alpha: &[f64]) -> f64 {
+    let fit: f64 = y_std.iter().zip(alpha).map(|(y, a)| y * a).sum();
+    0.5 * fit + 0.5 * chol.log_det() + 0.5 * y_std.len() as f64 * (2.0 * std::f64::consts::PI).ln()
+}
+
+/// The hyperparameter-search hot path: factorize, read off the NLML, and
+/// return every large buffer (`k_C`, the factor) to the arena.
+fn joint_nlml_in<K: Kernel>(
     kernel: &K,
     xs: &[Vec<f64>],
     y_std: &[f64],
     b: &Matrix,
     noise: &[f64],
+    ws: &Workspace,
 ) -> Result<f64, GpError> {
-    joint_factorize_from(&data_kernel(kernel, xs), y_std, b, noise, None).map(|(_, _, v)| v)
+    let kx = data_kernel_in(kernel, xs, ws);
+    let result = joint_factorize_from_in(&kx, y_std, b, noise, None, ws).map(|(chol, _, v)| {
+        ws.put_matrix(chol.into_l());
+        v
+    });
+    ws.put_matrix(kx);
+    result
 }
 
 #[cfg(test)]
@@ -659,6 +823,120 @@ mod tests {
         let xs = grid_1d(3);
         let ys = vec![vec![1.0, 2.0], vec![1.0], vec![0.0, 0.0]];
         assert!(MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn fit_in_with_arena_matches_fit_bitwise() {
+        let xs = grid_1d(9);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![(3.0 * x[0]).sin(), x[0] * x[0]])
+            .collect();
+        let cfg = GpConfig::default();
+        let plain = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &cfg).unwrap();
+        let ws = Workspace::new();
+        let pooled = MultiTaskGp::fit_in(Matern52Ard::new(1), &xs, &ys, &cfg, &ws).unwrap();
+        assert_eq!(
+            plain.neg_log_marginal_likelihood().to_bits(),
+            pooled.neg_log_marginal_likelihood().to_bits()
+        );
+        let queries: Vec<Vec<f64>> = (0..13).map(|i| vec![i as f64 / 12.0]).collect();
+        let a = plain.predict_batch(&queries).unwrap();
+        let b = pooled.predict_batch_in(&queries, &ws).unwrap();
+        for (pa, pb) in a.iter().zip(&b) {
+            for t in 0..2 {
+                assert_eq!(pa.mean[t].to_bits(), pb.mean[t].to_bits());
+                for u in 0..2 {
+                    assert_eq!(pa.cov[(t, u)].to_bits(), pb.cov[(t, u)].to_bits());
+                }
+            }
+        }
+        assert!(ws.pooled() > 0, "prediction scratch was never recycled");
+    }
+
+    #[test]
+    fn downdate_matches_refit_on_window() {
+        // The rotation-based downdate agrees with a refit to O(ε·κ(Σ)); the
+        // joint ICM covariance of strongly correlated tasks is ill-conditioned
+        // enough that a few parts in 1e5 of slack are warranted.
+        let xs = grid_1d(14);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![(4.0 * x[0]).sin(), (3.0 * x[0]).cos() + 0.5 * x[0]])
+            .collect();
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        for k in [1usize, 4, 9] {
+            let down = gp.downdate(k, &ys[k..]).unwrap();
+            let refit = gp.refit(&xs[k..], &ys[k..]).unwrap();
+            assert_eq!(down.train_len(), 14 - k);
+            for q in [[0.07], [0.48], [0.91]] {
+                let pd = down.predict(&q).unwrap();
+                let pr = refit.predict(&q).unwrap();
+                for t in 0..2 {
+                    assert!(
+                        (pd.mean[t] - pr.mean[t]).abs() < 1e-5,
+                        "k={k} q={q:?} t={t}: {} vs {}",
+                        pd.mean[t],
+                        pr.mean[t]
+                    );
+                    for u in 0..2 {
+                        assert!(
+                            (pd.cov[(t, u)] - pr.cov[(t, u)]).abs() < 1e-5,
+                            "k={k} q={q:?} t={t} u={u}: {} vs {}",
+                            pd.cov[(t, u)],
+                            pr.cov[(t, u)]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_after_extend_slides_the_window() {
+        let xs = grid_1d(12);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![(5.0 * x[0]).sin(), (2.0 * x[0]).cos() - x[0]])
+            .collect();
+        let gp = MultiTaskGp::fit(
+            Matern52Ard::new(1),
+            &xs[..9],
+            &ys[..9],
+            &GpConfig::default(),
+        )
+        .unwrap();
+        let grown = gp.extend(&xs, &ys).unwrap();
+        let slid = grown.downdate(3, &ys[3..]).unwrap();
+        let refit = grown.refit(&xs[3..], &ys[3..]).unwrap();
+        assert_eq!(slid.train_len(), 9);
+        for q in [[0.14], [0.66]] {
+            let ps = slid.predict(&q).unwrap();
+            let pr = refit.predict(&q).unwrap();
+            for t in 0..2 {
+                assert!(
+                    (ps.mean[t] - pr.mean[t]).abs() < 1e-5,
+                    "q={q:?} t={t}: {} vs {}",
+                    ps.mean[t],
+                    pr.mean[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_rejects_bad_windows() {
+        let xs = grid_1d(5);
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0], -x[0]]).collect();
+        let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        assert!(matches!(
+            gp.downdate(5, &[]),
+            Err(GpError::InvalidTrainingData { .. })
+        ));
+        assert!(matches!(
+            gp.downdate(2, &ys[..2]),
+            Err(GpError::InvalidTrainingData { .. })
+        ));
     }
 
     #[test]

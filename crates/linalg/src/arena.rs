@@ -1,0 +1,192 @@
+//! A buffer arena that recycles `Vec<f64>` allocations across model-stack
+//! steps.
+//!
+//! At realistic optimizer budgets the surrogate layer allocates the same
+//! handful of large buffers — Gram matrices, joint ICM covariances, Cholesky
+//! factors, triangular-solve scratch — hundreds of times per step (once per
+//! Nelder–Mead objective evaluation, once per candidate prediction). The
+//! [`Workspace`] pool hands those allocations back out instead of returning
+//! them to the allocator.
+//!
+//! # Result transparency
+//!
+//! Pooling is *result-transparent* by construction: [`Workspace::take_vec`]
+//! and [`Workspace::take_matrix`] always return zero-filled storage, exactly
+//! what a fresh `vec![0.0; len]` / [`Matrix::zeros`] would produce, so which
+//! recycled allocation a caller receives — which can vary with thread
+//! interleaving — cannot influence any computed value. The optimizer's
+//! `arena_does_not_change_the_result` test pins this end to end.
+//!
+//! Buffers that leave through an error path are simply dropped; the pool is
+//! an optimization, never an obligation.
+
+use crate::Matrix;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Maximum number of pooled buffers; beyond this, returned buffers are
+/// dropped. Bounds worst-case retained memory at a few live-set multiples.
+const MAX_POOLED: usize = 64;
+
+/// A thread-safe pool of `f64` buffers (see the `arena` module docs).
+///
+/// A disabled workspace ([`Workspace::off`]) is a pass-through that always
+/// allocates fresh and never retains — useful both as the default for code
+/// paths that were not handed an arena and as the control arm of
+/// result-transparency tests.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Mutex<Vec<Vec<f64>>>,
+    enabled: bool,
+}
+
+impl Workspace {
+    /// Creates an enabled workspace with an empty pool.
+    pub fn new() -> Self {
+        Workspace {
+            pool: Mutex::new(Vec::new()),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled (pass-through) workspace: every take allocates
+    /// fresh, every put drops.
+    pub fn disabled() -> Self {
+        Workspace {
+            pool: Mutex::new(Vec::new()),
+            enabled: false,
+        }
+    }
+
+    /// A shared disabled workspace, for call sites without an arena in scope.
+    pub fn off() -> &'static Workspace {
+        static OFF: OnceLock<Workspace> = OnceLock::new();
+        OFF.get_or_init(Workspace::disabled)
+    }
+
+    /// Whether this workspace actually pools.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of buffers currently held by the pool (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements.
+    pub fn take_vec(&self, len: usize) -> Vec<f64> {
+        if self.enabled {
+            // Prefer the largest-capacity pooled buffer that can hold `len`
+            // without growing; fall back to the last buffer (growing it).
+            let recycled = {
+                let mut pool = self.lock();
+                let best = pool
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.capacity() >= len)
+                    .max_by_key(|(_, b)| b.capacity())
+                    .map(|(i, _)| i);
+                best.map(|i| pool.swap_remove(i)).or_else(|| pool.pop())
+            };
+            if let Some(mut buf) = recycled {
+                buf.clear();
+                buf.resize(len, 0.0);
+                return buf;
+            }
+        }
+        vec![0.0; len]
+    }
+
+    /// Returns a buffer to the pool (dropped if disabled or full).
+    pub fn put_vec(&self, buf: Vec<f64>) {
+        if !self.enabled || buf.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.lock();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+
+    /// Takes a zero-filled `rows x cols` matrix, recycling pooled storage.
+    pub fn take_matrix(&self, rows: usize, cols: usize) -> Matrix {
+        let data = self.take_vec(rows * cols);
+        Matrix::from_vec(rows, cols, data).unwrap_or_else(|_| Matrix::zeros(rows, cols))
+    }
+
+    /// Returns a matrix's storage to the pool.
+    pub fn put_matrix(&self, m: Matrix) {
+        self.put_vec(m.into_vec());
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Vec<Vec<f64>>> {
+        // A poisoned pool only means another thread panicked mid-push; the
+        // Vec inside is still a valid pool.
+        self.pool.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_storage_after_reuse() {
+        let ws = Workspace::new();
+        let mut v = ws.take_vec(8);
+        v.iter_mut().for_each(|x| *x = 7.0);
+        ws.put_vec(v);
+        let v2 = ws.take_vec(4);
+        assert_eq!(v2, vec![0.0; 4]);
+        let v3 = ws.take_vec(16);
+        assert_eq!(v3, vec![0.0; 16]);
+    }
+
+    #[test]
+    fn pool_recycles_and_is_bounded() {
+        let ws = Workspace::new();
+        let v = ws.take_vec(32);
+        let cap = v.capacity();
+        ws.put_vec(v);
+        assert_eq!(ws.pooled(), 1);
+        let v2 = ws.take_vec(16);
+        assert!(v2.capacity() >= cap, "pooled storage was not recycled");
+        assert_eq!(ws.pooled(), 0);
+        for _ in 0..(MAX_POOLED + 8) {
+            ws.put_vec(vec![0.0; 4]);
+        }
+        assert_eq!(ws.pooled(), MAX_POOLED);
+    }
+
+    #[test]
+    fn disabled_workspace_never_pools() {
+        let ws = Workspace::disabled();
+        ws.put_vec(vec![0.0; 8]);
+        assert_eq!(ws.pooled(), 0);
+        assert_eq!(ws.take_vec(3), vec![0.0; 3]);
+        assert!(!ws.is_enabled());
+        assert!(!Workspace::off().is_enabled());
+    }
+
+    #[test]
+    fn take_matrix_round_trip() {
+        let ws = Workspace::new();
+        let mut m = ws.take_matrix(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        m[(1, 2)] = 5.0;
+        ws.put_matrix(m);
+        let m2 = ws.take_matrix(4, 3);
+        assert_eq!(m2, Matrix::zeros(4, 3));
+    }
+
+    #[test]
+    fn take_prefers_largest_fitting_buffer() {
+        let ws = Workspace::new();
+        ws.put_vec(Vec::with_capacity(4));
+        ws.put_vec(Vec::with_capacity(64));
+        ws.put_vec(Vec::with_capacity(16));
+        let v = ws.take_vec(10);
+        assert!(v.capacity() >= 16);
+        assert_eq!(ws.pooled(), 2);
+    }
+}

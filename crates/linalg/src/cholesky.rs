@@ -1,4 +1,39 @@
-use crate::{LinalgError, Matrix};
+use crate::{LinalgError, Matrix, Workspace};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default panel width of the right-looking blocked factorization. Chosen so
+/// a panel's worth of rows stays L1-resident at realistic surrogate sizes;
+/// [`set_cholesky_panel`] overrides it process-wide for tuning and benches.
+const DEFAULT_PANEL: usize = 32;
+
+/// Below this dimension the blocked path's bookkeeping costs more than it
+/// saves; [`Cholesky::new`] routes such matrices to the scalar recurrence
+/// (bit-identical either way, see [`Cholesky::new_with_panel`]).
+const SMALL_DIM: usize = 32;
+
+/// Process-wide panel-width override; 0 means "use [`DEFAULT_PANEL`]".
+static PANEL_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the panel width used by [`Cholesky::new`] process-wide.
+///
+/// `0` restores the default; `1` selects the pinned scalar recurrence (the
+/// pre-blocking reference path, kept for benchmarking and as an escape
+/// hatch); any larger value is used as the blocked panel width. This is
+/// **result-transparent**: every width produces bit-identical factors (the
+/// equivalence the `blocked_*` tests and proptests pin), so flipping it
+/// never changes optimizer results — only throughput.
+pub fn set_cholesky_panel(width: usize) {
+    PANEL_OVERRIDE.store(width, Ordering::Relaxed);
+}
+
+/// The panel width [`Cholesky::new`] currently uses (see
+/// [`set_cholesky_panel`]).
+pub fn cholesky_panel() -> usize {
+    match PANEL_OVERRIDE.load(Ordering::Relaxed) {
+        0 => DEFAULT_PANEL,
+        w => w,
+    }
+}
 
 /// Jittered Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite
 /// matrix, with triangular solves and log-determinant.
@@ -7,6 +42,21 @@ use crate::{LinalgError, Matrix};
 /// only positive *semi*-definite numerically; [`Cholesky::new`] therefore retries
 /// with an escalating diagonal jitter (`1e-10 .. 1e-4` times the mean diagonal)
 /// before giving up, which is the standard treatment in GP libraries.
+///
+/// # Blocked factorization
+///
+/// Factorization is *right-looking blocked*: each panel of
+/// [`cholesky_panel`] columns is factorized in place, then the trailing
+/// block is SYRK-updated with contiguous row-slice sweeps that LLVM can
+/// vectorize — the scalar recurrence's per-entry dot product is a serial
+/// floating-point dependency chain the compiler must not reassociate,
+/// which is why the blocked ordering is the throughput win. Both orderings
+/// apply, for every entry `(i, j)`, the identical subtraction chain
+/// `s -= L[i][k]·L[j][k]` for `k` ascending `0..j` against an accumulator
+/// seeded with `a[i][j]` (plus diagonal jitter), with every operand a
+/// finalized entry of `L`; since each `f64` operation is individually
+/// exactly rounded, the blocked factor is **bit-identical** to the scalar
+/// one at every panel width.
 ///
 /// # Examples
 ///
@@ -38,6 +88,51 @@ impl Cholesky {
     /// * [`LinalgError::NotPositiveDefinite`] if factorization fails even at the
     ///   maximum jitter.
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::new_in(a, Workspace::off())
+    }
+
+    /// Like [`Cholesky::new`], drawing the factor and panel scratch from `ws`
+    /// instead of the allocator. Result-transparent: pooled storage is
+    /// zero-filled on take, so the factor is bit-identical to
+    /// [`Cholesky::new`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::new`].
+    pub fn new_in(a: &Matrix, ws: &Workspace) -> Result<Self, LinalgError> {
+        let panel = cholesky_panel();
+        let panel = if panel > 1 && a.rows() <= SMALL_DIM {
+            1
+        } else {
+            panel
+        };
+        Self::new_in_panel(a, panel, ws)
+    }
+
+    /// Like [`Cholesky::new`] with an explicit panel width: `panel <= 1` runs
+    /// the pinned scalar recurrence, larger widths the blocked path with
+    /// exactly that width (no small-matrix shortcut). All widths produce
+    /// bit-identical factors; this entry point exists for the equivalence
+    /// tests and benchmark comparisons.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::new`].
+    pub fn new_with_panel(a: &Matrix, panel: usize) -> Result<Self, LinalgError> {
+        Self::new_in_panel(a, panel.max(1), Workspace::off())
+    }
+
+    /// The pre-blocking scalar reference factorization (escape hatch;
+    /// equivalent to `new_with_panel(a, 1)`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cholesky::new`].
+    pub fn new_unblocked(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::new_with_panel(a, 1)
+    }
+
+    fn new_in_panel(a: &Matrix, panel: usize, ws: &Workspace) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare { shape: a.shape() });
         }
@@ -49,25 +144,58 @@ impl Cholesky {
         }
         let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64;
         let base = if mean_diag > 0.0 { mean_diag } else { 1.0 };
+        let mut l = ws.take_matrix(n, n);
+        let (mut colbuf, mut rowbuf) = if panel > 1 && n > panel {
+            (ws.take_vec(n), ws.take_vec(n))
+        } else {
+            (Vec::new(), Vec::new())
+        };
         let mut jitter = 0.0;
         let mut scale = 1e-10;
-        loop {
-            match Self::factorize(a, jitter) {
-                Some(l) => return Ok(Cholesky { l, jitter }),
-                None => {
-                    if scale > 1e-4 {
-                        return Err(LinalgError::NotPositiveDefinite { max_jitter: jitter });
-                    }
-                    jitter = base * scale;
-                    scale *= 100.0;
-                }
+        let ok = loop {
+            l.fill(0.0);
+            if Self::factorize_into(a, jitter, panel, &mut l, &mut colbuf, &mut rowbuf) {
+                break true;
             }
+            if scale > 1e-4 {
+                break false;
+            }
+            jitter = base * scale;
+            scale *= 100.0;
+        };
+        ws.put_vec(colbuf);
+        ws.put_vec(rowbuf);
+        if ok {
+            Ok(Cholesky { l, jitter })
+        } else {
+            ws.put_matrix(l);
+            Err(LinalgError::NotPositiveDefinite { max_jitter: jitter })
         }
     }
 
-    fn factorize(a: &Matrix, jitter: f64) -> Option<Matrix> {
+    /// Writes the factor of `a + jitter·I` into the zeroed `l`. Returns
+    /// `false` on the first non-positive or non-finite diagonal pivot (the
+    /// failing pivot index is the same in both paths: each checks diagonals
+    /// in ascending index order, on bit-identical values).
+    fn factorize_into(
+        a: &Matrix,
+        jitter: f64,
+        panel: usize,
+        l: &mut Matrix,
+        colbuf: &mut [f64],
+        rowbuf: &mut [f64],
+    ) -> bool {
         let n = a.rows();
-        let mut l = Matrix::zeros(n, n);
+        if panel <= 1 || n <= panel {
+            Self::factorize_scalar_into(a, jitter, l)
+        } else {
+            Self::factorize_blocked_into(a, jitter, panel, l, colbuf, rowbuf)
+        }
+    }
+
+    /// The pinned scalar i-j-k recurrence (the reference ordering).
+    fn factorize_scalar_into(a: &Matrix, jitter: f64, l: &mut Matrix) -> bool {
+        let n = a.rows();
         for i in 0..n {
             for j in 0..=i {
                 let mut s = a[(i, j)];
@@ -79,7 +207,7 @@ impl Cholesky {
                 }
                 if i == j {
                     if s <= 0.0 || !s.is_finite() {
-                        return None;
+                        return false;
                     }
                     l[(i, j)] = s.sqrt();
                 } else {
@@ -87,7 +215,96 @@ impl Cholesky {
                 }
             }
         }
-        Some(l)
+        true
+    }
+
+    /// Right-looking blocked factorization (see the type-level docs for the
+    /// bit-identity argument). `colbuf`/`rowbuf` are length-`n` scratch.
+    fn factorize_blocked_into(
+        a: &Matrix,
+        jitter: f64,
+        panel: usize,
+        l: &mut Matrix,
+        colbuf: &mut [f64],
+        rowbuf: &mut [f64],
+    ) -> bool {
+        let n = a.rows();
+        // Seed the lower triangle with A (+ jitter on the diagonal); every
+        // later step subtracts products in ascending-k order from these
+        // seeds, matching the scalar recurrence's chain entry for entry.
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+            l[(i, i)] += jitter;
+        }
+        let mut p0 = 0;
+        while p0 < n {
+            let p1 = usize::min(p0 + panel, n);
+            // Panel factorization: k < p0 terms were already subtracted by
+            // earlier trailing updates, so column j finishes k in [p0, j).
+            for j in p0..p1 {
+                let mut s = l[(j, j)];
+                for &ljk in &l.row(j)[p0..j] {
+                    s -= ljk * ljk;
+                }
+                if s <= 0.0 || !s.is_finite() {
+                    return false;
+                }
+                let pivot = s.sqrt();
+                l[(j, j)] = pivot;
+                let w = j - p0;
+                rowbuf[..w].copy_from_slice(&l.row(j)[p0..j]);
+                for i in (j + 1)..n {
+                    let mut s = l[(i, j)];
+                    for (&lik, &ljk) in l.row(i)[p0..j].iter().zip(&rowbuf[..w]) {
+                        s -= lik * ljk;
+                    }
+                    l[(i, j)] = s / pivot;
+                }
+            }
+            // SYRK trailing update, k ascending so every entry's subtraction
+            // chain stays in scalar order; the inner sweep over columns
+            // [p1, i] is contiguous and dependency-free, which is where the
+            // throughput comes from. Panel columns are consumed in fused
+            // rank-2 sweeps — each trailing entry subtracts its k then k+1
+            // term back to back, the exact ascending order of the scalar
+            // chain, at half the passes over the trailing block (`rowbuf` is
+            // free here; it doubles as the second column cache).
+            let mut k = p0;
+            while k + 1 < p1 {
+                for i in p1..n {
+                    colbuf[i] = l[(i, k)];
+                    rowbuf[i] = l[(i, k + 1)];
+                }
+                for i in p1..n {
+                    let lik0 = colbuf[i];
+                    let lik1 = rowbuf[i];
+                    let row = l.row_mut(i);
+                    for ((rv, &c0), &c1) in row[p1..=i]
+                        .iter_mut()
+                        .zip(&colbuf[p1..=i])
+                        .zip(&rowbuf[p1..=i])
+                    {
+                        *rv -= lik0 * c0;
+                        *rv -= lik1 * c1;
+                    }
+                }
+                k += 2;
+            }
+            if k < p1 {
+                for i in p1..n {
+                    colbuf[i] = l[(i, k)];
+                }
+                for i in p1..n {
+                    let lik = colbuf[i];
+                    let row = l.row_mut(i);
+                    for (rv, &ck) in row[p1..=i].iter_mut().zip(&colbuf[p1..=i]) {
+                        *rv -= lik * ck;
+                    }
+                }
+            }
+            p0 = p1;
+        }
+        true
     }
 
     /// Extends the factorization to a grown matrix `a` whose leading
@@ -130,7 +347,8 @@ impl Cholesky {
         for i in 0..n0 {
             l.row_mut(i)[..=i].copy_from_slice(&self.l.row(i)[..=i]);
         }
-        // Same recurrence as `factorize(a, 0.0)`, restricted to the new rows.
+        // Same recurrence as the scalar factorization at jitter 0 (to which
+        // the blocked path is bit-identical), restricted to the new rows.
         for i in n0..n {
             for j in 0..=i {
                 let mut s = a[(i, j)];
@@ -150,9 +368,93 @@ impl Cholesky {
         Ok(Cholesky { l, jitter: 0.0 })
     }
 
+    /// Removes the leading `k` rows/columns: returns a factorization of the
+    /// trailing `(n-k) x (n-k)` block of the matrix this factor was computed
+    /// from — the low-rank complement of [`Cholesky::extend`], enabling
+    /// sliding-window surrogates that drop their oldest observations.
+    ///
+    /// Cost is `O((n-k)²·k)`: the trailing factor block `L₂₂` absorbs the
+    /// dropped columns `L₂₁` through `k` rank-1 plane-rotation updates
+    /// (`A₂₂ = L₂₁L₂₁ᵀ + L₂₂L₂₂ᵀ`), instead of the `O((n-k)³)` of
+    /// refactorizing the window. `downdate(0)` is a bit-identical clone.
+    /// Rotation arithmetic differs from the factorization recurrence, so for
+    /// `k > 0` the result carries a *toleranced* contract (`L Lᵀ` matches the
+    /// window matrix to ≤1e-12 relative in tests), not a bitwise one.
+    ///
+    /// Two cases fall back to reconstructing the window matrix from the
+    /// factor and refactorizing with [`Cholesky::new`] (which re-runs jitter
+    /// escalation on the window's own diagonal):
+    ///
+    /// * this factor carries jitter — the escalation base is a whole-matrix
+    ///   statistic, so the window must pick its own;
+    /// * a rotation loses positivity or finiteness (numerically indefinite
+    ///   trailing block).
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::Empty`] if `k >= self.dim()` (nothing would remain).
+    /// * [`LinalgError::NotPositiveDefinite`] propagated from the fallback.
+    pub fn downdate(&self, k: usize) -> Result<Self, LinalgError> {
+        let n = self.dim();
+        if k == 0 {
+            return Ok(self.clone());
+        }
+        if k >= n {
+            return Err(LinalgError::Empty {
+                op: "Cholesky::downdate",
+            });
+        }
+        if self.jitter != 0.0 {
+            return self.refactorize_trailing(k);
+        }
+        let m = n - k;
+        let mut l = Matrix::zeros(m, m);
+        for i in 0..m {
+            let src = self.l.row(k + i);
+            l.row_mut(i)[..=i].copy_from_slice(&src[k..=(k + i)]);
+        }
+        let mut v = vec![0.0; m];
+        for c in 0..k {
+            for (i, vi) in v.iter_mut().enumerate() {
+                *vi = self.l[(k + i, c)];
+            }
+            if !rank_one_update(&mut l, &mut v) {
+                return self.refactorize_trailing(k);
+            }
+        }
+        Ok(Cholesky { l, jitter: 0.0 })
+    }
+
+    /// Fallback for [`Cholesky::downdate`]: reconstruct the trailing block of
+    /// the *original* matrix (`L₂₁L₂₁ᵀ + L₂₂L₂₂ᵀ`, minus any jitter this
+    /// factor added to its diagonal) and refactorize it from scratch.
+    fn refactorize_trailing(&self, k: usize) -> Result<Self, LinalgError> {
+        let m = self.dim() - k;
+        let mut a = Matrix::from_fn(m, m, |i, j| {
+            let (p, q) = (k + i, k + j);
+            let lim = usize::min(p, q);
+            self.l.row(p)[..=lim]
+                .iter()
+                .zip(&self.l.row(q)[..=lim])
+                .map(|(x, y)| x * y)
+                .sum()
+        });
+        if self.jitter != 0.0 {
+            a.add_diag(-self.jitter);
+        }
+        Cholesky::new(&a)
+    }
+
     /// The lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l
+    }
+
+    /// Consumes the factorization and returns the factor's storage (so
+    /// short-lived factors — e.g. per-objective-evaluation NLML factors —
+    /// can hand their buffer back to a [`Workspace`]).
+    pub fn into_l(self) -> Matrix {
+        self.l
     }
 
     /// The diagonal jitter that was added to achieve positive definiteness.
@@ -210,6 +512,16 @@ impl Cholesky {
     ///
     /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
     pub fn solve_lower_mat(&self, b: &Matrix) -> Result<Matrix, LinalgError> {
+        self.solve_lower_mat_in(b, Workspace::off())
+    }
+
+    /// [`Cholesky::solve_lower_mat`] with the result and accumulator drawn
+    /// from `ws` (return the result with `Workspace::put_matrix` when done).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_lower_mat_in(&self, b: &Matrix, ws: &Workspace) -> Result<Matrix, LinalgError> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -219,8 +531,9 @@ impl Cholesky {
             });
         }
         let cols = b.cols();
-        let mut y = b.clone();
-        let mut acc = vec![0.0f64; cols];
+        let mut y = ws.take_matrix(n, cols);
+        y.as_mut_slice().copy_from_slice(b.as_slice());
+        let mut acc = ws.take_vec(cols);
         for i in 0..n {
             let lrow = self.l.row(i);
             acc.copy_from_slice(y.row(i));
@@ -235,6 +548,7 @@ impl Cholesky {
                 *out = a / lii;
             }
         }
+        ws.put_vec(acc);
         Ok(y)
     }
 
@@ -263,6 +577,56 @@ impl Cholesky {
         Ok(x)
     }
 
+    /// Solves `Lᵀ X = Y` for all columns of `Y` at once (back substitution
+    /// swept row-by-row, the mirror of [`Cholesky::solve_lower_mat`]).
+    ///
+    /// Per column the subtraction order (`k` ascending `i+1..n`) and every
+    /// operation match [`Cholesky::solve_upper`], so the result is
+    /// **bit-identical** to solving each column separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `y.rows() != self.dim()`.
+    pub fn solve_upper_mat(&self, y: &Matrix) -> Result<Matrix, LinalgError> {
+        self.solve_upper_mat_in(y, Workspace::off())
+    }
+
+    /// [`Cholesky::solve_upper_mat`] with scratch drawn from `ws`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] if `y.rows() != self.dim()`.
+    pub fn solve_upper_mat_in(&self, y: &Matrix, ws: &Workspace) -> Result<Matrix, LinalgError> {
+        let n = self.dim();
+        if y.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "solve_upper_mat",
+                lhs: (n, n),
+                rhs: y.shape(),
+            });
+        }
+        let cols = y.cols();
+        let mut x = ws.take_matrix(n, cols);
+        x.as_mut_slice().copy_from_slice(y.as_slice());
+        let mut acc = ws.take_vec(cols);
+        for i in (0..n).rev() {
+            acc.copy_from_slice(x.row(i));
+            for k in (i + 1)..n {
+                let lki = self.l[(k, i)];
+                let xk = x.row(k);
+                for (a, &v) in acc.iter_mut().zip(xk) {
+                    *a -= lki * v;
+                }
+            }
+            let lii = self.l[(i, i)];
+            for (out, &a) in x.row_mut(i).iter_mut().zip(&acc) {
+                *out = a / lii;
+            }
+        }
+        ws.put_vec(acc);
+        Ok(x)
+    }
+
     /// Solves `A x = b` via the two triangular solves.
     ///
     /// # Errors
@@ -272,7 +636,12 @@ impl Cholesky {
         self.solve_upper(&self.solve_lower(b)?)
     }
 
-    /// Solves `A X = B` column by column.
+    /// Solves `A X = B` for all columns at once via the two batched
+    /// triangular sweeps ([`Cholesky::solve_lower_mat`] then
+    /// [`Cholesky::solve_upper_mat`]), each of which is bit-identical per
+    /// column to its vector counterpart — so this is **bit-identical** to
+    /// calling [`Cholesky::solve_vec`] column by column, at a fraction of the
+    /// memory traffic (one pass over `L` per sweep serves every column).
     ///
     /// # Errors
     ///
@@ -286,15 +655,7 @@ impl Cholesky {
                 rhs: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve_vec(&col)?;
-            for i in 0..n {
-                out[(i, j)] = x[i];
-            }
-        }
-        Ok(out)
+        self.solve_upper_mat(&self.solve_lower_mat(b)?)
     }
 
     /// Explicit inverse `A⁻¹`. Prefer the solve methods; this is provided for the
@@ -309,12 +670,47 @@ impl Cholesky {
     }
 }
 
+/// One plane-rotation rank-1 update `L Lᵀ + v vᵀ` applied in place (the
+/// LINPACK `dchud` recurrence); consumes `v` as workspace. Returns `false`
+/// if a rotation loses positivity or finiteness, in which case `l` is
+/// partially updated and must be discarded by the caller.
+fn rank_one_update(l: &mut Matrix, v: &mut [f64]) -> bool {
+    let m = l.rows();
+    for j in 0..m {
+        let d = l[(j, j)];
+        let x = v[j];
+        let r = (d * d + x * x).sqrt();
+        // NaN inputs surface as a NaN `r`, caught by the finiteness check.
+        if d <= 0.0 || r <= 0.0 || !r.is_finite() {
+            return false;
+        }
+        let c = r / d;
+        let s = x / d;
+        l[(j, j)] = r;
+        for i in (j + 1)..m {
+            let nij = (l[(i, j)] + s * v[i]) / c;
+            v[i] = c * v[i] - s * nij;
+            l[(i, j)] = nij;
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn spd3() -> Matrix {
         Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]).unwrap()
+    }
+
+    /// A deterministic, well-conditioned SPD matrix: `B Bᵀ + n·I` with
+    /// smoothly varying entries.
+    fn spd(n: usize) -> Matrix {
+        let b = Matrix::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.7).sin());
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        a.add_diag(n as f64);
+        a
     }
 
     #[test]
@@ -374,6 +770,70 @@ mod tests {
         Matrix::from_fn(n, n, |i, j| a[(i, j)])
     }
 
+    fn assert_bitwise_eq(a: &Cholesky, b: &Cholesky, what: &str) {
+        assert_eq!(a.jitter().to_bits(), b.jitter().to_bits(), "jitter: {what}");
+        assert_eq!(a.l().shape(), b.l().shape(), "shape: {what}");
+        for (i, (x, y)) in a.l().as_slice().iter().zip(b.l().as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "entry {i} differs: {what}");
+        }
+    }
+
+    #[test]
+    fn blocked_matches_scalar_bitwise_across_panel_widths() {
+        for n in [1, 2, 5, 17, 33, 64, 97] {
+            let a = spd(n);
+            let scalar = Cholesky::new_with_panel(&a, 1).unwrap();
+            for panel in [2, 3, 8, 31, 32, 48, 200] {
+                let blocked = Cholesky::new_with_panel(&a, panel).unwrap();
+                assert_bitwise_eq(&blocked, &scalar, &format!("n={n} panel={panel}"));
+            }
+            let auto = Cholesky::new(&a).unwrap();
+            assert_bitwise_eq(&auto, &scalar, &format!("n={n} auto"));
+            let unblocked = Cholesky::new_unblocked(&a).unwrap();
+            assert_bitwise_eq(&unblocked, &scalar, &format!("n={n} unblocked"));
+        }
+    }
+
+    #[test]
+    fn blocked_matches_scalar_bitwise_when_jitter_escalates() {
+        // Rank-deficient at n=40: both paths must walk the same escalation
+        // and land on the same jitter and factor.
+        let n = 40;
+        let b = Matrix::from_fn(n, 3, |i, j| ((i * 3 + j) as f64 * 0.9).cos());
+        let a = b.matmul(&b.transpose()).unwrap();
+        let scalar = Cholesky::new_with_panel(&a, 1).unwrap();
+        assert!(scalar.jitter() > 0.0);
+        let blocked = Cholesky::new_with_panel(&a, 8).unwrap();
+        assert_bitwise_eq(&blocked, &scalar, "jittered n=40 panel=8");
+    }
+
+    #[test]
+    fn panel_override_is_result_transparent() {
+        let a = spd(50);
+        let reference = Cholesky::new(&a).unwrap();
+        for w in [1, 4, 64] {
+            set_cholesky_panel(w);
+            let c = Cholesky::new(&a).unwrap();
+            set_cholesky_panel(0);
+            assert_bitwise_eq(&c, &reference, &format!("override {w}"));
+        }
+        assert_eq!(cholesky_panel(), DEFAULT_PANEL);
+    }
+
+    #[test]
+    fn new_in_matches_new_bitwise_and_recycles() {
+        let ws = Workspace::new();
+        let a = spd(40);
+        let plain = Cholesky::new(&a).unwrap();
+        let pooled = Cholesky::new_in(&a, &ws).unwrap();
+        assert_bitwise_eq(&pooled, &plain, "pooled first take");
+        // Dirty the pool, then refactorize: recycled storage must be
+        // invisible in the result.
+        ws.put_matrix(pooled.into_l());
+        let again = Cholesky::new_in(&a, &ws).unwrap();
+        assert_bitwise_eq(&again, &plain, "pooled recycled take");
+    }
+
     #[test]
     fn extend_matches_full_factorization_bitwise() {
         let a = Matrix::from_rows(&[
@@ -398,6 +858,18 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn extend_matches_blocked_full_factorization_bitwise_large() {
+        // Same contract across the blocked-path size threshold: growing a
+        // 40x40 factor to 60x60 must agree bit-for-bit with the (blocked)
+        // full factorization.
+        let a = spd(60);
+        let base = Cholesky::new(&leading_block(&a, 40)).unwrap();
+        let ext = base.extend(&a).unwrap();
+        let full = Cholesky::new(&a).unwrap();
+        assert_bitwise_eq(&ext, &full, "extend 40->60");
     }
 
     #[test]
@@ -450,6 +922,75 @@ mod tests {
         }
     }
 
+    fn trailing_block(a: &Matrix, k: usize) -> Matrix {
+        let m = a.rows() - k;
+        Matrix::from_fn(m, m, |i, j| a[(k + i, k + j)])
+    }
+
+    #[test]
+    fn downdate_zero_is_bit_identical_clone() {
+        let a = spd(20);
+        let c = Cholesky::new(&a).unwrap();
+        let d = c.downdate(0).unwrap();
+        assert_bitwise_eq(&d, &c, "downdate(0)");
+    }
+
+    #[test]
+    fn downdate_matches_window_factorization_to_tolerance() {
+        let a = spd(30);
+        let c = Cholesky::new(&a).unwrap();
+        assert_eq!(c.jitter(), 0.0);
+        for k in [1, 3, 10, 29] {
+            let d = c.downdate(k).unwrap();
+            assert_eq!(d.dim(), 30 - k);
+            let fresh = Cholesky::new(&trailing_block(&a, k)).unwrap();
+            let scale = fresh.l().max_abs();
+            let diff = d.l().max_abs_diff(fresh.l()).unwrap();
+            assert!(
+                diff <= 1e-12 * scale,
+                "k={k}: |downdate - fresh| = {diff:e} (scale {scale:e})"
+            );
+        }
+    }
+
+    #[test]
+    fn downdate_of_extend_recovers_window() {
+        // Slide the window: factorize n=24, extend to 30, drop the oldest 6.
+        let a = spd(30);
+        let base = Cholesky::new(&leading_block(&a, 24)).unwrap();
+        let ext = base.extend(&a).unwrap();
+        let d = ext.downdate(6).unwrap();
+        let fresh = Cholesky::new(&trailing_block(&a, 6)).unwrap();
+        let diff = d.l().max_abs_diff(fresh.l()).unwrap();
+        assert!(diff <= 1e-12 * fresh.l().max_abs(), "diff {diff:e}");
+    }
+
+    #[test]
+    fn downdate_jittered_falls_back_and_stays_consistent() {
+        // Rank-deficient matrix forces jitter; downdate must fall back to
+        // refactorization and still represent the window matrix (plus its
+        // own jitter) faithfully.
+        let n = 12;
+        let b = Matrix::from_fn(n, 2, |i, j| ((i * 2 + j) as f64 * 1.3).sin());
+        let a = b.matmul(&b.transpose()).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        assert!(c.jitter() > 0.0);
+        let k = 4;
+        let d = c.downdate(k).unwrap();
+        let recon = d.l().matmul(&d.l().transpose()).unwrap();
+        let mut want = trailing_block(&a, k);
+        want.add_diag(d.jitter());
+        let diff = recon.max_abs_diff(&want).unwrap();
+        assert!(diff <= 1e-9, "jittered downdate drifted: {diff:e}");
+    }
+
+    #[test]
+    fn downdate_rejects_removing_everything() {
+        let c = Cholesky::new(&spd3()).unwrap();
+        assert!(matches!(c.downdate(3), Err(LinalgError::Empty { .. })));
+        assert!(matches!(c.downdate(7), Err(LinalgError::Empty { .. })));
+    }
+
     #[test]
     fn solve_lower_mat_matches_per_column_bitwise() {
         let a = Matrix::from_rows(&[
@@ -475,10 +1016,70 @@ mod tests {
     }
 
     #[test]
+    fn solve_upper_mat_matches_per_column_bitwise() {
+        let a = spd(9);
+        let c = Cholesky::new(&a).unwrap();
+        let y = Matrix::from_fn(9, 4, |i, j| ((i * 4 + j) as f64).cos());
+        let batched = c.solve_upper_mat(&y).unwrap();
+        for j in 0..4 {
+            let col = c.solve_upper(&y.col(j)).unwrap();
+            for i in 0..9 {
+                assert_eq!(
+                    batched[(i, j)].to_bits(),
+                    col[i].to_bits(),
+                    "entry ({i},{j}) differs from the per-column solve"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_mat_matches_per_column_solve_vec_bitwise() {
+        let a = spd(11);
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(11, 6, |i, j| ((2 * i + 3 * j) as f64).sin());
+        let batched = c.solve_mat(&b).unwrap();
+        for j in 0..6 {
+            let col = c.solve_vec(&b.col(j)).unwrap();
+            for i in 0..11 {
+                assert_eq!(
+                    batched[(i, j)].to_bits(),
+                    col[i].to_bits(),
+                    "entry ({i},{j}) differs from the per-column solve_vec"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solve_mat_in_recycled_scratch_is_bitwise_stable() {
+        let ws = Workspace::new();
+        let a = spd(10);
+        let c = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(10, 3, |i, j| ((i + j) as f64).sin());
+        let plain = c.solve_lower_mat(&b).unwrap();
+        for _ in 0..3 {
+            let pooled = c.solve_lower_mat_in(&b, &ws).unwrap();
+            assert_eq!(pooled.as_slice(), plain.as_slice());
+            ws.put_matrix(pooled);
+        }
+        let up_plain = c.solve_upper_mat(&b).unwrap();
+        for _ in 0..3 {
+            let pooled = c.solve_upper_mat_in(&b, &ws).unwrap();
+            assert_eq!(pooled.as_slice(), up_plain.as_slice());
+            ws.put_matrix(pooled);
+        }
+    }
+
+    #[test]
     fn solve_lower_mat_rejects_wrong_row_count() {
         let c = Cholesky::new(&spd3()).unwrap();
         assert!(matches!(
             c.solve_lower_mat(&Matrix::zeros(2, 3)),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            c.solve_upper_mat(&Matrix::zeros(2, 3)),
             Err(LinalgError::ShapeMismatch { .. })
         ));
     }

@@ -7,8 +7,11 @@
 //!
 //! * [`Matrix`] — a dense, row-major, `f64` matrix with the usual algebraic
 //!   operations,
-//! * [`Cholesky`] — a jittered Cholesky factorization with triangular solves and
-//!   log-determinant (the workhorse of exact GP inference),
+//! * [`Cholesky`] — a jittered, right-looking *blocked* Cholesky factorization
+//!   with triangular solves, log-determinant, incremental `extend`, and
+//!   low-rank `downdate` (the workhorse of exact GP inference),
+//! * [`Workspace`] — a buffer arena that recycles Gram/factor/solve scratch
+//!   across optimizer steps (result-transparent by construction),
 //! * [`stats`] — scalar standard-normal PDF/CDF/quantile built on an `erf`
 //!   implementation, plus small summary-statistics helpers.
 //!
@@ -28,11 +31,13 @@
 //! # }
 //! ```
 
+mod arena;
 mod cholesky;
 mod error;
 mod matrix;
 pub mod stats;
 
-pub use cholesky::Cholesky;
+pub use arena::Workspace;
+pub use cholesky::{cholesky_panel, set_cholesky_panel, Cholesky};
 pub use error::LinalgError;
 pub use matrix::Matrix;

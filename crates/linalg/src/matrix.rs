@@ -195,6 +195,18 @@ impl Matrix {
         &self.data
     }
 
+    /// The underlying row-major data slice, mutably. Row `i` occupies
+    /// `[i * cols, (i + 1) * cols)`; this is what parallel row-blocked fills
+    /// (e.g. [`crate::Cholesky`] scratch and kernel Gram assembly) split on.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Sets every element to `v` (used to recycle pooled buffers).
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
     /// Consumes the matrix and returns the row-major data.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -310,6 +322,40 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Kronecker product `self ⊗ rhs` written into a caller-provided buffer
+    /// (typically recycled through a [`crate::Workspace`]), avoiding the
+    /// `O((nM)²)` allocation of [`Matrix::kron`] on every multi-task
+    /// covariance assembly. `out` must be zeroed: like `kron`, zero entries
+    /// of `self` are skipped rather than stored. Every written entry is the
+    /// same single product `self[(i, j)] * rhs[(p, q)]` as in `kron`, so the
+    /// result is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `(self.rows * rhs.rows) x (self.cols * rhs.cols)`.
+    pub fn kron_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.rows * rhs.rows, self.cols * rhs.cols),
+            "kron_into: output buffer has the wrong shape"
+        );
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == 0.0 {
+                    continue;
+                }
+                for p in 0..rhs.rows {
+                    let src = rhs.row(p);
+                    let dst = &mut out.row_mut(i * rhs.rows + p)[j * rhs.cols..(j + 1) * rhs.cols];
+                    for (d, &b) in dst.iter_mut().zip(src) {
+                        *d = a * b;
+                    }
+                }
+            }
+        }
     }
 
     /// Maximum absolute element, or 0 for an empty matrix.

@@ -37,6 +37,94 @@ proptest! {
     }
 
     #[test]
+    fn cholesky_blocked_equals_scalar_at_every_panel_width(a in spd(10), panel in 2usize..12) {
+        // The blocked right-looking factorization applies the scalar
+        // recurrence's exact subtraction chains, so every panel width —
+        // dividing n, not dividing n, exceeding n — must reproduce the
+        // scalar factor bit for bit, jitter decision included.
+        let scalar = Cholesky::new_with_panel(&a, 1).expect("SPD factorizes");
+        let blocked = Cholesky::new_with_panel(&a, panel).expect("SPD factorizes");
+        prop_assert_eq!(blocked.jitter().to_bits(), scalar.jitter().to_bits());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                prop_assert_eq!(blocked.l()[(i, j)].to_bits(), scalar.l()[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_after_extend_recovers_the_trailing_window(g in spd(9), n0 in 2usize..9, k in 1usize..8) {
+        // The sliding-window round trip: factor a leading block, extend to
+        // the grown matrix, then downdate the oldest k rows. The result must
+        // factor the trailing window of the grown matrix — toleranced, since
+        // rotation downdating is O(ε·κ), not bitwise.
+        let a = Matrix::from_fn(n0, n0, |i, j| g[(i, j)]);
+        let base = Cholesky::new(&a).expect("SPD leading block factorizes");
+        let ext = base.extend(&g).expect("SPD extension factorizes");
+        let down = ext.downdate(k).expect("downdate succeeds");
+        let m = g.rows() - k;
+        prop_assert_eq!(down.dim(), m);
+        let r = down.l().matmul(&down.l().transpose()).expect("square product");
+        for i in 0..m {
+            for j in 0..m {
+                let want = g[(k + i, k + j)];
+                prop_assert!(
+                    (r[(i, j)] - want).abs() < 1e-7 * (1.0 + want.abs()),
+                    "window entry ({}, {}) diverged: {} vs {}", i, j, r[(i, j)], want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn downdate_survives_jittered_factors_via_refactorization(b in matrix(6, 2), k in 1usize..5) {
+        // A numerically rank-deficient matrix forces the jitter escalation;
+        // a jittered factor cannot rotate (the escalation base is a
+        // whole-matrix statistic), so downdate must detect it and fall back
+        // to refactorizing the reconstructed window — still correct, with
+        // the window's own jitter.
+        let mut a = b.matmul(&b.transpose()).expect("square product");
+        a.add_diag(-1e-9);
+        let Ok(chol) = Cholesky::new(&a) else {
+            // Degenerate draw (e.g. all-zero rows): nothing to downdate.
+            return Ok(());
+        };
+        prop_assume!(chol.jitter() > 0.0);
+        let down = chol.downdate(k).expect("fallback downdate succeeds");
+        let m = a.rows() - k;
+        let r = down.l().matmul(&down.l().transpose()).expect("square product");
+        let scale = 1.0 + a.max_abs();
+        for i in 0..m {
+            for j in 0..m {
+                let want = a[(k + i, k + j)] + if i == j { down.jitter() } else { 0.0 };
+                prop_assert!(
+                    (r[(i, j)] - want).abs() < 1e-6 * scale,
+                    "window entry ({}, {}) diverged: {} vs {}", i, j, r[(i, j)], want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_solves_match_per_column_bitwise(a in spd(6), b in matrix(6, 3)) {
+        // The column-blocked solves are a pure loop-interchange of the
+        // per-column substitutions — identical operations, identical order —
+        // so they must agree bit for bit.
+        let chol = Cholesky::new(&a).expect("SPD factorizes");
+        let batched = chol.solve_mat(&b).expect("solves");
+        let lower = chol.solve_lower_mat(&b).expect("solves");
+        for j in 0..b.cols() {
+            let col: Vec<f64> = (0..b.rows()).map(|i| b[(i, j)]).collect();
+            let x = chol.solve_vec(&col).expect("solves");
+            let y = chol.solve_lower(&col).expect("solves");
+            for i in 0..b.rows() {
+                prop_assert_eq!(batched[(i, j)].to_bits(), x[i].to_bits());
+                prop_assert_eq!(lower[(i, j)].to_bits(), y[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn cholesky_reconstructs(a in spd(5)) {
         let c = Cholesky::new(&a).expect("SPD factorizes");
         let r = c.l().matmul(&c.l().transpose()).expect("square product");
