@@ -129,7 +129,11 @@ impl RunCheckpoint {
     /// The configuration fingerprint a checkpoint of `cfg` carries: every
     /// field that can influence the result, formatted deterministically
     /// (floats as bit patterns). `threads` and `tracer` are deliberately
-    /// absent — both are result-transparent.
+    /// absent — both are result-transparent. `warm_start_hyperopt` and
+    /// `mixed_precision` are also absent: they steer only the hyperparameter
+    /// *search*, and restore replays the full Optimize chain from step 0
+    /// under the resuming process's flags, so a checkpoint stays loadable
+    /// when they differ.
     pub fn fingerprint_of(cfg: &CmmfConfig) -> String {
         format!(
             "v{CHECKPOINT_VERSION};n_init={};n_init_syn={};n_init_impl={};n_iter={};\

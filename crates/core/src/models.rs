@@ -7,8 +7,17 @@ use gp::kernel::{Matern52Ard, Matern52Grouped};
 use gp::multifidelity::{
     FidelityData, LinearMultiFidelityGp, MultiFidelityConfig, NonLinearMultiFidelityGp,
 };
-use gp::{GpConfig, MultiTaskGp, MultiTaskPrediction};
+use gp::{FitStats, GpConfig, HyperoptOptions, MultiTaskGp, MultiTaskPrediction};
 use linalg::{Matrix, Workspace};
+
+/// Per-fit options from hyperopt settings the caller holds: the shared
+/// tolerance/precision knobs of `hopts` with the warm seed swapped in.
+fn opts_with(hopts: &HyperoptOptions, seed: Option<&[f64]>) -> HyperoptOptions {
+    HyperoptOptions {
+        warm_start: seed.map(<[f64]>::to_vec),
+        ..hopts.clone()
+    }
+}
 
 /// Number of fidelities (hls, syn, impl).
 pub const N_FIDELITIES: usize = 3;
@@ -91,6 +100,44 @@ impl FitMode {
             FitMode::Optimize => "optimize",
             FitMode::Refit => "refit",
             FitMode::Extend => "extend",
+        }
+    }
+}
+
+/// How one [`FidelityModelStack::fit_with`] call should run: the previous
+/// stack + fit mode of [`FidelityModelStack::fit`], plus the cross-step
+/// hyperopt controls the optimizer loop owns
+/// ([`CmmfConfig::warm_start_hyperopt`](crate::CmmfConfig) and
+/// [`CmmfConfig::mixed_precision`](crate::CmmfConfig)).
+#[derive(Debug, Clone, Copy)]
+pub struct StackFitOptions<'a> {
+    /// The previous iteration's stack, if any — the hyperparameter source for
+    /// [`FitMode::Refit`]/[`FitMode::Extend`], and the warm-start seed source
+    /// for [`FitMode::Optimize`] when `warm_start` is set.
+    pub previous: Option<&'a FidelityModelStack>,
+    /// How to treat `previous` (see [`FitMode`]).
+    pub mode: FitMode,
+    /// Seed every Optimize-mode hyperparameter search from the matching
+    /// sub-model's accepted optimum in `previous`, shedding its restarts when
+    /// the seed already converges (see [`gp::Gp::fit_opts_in`]). Changes the
+    /// searched hyperparameters (never the model structure); ADRS-neutral by
+    /// the optimizer's contract tests.
+    pub warm_start: bool,
+    /// Route hyperparameter-search NLL evaluations through the toleranced
+    /// f32-screen ([`linalg::mixed`]); the accepted model itself is always
+    /// factorized in f64.
+    pub mixed_precision: bool,
+}
+
+impl<'a> StackFitOptions<'a> {
+    /// Options equivalent to the plain [`FidelityModelStack::fit_in`] call:
+    /// no warm starting, full-f64 search.
+    pub fn new(previous: Option<&'a FidelityModelStack>, mode: FitMode) -> Self {
+        StackFitOptions {
+            previous,
+            mode,
+            warm_start: false,
+            mixed_precision: false,
         }
     }
 }
@@ -198,25 +245,68 @@ impl FidelityModelStack {
         mode: FitMode,
         ws: &Workspace,
     ) -> Result<Self, CmmfError> {
+        Self::fit_with(
+            variant,
+            data,
+            gp_cfg,
+            &StackFitOptions::new(previous, mode),
+            ws,
+        )
+    }
+
+    /// [`FidelityModelStack::fit_in`] with explicit [`StackFitOptions`]: with
+    /// `warm_start` set, every Optimize-mode hyperparameter search in the
+    /// stack is seeded from the matching sub-model of `opts.previous` (each
+    /// seed is silently dropped when the sub-model shapes differ); with
+    /// `mixed_precision` set, search NLL evaluations run through the
+    /// toleranced f32 screen. With both off this is exactly
+    /// [`FidelityModelStack::fit_in`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FidelityModelStack::fit`].
+    pub fn fit_with(
+        variant: ModelVariant,
+        data: &FidelityDataSet,
+        gp_cfg: &GpConfig,
+        opts: &StackFitOptions<'_>,
+        ws: &Workspace,
+    ) -> Result<Self, CmmfError> {
         if data.any_empty() {
             return Err(CmmfError::Internal {
                 reason: "fit called with an empty fidelity".into(),
             });
         }
+        let (previous, mode) = (opts.previous, opts.mode);
+        // Warm seeds only matter where a search actually runs.
+        let warm = (opts.warm_start && matches!(mode, FitMode::Optimize))
+            .then_some(previous)
+            .flatten();
+        let hopts = HyperoptOptions {
+            mixed_precision: opts.mixed_precision,
+            ..Default::default()
+        };
         match (variant.correlated_objectives, variant.nonlinear_fidelity) {
-            (true, true) => Self::fit_correlated_nonlinear(data, gp_cfg, previous, mode, ws),
-            (true, false) => Self::fit_correlated_plain(data, gp_cfg, previous, mode, ws),
+            (true, true) => {
+                Self::fit_correlated_nonlinear(data, gp_cfg, previous, mode, warm, &hopts, ws)
+            }
+            (true, false) => {
+                Self::fit_correlated_plain(data, gp_cfg, previous, mode, warm, &hopts, ws)
+            }
             (false, nonlinear) => {
-                Self::fit_independent(data, gp_cfg, nonlinear, previous, mode, ws)
+                Self::fit_independent(data, gp_cfg, nonlinear, previous, mode, warm, &hopts, ws)
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fit_correlated_nonlinear(
         data: &FidelityDataSet,
         gp_cfg: &GpConfig,
         previous: Option<&FidelityModelStack>,
         mode: FitMode,
+        warm: Option<&FidelityModelStack>,
+        hopts: &HyperoptOptions,
         ws: &Workspace,
     ) -> Result<Self, CmmfError> {
         let x_dim = data.xs[0][0].len();
@@ -228,16 +318,21 @@ impl FidelityModelStack {
             }
             _ => None,
         };
+        let warm_parts = match warm {
+            Some(FidelityModelStack::CorrelatedNonlinear { base, uppers }) => Some((base, uppers)),
+            _ => None,
+        };
         let base = match prev_parts {
             Some((b, _)) if b.dim() == x_dim => match mode {
                 FitMode::Extend => b.extend_in(&data.xs[0], &data.ys[0], ws)?,
                 _ => b.refit_in(&data.xs[0], &data.ys[0], ws)?,
             },
-            _ => MultiTaskGp::fit_in(
+            _ => MultiTaskGp::fit_opts_in(
                 Matern52Ard::new(x_dim),
                 &data.xs[0],
                 &data.ys[0],
                 gp_cfg,
+                &opts_with(hopts, warm_parts.and_then(|(b, _)| b.fitted_optimum())),
                 ws,
             )?,
         };
@@ -295,11 +390,17 @@ impl FidelityModelStack {
                     FitMode::Extend => level.gp.extend_in(&aug, &residuals, ws)?,
                     _ => level.gp.refit_in(&aug, &residuals, ws)?,
                 },
-                _ => MultiTaskGp::fit_in(
+                _ => MultiTaskGp::fit_opts_in(
                     Matern52Grouped::iso_plus_tail(x_dim, N_OBJECTIVES),
                     &aug,
                     &residuals,
                     gp_cfg,
+                    &opts_with(
+                        hopts,
+                        warm_parts
+                            .and_then(|(_, us)| us.get(f - 1))
+                            .and_then(|l| l.gp.fitted_optimum()),
+                    ),
                     ws,
                 )?,
             };
@@ -308,11 +409,14 @@ impl FidelityModelStack {
         Ok(FidelityModelStack::CorrelatedNonlinear { base, uppers })
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fit_correlated_plain(
         data: &FidelityDataSet,
         gp_cfg: &GpConfig,
         previous: Option<&FidelityModelStack>,
         mode: FitMode,
+        warm: Option<&FidelityModelStack>,
+        hopts: &HyperoptOptions,
         ws: &Workspace,
     ) -> Result<Self, CmmfError> {
         let x_dim = data.xs[0][0].len();
@@ -324,16 +428,21 @@ impl FidelityModelStack {
                 }
                 _ => None,
             };
+            let warm_model = match warm {
+                Some(FidelityModelStack::CorrelatedPlain(v)) => v.get(f),
+                _ => None,
+            };
             let model = match prev_model {
                 Some(m) if m.dim() == x_dim => match mode {
                     FitMode::Extend => m.extend_in(&data.xs[f], &data.ys[f], ws)?,
                     _ => m.refit_in(&data.xs[f], &data.ys[f], ws)?,
                 },
-                _ => MultiTaskGp::fit_in(
+                _ => MultiTaskGp::fit_opts_in(
                     Matern52Ard::new(x_dim),
                     &data.xs[f],
                     &data.ys[f],
                     gp_cfg,
+                    &opts_with(hopts, warm_model.and_then(MultiTaskGp::fitted_optimum)),
                     ws,
                 )?,
             };
@@ -342,12 +451,15 @@ impl FidelityModelStack {
         Ok(FidelityModelStack::CorrelatedPlain(fitted))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fit_independent(
         data: &FidelityDataSet,
         gp_cfg: &GpConfig,
         nonlinear: bool,
         previous: Option<&FidelityModelStack>,
         mode: FitMode,
+        warm: Option<&FidelityModelStack>,
+        hopts: &HyperoptOptions,
         ws: &Workspace,
     ) -> Result<Self, CmmfError> {
         let mf_cfg = MultiFidelityConfig {
@@ -374,10 +486,16 @@ impl FidelityModelStack {
                     }
                     _ => None,
                 };
+                let warm_model = match warm {
+                    Some(FidelityModelStack::IndependentNonlinear(v)) => v.get(obj),
+                    _ => None,
+                };
                 per_obj_nonlinear.push(match (prev, mode) {
                     (Some(m), FitMode::Extend) => m.extend_in(&levels, ws)?,
                     (Some(m), _) => m.refit_in(&levels, ws)?,
-                    (None, _) => NonLinearMultiFidelityGp::fit_in(&levels, &mf_cfg, ws)?,
+                    (None, _) => NonLinearMultiFidelityGp::fit_opts_in(
+                        &levels, &mf_cfg, warm_model, hopts, ws,
+                    )?,
                 });
             } else {
                 let prev = match previous {
@@ -386,10 +504,16 @@ impl FidelityModelStack {
                     }
                     _ => None,
                 };
+                let warm_model = match warm {
+                    Some(FidelityModelStack::IndependentLinear(v)) => v.get(obj),
+                    _ => None,
+                };
                 per_obj_linear.push(match (prev, mode) {
                     (Some(m), FitMode::Extend) => m.extend_in(&levels, ws)?,
                     (Some(m), _) => m.refit_in(&levels, ws)?,
-                    (None, _) => LinearMultiFidelityGp::fit_in(&levels, &mf_cfg, ws)?,
+                    (None, _) => {
+                        LinearMultiFidelityGp::fit_opts_in(&levels, &mf_cfg, warm_model, hopts, ws)?
+                    }
                 });
             }
         }
@@ -544,6 +668,38 @@ impl FidelityModelStack {
             FidelityModelStack::CorrelatedPlain(models) => models.get(f).map(corr),
             _ => None,
         }
+    }
+
+    /// Summed hyperparameter-search telemetry over every sub-model fit that
+    /// produced this stack: NLL evaluations, restarts run, warm-start
+    /// hits/misses. All zeros for [`FitMode::Refit`]/[`FitMode::Extend`]
+    /// stacks, which run no search.
+    pub fn fit_stats(&self) -> FitStats {
+        let mut s = FitStats::default();
+        match self {
+            FidelityModelStack::CorrelatedNonlinear { base, uppers } => {
+                s.absorb(base.fit_stats());
+                for level in uppers {
+                    s.absorb(level.gp.fit_stats());
+                }
+            }
+            FidelityModelStack::CorrelatedPlain(models) => {
+                for m in models {
+                    s.absorb(m.fit_stats());
+                }
+            }
+            FidelityModelStack::IndependentLinear(per_obj) => {
+                for m in per_obj {
+                    s.absorb(m.fit_stats());
+                }
+            }
+            FidelityModelStack::IndependentNonlinear(per_obj) => {
+                for m in per_obj {
+                    s.absorb(m.fit_stats());
+                }
+            }
+        }
+        s
     }
 }
 
@@ -969,6 +1125,89 @@ mod tests {
             rmse(&with),
             rmse(&without)
         );
+    }
+
+    #[test]
+    fn stationary_warm_optimize_hits_across_every_variant() {
+        // The warm-start payoff case: re-optimizing on *unchanged* data with
+        // the previous stack as `previous` starts every sub-model's probe at
+        // its own converged optimum. For the independent-objective variants
+        // the searches are low-dimensional (a handful of log-params per GP)
+        // and genuinely converge, so every probe hits and the cold
+        // multi-starts are shed (`restarts_run == 0`). The correlated
+        // variants' joint searches run in 11–14 dimensions, where
+        // Nelder–Mead stalls before true convergence — a probe's fresh
+        // simplex then finds *real* improvement and correctly misses, which
+        // discards the probe and leaves the cold result untouched. Either
+        // way, predictions must stay equivalent to the cold stack's.
+        let data = synthetic();
+        let cfg = GpConfig {
+            restarts: 1,
+            max_evals: 2000,
+            ..Default::default()
+        };
+        let xs: Vec<Vec<f64>> = (0..9).map(|i| vec![0.03 + 0.11 * i as f64]).collect();
+        for variant in all_variants() {
+            let cold =
+                FidelityModelStack::fit(variant, &data, &cfg, None, FitMode::Optimize).unwrap();
+            let warm = FidelityModelStack::fit_with(
+                variant,
+                &data,
+                &cfg,
+                &StackFitOptions {
+                    warm_start: true,
+                    ..StackFitOptions::new(Some(&cold), FitMode::Optimize)
+                },
+                Workspace::off(),
+            )
+            .unwrap();
+            let (cs, ws) = (cold.fit_stats(), warm.fit_stats());
+            assert!(
+                cs.restarts_run > 0,
+                "{}: cold ran no restarts",
+                variant.name()
+            );
+            assert_eq!(
+                (cs.warm_start_hits, cs.warm_start_misses),
+                (0, 0),
+                "{}: cold fit must not probe",
+                variant.name()
+            );
+            assert!(
+                ws.warm_start_hits + ws.warm_start_misses > 0,
+                "{}: no warm probes ran",
+                variant.name()
+            );
+            if !variant.correlated_objectives {
+                assert_eq!(
+                    (ws.warm_start_misses, ws.restarts_run),
+                    (0, 0),
+                    "{}: warm fit was not fully shed ({ws:?})",
+                    variant.name()
+                );
+                assert!(ws.warm_start_hits > 0, "{}: no hits", variant.name());
+                assert!(
+                    ws.nll_evals < cs.nll_evals,
+                    "{}: warm fit did not get cheaper ({} vs {})",
+                    variant.name(),
+                    ws.nll_evals,
+                    cs.nll_evals
+                );
+            }
+            for f in 0..N_FIDELITIES {
+                let a = cold.predict_batch(f, &xs).unwrap();
+                let b = warm.predict_batch(f, &xs).unwrap();
+                for (pa, pb) in a.iter().zip(&b) {
+                    for (ma, mb) in pa.mean.iter().zip(pb.mean.iter()) {
+                        assert!(
+                            (ma - mb).abs() <= 1e-4 * ma.abs().max(1.0),
+                            "{} f{f}: mean {ma} vs {mb}",
+                            variant.name()
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

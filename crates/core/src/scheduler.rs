@@ -34,7 +34,7 @@
 //! checkpoint's redundant copy (see [`RunCheckpoint::in_flight`]).
 
 use crate::checkpoint::{PickRecord, RunCheckpoint, ScheduleEvent, CHECKPOINT_VERSION};
-use crate::models::{FidelityModelStack, N_OBJECTIVES};
+use crate::models::{FidelityModelStack, StackFitOptions, N_OBJECTIVES};
 use crate::optimizer::{with_pool, CandidateChoice, CmmfConfig, LoopState, RunResult};
 use crate::CmmfError;
 use fidelity_sim::{FlowSimulator, Stage};
@@ -486,22 +486,28 @@ impl<'a> AsyncState<'a> {
         // Surrogate fits replay only from the last `FitMode::Optimize`
         // dispatch attempt (whose fit does not depend on the previous
         // stack); each live dispatch attempt at index i fitted at step i,
-        // and an `Exhausted` attempt fitted at step nd.
+        // and an `Exhausted` attempt fitted at step nd. With
+        // `warm_start_hyperopt` the Optimize fits chain through their warm
+        // seeds, so the whole fit history replays from attempt 0.
         let r = cfg.refit_every.max(1);
         let n_fits = nd + usize::from(state.exhausted);
-        let refit_from = if n_fits == 0 {
+        let refit_from = if n_fits == 0 || cfg.warm_start_hyperopt {
             0
         } else {
             ((n_fits - 1) / r) * r
         };
         let quiet_fit = |base: &mut LoopState<'a>, t: usize| -> Result<(), CmmfError> {
             let (data, _, _) = base.training_data();
-            base.stack = Some(FidelityModelStack::fit_in(
+            base.stack = Some(FidelityModelStack::fit_with(
                 cfg.variant,
                 &data,
                 &cfg.gp,
-                base.stack.as_ref(),
-                LoopState::fit_mode(cfg, t),
+                &StackFitOptions {
+                    previous: base.stack.as_ref(),
+                    mode: LoopState::fit_mode(cfg, t),
+                    warm_start: cfg.warm_start_hyperopt,
+                    mixed_precision: cfg.mixed_precision,
+                },
                 &base.ws,
             )?);
             Ok(())

@@ -1,0 +1,286 @@
+//! Shared machinery of the hyperparameter search: warm starting, restart
+//! shedding, fit telemetry, and the process-wide fast-path toggle.
+//!
+//! Both [`Gp::fit_in`](crate::Gp::fit_in) and
+//! [`MultiTaskGp`](crate::MultiTaskGp) route their maximum-likelihood searches
+//! through the private `search` helper, which layers two optimizations over
+//! the plain
+//! multi-start Nelder–Mead:
+//!
+//! * **Warm starting** — when the caller supplies the previous fit's optimum
+//!   (same log-space layout), a probe run starts there under a reduced eval
+//!   budget (a quarter of the search budget, floored at two simplex rounds —
+//!   whether the seed is still a local optimum shows within a few sweeps, so
+//!   a negative answer never costs a full search); if the probe converges
+//!   without materially improving on its own starting value, the cold
+//!   multi-start is *shed* entirely (a "hit"). Otherwise the warm run is
+//!   **discarded** and the cold multi-start result stands alone (a "miss") —
+//!   so a miss is bit-identical to never warm starting at all. Letting the
+//!   warm run compete on NLL looks harmless but is not: chained optima can
+//!   ratchet into high-likelihood basins (near-zero noise, tiny
+//!   lengthscales) that predict worse than the cold fit, degrading ADRS.
+//! * **Parallel multi-start** — cold restarts run through the in-tree rayon
+//!   pool with per-restart derived seeds, bit-identical at any thread count
+//!   (see [`multi_start_nelder_mead_par`]).
+//!
+//! [`set_hyperopt_fast_path`] is the escape hatch for the *mechanical*
+//! optimizations (distance cache + parallel restarts): turning it off routes
+//! cold multi-starts through the serial twin and disables cached Gram
+//! assembly, which is **bit-identical** by contract — it exists for the
+//! benchmark legacy arm and for bisecting, never to change results.
+
+use crate::optimize::{
+    multi_start_nelder_mead_par, multi_start_nelder_mead_seq, nelder_mead, NelderMeadOptions,
+    OptimResult,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide toggle for the bit-identical mechanical fast paths
+/// (ARD distance cache + parallel multi-start). Default: on.
+static FAST_PATH: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the hyperopt mechanical fast paths process-wide.
+///
+/// This is **result-transparent** by the same contract family as
+/// [`linalg::set_cholesky_panel`]: the cached
+/// Gram assembly is pinned bit-identical to from-scratch assembly and the
+/// parallel multi-start is pinned bit-identical to the serial loop, so
+/// flipping this changes throughput only. It exists for the hyperopt
+/// benchmark's legacy arm.
+pub fn set_hyperopt_fast_path(enabled: bool) {
+    FAST_PATH.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the hyperopt mechanical fast paths are enabled (see
+/// [`set_hyperopt_fast_path`]).
+pub fn hyperopt_fast_path() -> bool {
+    FAST_PATH.load(Ordering::Relaxed)
+}
+
+/// Telemetry from one maximum-likelihood hyperparameter search.
+///
+/// Zeroed on fits that run no search (`optimize: false`, `refit`, `extend`,
+/// `downdate`), so stack-level sums reflect only real search work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FitStats {
+    /// Total NLL objective evaluations consumed (warm run + cold runs).
+    pub nll_evals: usize,
+    /// Nelder–Mead searches run beyond the first: `restarts` for a cold fit
+    /// (with or without a discarded warm probe), `0` for a warm-start hit
+    /// (everything shed).
+    pub restarts_run: usize,
+    /// 1 if a warm start converged in place and shed the cold multi-start.
+    pub warm_start_hits: usize,
+    /// 1 if a warm probe was run but improved past tolerance, so it was
+    /// discarded and the cold multi-start ran.
+    pub warm_start_misses: usize,
+}
+
+impl FitStats {
+    /// Accumulates another model's stats (for multi-level / multi-task sums).
+    pub fn absorb(&mut self, other: FitStats) {
+        self.nll_evals += other.nll_evals;
+        self.restarts_run += other.restarts_run;
+        self.warm_start_hits += other.warm_start_hits;
+        self.warm_start_misses += other.warm_start_misses;
+    }
+}
+
+/// Per-fit options layered on top of `GpConfig` by callers that know more
+/// than a single fit does (the model stack, the optimizer loop).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperoptOptions {
+    /// Previous optimum in the fit's own log-space search layout (kernel log
+    /// params + trailing log noise term(s)). Ignored when the length does not
+    /// match or any entry is non-finite.
+    pub warm_start: Option<Vec<f64>>,
+    /// Relative improvement threshold for shedding the cold multi-start: a
+    /// warm run that improves on its starting NLL by at most
+    /// `tol · max(1, |NLL|)` is deemed converged-in-place.
+    pub warm_start_tol: f64,
+    /// Screen NLL evaluations through the f32 + f64-refinement factorization
+    /// ([`linalg::mixed`]). Toleranced, not bit-identical; the final
+    /// factorize at the accepted optimum always stays f64.
+    pub mixed_precision: bool,
+}
+
+impl Default for HyperoptOptions {
+    fn default() -> Self {
+        HyperoptOptions {
+            warm_start: None,
+            warm_start_tol: 1e-3,
+            mixed_precision: false,
+        }
+    }
+}
+
+/// Runs the full hyperparameter search: optional warm probe with restart
+/// shedding, then (unless shed) the seeded cold multi-start.
+///
+/// Cold starts go through [`multi_start_nelder_mead_par`] when the fast path
+/// is enabled, its bit-identical serial twin otherwise. On a warm-start miss
+/// the probe's result is discarded (not raced against the cold runs), so the
+/// returned optimum is bitwise the cold search's — only `evals` reflects the
+/// probe's extra work.
+pub(crate) fn search(
+    f: &(impl Fn(&[f64]) -> f64 + Sync),
+    p0: &[f64],
+    spread: f64,
+    restarts: usize,
+    opts: &NelderMeadOptions,
+    seed: u64,
+    hopts: &HyperoptOptions,
+) -> (OptimResult, FitStats) {
+    let mut stats = FitStats::default();
+    let warm = hopts
+        .warm_start
+        .as_deref()
+        .filter(|w| w.len() == p0.len() && w.iter().all(|v| v.is_finite()));
+
+    let warm_result = warm.map(|w| {
+        let at_start = f(w);
+        // The probe answers one question: does the previous optimum still sit
+        // at a local optimum? A still-converged seed shows no descent within
+        // a few simplex sweeps, and a shifted surface shows descent just as
+        // quickly — either way the answer arrives long before a full search
+        // budget. Running the probe under a reduced eval cap keeps misses
+        // (whose probe is discarded entirely) cheap instead of charging a
+        // full search for a negative answer.
+        let probe_opts = NelderMeadOptions {
+            max_evals: (opts.max_evals / 4)
+                .max(2 * (w.len() + 1))
+                .min(opts.max_evals),
+            ..opts.clone()
+        };
+        let run = nelder_mead(f, w, &probe_opts);
+        stats.nll_evals += 1 + run.evals;
+        let tol = hopts.warm_start_tol * run.value.abs().max(1.0);
+        let hit = run.value.is_finite() && at_start.is_finite() && (at_start - run.value) <= tol;
+        (run, hit)
+    });
+
+    if let Some((run, true)) = &warm_result {
+        stats.warm_start_hits = 1;
+        let mut best = run.clone();
+        best.evals = stats.nll_evals;
+        return (best, stats);
+    }
+    stats.warm_start_misses = usize::from(warm_result.is_some());
+
+    let mut best = if hyperopt_fast_path() {
+        multi_start_nelder_mead_par(f, p0, spread, restarts, opts, seed)
+    } else {
+        multi_start_nelder_mead_seq(f, p0, spread, restarts, opts, seed)
+    };
+    stats.nll_evals += best.evals;
+    stats.restarts_run = restarts;
+    best.evals = stats.nll_evals;
+    (best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quartic(x: &[f64]) -> f64 {
+        // Two minima: global at -1 (value -0.25 area), local at +1.
+        x[0].powi(4) - x[0].powi(2) + 0.05 * x[0]
+    }
+
+    #[test]
+    fn cold_search_matches_parallel_multistart_exactly() {
+        let opts = NelderMeadOptions::default();
+        let (r, stats) = search(
+            &quartic,
+            &[0.3],
+            2.0,
+            3,
+            &opts,
+            17,
+            &HyperoptOptions::default(),
+        );
+        let reference = multi_start_nelder_mead_par(quartic, &[0.3], 2.0, 3, &opts, 17);
+        assert_eq!(r.value.to_bits(), reference.value.to_bits());
+        assert_eq!(r.evals, reference.evals);
+        assert_eq!(stats.nll_evals, reference.evals);
+        assert_eq!(stats.restarts_run, 3);
+        assert_eq!((stats.warm_start_hits, stats.warm_start_misses), (0, 0));
+    }
+
+    #[test]
+    fn warm_start_at_the_optimum_sheds_all_restarts() {
+        let opts = NelderMeadOptions::default();
+        // Find the true optimum cold, then warm-start exactly there.
+        let (cold, _) = search(
+            &quartic,
+            &[0.3],
+            2.0,
+            3,
+            &opts,
+            17,
+            &HyperoptOptions::default(),
+        );
+        let hopts = HyperoptOptions {
+            warm_start: Some(cold.x.clone()),
+            ..Default::default()
+        };
+        let (warm, stats) = search(&quartic, &[0.3], 2.0, 3, &opts, 17, &hopts);
+        assert_eq!(stats.warm_start_hits, 1);
+        assert_eq!(stats.restarts_run, 0);
+        assert!(warm.value <= cold.value + 1e-12);
+        assert_eq!(warm.evals, stats.nll_evals);
+    }
+
+    #[test]
+    fn bad_warm_start_falls_through_to_the_cold_search() {
+        let opts = NelderMeadOptions::default();
+        // A warm start parked far up the quartic wall improves massively
+        // during its probe → miss → the probe is discarded and the result is
+        // bitwise the cold multi-start's (only `evals` records the probe).
+        let hopts = HyperoptOptions {
+            warm_start: Some(vec![3.0]),
+            ..Default::default()
+        };
+        let (r, stats) = search(&quartic, &[0.3], 2.0, 3, &opts, 17, &hopts);
+        assert_eq!(stats.warm_start_misses, 1);
+        assert_eq!(stats.restarts_run, 3);
+        let reference = multi_start_nelder_mead_par(quartic, &[0.3], 2.0, 3, &opts, 17);
+        assert_eq!(r.value.to_bits(), reference.value.to_bits());
+        assert_eq!(
+            r.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert!(r.evals > reference.evals, "probe evals must be accounted");
+    }
+
+    #[test]
+    fn mismatched_or_nonfinite_warm_starts_are_ignored() {
+        let opts = NelderMeadOptions::default();
+        for bad in [vec![0.0, 0.0], vec![f64::NAN]] {
+            let hopts = HyperoptOptions {
+                warm_start: Some(bad),
+                ..Default::default()
+            };
+            let (r, stats) = search(&quartic, &[0.3], 2.0, 2, &opts, 5, &hopts);
+            assert_eq!((stats.warm_start_hits, stats.warm_start_misses), (0, 0));
+            let reference = multi_start_nelder_mead_par(quartic, &[0.3], 2.0, 2, &opts, 5);
+            assert_eq!(r.value.to_bits(), reference.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn fast_path_toggle_is_bit_identical() {
+        let opts = NelderMeadOptions::default();
+        let hopts = HyperoptOptions::default();
+        let run = || search(&quartic, &[0.3], 2.0, 4, &opts, 23, &hopts);
+        let (fast, _) = run();
+        set_hyperopt_fast_path(false);
+        let (slow, _) = run();
+        set_hyperopt_fast_path(true);
+        assert_eq!(fast.value.to_bits(), slow.value.to_bits());
+        assert_eq!(fast.evals, slow.evals);
+        let a: Vec<u64> = fast.x.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = slow.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+}

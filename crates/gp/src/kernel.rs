@@ -12,7 +12,7 @@
 //! the same precomputed weights and the same per-pair operations, keeping
 //! every covariance path bit-consistent by construction.
 
-use linalg::Matrix;
+use linalg::{Matrix, Workspace};
 
 /// A positive-definite covariance function over `R^d`.
 ///
@@ -97,6 +97,38 @@ pub trait Kernel: Send + Sync {
         }
     }
 
+    /// Whether this kernel's covariance is a scalar function of the
+    /// ARD-weighted squared distance `s = Σ_d (a_d - b_d)² · w_d`, making it
+    /// eligible for [`Kernel::gram_from_cache`] assembly. `false` (the
+    /// default) makes callers fall back to [`Kernel::gram_into`].
+    fn supports_distance_cache(&self) -> bool {
+        false
+    }
+
+    /// Fills `out` with the Gram matrix from a precomputed
+    /// [`DistanceCache`] instead of the raw inputs: each entry combines the
+    /// cached per-dimension squared differences with the kernel's *current*
+    /// inverse-squared lengthscales in the same ascending-dimension fused
+    /// accumulation order as [`Kernel::eval`], then applies the same scalar
+    /// tail — so the result is **bit-identical** to [`Kernel::gram_into`]
+    /// on the inputs the cache was built from (pinned by
+    /// `gram_from_cache_matches_gram_into_bitwise`). This turns the per-NLL-
+    /// evaluation assembly of a hyperparameter search into an AXPY-style
+    /// sweep over tensors computed once per fit.
+    ///
+    /// The default implementation panics; only call it when
+    /// [`Kernel::supports_distance_cache`] returns `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel has no ARD distance structure, if the cache was
+    /// built for a different input dimension, or if `out` is not `n x n`.
+    fn gram_from_cache(&self, cache: &DistanceCache, out: &mut Matrix) {
+        let _ = (cache, out);
+        // cmmf-lint: allow(P1) -- unreachable by contract: gated on supports_distance_cache()
+        panic!("kernel has no ARD distance structure; use gram_into");
+    }
+
     /// Fills `out[(i, j)] = k(xs[i], queries[j])` — the cross-covariance
     /// between the training inputs and a query chunk — into the caller's
     /// buffer. Entry values are identical to per-entry evaluation; rows
@@ -139,6 +171,124 @@ pub trait Kernel: Send + Sync {
 /// Entry count above which [`Kernel::gram_into`] / [`Kernel::cross_into`]
 /// assemble rows in parallel (mirrors `Matrix::from_fn_par`'s threshold).
 const ASSEMBLY_PAR_THRESHOLD: usize = 4096;
+
+/// Per-fit cache of the parameter-*independent* pairwise structure of an ARD
+/// kernel: the per-dimension squared differences
+/// `D_d[i][j] = (x_i,d − x_j,d)²`, computed once per `fit` and combined with
+/// the current inverse-squared lengthscales on every NLL evaluation (see
+/// [`Kernel::gram_from_cache`]).
+///
+/// Layout is lower-triangle pair-major: the entry for pair `(i, j)` with
+/// `j ≤ i` starts at `(i·(i+1)/2 + j)·dim` and holds the `dim` squared
+/// differences in ascending-dimension order — the order [`Kernel::eval`]
+/// accumulates them in. Storage is recycled through the caller's
+/// [`Workspace`] arena ([`DistanceCache::release`]).
+#[derive(Debug)]
+pub struct DistanceCache {
+    n: usize,
+    dim: usize,
+    d2: Vec<f64>,
+}
+
+impl DistanceCache {
+    /// Precomputes the squared-difference tensors for `xs`, drawing storage
+    /// from `ws`. Each difference is computed exactly as [`Kernel::eval`]
+    /// does (`d = x − y; d·d`), so the cached values are bitwise identical to
+    /// what a from-scratch evaluation would re-derive.
+    pub fn new_in(xs: &[Vec<f64>], ws: &Workspace) -> Self {
+        let n = xs.len();
+        let dim = xs.first().map_or(0, |x| x.len());
+        let mut d2 = ws.take_vec(n * (n + 1) / 2 * dim);
+        for i in 0..n {
+            let row_base = i * (i + 1) / 2;
+            for (j, other) in xs.iter().enumerate().take(i + 1) {
+                let base = (row_base + j) * dim;
+                for (k, (x, y)) in xs[i].iter().zip(other).enumerate() {
+                    let d = x - y;
+                    d2[base + k] = d * d;
+                }
+            }
+        }
+        DistanceCache { n, dim, d2 }
+    }
+
+    /// Number of cached inputs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the cache covers zero inputs.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Input dimension the cache was built for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The cached squared differences of pair `(i, j)`, `j ≤ i`.
+    fn pair(&self, i: usize, j: usize) -> &[f64] {
+        let base = (i * (i + 1) / 2 + j) * self.dim;
+        &self.d2[base..base + self.dim]
+    }
+
+    /// Returns the cache's storage to the arena.
+    pub fn release(self, ws: &Workspace) {
+        ws.put_vec(self.d2);
+    }
+}
+
+/// The shared [`Kernel::gram_from_cache`] body: fuses the cached tensors with
+/// the per-dimension weights in ascending-dimension order (`s += D_d · w_d`,
+/// exactly `eval`'s accumulation), applies `tail(s)` to the lower triangle,
+/// and mirrors — the same structure as the default [`Kernel::gram_into`],
+/// with the same parallel-row threshold (entries are independent, so the
+/// values are bit-identical at any thread count).
+fn assemble_from_cache(
+    cache: &DistanceCache,
+    out: &mut Matrix,
+    weights: &[f64],
+    tail: &(impl Fn(f64) -> f64 + Sync),
+) {
+    let n = cache.n;
+    assert_eq!(
+        weights.len(),
+        cache.dim,
+        "gram_from_cache: cache dimension mismatch"
+    );
+    assert_eq!(out.shape(), (n, n), "gram_from_cache: buffer must be n x n");
+    let entry = |i: usize, j: usize| -> f64 {
+        let mut s = 0.0;
+        for (d2, w) in cache.pair(i, j).iter().zip(weights) {
+            s += d2 * w;
+        }
+        tail(s)
+    };
+    if n * n < ASSEMBLY_PAR_THRESHOLD {
+        for i in 0..n {
+            let row = out.row_mut(i);
+            for (j, o) in row.iter_mut().enumerate().take(i + 1) {
+                *o = entry(i, j);
+            }
+        }
+    } else {
+        use rayon::prelude::*;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .into_par_iter()
+            .with_min_len(4)
+            .map(|i| (0..=i).map(|j| entry(i, j)).collect())
+            .collect();
+        for (i, r) in rows.iter().enumerate() {
+            out.row_mut(i)[..=i].copy_from_slice(r);
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out[(i, j)] = out[(j, i)];
+        }
+    }
+}
 
 /// `1/ℓ²` per entry: the per-dimension division hoisted out of the per-pair
 /// distance loops, performed once per hyperparameter update.
@@ -223,6 +373,17 @@ impl Kernel for SquaredExponentialArd {
             *w = 1.0 / (l * l);
         }
     }
+
+    fn supports_distance_cache(&self) -> bool {
+        true
+    }
+
+    fn gram_from_cache(&self, cache: &DistanceCache, out: &mut Matrix) {
+        let sv = self.signal_var;
+        assemble_from_cache(cache, out, &self.inv_sq_lengthscales, &|s: f64| {
+            sv * (-0.5 * s).exp()
+        });
+    }
 }
 
 /// Anisotropic Matérn-5/2 kernel:
@@ -283,9 +444,7 @@ impl Kernel for Matern52Ard {
             let d = x - y;
             s += d * d * w;
         }
-        let r = s.sqrt();
-        let sqrt5_r = 5.0_f64.sqrt() * r;
-        self.signal_var * (1.0 + sqrt5_r + 5.0 * s / 3.0) * (-sqrt5_r).exp()
+        matern52_tail(self.signal_var, s)
     }
 
     fn dim(&self) -> usize {
@@ -308,6 +467,27 @@ impl Kernel for Matern52Ard {
             *w = 1.0 / (l * l);
         }
     }
+
+    fn supports_distance_cache(&self) -> bool {
+        true
+    }
+
+    fn gram_from_cache(&self, cache: &DistanceCache, out: &mut Matrix) {
+        let sv = self.signal_var;
+        assemble_from_cache(cache, out, &self.inv_sq_lengthscales, &|s: f64| {
+            matern52_tail(sv, s)
+        });
+    }
+}
+
+/// The Matérn-5/2 scalar tail `σ_f²(1 + √5r + 5s/3)·exp(−√5r)` shared by the
+/// per-pair `eval` loops and the cached assembly path — one definition so the
+/// two stay bit-consistent by construction.
+#[inline]
+fn matern52_tail(signal_var: f64, s: f64) -> f64 {
+    let r = s.sqrt();
+    let sqrt5_r = 5.0_f64.sqrt() * r;
+    signal_var * (1.0 + sqrt5_r + 5.0 * s / 3.0) * (-sqrt5_r).exp()
 }
 
 /// Matérn-5/2 kernel with **grouped** lengthscales: dimensions sharing a group
@@ -398,9 +578,7 @@ impl Kernel for Matern52Grouped {
             let d = x - y;
             s += d * d * w;
         }
-        let r = s.sqrt();
-        let sqrt5_r = 5.0_f64.sqrt() * r;
-        self.signal_var * (1.0 + sqrt5_r + 5.0 * s / 3.0) * (-sqrt5_r).exp()
+        matern52_tail(self.signal_var, s)
     }
 
     fn dim(&self) -> usize {
@@ -423,6 +601,17 @@ impl Kernel for Matern52Grouped {
             let l = self.lengthscales[g];
             *w = 1.0 / (l * l);
         }
+    }
+
+    fn supports_distance_cache(&self) -> bool {
+        true
+    }
+
+    fn gram_from_cache(&self, cache: &DistanceCache, out: &mut Matrix) {
+        let sv = self.signal_var;
+        assemble_from_cache(cache, out, &self.inv_sq_by_dim, &|s: f64| {
+            matern52_tail(sv, s)
+        });
     }
 }
 
@@ -731,6 +920,82 @@ mod tests {
                 assert_eq!(a.to_bits(), b.to_bits(), "n={n} q={q} entry {idx}");
             }
         }
+    }
+
+    #[test]
+    fn gram_from_cache_matches_gram_into_bitwise() {
+        // The cache contract: cached per-dimension squared differences fused
+        // with the current weights must reproduce from-scratch assembly bit
+        // for bit, for every ARD kernel family, below and above the
+        // parallel-assembly threshold, and across parameter updates on the
+        // same cache.
+        let ws = Workspace::new();
+        for n in [1usize, 7, 70] {
+            let xs = wavy_inputs(n, 3);
+            let cache = DistanceCache::new_in(&xs, &ws);
+            let mut se = SquaredExponentialArd::new(3);
+            let mut m = Matern52Ard::new(3);
+            let mut g = Matern52Grouped::iso_plus_tail(2, 1);
+            for params in [
+                vec![0.0, 0.0, 0.0, 0.0],
+                vec![0.3, -0.4, 0.1, 0.2],
+                vec![-1.2, 0.8, 2.0, -0.5],
+            ] {
+                se.set_log_params(&params);
+                m.set_log_params(&params);
+                g.set_log_params(&params[..3]);
+                check_cached(&se, &xs, &cache, n, "se");
+                check_cached(&m, &xs, &cache, n, "matern");
+                check_cached(&g, &xs, &cache, n, "grouped");
+            }
+            cache.release(&ws);
+        }
+        assert!(!LinearKernel::new(3).supports_distance_cache());
+        assert!(
+            !SumKernel::new(Matern52Ard::new(2), LinearKernel::new(2)).supports_distance_cache()
+        );
+    }
+
+    fn check_cached(k: &impl Kernel, xs: &[Vec<f64>], cache: &DistanceCache, n: usize, tag: &str) {
+        assert!(k.supports_distance_cache());
+        let mut fast = Matrix::from_fn(n, n, |_, _| f64::NAN);
+        k.gram_from_cache(cache, &mut fast);
+        let mut naive = Matrix::zeros(n, n);
+        k.gram_into(xs, &mut naive);
+        for (idx, (a, b)) in fast.as_slice().iter().zip(naive.as_slice()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{tag} n={n} entry {idx}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no ARD distance structure")]
+    fn gram_from_cache_panics_without_ard_structure() {
+        let ws = Workspace::new();
+        let xs = wavy_inputs(3, 2);
+        let cache = DistanceCache::new_in(&xs, &ws);
+        let mut out = Matrix::zeros(3, 3);
+        LinearKernel::new(2).gram_from_cache(&cache, &mut out);
+    }
+
+    #[test]
+    fn distance_cache_recycles_through_the_arena() {
+        let ws = Workspace::new();
+        let xs = wavy_inputs(6, 4);
+        let cache = DistanceCache::new_in(&xs, &ws);
+        assert_eq!(cache.len(), 6);
+        assert_eq!(cache.dim(), 4);
+        assert!(!cache.is_empty());
+        cache.release(&ws);
+        assert_eq!(ws.pooled(), 1);
+        // The next cache reuses the pooled buffer and still reads clean.
+        let cache2 = DistanceCache::new_in(&xs, &ws);
+        assert_eq!(ws.pooled(), 0);
+        let k = Matern52Ard::new(4);
+        let mut a = Matrix::zeros(6, 6);
+        let mut b = Matrix::zeros(6, 6);
+        k.gram_from_cache(&cache2, &mut a);
+        k.gram_into(&xs, &mut b);
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

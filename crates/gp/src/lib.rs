@@ -34,6 +34,7 @@
 
 mod error;
 mod gp;
+pub mod hyperopt;
 pub mod kernel;
 pub mod multifidelity;
 mod multitask;
@@ -41,5 +42,6 @@ pub mod optimize;
 
 pub use error::GpError;
 pub use gp::{Gp, GpConfig, Prediction};
+pub use hyperopt::{hyperopt_fast_path, set_hyperopt_fast_path, FitStats, HyperoptOptions};
 pub use kernel::Kernel;
 pub use multitask::{MultiTaskGp, MultiTaskPrediction};

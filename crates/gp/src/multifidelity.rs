@@ -31,9 +31,19 @@
 //! ```
 
 use crate::gp::{Gp, GpConfig, Prediction};
+use crate::hyperopt::{FitStats, HyperoptOptions};
 use crate::kernel::{Matern52Ard, Matern52Grouped};
 use crate::GpError;
 use linalg::Workspace;
+
+/// Per-level hyperopt options: the shared tolerance / precision settings from
+/// `hopts`, with the warm-start seed replaced by the given previous optimum.
+fn warmed(hopts: &HyperoptOptions, prev: Option<&[f64]>) -> HyperoptOptions {
+    HyperoptOptions {
+        warm_start: prev.map(<[f64]>::to_vec),
+        ..hopts.clone()
+    }
+}
 
 /// Training data for one fidelity level.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +117,9 @@ pub struct LinearMultiFidelityGp {
     base: Gp<Matern52Ard>,
     deltas: Vec<Gp<Matern52Ard>>,
     rhos: Vec<f64>,
+    /// Summed hyperparameter-search telemetry over all per-level fits
+    /// (zeroed on refit/extend, which run no search).
+    stats: FitStats,
 }
 
 impl LinearMultiFidelityGp {
@@ -135,14 +148,43 @@ impl LinearMultiFidelityGp {
         cfg: &MultiFidelityConfig,
         ws: &Workspace,
     ) -> Result<Self, GpError> {
+        Self::fit_opts_in(data, cfg, None, &HyperoptOptions::default(), ws)
+    }
+
+    /// [`LinearMultiFidelityGp::fit_in`] with cross-fit hyperopt options:
+    /// when `warm` is a previously fitted model, every per-level GP search is
+    /// seeded from the corresponding level's accepted optimum (shedding its
+    /// restarts when the seed already converges — see [`Gp::fit_opts_in`]).
+    /// The `warm_start` field of `hopts` itself is ignored; the per-level
+    /// seeds come from `warm`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearMultiFidelityGp::fit`].
+    pub fn fit_opts_in(
+        data: &[FidelityData],
+        cfg: &MultiFidelityConfig,
+        warm: Option<&Self>,
+        hopts: &HyperoptOptions,
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         let dim = validate_levels(data)?;
-        let base = Gp::fit_in(Matern52Ard::new(dim), &data[0].xs, &data[0].ys, &cfg.gp, ws)?;
+        let base = Gp::fit_opts_in(
+            Matern52Ard::new(dim),
+            &data[0].xs,
+            &data[0].ys,
+            &cfg.gp,
+            &warmed(hopts, warm.and_then(|w| w.base.fitted_optimum())),
+            ws,
+        )?;
+        let mut stats = base.fit_stats();
         let mut model = LinearMultiFidelityGp {
             base,
             deltas: Vec::new(),
             rhos: Vec::new(),
+            stats: FitStats::default(),
         };
-        for level in &data[1..] {
+        for (i, level) in data[1..].iter().enumerate() {
             let prev_mean: Vec<f64> = level
                 .xs
                 .iter()
@@ -157,10 +199,23 @@ impl LinearMultiFidelityGp {
                 .zip(&prev_mean)
                 .map(|(y, m)| y - rho * m)
                 .collect();
-            let delta = Gp::fit_in(Matern52Ard::new(dim), &level.xs, &residuals, &cfg.gp, ws)?;
+            let delta = Gp::fit_opts_in(
+                Matern52Ard::new(dim),
+                &level.xs,
+                &residuals,
+                &cfg.gp,
+                &warmed(
+                    hopts,
+                    warm.and_then(|w| w.deltas.get(i))
+                        .and_then(Gp::fitted_optimum),
+                ),
+                ws,
+            )?;
+            stats.absorb(delta.fit_stats());
             model.rhos.push(rho);
             model.deltas.push(delta);
         }
+        model.stats = stats;
         Ok(model)
     }
 
@@ -225,6 +280,7 @@ impl LinearMultiFidelityGp {
             base,
             deltas: Vec::new(),
             rhos: Vec::new(),
+            stats: FitStats::default(),
         };
         for (i, level) in data[1..].iter().enumerate() {
             let prev_mean: Vec<f64> = level
@@ -284,6 +340,7 @@ impl LinearMultiFidelityGp {
             base,
             deltas: Vec::new(),
             rhos: Vec::new(),
+            stats: FitStats::default(),
         };
         for (i, level) in data[1..].iter().enumerate() {
             let prev_mean: Vec<f64> = level
@@ -320,6 +377,12 @@ impl LinearMultiFidelityGp {
     pub fn rho(&self, i: usize) -> f64 {
         self.rhos[i]
     }
+
+    /// Summed hyperparameter-search telemetry over every per-level GP fit
+    /// that produced this model (zeroed for refit/extend — no search runs).
+    pub fn fit_stats(&self) -> FitStats {
+        self.stats
+    }
 }
 
 /// 5-node Gauss–Hermite nodes/weights for integrals against a standard normal.
@@ -352,6 +415,9 @@ pub struct NonLinearMultiFidelityGp {
     base: Gp<Matern52Ard>,
     uppers: Vec<(f64, Gp<Matern52Grouped>)>,
     propagate: bool,
+    /// Summed hyperparameter-search telemetry over all per-level fits
+    /// (zeroed on refit/extend, which run no search).
+    stats: FitStats,
 }
 
 impl NonLinearMultiFidelityGp {
@@ -378,14 +444,43 @@ impl NonLinearMultiFidelityGp {
         cfg: &MultiFidelityConfig,
         ws: &Workspace,
     ) -> Result<Self, GpError> {
+        Self::fit_opts_in(data, cfg, None, &HyperoptOptions::default(), ws)
+    }
+
+    /// [`NonLinearMultiFidelityGp::fit_in`] with cross-fit hyperopt options:
+    /// when `warm` is a previously fitted model, every per-level GP search is
+    /// seeded from the corresponding level's accepted optimum (shedding its
+    /// restarts when the seed already converges — see [`Gp::fit_opts_in`]).
+    /// The `warm_start` field of `hopts` itself is ignored; the per-level
+    /// seeds come from `warm`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NonLinearMultiFidelityGp::fit`].
+    pub fn fit_opts_in(
+        data: &[FidelityData],
+        cfg: &MultiFidelityConfig,
+        warm: Option<&Self>,
+        hopts: &HyperoptOptions,
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         let dim = validate_levels(data)?;
-        let base = Gp::fit_in(Matern52Ard::new(dim), &data[0].xs, &data[0].ys, &cfg.gp, ws)?;
+        let base = Gp::fit_opts_in(
+            Matern52Ard::new(dim),
+            &data[0].xs,
+            &data[0].ys,
+            &cfg.gp,
+            &warmed(hopts, warm.and_then(|w| w.base.fitted_optimum())),
+            ws,
+        )?;
+        let mut stats = base.fit_stats();
         let mut model = NonLinearMultiFidelityGp {
             base,
             uppers: Vec::new(),
             propagate: cfg.propagate_uncertainty,
+            stats: FitStats::default(),
         };
-        for level in &data[1..] {
+        for (i, level) in data[1..].iter().enumerate() {
             let cur_level = model.n_levels() - 1;
             // Lower-level posterior means at this level's inputs.
             let prev: Vec<f64> = level
@@ -414,15 +509,22 @@ impl NonLinearMultiFidelityGp {
                 .zip(&prev)
                 .map(|(y, m)| y - rho * m)
                 .collect();
-            let gp = Gp::fit_in(
+            let gp = Gp::fit_opts_in(
                 Matern52Grouped::iso_plus_tail(dim, 1),
                 &aug,
                 &residuals,
                 &cfg.gp,
+                &warmed(
+                    hopts,
+                    warm.and_then(|w| w.uppers.get(i))
+                        .and_then(|(_, g)| g.fitted_optimum()),
+                ),
                 ws,
             )?;
+            stats.absorb(gp.fit_stats());
             model.uppers.push((rho, gp));
         }
+        model.stats = stats;
         Ok(model)
     }
 
@@ -507,6 +609,7 @@ impl NonLinearMultiFidelityGp {
             base,
             uppers: Vec::new(),
             propagate: self.propagate,
+            stats: FitStats::default(),
         };
         for (i, level) in data[1..].iter().enumerate() {
             let cur_level = model.n_levels() - 1;
@@ -577,6 +680,7 @@ impl NonLinearMultiFidelityGp {
             base,
             uppers: Vec::new(),
             propagate: self.propagate,
+            stats: FitStats::default(),
         };
         for (i, level) in data[1..].iter().enumerate() {
             let cur_level = model.n_levels() - 1;
@@ -613,6 +717,12 @@ impl NonLinearMultiFidelityGp {
     /// Number of fidelity levels.
     pub fn n_levels(&self) -> usize {
         self.uppers.len() + 1
+    }
+
+    /// Summed hyperparameter-search telemetry over every per-level GP fit
+    /// that produced this model (zeroed for refit/extend — no search runs).
+    pub fn fit_stats(&self) -> FitStats {
+        self.stats
     }
 }
 
@@ -731,6 +841,59 @@ mod tests {
         assert!(NonLinearMultiFidelityGp::fit(&[], &cfg).is_err());
         let data = [FidelityData::new(vec![], vec![])];
         assert!(NonLinearMultiFidelityGp::fit(&data, &cfg).is_err());
+    }
+
+    #[test]
+    fn warm_refits_shed_restarts_across_all_levels() {
+        let f_lo = |x: f64| (6.0 * x).sin();
+        let f_hi = |x: f64| f_lo(x) * f_lo(x) + 0.2 * x;
+        let lo = grid(20);
+        let hi = grid(8);
+        let data = [
+            FidelityData::new(lo.clone(), lo.iter().map(|x| f_lo(x[0])).collect()),
+            FidelityData::new(hi.clone(), hi.iter().map(|x| f_hi(x[0])).collect()),
+        ];
+        let cfg = MultiFidelityConfig {
+            gp: GpConfig {
+                restarts: 2,
+                max_evals: 1000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let ws = Workspace::new();
+        let cold = NonLinearMultiFidelityGp::fit_in(&data, &cfg, &ws).unwrap();
+        // Two levels, two restarts each, run cold.
+        assert_eq!(cold.fit_stats().restarts_run, 4);
+        assert_eq!(cold.fit_stats().warm_start_hits, 0);
+        let warm = NonLinearMultiFidelityGp::fit_opts_in(
+            &data,
+            &cfg,
+            Some(&cold),
+            &HyperoptOptions::default(),
+            &ws,
+        )
+        .unwrap();
+        // Refitting the *same* data from the accepted optima converges
+        // immediately at every level: all restarts shed, far fewer NLL evals.
+        assert_eq!(warm.fit_stats().warm_start_hits, 2);
+        assert_eq!(warm.fit_stats().restarts_run, 0);
+        assert!(warm.fit_stats().nll_evals < cold.fit_stats().nll_evals);
+        let a = cold.predict(1, &[0.3]).unwrap();
+        let b = warm.predict(1, &[0.3]).unwrap();
+        assert!((a.mean - b.mean).abs() < 1e-6);
+
+        let lin_cold = LinearMultiFidelityGp::fit_in(&data, &cfg, &ws).unwrap();
+        let lin_warm = LinearMultiFidelityGp::fit_opts_in(
+            &data,
+            &cfg,
+            Some(&lin_cold),
+            &HyperoptOptions::default(),
+            &ws,
+        )
+        .unwrap();
+        assert_eq!(lin_warm.fit_stats().warm_start_hits, 2);
+        assert_eq!(lin_warm.fit_stats().restarts_run, 0);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 use crate::gp::GpConfig;
-use crate::kernel::Kernel;
-use crate::optimize::{multi_start_nelder_mead, NelderMeadOptions};
+use crate::hyperopt::{self, FitStats, HyperoptOptions};
+use crate::kernel::{DistanceCache, Kernel};
+use crate::optimize::NelderMeadOptions;
 use crate::GpError;
 use linalg::{Cholesky, Matrix, Workspace};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Joint posterior over all `M` objectives at one query point.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,9 +39,11 @@ impl MultiTaskPrediction {
 ///
 /// # fn main() -> Result<(), cmmf_gp::GpError> {
 /// let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
-/// // Two perfectly anti-correlated objectives.
+/// // Two perfectly anti-correlated objectives. A few extra restarts keep the
+/// // multimodal likelihood search out of the sign-flipped local optimum.
 /// let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0], 1.0 - x[0]]).collect();
-/// let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default())?;
+/// let cfg = GpConfig { restarts: 4, ..Default::default() };
+/// let gp = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &cfg)?;
 /// assert!(gp.task_correlation(0, 1) < 0.0);
 /// # Ok(())
 /// # }
@@ -62,6 +63,13 @@ pub struct MultiTaskGp<K: Kernel> {
     y_means: Vec<f64>,
     y_scales: Vec<f64>,
     nlml: f64,
+    /// Accepted log-space search optimum `[kernel | L triangle | log noises]`
+    /// — the warm-start seed for the next `Optimize`-mode fit. Carried
+    /// through refit/extend/downdate unchanged.
+    opt: Option<Vec<f64>>,
+    /// Telemetry of this model's own hyperparameter search (zeroed on fits
+    /// that ran no search).
+    stats: FitStats,
 }
 
 impl<K: Kernel + Clone> MultiTaskGp<K> {
@@ -102,6 +110,28 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
         cfg: &GpConfig,
         ws: &Workspace,
     ) -> Result<Self, GpError> {
+        Self::fit_opts_in(kernel, xs, ys, cfg, &HyperoptOptions::default(), ws)
+    }
+
+    /// [`MultiTaskGp::fit_in`] with explicit per-fit hyperopt options (warm
+    /// start with restart shedding, mixed-precision screening) — see
+    /// [`crate::Gp::fit_opts_in`] for the shared semantics. The data-kernel
+    /// Gram assembly inside each NLL evaluation runs over the per-fit
+    /// [`DistanceCache`] when the kernel supports it (bit-identical), and
+    /// the multi-start restarts run in parallel with per-restart derived
+    /// seeds (bit-identical at any thread count).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MultiTaskGp::fit`].
+    pub fn fit_opts_in(
+        kernel: K,
+        xs: &[Vec<f64>],
+        ys: &[Vec<f64>],
+        cfg: &GpConfig,
+        hopts: &HyperoptOptions,
+        ws: &Workspace,
+    ) -> Result<Self, GpError> {
         let n_tasks = validate_multi(xs, ys, kernel.dim())?;
         let (y_std, y_means, y_scales) = standardize_multi(ys, n_tasks);
 
@@ -125,9 +155,15 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
         let mut b = Matrix::identity(n_tasks);
         let mut noise = vec![cfg.init_noise_var.max(cfg.noise_floor); n_tasks];
 
+        let mut opt = None;
+        let mut stats = FitStats::default();
+
         if cfg.optimize {
             let base_kernel = kernel.clone();
             let floor = cfg.noise_floor;
+            let cache = (hyperopt::hyperopt_fast_path() && kernel.supports_distance_cache())
+                .then(|| DistanceCache::new_in(xs, ws));
+            let mixed = hopts.mixed_precision;
             let objective = |p: &[f64]| {
                 let mut k = base_kernel.clone();
                 k.set_log_params(&p[..n_kp]);
@@ -138,14 +174,16 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
                     .iter()
                     .map(|lp| lp.exp().max(floor))
                     .collect();
-                joint_nlml_in(&k, xs, &y_std, &b, &noise, ws).unwrap_or(f64::INFINITY)
+                joint_nll_eval_in(&k, xs, cache.as_ref(), &y_std, &b, &noise, mixed, ws)
+                    .unwrap_or(f64::INFINITY)
             };
-            let mut rng = StdRng::seed_from_u64(cfg.seed);
             let opts = NelderMeadOptions {
                 max_evals: cfg.max_evals,
                 ..Default::default()
             };
-            let best = multi_start_nelder_mead(objective, &p0, 1.0, cfg.restarts, &opts, &mut rng);
+            let (best, search_stats) =
+                hyperopt::search(&objective, &p0, 1.0, cfg.restarts, &opts, cfg.seed, hopts);
+            stats = search_stats;
             if best.value.is_finite() {
                 kernel.set_log_params(&best.x[..n_kp]);
                 b = b_from_params(&best.x[n_kp..n_kp + n_l], n_tasks)?;
@@ -153,6 +191,10 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
                     .iter()
                     .map(|lp| lp.exp().max(floor))
                     .collect();
+                opt = Some(best.x);
+            }
+            if let Some(cache) = cache {
+                cache.release(ws);
             }
         }
 
@@ -170,6 +212,8 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             y_means,
             y_scales,
             nlml,
+            opt,
+            stats,
         })
     }
 
@@ -219,6 +263,8 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             y_means,
             y_scales,
             nlml,
+            opt: self.opt.clone(),
+            stats: FitStats::default(),
         })
     }
 
@@ -297,6 +343,8 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             y_means,
             y_scales,
             nlml,
+            opt: self.opt.clone(),
+            stats: FitStats::default(),
         })
     }
 
@@ -355,6 +403,8 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
             y_means,
             y_scales,
             nlml,
+            opt: self.opt.clone(),
+            stats: FitStats::default(),
         })
     }
 
@@ -542,6 +592,21 @@ impl<K: Kernel + Clone> MultiTaskGp<K> {
     pub fn neg_log_marginal_likelihood(&self) -> f64 {
         self.nlml
     }
+
+    /// The accepted log-space hyperparameter optimum from the most recent
+    /// optimizing fit (`[kernel log params…, L-triangle of B, ln σ²_t…]`), or
+    /// `None` when hyperparameters were never search-fitted. Carried through
+    /// `refit`/`extend`/`downdate` so later fits can warm-start from it.
+    pub fn fitted_optimum(&self) -> Option<&[f64]> {
+        self.opt.as_deref()
+    }
+
+    /// Hyperparameter-search effort counters for the fit that produced this
+    /// model. Derived models (`refit`/`extend`/`downdate`) report zeroed
+    /// stats: they reuse hyperparameters and run no search.
+    pub fn fit_stats(&self) -> FitStats {
+        self.stats
+    }
 }
 
 /// Reconstructs `B = L Lᵀ` from lower-triangle parameters (diagonal entries in
@@ -681,22 +746,59 @@ fn joint_nlml_from(chol: &Cholesky, y_std: &[f64], alpha: &[f64]) -> f64 {
     0.5 * fit + 0.5 * chol.log_det() + 0.5 * y_std.len() as f64 * (2.0 * std::f64::consts::PI).ln()
 }
 
-/// The hyperparameter-search hot path: factorize, read off the NLML, and
-/// return every large buffer (`k_C`, the factor) to the arena.
-fn joint_nlml_in<K: Kernel>(
+/// The hyperparameter-search hot path: assemble the data kernel (from the
+/// per-fit [`DistanceCache`] when one is supplied — bit-identical to
+/// [`Kernel::gram_into`]), build the joint `nM × nM` covariance, factorize
+/// — in full f64 or through the toleranced [`linalg::mixed`] screen — read
+/// off the NLML, and return every large buffer to the arena.
+#[allow(clippy::too_many_arguments)]
+fn joint_nll_eval_in<K: Kernel>(
     kernel: &K,
     xs: &[Vec<f64>],
+    cache: Option<&DistanceCache>,
     y_std: &[f64],
     b: &Matrix,
     noise: &[f64],
+    mixed: bool,
     ws: &Workspace,
 ) -> Result<f64, GpError> {
-    let kx = data_kernel_in(kernel, xs, ws);
-    let result = joint_factorize_from_in(&kx, y_std, b, noise, None, ws).map(|(chol, _, v)| {
-        ws.put_matrix(chol.into_l());
-        v
-    });
+    let n = xs.len();
+    let m = b.rows();
+    let mut kx = ws.take_matrix(n, n);
+    match cache {
+        Some(cache) => kernel.gram_from_cache(cache, &mut kx),
+        None => kernel.gram_into(xs, &mut kx),
+    }
+    let mut sigma = ws.take_matrix(n * m, n * m);
+    kx.kron_into(b, &mut sigma);
     ws.put_matrix(kx);
+    for i in 0..n {
+        for t in 0..m {
+            sigma[(i * m + t, i * m + t)] += noise[t];
+        }
+    }
+    let result = if mixed {
+        linalg::mixed::solve_refined(&sigma, y_std, ws)
+            .map_err(GpError::from)
+            .map(|s| {
+                let fit: f64 = y_std.iter().zip(&s.x).map(|(y, x)| y * x).sum();
+                let v = 0.5 * fit
+                    + 0.5 * s.log_det
+                    + 0.5 * y_std.len() as f64 * (2.0 * std::f64::consts::PI).ln();
+                ws.put_vec(s.x);
+                v
+            })
+    } else {
+        Cholesky::new_in(&sigma, ws)
+            .map_err(GpError::from)
+            .and_then(|chol| {
+                let alpha = chol.solve_vec(y_std)?;
+                let v = joint_nlml_from(&chol, y_std, &alpha);
+                ws.put_matrix(chol.into_l());
+                Ok(v)
+            })
+    };
+    ws.put_matrix(sigma);
     result
 }
 
@@ -956,5 +1058,96 @@ mod tests {
         let truth = (6.0f64 * 0.52).sin();
         assert!((p.mean[1] - truth).abs() < 0.1);
         assert!(gp.task_correlation(0, 1) > 0.9);
+    }
+
+    #[test]
+    fn warm_start_from_previous_optimum_sheds_restarts() {
+        let xs = grid_1d(12);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![(5.0 * x[0]).sin(), (5.0 * x[0]).cos()])
+            .collect();
+        let cfg = GpConfig {
+            restarts: 3,
+            // Enough budget for the cold search to converge; otherwise the
+            // warm run legitimately keeps improving and counts as a miss.
+            max_evals: 1000,
+            ..Default::default()
+        };
+        let ws = Workspace::new();
+        let cold = MultiTaskGp::fit_in(Matern52Ard::new(1), &xs, &ys, &cfg, &ws).unwrap();
+        assert_eq!(cold.fit_stats().restarts_run, 3);
+        assert!(cold.fitted_optimum().is_some());
+
+        let hopts = HyperoptOptions {
+            warm_start: cold.fitted_optimum().map(<[f64]>::to_vec),
+            ..Default::default()
+        };
+        let warm =
+            MultiTaskGp::fit_opts_in(Matern52Ard::new(1), &xs, &ys, &cfg, &hopts, &ws).unwrap();
+        // Seeding from the accepted optimum converges immediately: the entire
+        // cold multi-start is shed, and the model is at least as good.
+        assert_eq!(warm.fit_stats().warm_start_hits, 1);
+        assert_eq!(warm.fit_stats().restarts_run, 0);
+        assert!(warm.fit_stats().nll_evals < cold.fit_stats().nll_evals);
+        let tol = 1e-6 * cold.neg_log_marginal_likelihood().abs().max(1.0);
+        assert!(warm.neg_log_marginal_likelihood() <= cold.neg_log_marginal_likelihood() + tol);
+    }
+
+    #[test]
+    fn fast_path_fit_is_bit_identical_to_naive_assembly() {
+        let xs = grid_1d(10);
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * x[0], 1.0 - x[0]]).collect();
+        let fast = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default()).unwrap();
+        crate::hyperopt::set_hyperopt_fast_path(false);
+        let naive = MultiTaskGp::fit(Matern52Ard::new(1), &xs, &ys, &GpConfig::default());
+        crate::hyperopt::set_hyperopt_fast_path(true);
+        let naive = naive.unwrap();
+        assert_eq!(
+            fast.neg_log_marginal_likelihood().to_bits(),
+            naive.neg_log_marginal_likelihood().to_bits()
+        );
+        let a = fast.predict(&[0.37]).unwrap();
+        let b = naive.predict(&[0.37]).unwrap();
+        for t in 0..2 {
+            assert_eq!(a.mean[t].to_bits(), b.mean[t].to_bits());
+        }
+    }
+
+    #[test]
+    fn mixed_precision_screen_stays_within_tolerance() {
+        // Per-evaluation contract at the joint-covariance level: the f32
+        // screen with f64 refinement tracks the exact NLL to the module's
+        // published relative tolerance, with and without the distance cache.
+        // B and the kernel are pinned at an identifiable scale (the ICM
+        // parameterization only determines the *product* of B and the kernel
+        // variance; a fitted model can push B to ~1e13 with the variance at
+        // ~1e-6, whose dynamic range no f32 screen can represent — the
+        // contract covers representative, sanely-scaled covariances).
+        let xs = grid_1d(11);
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![(3.0 * x[0]).sin(), 0.5 - x[0]])
+            .collect();
+        let ws = Workspace::new();
+        let k = Matern52Ard::with_params(vec![0.3], 1.0);
+        let mut b = Matrix::identity(2);
+        b[(0, 1)] = 0.4;
+        b[(1, 0)] = 0.4;
+        let (y_std, _, _) = standardize_multi(&ys, 2);
+        let noise = vec![1e-2; 2];
+        let cache = DistanceCache::new_in(&xs, &ws);
+        for cached in [None, Some(&cache)] {
+            let exact = joint_nll_eval_in(&k, &xs, cached, &y_std, &b, &noise, false, &ws).unwrap();
+            let screened =
+                joint_nll_eval_in(&k, &xs, cached, &y_std, &b, &noise, true, &ws).unwrap();
+            let rel = (screened - exact).abs() / exact.abs().max(1.0);
+            assert!(
+                rel <= linalg::mixed::NLL_RELATIVE_TOLERANCE,
+                "rel {rel:e} exceeds tolerance (cached: {})",
+                cached.is_some()
+            );
+        }
+        cache.release(&ws);
     }
 }

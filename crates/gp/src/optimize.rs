@@ -5,7 +5,9 @@
 //! parameters here) and cheap to evaluate, so a robust simplex search with a few
 //! restarts is the standard pragmatic choice.
 
-use rand::{Rng, RngExt};
+use rand::rngs::StdRng;
+use rand::{derive_stream_seed, Rng, RngExt, SeedableRng};
+use rayon::prelude::*;
 
 /// Outcome of a [`nelder_mead`] run.
 #[derive(Debug, Clone, PartialEq)]
@@ -211,6 +213,102 @@ pub fn multi_start_nelder_mead(
     best
 }
 
+/// Like [`multi_start_nelder_mead`], but seeded instead of handed an RNG and
+/// run through the in-tree rayon pool: restart `r` draws its start point from
+/// its own [`derive_stream_seed`] stream `(seed, r)`, every search runs
+/// independently (the simplex method itself is deterministic), and the winner
+/// is chosen by a serial first-min scan in source order (`x0`'s run first,
+/// then restarts in index order) — so the result is **bit-identical at any
+/// thread count**, the same contract family as the optimizer's parallel
+/// reductions.
+///
+/// # Examples
+///
+/// ```
+/// use cmmf_gp::optimize::{multi_start_nelder_mead_par, NelderMeadOptions};
+///
+/// let r = multi_start_nelder_mead_par(
+///     |x| x[0].powi(4) - x[0].powi(2), // two symmetric minima
+///     &[0.0],
+///     2.0,
+///     3,
+///     &NelderMeadOptions::default(),
+///     7,
+/// );
+/// assert!(r.value < -0.24);
+/// ```
+pub fn multi_start_nelder_mead_par(
+    f: impl Fn(&[f64]) -> f64 + Sync,
+    x0: &[f64],
+    spread: f64,
+    restarts: usize,
+    opts: &NelderMeadOptions,
+    seed: u64,
+) -> OptimResult {
+    let starts = seeded_starts(x0, spread, restarts, seed);
+    let results: Vec<OptimResult> = starts
+        .par_iter()
+        .map(|start| nelder_mead(&f, start, opts))
+        .collect();
+    select_best(results)
+}
+
+/// Serial escape-hatch twin of [`multi_start_nelder_mead_par`]: same derived
+/// start points, same source-order selection, one search at a time on the
+/// calling thread. **Bit-identical** to the parallel entry point (the
+/// `parallel_multistart_matches_serial_reference_bitwise` test pins this) —
+/// it exists so the hyperopt fast-path toggle and the benchmark legacy arm
+/// can measure the pre-parallel behavior without changing any float.
+pub fn multi_start_nelder_mead_seq(
+    f: impl Fn(&[f64]) -> f64,
+    x0: &[f64],
+    spread: f64,
+    restarts: usize,
+    opts: &NelderMeadOptions,
+    seed: u64,
+) -> OptimResult {
+    let starts = seeded_starts(x0, spread, restarts, seed);
+    let results: Vec<OptimResult> = starts
+        .iter()
+        .map(|start| nelder_mead(&f, start, opts))
+        .collect();
+    select_best(results)
+}
+
+/// `x0` followed by `restarts` perturbations, restart `r` drawn from its own
+/// [`derive_stream_seed`] stream `(seed, r)` — independent of execution order.
+fn seeded_starts(x0: &[f64], spread: f64, restarts: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut starts: Vec<Vec<f64>> = Vec::with_capacity(restarts + 1);
+    starts.push(x0.to_vec());
+    for r in 0..restarts {
+        let mut rng = StdRng::seed_from_u64(derive_stream_seed(seed, &[r as u64]));
+        starts.push(
+            x0.iter()
+                .map(|v| v + rng.random_range(-spread..=spread))
+                .collect(),
+        );
+    }
+    starts
+}
+
+/// Serial first-min scan in source order: strict `<` resolves ties to the
+/// earliest run, exactly as the sequential loop would; evals are summed.
+pub(crate) fn select_best(results: Vec<OptimResult>) -> OptimResult {
+    let mut iter = results.into_iter();
+    let mut best = iter
+        .next()
+        // cmmf-lint: allow(P1) -- unreachable by contract: every caller seeds the x0 run
+        .expect("multi-start always runs the x0 search");
+    for r in iter {
+        if r.value < best.value {
+            best.x = r.x;
+            best.value = r.value;
+        }
+        best.evals += r.evals;
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +378,68 @@ mod tests {
         let r = nelder_mead(|_| 1.5, &[], &NelderMeadOptions::default());
         assert_eq!(r.value, 1.5);
         assert!(r.x.is_empty());
+    }
+
+    /// A bumpy two-dimensional surface with several local minima, so restarts
+    /// genuinely land in different basins.
+    fn bumpy(x: &[f64]) -> f64 {
+        let (a, b) = (x[0], x[1]);
+        (a * a + b * b) * 0.1 + (3.0 * a).sin() + (2.0 * b).cos()
+    }
+
+    #[test]
+    fn parallel_multistart_matches_serial_reference_bitwise() {
+        // The contract behind `multi_start_nelder_mead_par`: each restart's
+        // start point comes from its own derived stream and each search is
+        // deterministic, so the parallel run must agree bit-for-bit with a
+        // serial loop over the same starts.
+        let x0 = [0.5, -0.25];
+        let opts = NelderMeadOptions::default();
+        let (spread, restarts, seed) = (3.0, 4u64, 9u64);
+        let mut runs = vec![nelder_mead(bumpy, &x0, &opts)];
+        for r in 0..restarts {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(derive_stream_seed(seed, &[r]));
+            let start: Vec<f64> = x0
+                .iter()
+                .map(|v| v + rng.random_range(-spread..=spread))
+                .collect();
+            runs.push(nelder_mead(bumpy, &start, &opts));
+        }
+        let reference = select_best(runs);
+        let par = multi_start_nelder_mead_par(bumpy, &x0, spread, restarts as usize, &opts, seed);
+        assert_eq!(par.value.to_bits(), reference.value.to_bits());
+        assert_eq!(par.evals, reference.evals);
+        let pb: Vec<u64> = par.x.iter().map(|v| v.to_bits()).collect();
+        let rb: Vec<u64> = reference.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, rb);
+        // The serial escape hatch runs the same starts in the same order.
+        let seq = multi_start_nelder_mead_seq(bumpy, &x0, spread, restarts as usize, &opts, seed);
+        assert_eq!(seq.value.to_bits(), reference.value.to_bits());
+        assert_eq!(seq.evals, reference.evals);
+        let sb: Vec<u64> = seq.x.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(sb, rb);
+    }
+
+    #[test]
+    fn parallel_multistart_is_thread_count_invariant() {
+        let opts = NelderMeadOptions::default();
+        let run = || multi_start_nelder_mead_par(bumpy, &[0.5, -0.25], 3.0, 6, &opts, 21);
+        let baseline = run();
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let r = pool.install(run);
+            assert_eq!(
+                r.value.to_bits(),
+                baseline.value.to_bits(),
+                "threads={threads}"
+            );
+            assert_eq!(r.evals, baseline.evals, "threads={threads}");
+            let a: Vec<u64> = r.x.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u64> = baseline.x.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "threads={threads}");
+        }
     }
 }

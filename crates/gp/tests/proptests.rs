@@ -1,7 +1,8 @@
 //! Property-based tests of the Gaussian-process stack over random data.
 
-use cmmf_gp::kernel::{Kernel, Matern52Ard, Matern52Grouped, SquaredExponentialArd};
+use cmmf_gp::kernel::{DistanceCache, Kernel, Matern52Ard, Matern52Grouped, SquaredExponentialArd};
 use cmmf_gp::{Gp, GpConfig, MultiTaskGp};
+use linalg::{Cholesky, Workspace};
 use proptest::prelude::*;
 
 fn data_1d(n: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
@@ -117,6 +118,74 @@ proptest! {
         for (a, b) in p.iter().zip(&back) {
             prop_assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn cached_distance_nll_equals_naive_nll_bitwise(
+        (pts, ls, ys) in (1usize..5).prop_flat_map(|d| (
+            proptest::collection::vec(proptest::collection::vec(-1.0f64..1.0, d), 3..12),
+            proptest::collection::vec(0.05f64..3.0, d),
+            proptest::collection::vec(-2.0f64..2.0, 12),
+        )),
+        sv in 0.2f64..3.0,
+        noise in 1e-6f64..1e-1,
+    ) {
+        // The tentpole contract at the NLL level: assembling the Gram matrix
+        // from the per-fit distance cache and from scratch must produce the
+        // same floats entry for entry — and therefore the same NLL — at any
+        // dimension and any lengthscales applied to the *same* cache.
+        let d = ls.len();
+        let n = pts.len();
+        let ys = &ys[..n];
+        let ws = Workspace::new();
+        let cache = DistanceCache::new_in(&pts, &ws);
+        for k in [
+            Box::new(Matern52Ard::with_params(ls.clone(), sv)) as Box<dyn Kernel>,
+            Box::new(SquaredExponentialArd::with_params(ls.clone(), sv)),
+        ] {
+            prop_assert_eq!(k.dim(), d);
+            let mut naive = ws.take_matrix(n, n);
+            k.gram_into(&pts, &mut naive);
+            naive.add_diag(noise);
+            let mut cached = ws.take_matrix(n, n);
+            k.gram_from_cache(&cache, &mut cached);
+            cached.add_diag(noise);
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert_eq!(naive[(i, j)].to_bits(), cached[(i, j)].to_bits());
+                }
+            }
+            let nll = |km: &linalg::Matrix| -> f64 {
+                let chol = Cholesky::new(km).expect("factorizes");
+                let alpha = chol.solve_vec(ys).expect("solves");
+                let fit: f64 = ys.iter().zip(&alpha).map(|(y, a)| y * a).sum();
+                0.5 * fit + 0.5 * chol.log_det()
+                    + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+            };
+            prop_assert_eq!(nll(&naive).to_bits(), nll(&cached).to_bits());
+            ws.put_matrix(naive);
+            ws.put_matrix(cached);
+        }
+        cache.release(&ws);
+    }
+
+    #[test]
+    fn fast_path_fit_equals_naive_fit_bitwise((xs, ys) in data_1d(10)) {
+        // End to end: a fit with the distance cache + parallel multi-start
+        // enabled must equal the legacy per-evaluation assembly bit for bit.
+        let fast = Gp::fit(Matern52Ard::new(1), &xs, &ys, &quick_cfg()).expect("fits");
+        cmmf_gp::set_hyperopt_fast_path(false);
+        let naive = Gp::fit(Matern52Ard::new(1), &xs, &ys, &quick_cfg());
+        cmmf_gp::set_hyperopt_fast_path(true);
+        let naive = naive.expect("fits");
+        prop_assert_eq!(
+            fast.neg_log_marginal_likelihood().to_bits(),
+            naive.neg_log_marginal_likelihood().to_bits()
+        );
+        let a = fast.predict(&[0.4]).expect("predicts");
+        let b = naive.predict(&[0.4]).expect("predicts");
+        prop_assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+        prop_assert_eq!(a.var.to_bits(), b.var.to_bits());
     }
 
     #[test]

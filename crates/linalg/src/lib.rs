@@ -12,6 +12,9 @@
 //!   low-rank `downdate` (the workhorse of exact GP inference),
 //! * [`Workspace`] — a buffer arena that recycles Gram/factor/solve scratch
 //!   across optimizer steps (result-transparent by construction),
+//! * [`mixed`] — the sanctioned f32 Cholesky + f64 iterative-refinement
+//!   module used to *screen* NLL evaluations inside the hyperparameter
+//!   search (toleranced, never bit-equivalent; everything else is f64),
 //! * [`stats`] — scalar standard-normal PDF/CDF/quantile built on an `erf`
 //!   implementation, plus small summary-statistics helpers.
 //!
@@ -35,6 +38,7 @@ mod arena;
 mod cholesky;
 mod error;
 mod matrix;
+pub mod mixed;
 pub mod stats;
 
 pub use arena::Workspace;

@@ -1,0 +1,282 @@
+//! Mixed-precision Cholesky: f32 factorization with f64 iterative refinement.
+//!
+//! This is the **sanctioned** reduced-precision module (cmmf-lint rule D5
+//! forbids `f32` anywhere else in result-affecting crates). It exists for one
+//! purpose: *screening* negative-log-marginal-likelihood evaluations inside
+//! the hyperparameter search, where hundreds of factorizations per fit only
+//! steer a Nelder–Mead simplex and the final factorize at the accepted
+//! optimum is always redone in full f64.
+//!
+//! # Accuracy contract
+//!
+//! [`solve_refined`] factorizes `A ≈ M = L₃₂L₃₂ᵀ` in f32 (same escalating
+//! jitter ladder as [`Cholesky`](crate::Cholesky)), then runs two rounds of
+//! classical iterative refinement in f64 — `r = y − Ax` with a full-precision
+//! residual, correction solved through the f32 factor — so the returned
+//! solution `x ≈ A⁻¹y` recovers close-to-f64 accuracy while the
+//! log-determinant retains f32-level relative error (~1e-6·κ). The
+//! `mixed_nll_terms_track_f64_within_tolerance` test pins the resulting NLL
+//! deviation to ≤ [`NLL_RELATIVE_TOLERANCE`] relative on representative GP
+//! Gram matrices; callers must treat the result as a toleranced
+//! approximation, never as bit-equivalent to the f64 path.
+
+use crate::{LinalgError, Matrix, Workspace};
+
+/// Relative NLL deviation the mixed-precision screen is allowed versus the
+/// full-f64 evaluation on representative (jitter-free) GP Gram matrices.
+/// Pinned by the tolerance tests in this module and re-asserted by the
+/// hyperopt bench contracts before any timing runs.
+pub const NLL_RELATIVE_TOLERANCE: f64 = 5e-4;
+
+/// Number of f64 refinement sweeps applied after the f32 solve. Two rounds
+/// are the textbook choice: the first recovers the bulk of the lost
+/// precision, the second mops up conditioning in the 1e4–1e6 range.
+const REFINE_ROUNDS: usize = 2;
+
+/// Result of a mixed-precision factor-and-solve (see [`solve_refined`]).
+#[derive(Debug, Clone)]
+pub struct RefinedSolve {
+    /// Refined solution `x ≈ A⁻¹ y` (f64-refined through the f32 factor).
+    pub x: Vec<f64>,
+    /// `log det A` computed from the f32 factor's diagonal (f32-level
+    /// relative accuracy; not refined).
+    pub log_det: f64,
+    /// Diagonal jitter the f32 factorization needed (0 if none).
+    pub jitter: f64,
+}
+
+/// Factorizes `a` in f32 and solves `a·x = y` with f64 iterative refinement.
+///
+/// Scratch vectors come from `ws`; the f32 factor itself is a plain
+/// allocation (the arena pools `f64` storage only).
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is not square.
+/// * [`LinalgError::Empty`] if `a` is 0x0.
+/// * [`LinalgError::ShapeMismatch`] if `y.len() != a.rows()`.
+/// * [`LinalgError::NotPositiveDefinite`] if the f32 factorization fails even
+///   at the maximum jitter.
+pub fn solve_refined(a: &Matrix, y: &[f64], ws: &Workspace) -> Result<RefinedSolve, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::Empty {
+            op: "mixed::solve_refined",
+        });
+    }
+    if y.len() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "mixed::solve_refined",
+            lhs: a.shape(),
+            rhs: (y.len(), 1),
+        });
+    }
+
+    let mean_diag = (0..n).map(|i| a[(i, i)].abs()).sum::<f64>() / n as f64;
+    let base = if mean_diag > 0.0 { mean_diag } else { 1.0 };
+    let mut l = vec![0.0f32; n * n];
+    let mut jitter = 0.0f64;
+    let mut scale = 1e-10;
+    let ok = loop {
+        l.iter_mut().for_each(|v| *v = 0.0);
+        if factorize_f32(a, jitter, n, &mut l) {
+            break true;
+        }
+        if scale > 1e-4 {
+            break false;
+        }
+        jitter = base * scale;
+        scale *= 100.0;
+    };
+    if !ok {
+        return Err(LinalgError::NotPositiveDefinite { max_jitter: jitter });
+    }
+
+    let log_det = 2.0 * (0..n).map(|i| f64::from(l[i * n + i]).ln()).sum::<f64>();
+
+    // Initial solve through the f32 factor, then classical iterative
+    // refinement with full-f64 residuals: r = y − A·x, δ = M⁻¹r, x += δ.
+    let mut x = ws.take_vec(n);
+    x.copy_from_slice(y);
+    solve_factor(&l, n, &mut x);
+    let mut r = ws.take_vec(n);
+    for _ in 0..REFINE_ROUNDS {
+        for (i, ri) in r.iter_mut().enumerate() {
+            let mut ax = 0.0f64;
+            for (aij, xj) in a.row(i).iter().zip(&x) {
+                ax += aij * xj;
+            }
+            *ri = y[i] - ax;
+        }
+        solve_factor(&l, n, &mut r);
+        for (xi, di) in x.iter_mut().zip(&r) {
+            *xi += di;
+        }
+    }
+    ws.put_vec(r);
+    Ok(RefinedSolve { x, log_det, jitter })
+}
+
+/// Scalar f32 Cholesky recurrence into the dense row-major lower triangle
+/// `l` (length `n*n`). Returns `false` on a non-positive / non-finite pivot.
+fn factorize_f32(a: &Matrix, jitter: f64, n: usize, l: &mut [f32]) -> bool {
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            if i == j {
+                s += jitter;
+            }
+            let mut s = s as f32;
+            for k in 0..j {
+                s -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if s <= 0.0 || !s.is_finite() {
+                    return false;
+                }
+                l[i * n + j] = s.sqrt();
+            } else {
+                l[i * n + j] = s / l[j * n + j];
+            }
+        }
+    }
+    true
+}
+
+/// In-place `M⁻¹b` through the f32 factor: forward then backward triangular
+/// substitution, accumulating in f64 (the factor entries are widened on the
+/// fly — this is the "preconditioner apply" of the refinement loop).
+fn solve_factor(l: &[f32], n: usize, b: &mut [f64]) {
+    for i in 0..n {
+        let mut s = b[i];
+        for (k, bk) in b.iter().enumerate().take(i) {
+            s -= f64::from(l[i * n + k]) * bk;
+        }
+        b[i] = s / f64::from(l[i * n + i]);
+    }
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for (k, bk) in b.iter().enumerate().take(n).skip(i + 1) {
+            s -= f64::from(l[k * n + i]) * bk;
+        }
+        b[i] = s / f64::from(l[i * n + i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cholesky;
+
+    /// Deterministic pseudo-random stream (SplitMix64 → [0,1)).
+    struct Stream(u64);
+    impl Stream {
+        fn next_f64(&mut self) -> f64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// A representative GP Gram matrix: squared-exponential kernel over
+    /// random 4-D points plus a noise diagonal.
+    fn gram(n: usize, noise: f64, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut s = Stream(seed);
+        let xs: Vec<[f64; 4]> = (0..n)
+            .map(|_| std::array::from_fn(|_| s.next_f64() * 3.0))
+            .collect();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let d2: f64 = xs[i]
+                    .iter()
+                    .zip(&xs[j])
+                    .map(|(p, q)| (p - q) * (p - q))
+                    .sum();
+                a[(i, j)] = (-0.5 * d2).exp();
+            }
+            a[(i, i)] += noise;
+        }
+        let y: Vec<f64> = (0..n).map(|_| s.next_f64() * 2.0 - 1.0).collect();
+        (a, y)
+    }
+
+    fn nll(quad: f64, log_det: f64, n: usize) -> f64 {
+        0.5 * quad + 0.5 * log_det + 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    #[test]
+    fn mixed_nll_terms_track_f64_within_tolerance() {
+        for (n, noise, seed) in [(20, 1e-2, 7), (60, 1e-3, 11), (120, 1e-2, 13)] {
+            let (a, y) = gram(n, noise, seed);
+            let ws = Workspace::new();
+            let mixed = solve_refined(&a, &y, &ws).unwrap();
+            let chol = Cholesky::new(&a).unwrap();
+            let x64 = chol.solve_vec(&y).unwrap();
+            let quad_m: f64 = y.iter().zip(&mixed.x).map(|(a, b)| a * b).sum();
+            let quad_f: f64 = y.iter().zip(&x64).map(|(a, b)| a * b).sum();
+            let nll_m = nll(quad_m, mixed.log_det, n);
+            let nll_f = nll(quad_f, chol.log_det(), n);
+            let rel = (nll_m - nll_f).abs() / nll_f.abs().max(1.0);
+            assert!(
+                rel <= NLL_RELATIVE_TOLERANCE,
+                "n={n} noise={noise}: mixed NLL {nll_m} vs f64 {nll_f} (rel {rel:e})"
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_recovers_solution_accuracy() {
+        let (a, y) = gram(80, 1e-2, 42);
+        let ws = Workspace::new();
+        let mixed = solve_refined(&a, &y, &ws).unwrap();
+        // Residual of the refined solve should be near f64 roundoff relative
+        // to ||y||, far better than a pure-f32 solve could deliver.
+        let mut worst = 0.0f64;
+        for (i, yi) in y.iter().enumerate() {
+            let ax: f64 = a.row(i).iter().zip(&mixed.x).map(|(p, q)| p * q).sum();
+            worst = worst.max((yi - ax).abs());
+        }
+        let ynorm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(
+            worst <= 1e-10 * ynorm.max(1.0),
+            "refined residual too large: {worst:e}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ws = Workspace::new();
+        let rect = Matrix::zeros(2, 3);
+        assert!(matches!(
+            solve_refined(&rect, &[0.0; 2], &ws),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]).unwrap();
+        assert!(matches!(
+            solve_refined(&a, &[0.0; 3], &ws),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let neg = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]).unwrap();
+        assert!(matches!(
+            solve_refined(&neg, &[0.0; 2], &ws),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_ladder_matches_f64_semantics() {
+        // A singular-but-PSD matrix: f32 path must succeed by jittering,
+        // just as the f64 path does.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]).unwrap();
+        let ws = Workspace::new();
+        let mixed = solve_refined(&a, &[1.0, 1.0], &ws).unwrap();
+        assert!(mixed.jitter > 0.0);
+    }
+}

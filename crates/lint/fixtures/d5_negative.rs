@@ -1,0 +1,9 @@
+//! D5 negative fixture: double precision everywhere; `f32` only appears in
+//! comments, strings, and idents that merely contain the letters.
+// A comment mentioning f32 must not fire.
+fn widen(x: f64) -> f64 {
+    let label = "f32 screen";
+    let f32_ish_name = x; // ident *containing* f32 is a different token
+    let _ = label;
+    f32_ish_name.mul_add(x, 1.0)
+}

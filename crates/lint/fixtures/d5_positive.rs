@@ -1,0 +1,6 @@
+//! D5 positive fixture: single precision on result paths.
+fn screen(x: f32) -> f32 {
+    let y = x as f64;
+    let z: f32 = y as f32;
+    f32::mul_add(z, z, x)
+}

@@ -1,0 +1,6 @@
+//! D5 suppressed fixture.
+fn quantize(x: f64) -> f64 {
+    // cmmf-lint: allow(D5) -- fixture: deliberate precision study, result unused
+    let narrow = x as f32;
+    narrow as f64
+}

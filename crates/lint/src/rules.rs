@@ -10,6 +10,7 @@
 //! | `D2` | no clock reads on result paths | `std::time`, `Instant`, `SystemTime` |
 //! | `D3` | seeded RNG streams only | `thread_rng`, `from_entropy`, `from_os_rng`, `OsRng` |
 //! | `D4` | total float ordering | `partial_cmp` |
+//! | `D5` | double precision on result paths | `f32` outside `crates/linalg/src/mixed.rs` |
 //! | `P1` | panic-freedom in library code | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `P2` | no unsafe | `unsafe` |
 //! | `A0` | suppression hygiene | malformed `cmmf-lint: allow(..)` comments |
@@ -32,6 +33,10 @@ pub enum RuleId {
     D3,
     /// No `partial_cmp` on floats — `total_cmp` is total and NaN-safe.
     D4,
+    /// No `f32` in result-affecting crates outside the sanctioned
+    /// mixed-precision module (`crates/linalg/src/mixed.rs`) — single
+    /// precision anywhere else silently degrades pinned numerics.
+    D5,
     /// No panic-family calls in library code.
     P1,
     /// No `unsafe` anywhere.
@@ -42,11 +47,12 @@ pub enum RuleId {
 
 impl RuleId {
     /// All pattern rules, in report order (`A0` is emitted by the engine).
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
         RuleId::D4,
+        RuleId::D5,
         RuleId::P1,
         RuleId::P2,
         RuleId::A0,
@@ -59,6 +65,7 @@ impl RuleId {
             RuleId::D2 => "D2",
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
+            RuleId::D5 => "D5",
             RuleId::P1 => "P1",
             RuleId::P2 => "P2",
             RuleId::A0 => "A0",
@@ -77,6 +84,7 @@ impl RuleId {
             RuleId::D2 => "clock reads on result paths break replayability",
             RuleId::D3 => "RNG streams must derive from the run seed",
             RuleId::D4 => "partial_cmp panics or misorders on NaN; use total_cmp",
+            RuleId::D5 => "f32 on result paths degrades pinned numerics; only linalg::mixed may",
             RuleId::P1 => "library code must propagate Result, not panic",
             RuleId::P2 => "unsafe code is banned workspace-wide",
             RuleId::A0 => "suppression comments need a rule list and a reason",
@@ -154,6 +162,10 @@ const PANIC_FREE: [&str; 12] = [
 ///   including tests — there is never a legitimate reason for these.
 /// * `D1`: all code (tests included) of the result-affecting crates and the
 ///   trace crate (JSONL field order is pinned by a schema test).
+/// * `D5`: all code (tests included) of the result-affecting crates; the one
+///   sanctioned file, `crates/linalg/src/mixed.rs`, is exempted by path in
+///   `scan_source` (see [`d5_sanctioned`]) — every other `f32` needs a
+///   reasoned allow.
 /// * `D2`: library code only, everywhere except the clock owners — bins,
 ///   tests, and benches may time things; results may not.
 /// * `P1`: library code only, of the `PANIC_FREE` crates — tests, bins,
@@ -162,9 +174,18 @@ pub fn rule_enabled(rule: RuleId, pkg: &str, class: FileClass, in_test: bool) ->
     match rule {
         RuleId::P2 | RuleId::D3 | RuleId::D4 | RuleId::A0 => true,
         RuleId::D1 => RESULT_AFFECTING.contains(&pkg) || pkg == "cmmf-trace",
+        RuleId::D5 => RESULT_AFFECTING.contains(&pkg),
         RuleId::D2 => !CLOCK_OWNERS.contains(&pkg) && class == FileClass::Lib && !in_test,
         RuleId::P1 => PANIC_FREE.contains(&pkg) && class == FileClass::Lib && !in_test,
     }
+}
+
+/// The one file sanctioned to use `f32`: the mixed-precision screen, whose
+/// results only ever reach a fit through the toleranced, default-off
+/// `mixed_precision` escape hatch (its own contract tests pin the error
+/// band). `scan_source` drops `D5` matches for this path.
+pub fn d5_sanctioned(path: &str) -> bool {
+    path == "crates/linalg/src/mixed.rs"
 }
 
 /// One raw rule match, before policy filtering and suppression.
@@ -241,6 +262,12 @@ pub fn run_rules(tokens: &[Token], in_test: &[bool]) -> Vec<(Match, bool)> {
             _ if ENTROPY_RNG.contains(&name.as_str()) => emit(
                 RuleId::D3,
                 format!("`{name}` seeds from entropy; derive streams via `derive_stream_seed`"),
+            ),
+            "f32" => emit(
+                RuleId::D5,
+                "`f32` on a result path; double precision is the contract — the only \
+                 sanctioned single-precision code is `linalg::mixed`"
+                    .to_string(),
             ),
             "partial_cmp" => emit(
                 RuleId::D4,

@@ -128,6 +128,54 @@ fn d4_suppressed_by_reasoned_allow() {
     assert_eq!(r.suppressed, 1);
 }
 
+// ---------------------------------------------------------------- D5
+
+#[test]
+fn d5_fires_on_single_precision() {
+    let r = scan_as_core(include_str!("../fixtures/d5_positive.rs"), "d5_pos");
+    // Type positions, casts, and path prefixes all fire; `as f64` does not.
+    assert_eq!(lines(&r, RuleId::D5), [2, 2, 4, 4, 5]);
+}
+
+#[test]
+fn d5_silent_on_double_precision_and_lookalikes() {
+    let r = scan_as_core(include_str!("../fixtures/d5_negative.rs"), "d5_neg");
+    assert_eq!(count(&r, RuleId::D5), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn d5_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/d5_suppressed.rs"), "d5_sup");
+    assert_eq!(count(&r, RuleId::D5), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn d5_exempt_in_the_sanctioned_mixed_module_and_harness_crates() {
+    let src = include_str!("../fixtures/d5_positive.rs");
+    // The one sanctioned file: the mixed-precision screen itself.
+    let r = scan_source(
+        src,
+        "cmmf-linalg",
+        FileClass::Lib,
+        "crates/linalg/src/mixed.rs",
+    );
+    assert_eq!(count(&r, RuleId::D5), 0, "mixed.rs is sanctioned");
+    // Any other linalg file stays guarded.
+    let r = scan_source(
+        src,
+        "cmmf-linalg",
+        FileClass::Lib,
+        "crates/linalg/src/cholesky.rs",
+    );
+    assert!(count(&r, RuleId::D5) > 0, "only mixed.rs is sanctioned");
+    // Harness crates may use f32 freely (e.g. plotting, byte-size stats).
+    for pkg in ["cmmf-bench", "cmmf-criterion", "cmmf-lint", "cmmf-trace"] {
+        let r = scan_source(src, pkg, FileClass::Lib, "d5_harness");
+        assert_eq!(count(&r, RuleId::D5), 0, "{pkg} is not result-affecting");
+    }
+}
+
 // ---------------------------------------------------------------- P1
 
 #[test]

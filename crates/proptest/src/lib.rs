@@ -4,7 +4,8 @@
 //!
 //! The build environment has no crates.io access, so this crate implements
 //! the strategy combinators and macros the workspace's property tests use —
-//! [`Strategy`] with `prop_map`, numeric-range strategies, tuple strategies,
+//! [`Strategy`] with `prop_map` / `prop_flat_map`, numeric-range strategies,
+//! tuple strategies,
 //! [`collection::vec`], [`sample::select`] / [`sample::subsequence`],
 //! [`prelude::any`], and the [`proptest!`] / `prop_assert*` / [`prop_assume!`]
 //! macros — with compatible call syntax.
@@ -69,6 +70,16 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Derives a second strategy from each generated value (e.g. a dimension
+    /// first, then collections of that dimension). Without shrinking this is
+    /// simply generate-then-generate.
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy produced by [`Strategy::prop_map`].
@@ -82,6 +93,21 @@ impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
 
     fn generate(&self, rng: &mut StdRng) -> T {
         (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let derived = (self.f)(self.inner.generate(rng));
+        derived.generate(rng)
     }
 }
 

@@ -77,6 +77,19 @@ pub enum TraceEvent {
         fit_mode: &'static str,
         /// Wall seconds spent fitting.
         seconds: f64,
+        /// NLL objective evaluations consumed by the fit's hyperparameter
+        /// searches, summed over the stack's sub-models (0 when no search
+        /// ran — refit/extend steps).
+        nll_evals: usize,
+        /// Multi-start restarts run across those searches (0 when every
+        /// search was shed by a warm start, or none ran).
+        restarts_run: usize,
+        /// Sub-model searches whose warm start converged in place, shedding
+        /// the cold multi-start.
+        warm_start_hits: usize,
+        /// Sub-model searches that were warm-seeded but still ran the cold
+        /// multi-start.
+        warm_start_misses: usize,
     },
     /// One batch slot's acquisition argmax finished.
     AcquisitionScored {
@@ -244,8 +257,14 @@ impl TraceEvent {
                 step,
                 fit_mode,
                 seconds,
+                nll_evals,
+                restarts_run,
+                warm_start_hits,
+                warm_start_misses,
             } => format!(
-                ",\"step\":{step},\"fit_mode\":\"{fit_mode}\",\"seconds\":{}",
+                ",\"step\":{step},\"fit_mode\":\"{fit_mode}\",\"seconds\":{},\
+                 \"nll_evals\":{nll_evals},\"restarts_run\":{restarts_run},\
+                 \"warm_start_hits\":{warm_start_hits},\"warm_start_misses\":{warm_start_misses}",
                 num(*seconds)
             ),
             TraceEvent::AcquisitionScored {
@@ -618,6 +637,15 @@ pub struct StepMetrics {
     pub fit_mode: Option<&'static str>,
     /// Wall seconds spent fitting the surrogate stack.
     pub model_fit_seconds: f64,
+    /// NLL objective evaluations consumed by the step's hyperparameter
+    /// searches.
+    pub nll_evals: usize,
+    /// Multi-start restarts run by the step's hyperparameter searches.
+    pub restarts_run: usize,
+    /// Warm-started searches that converged in place this step.
+    pub warm_start_hits: usize,
+    /// Warm-seeded searches that still ran the cold multi-start this step.
+    pub warm_start_misses: usize,
     /// Wall seconds spent in acquisition scoring, summed over batch slots.
     pub scoring_seconds: f64,
     /// `(config, fidelity)` picks of the step, in slot order.
@@ -655,10 +683,18 @@ pub fn aggregate_step_metrics(events: &[TraceEvent]) -> Vec<StepMetrics> {
                 step,
                 fit_mode,
                 seconds,
+                nll_evals,
+                restarts_run,
+                warm_start_hits,
+                warm_start_misses,
             } => {
                 let i = at(*step, &mut steps);
                 steps[i].fit_mode = Some(fit_mode);
                 steps[i].model_fit_seconds += seconds;
+                steps[i].nll_evals += nll_evals;
+                steps[i].restarts_run += restarts_run;
+                steps[i].warm_start_hits += warm_start_hits;
+                steps[i].warm_start_misses += warm_start_misses;
             }
             TraceEvent::AcquisitionScored {
                 step,
@@ -721,6 +757,10 @@ mod tests {
                 step: 0,
                 fit_mode: "optimize",
                 seconds: 0.25,
+                nll_evals: 900,
+                restarts_run: 2,
+                warm_start_hits: 1,
+                warm_start_misses: 0,
             },
             TraceEvent::AcquisitionScored {
                 step: 0,
@@ -804,7 +844,7 @@ mod tests {
             r#"{"event":"run_started","seed":2021,"n_iter":2,"resumed_at":null}"#,
             r#"{"event":"tool_run","step":null,"config":7,"stage":"impl","seconds":1500.0,"valid":true}"#,
             r#"{"event":"step_started","step":0,"observed":[8,5,3]}"#,
-            r#"{"event":"model_fit","step":0,"fit_mode":"optimize","seconds":0.25}"#,
+            r#"{"event":"model_fit","step":0,"fit_mode":"optimize","seconds":0.25,"nll_evals":900,"restarts_run":2,"warm_start_hits":1,"warm_start_misses":0}"#,
             r#"{"event":"acquisition_scored","step":0,"slot":0,"config":42,"fidelity":1,"candidates":40,"eipv":0.125,"penalized":0.5,"seconds":0.03125}"#,
             r#"{"event":"tool_run","step":0,"config":42,"stage":"hls","seconds":30.0,"valid":true}"#,
             r#"{"event":"tool_run","step":0,"config":42,"stage":"syn","seconds":240.0,"valid":false}"#,
@@ -931,6 +971,10 @@ mod tests {
         assert_eq!(s0.step, 0);
         assert_eq!(s0.fit_mode, Some("optimize"));
         assert_eq!(s0.model_fit_seconds, 0.25);
+        assert_eq!(s0.nll_evals, 900);
+        assert_eq!(s0.restarts_run, 2);
+        assert_eq!(s0.warm_start_hits, 1);
+        assert_eq!(s0.warm_start_misses, 0);
         assert_eq!(s0.scoring_seconds, 0.03125);
         assert_eq!(s0.picks, vec![(42, 1)]);
         assert_eq!(s0.candidates_scored, 40);

@@ -3,8 +3,15 @@
 //! method vs the FPL18 baseline vs the boosting-tree surrogate.
 //!
 //! ```text
-//! cargo run --release --example compare_methods
+//! cargo run --release --example compare_methods [-- [--no-warm-start] [--mixed-precision]]
 //! ```
+//!
+//! `--no-warm-start` disables cross-step warm starting of the GP
+//! hyperparameter searches (on by default); `--mixed-precision` screens the
+//! searches' likelihood evaluations through the f32 + refinement
+//! factorization (off by default). Both are speed knobs with pinned
+//! equivalence contracts (see ARCHITECTURE.md, "Hyperparameter search") —
+//! the table should not move beyond noise under either.
 
 use cmmf_hls::baselines::dse::{run_surrogate_dse, SurrogateKind};
 use cmmf_hls::cmmf::runner::TrueFront;
@@ -12,7 +19,23 @@ use cmmf_hls::cmmf::{CmmfConfig, ModelVariant, Optimizer};
 use cmmf_hls::fidelity_sim::{FlowSimulator, SimParams};
 use cmmf_hls::hls_model::benchmarks::{self, Benchmark};
 
+const USAGE: &str = "usage: compare_methods [--no-warm-start] [--mixed-precision]";
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut warm_start = true;
+    let mut mixed_precision = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--no-warm-start" => warm_start = false,
+            "--mixed-precision" => mixed_precision = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}").into()),
+        }
+    }
+
     let b = Benchmark::SpmvEllpack;
     let space = benchmarks::build(b)?.pruned_space()?;
     let sim = FlowSimulator::new(SimParams::for_benchmark(b));
@@ -32,6 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = CmmfConfig {
             variant,
             seed: 7,
+            warm_start_hyperopt: warm_start,
+            mixed_precision,
             ..Default::default()
         };
         let r = Optimizer::new(cfg).run(&space, &sim)?;

@@ -5,6 +5,7 @@
 //! cmmf-dse <spec-file> [--iters N] [--seed S] [--variant ours|fpl18]
 //!          [--divergence D] [--batch Q] [--async-slots K] [--csv]
 //!          [--checkpoint FILE] [--journal FILE]
+//!          [--no-warm-start] [--mixed-precision]
 //! ```
 //!
 //! `--async-slots K` (K >= 1) switches to the asynchronous scheduler: up to K
@@ -17,6 +18,14 @@
 //! `--journal FILE` appends one JSON line per loop event (model fits,
 //! acquisition argmaxes, tool runs, dispatches/completions, front updates;
 //! see ARCHITECTURE.md, "Observability & resume").
+//!
+//! `--no-warm-start` disables cross-step warm starting of the
+//! hyperparameter searches (on by default; see `CmmfConfig::warm_start_hyperopt`),
+//! and `--mixed-precision` screens the searches' likelihood evaluations
+//! through the f32 + refinement factorization (off by default; toleranced,
+//! see `CmmfConfig::mixed_precision`). Neither flag participates in the
+//! checkpoint fingerprint: a checkpointed run may be resumed under either
+//! setting.
 //!
 //! The flow is evaluated by the built-in three-stage simulator (see the
 //! `cmmf-fidelity-sim` crate docs); `--divergence` controls how non-linearly
@@ -43,6 +52,8 @@ struct Args {
     csv: bool,
     checkpoint: Option<PathBuf>,
     journal: Option<PathBuf>,
+    warm_start: bool,
+    mixed_precision: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +69,8 @@ fn parse_args() -> Result<Args, String> {
         csv: false,
         checkpoint: None,
         journal: None,
+        warm_start: true,
+        mixed_precision: false,
     };
     let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().ok_or(format!("{flag} needs a value"))
@@ -100,6 +113,8 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--csv" => parsed.csv = true,
+            "--no-warm-start" => parsed.warm_start = false,
+            "--mixed-precision" => parsed.mixed_precision = true,
             "--checkpoint" => {
                 parsed.checkpoint = Some(PathBuf::from(next_value(&mut args, "--checkpoint")?))
             }
@@ -110,7 +125,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: cmmf-dse <spec-file> [--iters N] [--seed S] \
                             [--variant ours|fpl18] [--divergence D] [--batch Q] \
                             [--async-slots K] [--csv] \
-                            [--checkpoint FILE] [--journal FILE]"
+                            [--checkpoint FILE] [--journal FILE] \
+                            [--no-warm-start] [--mixed-precision]"
                     .into())
             }
             other if parsed.spec_path.is_empty() && !other.starts_with('-') => {
@@ -163,6 +179,8 @@ fn run(args: &Args) -> Result<(), String> {
         variant: args.variant,
         batch_size: args.batch.max(1),
         async_slots: args.async_slots,
+        warm_start_hyperopt: args.warm_start,
+        mixed_precision: args.mixed_precision,
         ..Default::default()
     };
     if let Some(path) = &args.journal {
