@@ -176,9 +176,12 @@ impl Regressor for MlpRegressor {
                 }
             }
 
-            // Adam update.
-            let bc1 = 1.0 - B1.powi(step as i32);
-            let bc2 = 1.0 - B2.powi(step as i32);
+            // Adam update. Epoch counts are far below i32::MAX; saturating
+            // keeps the bias correction well-defined even if they weren't
+            // (powi(i32::MAX) underflows bc toward 1.0, the asymptote).
+            let t = i32::try_from(step).unwrap_or(i32::MAX);
+            let bc1 = 1.0 - B1.powi(t);
+            let bc2 = 1.0 - B2.powi(t);
             for li in 0..n_layers {
                 let (w, b) = &mut net.layers[li];
                 for (o, row) in w.iter_mut().enumerate() {

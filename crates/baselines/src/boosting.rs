@@ -112,11 +112,12 @@ impl GradientBoostingRegressor {
                 if vals[k].0 == vals[k + 1].0 {
                     continue; // can't split between equal values
                 }
-                let nl = (k + 1) as f64;
-                let nr = n - nl;
-                if (nl as usize) < self.min_leaf || (nr as usize) < self.min_leaf {
+                let nl_count = k + 1;
+                if nl_count < self.min_leaf || vals.len() - nl_count < self.min_leaf {
                     continue;
                 }
+                let nl = nl_count as f64;
+                let nr = n - nl;
                 // Variance reduction ∝ sum-of-squares gain.
                 let gain = left_sum * left_sum / nl
                     + (total_sum - left_sum) * (total_sum - left_sum) / nr

@@ -71,9 +71,11 @@ impl ScheduleEvent {
     }
 
     fn decode(kind: u64, index: u64) -> Option<Self> {
+        // `index` comes from untrusted on-disk JSON: a value past the
+        // platform's usize range is corruption, not a valid event.
         match kind {
-            0 => Some(ScheduleEvent::Dispatch(index as usize)),
-            1 => Some(ScheduleEvent::Complete(index as usize)),
+            0 => Some(ScheduleEvent::Dispatch(usize::try_from(index).ok()?)),
+            1 => Some(ScheduleEvent::Complete(usize::try_from(index).ok()?)),
             2 => Some(ScheduleEvent::Exhausted),
             _ => None,
         }
@@ -264,7 +266,8 @@ impl RunCheckpoint {
             .get("is_async")
             .and_then(JsonValue::as_bool)
             .ok_or_else(|| missing("is_async"))?;
-        let completed_steps = req_u64(&doc, "completed_steps")? as usize;
+        let completed_steps = usize::try_from(req_u64(&doc, "completed_steps")?)
+            .map_err(|_| malformed("completed_steps"))?;
         let init = usizes(&doc, "init")?;
         let unsampled = usizes(&doc, "unsampled")?;
         let picks_raw = doc
@@ -653,5 +656,64 @@ mod tests {
         ckpt.save(&path).unwrap();
         assert_eq!(RunCheckpoint::load(&path).unwrap(), ckpt);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_files_load_as_typed_errors() {
+        let dir = std::env::temp_dir().join(format!("cmmf-ckpt-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = sample().to_json();
+
+        // Every strict prefix of a valid checkpoint — the on-disk states a
+        // kill mid-write could leave without the atomic rename — must come
+        // back as a typed error, never a panic. (save() writes temp+rename,
+        // so these arise only from foreign writers, but load must not trust.)
+        // Prefixes keeping the closing `}` (only trailing whitespace cut) are
+        // complete documents, so stop before it.
+        for cut in 0..full.trim_end().len() {
+            if !full.is_char_boundary(cut) {
+                continue;
+            }
+            let path = dir.join("truncated.json");
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                matches!(
+                    RunCheckpoint::load(&path),
+                    Err(CmmfError::Checkpoint { .. })
+                ),
+                "accepted truncation at byte {cut}"
+            );
+        }
+
+        // Overwritten garbage and binary junk are equally typed.
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, b"\x00\xff\xfeRIFF not json at all").unwrap();
+        assert!(matches!(
+            RunCheckpoint::load(&path),
+            Err(CmmfError::Checkpoint { .. })
+        ));
+
+        // A missing file is a typed error too (callers gate resume on
+        // path.exists(), but a racing delete must not panic).
+        assert!(matches!(
+            RunCheckpoint::load(&dir.join("nope.json")),
+            Err(CmmfError::Checkpoint { .. })
+        ));
+
+        // Out-of-range indices in the schedule section are corruption, not
+        // panics: past u64 the number fails to parse as an index, and past
+        // usize (32-bit targets) ScheduleEvent::decode refuses the cast.
+        let async_full = sample_async().to_json();
+        let big = async_full.replace(
+            "\"schedule\": [[0,0]",
+            "\"schedule\": [[0,99999999999999999999]",
+        );
+        assert_ne!(big, async_full, "sample_async schedule shape changed");
+        assert!(matches!(
+            RunCheckpoint::from_json(&big),
+            Err(CmmfError::Checkpoint { .. })
+        ));
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

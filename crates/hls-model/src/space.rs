@@ -257,16 +257,22 @@ impl DesignSpaceBuilder {
         let mut radix: Vec<usize> = tree_choices.iter().map(Vec::len).collect();
         radix.extend(free_sites.iter().map(|&si| self.sites[si].options.len()));
         let total: u128 = radix.iter().map(|&r| r as u128).product();
-        if total as usize > self.max_configs || total > self.max_configs as u128 {
-            return Err(ModelError::InvalidStructure {
-                reason: format!(
-                    "pruned space has {total} configurations, above the cap {}",
-                    self.max_configs
-                ),
-            });
-        }
+        // Guard in u128 *before* any narrowing: the old `total as usize`
+        // comparison truncated first and could wave astronomically large
+        // spaces past the cap on paper.
+        let total = match usize::try_from(total) {
+            Ok(t) if t <= self.max_configs => t,
+            _ => {
+                return Err(ModelError::InvalidStructure {
+                    reason: format!(
+                        "pruned space has {total} configurations, above the cap {}",
+                        self.max_configs
+                    ),
+                })
+            }
+        };
 
-        let mut configs: Vec<Vec<usize>> = Vec::with_capacity(total as usize);
+        let mut configs: Vec<Vec<usize>> = Vec::with_capacity(total);
         let mut counter = vec![0usize; radix.len()];
         for _ in 0..total {
             let mut cfg = vec![0usize; self.sites.len()];
@@ -327,19 +333,25 @@ impl DesignSpaceBuilder {
     /// [`ModelError::InvalidStructure`] if the product exceeds the cap.
     pub fn build_full(&self) -> Result<DesignSpace, ModelError> {
         self.validate()?;
-        let total = self.full_size();
-        if total > self.max_configs as f64 {
-            return Err(ModelError::InvalidStructure {
-                reason: format!(
-                    "full space has {total:.3e} configurations, above the cap {}",
-                    self.max_configs
-                ),
-            });
-        }
+        let size = self.full_size();
+        // The exact product in u128 decides admissibility; the f64 mirror is
+        // display-only (it loses precision past 2^53).
+        let total: u128 = self.sites.iter().map(|s| s.options.len() as u128).product();
+        let total = match usize::try_from(total) {
+            Ok(t) if t <= self.max_configs => t,
+            _ => {
+                return Err(ModelError::InvalidStructure {
+                    reason: format!(
+                        "full space has {size:.3e} configurations, above the cap {}",
+                        self.max_configs
+                    ),
+                })
+            }
+        };
         let radix: Vec<usize> = self.sites.iter().map(|s| s.options.len()).collect();
-        let mut configs = Vec::with_capacity(total as usize);
+        let mut configs = Vec::with_capacity(total);
         let mut counter = vec![0usize; radix.len()];
-        for _ in 0..total as usize {
+        for _ in 0..total {
             configs.push(counter.clone());
             for d in 0..counter.len() {
                 counter[d] += 1;
@@ -352,7 +364,7 @@ impl DesignSpaceBuilder {
         Ok(DesignSpace {
             kernel: self.kernel.clone(),
             sites: self.sites.clone(),
-            full_size: total,
+            full_size: size,
             configs,
         })
     }

@@ -1,0 +1,11 @@
+//! D6 negative fixture: widening casts, checked conversions, and lookalikes.
+use std::io::Result as IoResult;
+
+fn widen(n: u32, k: usize) -> Option<u64> {
+    let a = u64::from(n);
+    let b = k as u64;
+    let checked = usize::try_from(a).ok()?;
+    let v: Vec<usize> = (0..checked).collect::<Vec<usize>>();
+    let _: IoResult<()> = Ok(());
+    Some(b + a + v.len() as u64)
+}

@@ -1,0 +1,7 @@
+//! D6 positive fixture: narrowing casts that can lose bits.
+fn narrow(n: u64, x: f64) -> usize {
+    let i = n as usize;
+    let half = (n >> 32) as u32;
+    let trunc = x as i32;
+    i + half as usize + trunc as usize
+}

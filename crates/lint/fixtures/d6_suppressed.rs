@@ -1,0 +1,5 @@
+//! D6 suppressed fixture.
+fn low_bits(n: u64) -> u32 {
+    // cmmf-lint: allow(D6) -- fixture: keeping the low 32 bits is the hash, not an accident
+    (n & 0xFFFF_FFFF) as u32
+}

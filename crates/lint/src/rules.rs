@@ -11,6 +11,7 @@
 //! | `D3` | seeded RNG streams only | `thread_rng`, `from_entropy`, `from_os_rng`, `OsRng` |
 //! | `D4` | total float ordering | `partial_cmp` |
 //! | `D5` | double precision on result paths | `f32` outside `crates/linalg/src/mixed.rs` |
+//! | `D6` | no silent truncation | `as usize`/`as u32`/… narrowing casts in library code |
 //! | `P1` | panic-freedom in library code | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `P2` | no unsafe | `unsafe` |
 //! | `A0` | suppression hygiene | malformed `cmmf-lint: allow(..)` comments |
@@ -37,6 +38,11 @@ pub enum RuleId {
     /// mixed-precision module (`crates/linalg/src/mixed.rs`) — single
     /// precision anywhere else silently degrades pinned numerics.
     D5,
+    /// No narrowing `as` casts in library code: `expr as usize` on untrusted
+    /// or wide input truncates silently where `usize::try_from` would
+    /// surface the corruption. Complements `P1`: together they make the
+    /// failure paths typed instead of wrong-or-panicking.
+    D6,
     /// No panic-family calls in library code.
     P1,
     /// No `unsafe` anywhere.
@@ -47,12 +53,13 @@ pub enum RuleId {
 
 impl RuleId {
     /// All pattern rules, in report order (`A0` is emitted by the engine).
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 9] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
         RuleId::D4,
         RuleId::D5,
+        RuleId::D6,
         RuleId::P1,
         RuleId::P2,
         RuleId::A0,
@@ -66,6 +73,7 @@ impl RuleId {
             RuleId::D3 => "D3",
             RuleId::D4 => "D4",
             RuleId::D5 => "D5",
+            RuleId::D6 => "D6",
             RuleId::P1 => "P1",
             RuleId::P2 => "P2",
             RuleId::A0 => "A0",
@@ -85,6 +93,7 @@ impl RuleId {
             RuleId::D3 => "RNG streams must derive from the run seed",
             RuleId::D4 => "partial_cmp panics or misorders on NaN; use total_cmp",
             RuleId::D5 => "f32 on result paths degrades pinned numerics; only linalg::mixed may",
+            RuleId::D6 => "narrowing `as` casts truncate silently; use checked conversions",
             RuleId::P1 => "library code must propagate Result, not panic",
             RuleId::P2 => "unsafe code is banned workspace-wide",
             RuleId::A0 => "suppression comments need a rule list and a reason",
@@ -133,13 +142,15 @@ const RESULT_AFFECTING: [&str; 7] = [
 ];
 
 /// Crates that own the clock: the tracing layer (timings are observability,
-/// not results) and the benchmarking stack.
-const CLOCK_OWNERS: [&str; 3] = ["cmmf-trace", "cmmf-criterion", "cmmf-bench"];
+/// not results), the benchmarking stack, and the session daemon (socket
+/// timeouts and liveness are service duties; its *results* still come out of
+/// the deterministic core loop).
+const CLOCK_OWNERS: [&str; 4] = ["cmmf-trace", "cmmf-criterion", "cmmf-bench", "cmmf-serve"];
 
 /// Crates whose *library* code must be panic-free: the result-affecting set,
 /// the tracing layer, the vendored infrastructure the optimizer runs on, the
-/// linter itself, and the umbrella crate.
-const PANIC_FREE: [&str; 12] = [
+/// linter itself, the session daemon, and the umbrella crate.
+const PANIC_FREE: [&str; 13] = [
     "cmmf",
     "cmmf-gp",
     "cmmf-pareto",
@@ -151,6 +162,7 @@ const PANIC_FREE: [&str; 12] = [
     "cmmf-rand",
     "cmmf-rayon",
     "cmmf-lint",
+    "cmmf-serve",
     "cmmf-hls",
 ];
 
@@ -168,15 +180,19 @@ const PANIC_FREE: [&str; 12] = [
 ///   reasoned allow.
 /// * `D2`: library code only, everywhere except the clock owners — bins,
 ///   tests, and benches may time things; results may not.
-/// * `P1`: library code only, of the `PANIC_FREE` crates — tests, bins,
-///   benches, and examples are free to unwrap.
+/// * `P1`, `D6`: library code only, of the `PANIC_FREE` crates — tests,
+///   bins, benches, and examples are free to unwrap and cast. `D6` is
+///   deliberately over-approximate (it cannot see the source type, so a
+///   widening `u8 as usize` fires too); the fix is the same either way —
+///   `usize::from` / `usize::try_from` — or a reasoned allow where the
+///   truncation is the point.
 pub fn rule_enabled(rule: RuleId, pkg: &str, class: FileClass, in_test: bool) -> bool {
     match rule {
         RuleId::P2 | RuleId::D3 | RuleId::D4 | RuleId::A0 => true,
         RuleId::D1 => RESULT_AFFECTING.contains(&pkg) || pkg == "cmmf-trace",
         RuleId::D5 => RESULT_AFFECTING.contains(&pkg),
         RuleId::D2 => !CLOCK_OWNERS.contains(&pkg) && class == FileClass::Lib && !in_test,
-        RuleId::P1 => PANIC_FREE.contains(&pkg) && class == FileClass::Lib && !in_test,
+        RuleId::P1 | RuleId::D6 => PANIC_FREE.contains(&pkg) && class == FileClass::Lib && !in_test,
     }
 }
 
@@ -206,6 +222,10 @@ const ENTROPY_RNG: [&str; 4] = ["thread_rng", "from_entropy", "from_os_rng", "Os
 
 /// Panic-family macros (P1); `.unwrap()`/`.expect()` are matched separately.
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Cast targets that can lose bits (D6). `u64`/`i64`/`u128`/`i128`/`f64` are
+/// not listed: every integer this workspace indexes with fits them.
+const NARROWING_TARGETS: [&str; 8] = ["usize", "isize", "u32", "u16", "u8", "i32", "i16", "i8"];
 
 /// Runs every pattern rule over the significant (non-comment) token stream.
 /// `in_test[i]` tells whether token `i` sits inside a test item; matches carry
@@ -273,6 +293,17 @@ pub fn run_rules(tokens: &[Token], in_test: &[bool]) -> Vec<(Match, bool)> {
                 RuleId::D4,
                 "`partial_cmp` on floats panics or misorders on NaN; use `total_cmp`".to_string(),
             ),
+            _ if NARROWING_TARGETS.contains(&name.as_str())
+                && ident(i.wrapping_sub(1)) == Some("as") =>
+            {
+                emit(
+                    RuleId::D6,
+                    format!(
+                        "`as {name}` truncates silently; use `{name}::try_from` (or `{name}::from` \
+                         where the conversion cannot lose bits)"
+                    ),
+                )
+            }
             "unwrap" | "expect" if punct(i.wrapping_sub(1), '.') && punct(i + 1, '(') => emit(
                 RuleId::P1,
                 format!("`.{name}()` panics; propagate a `Result` instead"),
@@ -456,6 +487,22 @@ mod tests {
     fn std_time_path_fires_d2() {
         let src = "use std::time::Duration;";
         assert_eq!(rule_lines(src, RuleId::D2), [(1, false)]);
+    }
+
+    #[test]
+    fn narrowing_casts_fire_d6_but_widening_targets_do_not() {
+        let src = "fn f(n: u64) -> usize { n as usize }\nfn g(n: usize) -> u64 { n as u64 }\nfn h(c: char) -> u32 { c as u32 }";
+        assert_eq!(rule_lines(src, RuleId::D6), [(1, false), (3, false)]);
+    }
+
+    #[test]
+    fn d6_needs_the_as_keyword() {
+        // Type positions and turbofish mention the type without a cast.
+        let src = "fn f() -> usize { let v: Vec<usize> = x.collect::<Vec<usize>>(); v.len() }";
+        assert!(rule_lines(src, RuleId::D6).is_empty());
+        // `use x as y` renames, but never to a primitive type name.
+        let src = "use std::io::Result as IoResult;";
+        assert!(rule_lines(src, RuleId::D6).is_empty());
     }
 
     #[test]

@@ -176,6 +176,42 @@ fn d5_exempt_in_the_sanctioned_mixed_module_and_harness_crates() {
     }
 }
 
+// ---------------------------------------------------------------- D6
+
+#[test]
+fn d6_fires_on_narrowing_casts() {
+    let r = scan_as_core(include_str!("../fixtures/d6_positive.rs"), "d6_pos");
+    assert_eq!(lines(&r, RuleId::D6), [3, 4, 5, 6, 6]);
+}
+
+#[test]
+fn d6_silent_on_widening_and_checked_conversions() {
+    let r = scan_as_core(include_str!("../fixtures/d6_negative.rs"), "d6_neg");
+    assert_eq!(count(&r, RuleId::D6), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn d6_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/d6_suppressed.rs"), "d6_sup");
+    assert_eq!(count(&r, RuleId::D6), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn d6_exempt_outside_panic_free_library_code() {
+    let src = include_str!("../fixtures/d6_positive.rs");
+    // Harness crates may cast freely…
+    for pkg in ["cmmf-bench", "cmmf-criterion", "cmmf-proptest"] {
+        let r = scan_source(src, pkg, FileClass::Lib, "d6_harness");
+        assert_eq!(count(&r, RuleId::D6), 0, "{pkg} is not panic-free-gated");
+    }
+    // …and so may tests, bins, and benches of the guarded crates.
+    for class in [FileClass::Bin, FileClass::Tests, FileClass::Benches] {
+        let r = scan_source(src, "cmmf", class, "d6_class");
+        assert_eq!(count(&r, RuleId::D6), 0, "{} is exempt", class.name());
+    }
+}
+
 // ---------------------------------------------------------------- P1
 
 #[test]

@@ -26,6 +26,7 @@ pub trait Rng {
 
     /// The next 32 random bits (high half of [`Rng::next_u64`]).
     fn next_u32(&mut self) -> u32 {
+        // cmmf-lint: allow(D6) -- value is < 2^32 by the shift; the cast is a lossless relabel
         (self.next_u64() >> 32) as u32
     }
 }
@@ -202,6 +203,7 @@ impl Standard for u32 {
 impl Standard for usize {
     #[inline]
     fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // cmmf-lint: allow(D6) -- uniform random bits: truncation to the platform word is the sample
         rng.next_u64() as usize
     }
 }

@@ -1,0 +1,137 @@
+//! The daemon's typed error surface.
+//!
+//! Every failure a client or operator can cause — a malformed request line,
+//! an invalid job, a full queue, an unknown session, a sick session
+//! directory — maps to a distinct [`ServeError`] variant with a stable
+//! `kind` string, so protocol error frames are machine-matchable and the
+//! daemon never has to panic to say "no".
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong between a request line and a result frame.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request line was not a well-formed command.
+    Protocol {
+        /// What was wrong with the line.
+        message: String,
+    },
+    /// The job specification failed validation (bad name, zero budget,
+    /// out-of-range divergence, unknown benchmark, …).
+    InvalidJob {
+        /// Which constraint was violated.
+        message: String,
+    },
+    /// Admission control refused the job: the engine already holds `active`
+    /// queued-or-running sessions against a capacity of `cap`. The client
+    /// should retry once sessions drain — nothing was persisted.
+    AdmissionRejected {
+        /// Sessions currently queued or running.
+        active: usize,
+        /// The configured in-flight capacity.
+        cap: usize,
+    },
+    /// The addressed `(tenant, session)` pair is known neither in memory nor
+    /// on disk.
+    UnknownSession {
+        /// Addressed tenant.
+        tenant: String,
+        /// Addressed session name.
+        session: String,
+    },
+    /// A session directory could not be read or written.
+    Storage {
+        /// The path the operation touched.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The optimizer run itself failed (checkpoint mismatch, model error …).
+    Run(cmmf::CmmfError),
+    /// The session ran, but to a failure recorded in the session state
+    /// (e.g. a panic caught by the worker). Carries the recorded message.
+    SessionFailed {
+        /// The failure message recorded against the session.
+        message: String,
+    },
+    /// The engine is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// Stable machine-matchable discriminant, used as `error.kind` in
+    /// protocol error frames.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Protocol { .. } => "protocol",
+            ServeError::InvalidJob { .. } => "invalid-job",
+            ServeError::AdmissionRejected { .. } => "admission-rejected",
+            ServeError::UnknownSession { .. } => "unknown-session",
+            ServeError::Storage { .. } => "storage",
+            ServeError::Run(_) => "run",
+            ServeError::SessionFailed { .. } => "session-failed",
+            ServeError::ShuttingDown => "shutting-down",
+        }
+    }
+
+    /// Shorthand for a [`ServeError::Protocol`].
+    pub fn protocol(message: impl Into<String>) -> Self {
+        ServeError::Protocol {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`ServeError::InvalidJob`].
+    pub fn invalid(message: impl Into<String>) -> Self {
+        ServeError::InvalidJob {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`ServeError::Storage`].
+    pub fn storage(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        ServeError::Storage {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Protocol { message } => write!(f, "protocol error: {message}"),
+            ServeError::InvalidJob { message } => write!(f, "invalid job: {message}"),
+            ServeError::AdmissionRejected { active, cap } => write!(
+                f,
+                "admission rejected: {active} sessions in flight at capacity {cap}; retry later"
+            ),
+            ServeError::UnknownSession { tenant, session } => {
+                write!(f, "unknown session {tenant}/{session}")
+            }
+            ServeError::Storage { path, source } => {
+                write!(f, "storage error at {}: {source}", path.display())
+            }
+            ServeError::Run(e) => write!(f, "run failed: {e}"),
+            ServeError::SessionFailed { message } => write!(f, "session failed: {message}"),
+            ServeError::ShuttingDown => f.write_str("engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Storage { source, .. } => Some(source),
+            ServeError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cmmf::CmmfError> for ServeError {
+    fn from(e: cmmf::CmmfError) -> Self {
+        ServeError::Run(e)
+    }
+}

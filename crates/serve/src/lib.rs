@@ -1,0 +1,48 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # cmmf-serve — a multi-tenant DSE session daemon on checkpoint/resume
+//!
+//! This crate turns the workspace's crash-safe optimizer
+//! (`cmmf::Optimizer::run_with_checkpoints`, `trace::recover_journal`) into
+//! a long-running service: clients submit optimization jobs (kernel spec +
+//! budget + seed) over a Unix or TCP socket speaking line-delimited JSON,
+//! and a bounded worker pool multiplexes the sessions, persisting each one
+//! under a per-tenant directory and streaming its `TraceEvent`s to
+//! subscribed clients.
+//!
+//! The pieces:
+//!
+//! * [`job`] — the [`job::JobSpec`]: validated job descriptions with exact
+//!   (bit-level) JSON round trips and per-tenant seed derivation,
+//! * [`session`] — the on-disk session layout (`job.json`,
+//!   `checkpoint.json`, `journal.jsonl`, `result.json`) and the bit-exact
+//!   [`session::SessionResult`] manifest,
+//! * [`engine`] — the [`engine::Engine`]: admission control, the worker
+//!   pool, crash recovery, and event fan-out,
+//! * [`protocol`] — the request/response line grammar,
+//! * [`server`] — socket listeners, connection handlers, and a blocking
+//!   [`server::Client`],
+//! * [`error`] — the typed [`error::ServeError`] surface.
+//!
+//! ## The determinism contract
+//!
+//! A session's result is a pure function of its [`job::JobSpec`]. Seeds are
+//! derived per tenant ([`job::derived_seeds`]), every session checkpoints
+//! after each optimizer step, and recovery resumes from the last checkpoint
+//! bit-identically — a worker killed mid-run (or a `kill -9` of the whole
+//! daemon) changes nothing about the final `result.json`. The tier-1 tests
+//! pin this end to end.
+
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use engine::{Engine, EngineConfig};
+pub use error::ServeError;
+pub use job::{derived_seeds, JobSpec, Overrides, Problem};
+pub use protocol::Request;
+pub use server::{Client, Endpoint, Server};
+pub use session::{SessionPaths, SessionResult, SessionState};

@@ -1,0 +1,256 @@
+//! The daemon's wire protocol: line-delimited JSON, one request line in,
+//! one or more response frames out.
+//!
+//! ## Grammar
+//!
+//! ```text
+//! request   = json-object "\n"
+//! cmd       = "ping" | "submit" | "status" | "list" | "wait" | "shutdown"
+//!
+//! {"cmd": "ping"}
+//! {"cmd": "submit", "job": <job-spec>, "wait": bool?, "stream": bool?}
+//! {"cmd": "status", "tenant": s, "session": s}
+//! {"cmd": "list"}
+//! {"cmd": "wait", "tenant": s, "session": s}
+//! {"cmd": "shutdown"}
+//!
+//! response  = ok-frame | error-frame
+//! ok-frame  = {"ok": true, ...}            # command-specific fields
+//! error     = {"ok": false, "error": {"kind": s, "message": s}}
+//! ```
+//!
+//! A streaming `submit` (`"stream": true`) emits zero or more
+//! `{"ok": true, "event": <trace-event>}` frames — the run's `TraceEvent`s
+//! as they happen — before the final frame. A waiting `submit`
+//! (`"wait": true`) or a `wait` command finishes with
+//! `{"ok": true, "state": "finished", "result": <manifest>}`.
+//!
+//! Error `kind`s are the stable [`ServeError::kind`] discriminants; in
+//! particular `admission-rejected` carries `active` and `cap` so clients
+//! can implement informed backoff.
+
+use crate::error::ServeError;
+use crate::job::JobSpec;
+use crate::session::SessionResult;
+use trace::json::{self, JsonValue};
+
+/// Renders `s` as a quoted JSON string literal.
+pub fn quote(s: &str) -> String {
+    format!("\"{}\"", json::escape(s))
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Submit a job; optionally stream its events and/or wait for its
+    /// result on this connection.
+    Submit {
+        /// The job (boxed: a spec is much larger than the other variants).
+        spec: Box<JobSpec>,
+        /// Hold the connection until the session finishes and send the
+        /// result in the final frame.
+        wait: bool,
+        /// Stream the session's `TraceEvent`s as event frames (implies
+        /// holding the connection like `wait`).
+        stream: bool,
+    },
+    /// Query a session's lifecycle state.
+    Status {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+    },
+    /// List the engine's sessions and states.
+    List,
+    /// Block until a session finishes and return its result manifest.
+    Wait {
+        /// Tenant name.
+        tenant: String,
+        /// Session name.
+        session: String,
+    },
+    /// Stop the daemon (current sessions finish, queued ones persist).
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ServeError::Protocol`] on malformed JSON or an unknown command;
+/// [`ServeError::InvalidJob`] if a `submit`'s job fails validation.
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let doc =
+        json::parse(line).map_err(|e| ServeError::protocol(format!("request is not JSON: {e}")))?;
+    let cmd = doc
+        .get("cmd")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ServeError::protocol("missing `cmd`"))?;
+    let addressed = |doc: &JsonValue| -> Result<(String, String), ServeError> {
+        let field = |key: &str| {
+            doc.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ServeError::protocol(format!("missing `{key}`")))
+        };
+        Ok((field("tenant")?, field("session")?))
+    };
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "submit" => {
+            let job = doc
+                .get("job")
+                .ok_or_else(|| ServeError::protocol("missing `job`"))?;
+            let flag = |key: &str| doc.get(key).and_then(JsonValue::as_bool).unwrap_or(false);
+            Ok(Request::Submit {
+                spec: Box::new(JobSpec::from_json(job)?),
+                wait: flag("wait"),
+                stream: flag("stream"),
+            })
+        }
+        "status" => {
+            let (tenant, session) = addressed(&doc)?;
+            Ok(Request::Status { tenant, session })
+        }
+        "list" => Ok(Request::List),
+        "wait" => {
+            let (tenant, session) = addressed(&doc)?;
+            Ok(Request::Wait { tenant, session })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServeError::protocol(format!("unknown command `{other}`"))),
+    }
+}
+
+/// `{"ok": true}` with extra pre-rendered `"key": value` fields.
+pub fn ok_frame(fields: &[(&str, String)]) -> String {
+    let mut out = String::from("{\"ok\": true");
+    for (key, value) in fields {
+        out.push_str(&format!(", \"{key}\": {value}"));
+    }
+    out.push('}');
+    out
+}
+
+/// The error frame for `e`: stable `kind`, human `message`, and (for
+/// admission rejections) the `active`/`cap` numbers for client backoff.
+pub fn error_frame(e: &ServeError) -> String {
+    let mut inner = format!(
+        "{{\"kind\": {}, \"message\": {}",
+        quote(e.kind()),
+        quote(&e.to_string())
+    );
+    if let ServeError::AdmissionRejected { active, cap } = e {
+        inner.push_str(&format!(", \"active\": {active}, \"cap\": {cap}"));
+    }
+    inner.push('}');
+    format!("{{\"ok\": false, \"error\": {inner}}}")
+}
+
+/// An event frame wrapping one already-serialized `TraceEvent` line.
+pub fn event_frame(event_json: &str) -> String {
+    format!("{{\"ok\": true, \"event\": {event_json}}}")
+}
+
+/// Whether a response frame reports success (`"ok": true`). Unparsable
+/// frames count as failures.
+pub fn frame_is_ok(line: &str) -> bool {
+    json::parse(line)
+        .ok()
+        .and_then(|doc| doc.get("ok").and_then(JsonValue::as_bool))
+        == Some(true)
+}
+
+/// Whether a response frame is a streamed event frame (as opposed to an
+/// ack or a terminal frame).
+pub fn frame_is_event(line: &str) -> bool {
+    json::parse(line)
+        .ok()
+        .is_some_and(|doc| doc.get("event").is_some())
+}
+
+/// The terminal frame of a successful `wait`/waiting `submit`.
+pub fn finished_frame(result: &SessionResult) -> String {
+    ok_frame(&[
+        ("state", "\"finished\"".to_string()),
+        ("result", result.to_json()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Problem;
+    use hls_model::benchmarks::Benchmark;
+
+    #[test]
+    fn requests_parse() {
+        assert_eq!(parse_request(r#"{"cmd": "ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"cmd": "list"}"#).unwrap(), Request::List);
+        assert_eq!(
+            parse_request(r#"{"cmd": "shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        let req = parse_request(
+            r#"{"cmd": "submit", "wait": true, "job": {"tenant": "t", "session": "s", "benchmark": "GEMM", "iters": 3}}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Submit { spec, wait, stream } => {
+                assert_eq!(spec.tenant, "t");
+                assert_eq!(spec.problem, Problem::Benchmark(Benchmark::Gemm));
+                assert_eq!(spec.iters, 3);
+                assert!(wait);
+                assert!(!stream);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert_eq!(
+            parse_request(r#"{"cmd": "status", "tenant": "t", "session": "s"}"#).unwrap(),
+            Request::Status {
+                tenant: "t".into(),
+                session: "s".into()
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_protocol_errors() {
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"cmd": "frobnicate"}"#,
+            r#"{"cmd": "submit"}"#,
+            r#"{"cmd": "status", "tenant": "t"}"#,
+            r#"{"cmd": "submit", "job": {"tenant": "t", "session": "s", "benchmark": "GEMM", "iters": 0}}"#,
+        ] {
+            assert!(parse_request(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn frames_are_parsable_json() {
+        let err = ServeError::AdmissionRejected { active: 4, cap: 4 };
+        let frame = error_frame(&err);
+        let doc = json::parse(&frame).unwrap();
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(false));
+        let e = doc.get("error").unwrap();
+        assert_eq!(
+            e.get("kind").and_then(JsonValue::as_str),
+            Some("admission-rejected")
+        );
+        assert_eq!(e.get("active").and_then(JsonValue::as_usize), Some(4));
+        assert_eq!(e.get("cap").and_then(JsonValue::as_usize), Some(4));
+
+        let ok = ok_frame(&[("state", "\"queued\"".to_string())]);
+        let doc = json::parse(&ok).unwrap();
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(doc.get("state").and_then(JsonValue::as_str), Some("queued"));
+
+        let ev = event_frame(r#"{"event": "step_started", "step": 1}"#);
+        assert!(json::parse(&ev).unwrap().get("event").is_some());
+    }
+}

@@ -1,0 +1,145 @@
+//! Multi-tenant soak: a hundred-plus sessions multiplexed across a small
+//! worker pool must all finish with zero panics, and every session's result
+//! must be bit-identical to a deterministic expected-results manifest
+//! computed by running the same jobs directly, without the engine.
+//!
+//! `CMMF_SOAK=smoke` shrinks the grid for CI smoke runs (still every
+//! tenant × benchmark × seed interaction, just fewer of each).
+
+use cmmf::Optimizer;
+use cmmf_serve::engine::{Engine, EngineConfig};
+use cmmf_serve::job::{JobSpec, Overrides, Problem};
+use cmmf_serve::session::SessionResult;
+use hls_model::benchmarks::Benchmark;
+use std::collections::BTreeMap;
+use std::fs;
+
+const TENANTS: [&str; 6] = ["acme", "bolt", "carbon", "delta", "erie", "flux"];
+const BENCHMARKS: [Benchmark; 4] = [
+    Benchmark::Gemm,
+    Benchmark::SortRadix,
+    Benchmark::SpmvEllpack,
+    Benchmark::Stencil3d,
+];
+const SEEDS: [u64; 5] = [3, 17, 41, 97, 2021];
+
+/// The soak grid: 6 x 4 x 5 = 120 sessions by default, 3 x 2 x 4 = 24 in
+/// smoke mode.
+fn grid() -> (Vec<&'static str>, Vec<Benchmark>, Vec<u64>) {
+    if std::env::var("CMMF_SOAK").as_deref() == Ok("smoke") {
+        (
+            TENANTS[..3].to_vec(),
+            BENCHMARKS[..2].to_vec(),
+            SEEDS[..4].to_vec(),
+        )
+    } else {
+        (TENANTS.to_vec(), BENCHMARKS.to_vec(), SEEDS.to_vec())
+    }
+}
+
+fn soak_job(tenant: &str, bench: Benchmark, seed: u64) -> JobSpec {
+    let mut job = JobSpec::new(
+        tenant,
+        format!("{}-{seed}", bench.name().to_lowercase()),
+        Problem::Benchmark(bench),
+    );
+    job.iters = 2;
+    job.seed = seed;
+    job.overrides = Overrides::quick();
+    job
+}
+
+#[test]
+fn soak_hundred_sessions_match_deterministic_manifest() {
+    let (tenants, benches, seeds) = grid();
+    let jobs: Vec<JobSpec> = tenants
+        .iter()
+        .flat_map(|t| {
+            benches
+                .iter()
+                .flat_map(|&b| seeds.iter().map(move |&s| soak_job(t, b, s)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert!(
+        jobs.len() >= 24,
+        "grid must stay a real soak, got {} sessions",
+        jobs.len()
+    );
+
+    // The expected-results manifest: each job run directly, no engine. The
+    // design space and simulator are rebuilt per job exactly as the engine
+    // does, so the only degree of freedom is the engine's scheduling — which
+    // must not matter.
+    let manifest: BTreeMap<(String, String), SessionResult> = jobs
+        .iter()
+        .map(|job| {
+            let (space, sim) = job.build_problem().expect("problem builds");
+            let run = Optimizer::new(job.to_config())
+                .run(&space, &sim)
+                .expect("direct run succeeds");
+            (
+                (job.tenant.clone(), job.session.clone()),
+                SessionResult::from_run(&run),
+            )
+        })
+        .collect();
+
+    // Submit in an order decorrelated from the manifest order (a fixed
+    // stride that is coprime with every grid size), so engine scheduling is
+    // genuinely exercised rather than replaying the manifest sequence.
+    let root = std::env::temp_dir().join(format!("cmmf-serve-soak-{}", std::process::id()));
+    let engine = Engine::start(EngineConfig {
+        root: root.clone(),
+        workers: 4,
+        capacity: jobs.len(),
+    })
+    .expect("engine starts");
+    let n = jobs.len();
+    for i in 0..n {
+        let job = &jobs[(i * 53) % n];
+        engine.submit(job.clone(), None).expect("job admitted");
+    }
+
+    // Zero panics: every session must reach Finished (a worker panic would
+    // surface here as `ServeError::SessionFailed`).
+    for job in &jobs {
+        let result = engine
+            .wait(&job.tenant, &job.session)
+            .expect("session finishes without failure");
+        assert_eq!(
+            &result,
+            manifest
+                .get(&(job.tenant.clone(), job.session.clone()))
+                .expect("manifest covers job"),
+            "session {}/{} diverged from the manifest",
+            job.tenant,
+            job.session
+        );
+    }
+
+    // Per-tenant isolation: the same (benchmark, seed) job under different
+    // tenants draws from different derived streams, so across the tenant
+    // axis the results must not collapse to a single value.
+    for &bench in &benches {
+        for &seed in &seeds {
+            let distinct: Vec<&SessionResult> = tenants
+                .iter()
+                .map(|t| {
+                    let job = soak_job(t, bench, seed);
+                    manifest
+                        .get(&(job.tenant, job.session))
+                        .expect("manifest covers grid")
+                })
+                .collect();
+            assert!(
+                distinct.windows(2).any(|w| w[0] != w[1]),
+                "{} seed {seed}: all tenants produced identical results",
+                bench.name()
+            );
+        }
+    }
+
+    engine.shutdown();
+    let _ = fs::remove_dir_all(&root);
+}

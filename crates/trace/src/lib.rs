@@ -556,6 +556,153 @@ impl Drop for JsonlTracer {
     }
 }
 
+/// What a journal scan found: how much of the file is complete records and
+/// how much is a torn tail from a kill mid-write.
+///
+/// A JSONL journal is append-only, one record per `\n`-terminated line, so
+/// the only corruption a crash can produce is at the end: a final line that
+/// was cut short (no newline, or bytes that do not parse). Recovery keeps
+/// the longest prefix of complete parsable lines and drops the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalRecovery {
+    /// Complete, parsable records in the kept prefix.
+    pub complete_records: usize,
+    /// Bytes past the kept prefix (0 for a well-formed journal).
+    pub torn_bytes: u64,
+}
+
+impl JournalRecovery {
+    /// Whether the journal needed repair (a torn tail was present).
+    pub fn was_torn(&self) -> bool {
+        self.torn_bytes > 0
+    }
+}
+
+/// Scans raw journal bytes and returns the byte length of the longest prefix
+/// of complete (newline-terminated, JSON-parsable) lines, plus the record
+/// count of that prefix.
+fn scan_complete_prefix(data: &[u8]) -> (usize, usize) {
+    let mut keep = 0usize;
+    let mut records = 0usize;
+    let mut pos = 0usize;
+    while let Some(nl) = data[pos..].iter().position(|&b| b == b'\n') {
+        let line = &data[pos..pos + nl];
+        let parses = std::str::from_utf8(line)
+            .ok()
+            .and_then(|s| json::parse(s).ok())
+            .is_some();
+        if !parses {
+            break;
+        }
+        pos += nl + 1;
+        keep = pos;
+        records += 1;
+    }
+    (keep, records)
+}
+
+/// Reads a journal tolerantly: parses the longest prefix of complete records
+/// and reports (without repairing) any torn tail. A missing file reads as an
+/// empty journal.
+///
+/// Interior corruption — an unparsable line *before* the last one — also
+/// terminates the prefix: everything from the first bad line on is counted
+/// as torn, because records after a gap can no longer be trusted to belong
+/// to the same run.
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] from reading the file.
+pub fn read_journal(path: &Path) -> std::io::Result<(Vec<json::JsonValue>, JournalRecovery)> {
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let (keep, _) = scan_complete_prefix(&data);
+    let mut records = Vec::new();
+    for line in data[..keep].split(|&b| b == b'\n') {
+        if line.is_empty() {
+            continue;
+        }
+        // Lines in the kept prefix re-parse by construction; a failure here
+        // would mean `scan_complete_prefix` lied, so surface it as torn
+        // rather than panic.
+        match std::str::from_utf8(line)
+            .ok()
+            .and_then(|s| json::parse(s).ok())
+        {
+            Some(v) => records.push(v),
+            None => break,
+        }
+    }
+    let complete_records = records.len();
+    Ok((
+        records,
+        JournalRecovery {
+            complete_records,
+            torn_bytes: (data.len() - keep) as u64,
+        },
+    ))
+}
+
+/// Repairs a journal in place after a possible kill mid-write: truncates the
+/// file to its longest prefix of complete records. A missing file is left
+/// missing and reported as an empty journal.
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] from reading or truncating the file.
+pub fn recover_journal(path: &Path) -> std::io::Result<JournalRecovery> {
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(JournalRecovery {
+                complete_records: 0,
+                torn_bytes: 0,
+            })
+        }
+        Err(e) => return Err(e),
+    };
+    let (keep, records) = scan_complete_prefix(&data);
+    let torn = (data.len() - keep) as u64;
+    if torn > 0 {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(keep as u64)?;
+        file.sync_all()?;
+    }
+    Ok(JournalRecovery {
+        complete_records: records,
+        torn_bytes: torn,
+    })
+}
+
+impl JsonlTracer {
+    /// Opens a journal for **append** after repairing any torn tail — the
+    /// resume-path counterpart of [`JsonlTracer::create`] (which truncates).
+    ///
+    /// A session that died mid-write leaves a final line without its newline;
+    /// this truncates the file back to the last complete record (see
+    /// [`recover_journal`]) and appends subsequent events after it, so a
+    /// resumed run continues the same journal seamlessly. Creates the file if
+    /// it does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from repairing or opening the file.
+    pub fn append_recovered(path: &Path) -> std::io::Result<(Self, JournalRecovery)> {
+        let recovery = recover_journal(path)?;
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok((
+            Self::from_writer(Box::new(std::io::BufWriter::new(file))),
+            recovery,
+        ))
+    }
+}
+
 /// A cloneable, comparison-transparent handle to a [`Tracer`], embeddable in
 /// configuration structs.
 ///
@@ -910,6 +1057,104 @@ mod tests {
         for line in lines {
             json::parse(line).unwrap();
         }
+    }
+
+    #[test]
+    fn journal_recovery_drops_torn_tail_and_appends() {
+        let dir = std::env::temp_dir().join(format!("cmmf-journal-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+
+        // A journal killed mid-write: two complete records, one torn line.
+        let complete = [
+            r#"{"event":"step_started","step":0,"observed":[8,5,3]}"#,
+            r#"{"event":"checkpoint_written","step":1,"bytes":512}"#,
+        ];
+        let mut raw = complete.join("\n");
+        raw.push('\n');
+        raw.push_str(r#"{"event":"front_upd"#); // no newline: torn
+        std::fs::write(&path, &raw).unwrap();
+
+        let (records, seen) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert!(seen.was_torn());
+        // read_journal must not repair the file.
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), raw);
+
+        let (tracer, recovery) = JsonlTracer::append_recovered(&path).unwrap();
+        assert_eq!(recovery.complete_records, 2);
+        assert_eq!(recovery.torn_bytes, r#"{"event":"front_upd"#.len() as u64);
+        tracer.record(&TraceEvent::CheckpointWritten { step: 2, bytes: 64 });
+        drop(tracer); // flush
+
+        let (records, after) = read_journal(&path).unwrap();
+        assert_eq!(records.len(), 3);
+        assert!(!after.was_torn());
+        assert_eq!(
+            records[2].get("event").and_then(json::JsonValue::as_str),
+            Some("checkpoint_written")
+        );
+        // The recovered prefix is byte-identical to the complete records.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(&complete.join("\n")));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_recovery_handles_missing_empty_and_interior_corruption() {
+        let dir = std::env::temp_dir().join(format!("cmmf-journal-edge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file: empty journal, nothing created by recover.
+        let missing = dir.join("missing.jsonl");
+        let rec = recover_journal(&missing).unwrap();
+        assert_eq!(rec.complete_records, 0);
+        assert!(!rec.was_torn());
+        assert!(!missing.exists());
+        // append_recovered creates it.
+        let (_t, rec) = JsonlTracer::append_recovered(&missing).unwrap();
+        assert_eq!(rec.complete_records, 0);
+        assert!(missing.exists());
+
+        // Entirely torn: a single unterminated line truncates to empty.
+        let torn = dir.join("all-torn.jsonl");
+        std::fs::write(&torn, r#"{"event":"#).unwrap();
+        let rec = recover_journal(&torn).unwrap();
+        assert_eq!(rec.complete_records, 0);
+        assert_eq!(rec.torn_bytes, 9);
+        assert_eq!(std::fs::metadata(&torn).unwrap().len(), 0);
+
+        // Interior corruption: a bad line in the middle ends the trusted
+        // prefix even though later lines parse.
+        let interior = dir.join("interior.jsonl");
+        std::fs::write(
+            &interior,
+            "{\"event\":\"step_started\",\"step\":0,\"observed\":[1,1,1]}\nnot json\n{\"event\":\"checkpoint_written\",\"step\":1,\"bytes\":4}\n",
+        )
+        .unwrap();
+        let (records, seen) = read_journal(&interior).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(seen.was_torn());
+        let rec = recover_journal(&interior).unwrap();
+        assert_eq!(rec.complete_records, 1);
+        let text = std::fs::read_to_string(&interior).unwrap();
+        assert_eq!(text.lines().count(), 1);
+
+        // Well-formed journals round-trip untouched.
+        let ok = dir.join("ok.jsonl");
+        std::fs::write(
+            &ok,
+            "{\"event\":\"run_finished\",\"steps\":2,\"sim_seconds\":1.5,\"pareto_points\":3}\n",
+        )
+        .unwrap();
+        let before = std::fs::read(&ok).unwrap();
+        let rec = recover_journal(&ok).unwrap();
+        assert_eq!(rec.complete_records, 1);
+        assert!(!rec.was_torn());
+        assert_eq!(std::fs::read(&ok).unwrap(), before);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! after a kill continues the run bit-identically, even mid-overlap.
 //! `--journal FILE` appends one JSON line per loop event (model fits,
 //! acquisition argmaxes, tool runs, dispatches/completions, front updates;
-//! see ARCHITECTURE.md, "Observability & resume").
+//! see ARCHITECTURE.md, "Observability & resume"). On a checkpoint resume the
+//! journal is opened in append mode after torn-tail recovery, so one file
+//! accumulates the whole logical run even across kills mid-write.
 //!
 //! `--no-warm-start` disables cross-step warm starting of the
 //! hyperparameter searches (on by default; see `CmmfConfig::warm_start_hyperopt`),
@@ -27,133 +29,107 @@
 //! checkpoint fingerprint: a checkpointed run may be resumed under either
 //! setting.
 //!
+//! Argument parsing is shared with `cmmf-serve` (see `cmmf_hls::cli`):
+//! duplicate flags, out-of-range values (`--iters 0`, `--batch 0`,
+//! `--divergence 1.5`), and unknown flags are all usage errors with exit
+//! code 2.
+//!
 //! The flow is evaluated by the built-in three-stage simulator (see the
 //! `cmmf-fidelity-sim` crate docs); `--divergence` controls how non-linearly
 //! the HLS reports relate to post-implementation reality (0 = trust HLS,
 //! 1 = HLS is badly misleading).
 
-use cmmf_hls::cmmf::{
-    AsyncOptimizer, CmmfConfig, JsonlTracer, ModelVariant, Optimizer, TracerHandle,
-};
+use cmmf_hls::cli::{ArgStream, CliError, JobFlags};
+use cmmf_hls::cmmf::{AsyncOptimizer, JsonlTracer, Optimizer, TracerHandle};
 use cmmf_hls::fidelity_sim::{FlowSimulator, SimParams};
 use cmmf_hls::hls_model::spec;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+const USAGE: &str = "usage: cmmf-dse <spec-file> [--iters N] [--seed S] \
+                     [--variant ours|fpl18] [--divergence D] [--batch Q] \
+                     [--async-slots K] [--csv] \
+                     [--checkpoint FILE] [--journal FILE] \
+                     [--no-warm-start] [--mixed-precision]";
+
 struct Args {
     spec_path: String,
-    iters: usize,
-    seed: u64,
-    variant: ModelVariant,
-    divergence: f64,
-    batch: usize,
-    async_slots: usize,
+    job: JobFlags,
     csv: bool,
     checkpoint: Option<PathBuf>,
     journal: Option<PathBuf>,
-    warm_start: bool,
-    mixed_precision: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
-    let mut args = std::env::args().skip(1);
-    let mut parsed = Args {
-        spec_path: String::new(),
-        iters: 40,
-        seed: 2021,
-        variant: ModelVariant::paper(),
-        divergence: 0.3,
-        batch: 1,
-        async_slots: 0,
-        csv: false,
-        checkpoint: None,
-        journal: None,
-        warm_start: true,
-        mixed_precision: false,
-    };
-    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
-        args.next().ok_or(format!("{flag} needs a value"))
-    };
-    while let Some(arg) = args.next() {
+enum Parsed {
+    Help,
+    Run(Box<Args>),
+}
+
+fn parse_args(tokens: Vec<String>) -> Result<Parsed, CliError> {
+    let mut args = ArgStream::new(tokens);
+    let mut job = JobFlags::default();
+    let mut spec_path = String::new();
+    let mut csv = false;
+    let mut checkpoint = None;
+    let mut journal = None;
+    while let Some(arg) = args.next_arg() {
+        if job.try_consume(&arg, &mut args)? {
+            continue;
+        }
         match arg.as_str() {
-            "--iters" => {
-                parsed.iters = next_value(&mut args, "--iters")?
-                    .parse()
-                    .map_err(|e| format!("--iters: {e}"))?
+            "--csv" => {
+                args.flag_once("--csv")?;
+                csv = true;
             }
-            "--seed" => {
-                parsed.seed = next_value(&mut args, "--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?
+            "--checkpoint" => checkpoint = Some(PathBuf::from(args.value_of("--checkpoint")?)),
+            "--journal" => journal = Some(PathBuf::from(args.value_of("--journal")?)),
+            "--help" | "-h" => return Ok(Parsed::Help),
+            other if spec_path.is_empty() && !other.starts_with('-') => {
+                spec_path = other.to_string();
             }
-            "--divergence" => {
-                parsed.divergence = next_value(&mut args, "--divergence")?
-                    .parse()
-                    .map_err(|e| format!("--divergence: {e}"))?
+            other if !other.starts_with('-') => {
+                return Err(CliError {
+                    message: format!("unexpected positional `{other}` (spec file already given)"),
+                })
             }
-            "--batch" => {
-                parsed.batch = next_value(&mut args, "--batch")?
-                    .parse()
-                    .map_err(|e| format!("--batch: {e}"))?
+            other => {
+                return Err(CliError {
+                    message: format!("unknown flag `{other}`"),
+                })
             }
-            "--variant" => {
-                parsed.variant = match next_value(&mut args, "--variant")?.as_str() {
-                    "ours" => ModelVariant::paper(),
-                    "fpl18" => ModelVariant::fpl18(),
-                    other => return Err(format!("unknown variant `{other}` (ours|fpl18)")),
-                }
-            }
-            "--async-slots" => {
-                parsed.async_slots = next_value(&mut args, "--async-slots")?
-                    .parse()
-                    .map_err(|e| format!("--async-slots: {e}"))?;
-                if parsed.async_slots == 0 {
-                    return Err("--async-slots must be at least 1".into());
-                }
-            }
-            "--csv" => parsed.csv = true,
-            "--no-warm-start" => parsed.warm_start = false,
-            "--mixed-precision" => parsed.mixed_precision = true,
-            "--checkpoint" => {
-                parsed.checkpoint = Some(PathBuf::from(next_value(&mut args, "--checkpoint")?))
-            }
-            "--journal" => {
-                parsed.journal = Some(PathBuf::from(next_value(&mut args, "--journal")?))
-            }
-            "--help" | "-h" => {
-                return Err("usage: cmmf-dse <spec-file> [--iters N] [--seed S] \
-                            [--variant ours|fpl18] [--divergence D] [--batch Q] \
-                            [--async-slots K] [--csv] \
-                            [--checkpoint FILE] [--journal FILE] \
-                            [--no-warm-start] [--mixed-precision]"
-                    .into())
-            }
-            other if parsed.spec_path.is_empty() && !other.starts_with('-') => {
-                parsed.spec_path = other.to_string();
-            }
-            other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    if parsed.spec_path.is_empty() {
-        return Err("missing <spec-file> (see --help)".into());
+    if spec_path.is_empty() {
+        return Err(CliError {
+            message: "missing <spec-file>".into(),
+        });
     }
-    Ok(parsed)
+    Ok(Parsed::Run(Box::new(Args {
+        spec_path,
+        job,
+        csv,
+        checkpoint,
+        journal,
+    })))
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::FAILURE;
+    match parse_args(std::env::args().skip(1).collect()) {
+        Ok(Parsed::Help) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
         }
-    };
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Ok(Parsed::Run(args)) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            ExitCode::from(2)
         }
     }
 }
@@ -170,30 +146,37 @@ fn run(args: &Args) -> Result<(), String> {
     );
 
     let sim = FlowSimulator::new(SimParams {
-        divergence: args.divergence.clamp(0.0, 1.0),
+        divergence: args.job.divergence,
         ..SimParams::default()
     });
-    let mut cfg = CmmfConfig {
-        n_iter: args.iters,
-        seed: args.seed,
-        variant: args.variant,
-        batch_size: args.batch.max(1),
-        async_slots: args.async_slots,
-        warm_start_hyperopt: args.warm_start,
-        mixed_precision: args.mixed_precision,
-        ..Default::default()
-    };
+    let mut cfg = args.job.to_config();
+    let resuming = args.checkpoint.as_ref().is_some_and(|p| p.exists());
     if let Some(path) = &args.journal {
-        let sink = JsonlTracer::create(path)
-            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        // A resumed run continues its journal; a fresh run starts one.
+        let sink = if resuming {
+            let (sink, recovery) = JsonlTracer::append_recovered(path)
+                .map_err(|e| format!("cannot recover journal {}: {e}", path.display()))?;
+            if recovery.was_torn() {
+                eprintln!(
+                    "journal {}: dropped a torn final line ({} bytes), resuming after {} records",
+                    path.display(),
+                    recovery.torn_bytes,
+                    recovery.complete_records
+                );
+            }
+            sink
+        } else {
+            JsonlTracer::create(path)
+                .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?
+        };
         cfg.tracer = TracerHandle::new(Arc::new(sink));
     }
-    if let Some(path) = &args.checkpoint {
-        if path.exists() {
+    if resuming {
+        if let Some(path) = &args.checkpoint {
             eprintln!("resuming from checkpoint {}", path.display());
         }
     }
-    let result = if args.async_slots > 0 {
+    let result = if args.job.async_slots > 0 {
         let opt = AsyncOptimizer::new(cfg);
         match &args.checkpoint {
             Some(path) => opt.run_with_checkpoints(&space, &sim, path),
@@ -212,7 +195,7 @@ fn run(args: &Args) -> Result<(), String> {
         "evaluated {} configurations in {:.1} simulated {}tool-hours",
         result.evaluated_configs.len(),
         result.sim_seconds / 3600.0,
-        if args.async_slots > 1 {
+        if args.job.async_slots > 1 {
             "(makespan) "
         } else {
             ""
@@ -248,4 +231,75 @@ fn run(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Parsed, CliError> {
+        parse_args(tokens.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn degenerate_and_unknown_arguments_are_usage_errors() {
+        for bad in [
+            &["spec.k", "--iters", "0"][..],
+            &["spec.k", "--batch", "0"],
+            &["spec.k", "--async-slots", "0"],
+            &["spec.k", "--divergence", "2"],
+            &["spec.k", "--iters", "5", "--iters", "9"],
+            &["spec.k", "--csv", "--csv"],
+            &["spec.k", "--frobnicate"],
+            &["spec.k", "second-positional"],
+            &["--iters", "5"], // no spec file
+            &["spec.k", "--checkpoint"],
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn a_full_valid_line_parses() {
+        let parsed = parse(&[
+            "gemm.spec",
+            "--iters",
+            "12",
+            "--seed",
+            "7",
+            "--batch",
+            "2",
+            "--async-slots",
+            "4",
+            "--csv",
+            "--checkpoint",
+            "c.json",
+            "--journal",
+            "j.jsonl",
+        ])
+        .unwrap();
+        let Parsed::Run(args) = parsed else {
+            panic!("expected a run");
+        };
+        assert_eq!(args.spec_path, "gemm.spec");
+        assert_eq!(args.job.iters, 12);
+        assert_eq!(args.job.seed, 7);
+        assert_eq!(args.job.batch, 2);
+        assert_eq!(args.job.async_slots, 4);
+        assert!(args.csv);
+        assert_eq!(
+            args.checkpoint.as_deref(),
+            Some(std::path::Path::new("c.json"))
+        );
+        assert_eq!(
+            args.journal.as_deref(),
+            Some(std::path::Path::new("j.jsonl"))
+        );
+    }
+
+    #[test]
+    fn help_is_not_an_error() {
+        assert!(matches!(parse(&["--help"]), Ok(Parsed::Help)));
+        assert!(matches!(parse(&["spec.k", "-h"]), Ok(Parsed::Help)));
+    }
 }

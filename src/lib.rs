@@ -17,10 +17,16 @@
 //!   for Vivado HLS + a VC707 board,
 //! * [`baselines`] — ANN, gradient-boosting, FPL18, and DAC19 baselines,
 //! * [`cmmf`] — the paper's optimizer: correlated multi-objective models per
-//!   fidelity, EIPV/PEIPV acquisition, and the Algorithm-2 BO loop.
+//!   fidelity, EIPV/PEIPV acquisition, and the Algorithm-2 BO loop,
+//! * [`serve`] — the multi-tenant DSE session daemon (worker pool,
+//!   admission control, checkpoint/resume persistence, event streaming),
+//! * [`cli`] — shared validating argument parsing for the `cmmf-dse` and
+//!   `cmmf-serve` binaries.
 //!
 //! See `examples/quickstart.rs` for an end-to-end run and `DESIGN.md` for the
 //! system inventory and per-experiment index.
+
+pub mod cli;
 
 pub use baselines;
 pub use cmmf;
@@ -29,3 +35,4 @@ pub use gp;
 pub use hls_model;
 pub use linalg;
 pub use pareto;
+pub use serve;

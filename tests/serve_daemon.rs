@@ -1,0 +1,164 @@
+//! End-to-end daemon crash test: start `cmmf-serve`, submit jobs over TCP,
+//! `kill -9` the daemon mid-run, restart it on the same root, and assert the
+//! recovered sessions finish with results bit-identical to direct,
+//! uninterrupted runs — the daemon's core durability contract.
+
+use cmmf_hls::cmmf::Optimizer;
+use cmmf_hls::hls_model::benchmarks::Benchmark;
+use cmmf_hls::serve::protocol::frame_is_ok;
+use cmmf_hls::serve::{Client, Endpoint, JobSpec, Overrides, Problem, SessionPaths, SessionResult};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Daemon {
+    child: Child,
+    endpoint: Endpoint,
+}
+
+impl Daemon {
+    /// Starts the real `cmmf-serve` binary on an ephemeral TCP port and
+    /// waits for its readiness line.
+    fn start(root: &Path) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_cmmf-serve"))
+            .args([
+                "daemon",
+                "--root",
+                root.to_str().expect("utf-8 root"),
+                "--listen",
+                "tcp:127.0.0.1:0",
+                "--workers",
+                "2",
+            ])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon spawns");
+        let stdout: ChildStdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("readiness line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"))
+            .to_string();
+        let endpoint = Endpoint::parse(&addr).expect("readiness line is an endpoint");
+        Daemon { child, endpoint }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(&self.endpoint).expect("client connects")
+    }
+
+    /// SIGKILL — no shutdown handshake, no flush; the on-disk state is
+    /// whatever the daemon last persisted.
+    fn kill_dash_nine(&mut self) {
+        self.child.kill().expect("SIGKILL delivered");
+        self.child.wait().expect("daemon reaped");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn daemon_job(tenant: &str, session: &str, bench: Benchmark, seed: u64) -> JobSpec {
+    let mut job = JobSpec::new(tenant, session, Problem::Benchmark(bench));
+    // Long enough that the SIGKILL lands mid-run, short enough for a test.
+    job.iters = 14;
+    job.seed = seed;
+    job.overrides = Overrides::quick();
+    job
+}
+
+#[test]
+fn daemon_killed_mid_run_recovers_bit_identical_results() {
+    let root = std::env::temp_dir().join(format!("cmmf-serve-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let jobs = [
+        daemon_job("acme", "gemm-a", Benchmark::Gemm, 11),
+        daemon_job("acme", "spmv-a", Benchmark::SpmvEllpack, 12),
+        daemon_job("bolt", "gemm-b", Benchmark::Gemm, 11),
+    ];
+    // The ground truth: each job run to completion in-process, no daemon.
+    let expected: Vec<SessionResult> = jobs
+        .iter()
+        .map(|job| {
+            let (space, sim) = job.build_problem().expect("problem builds");
+            let run = Optimizer::new(job.to_config())
+                .run(&space, &sim)
+                .expect("direct run succeeds");
+            SessionResult::from_run(&run)
+        })
+        .collect();
+
+    // Round 1: submit all three jobs, then SIGKILL the daemon as soon as a
+    // checkpoint exists (so at least one session dies mid-run; sessions that
+    // already finished exercise the finished-session recovery path instead).
+    let mut daemon = Daemon::start(&root);
+    let mut client = daemon.client();
+    for job in &jobs {
+        let frame = client
+            .round_trip(&format!(
+                "{{\"cmd\": \"submit\", \"job\": {}}}",
+                job.to_json()
+            ))
+            .expect("submit answered");
+        assert!(frame_is_ok(&frame), "submit rejected: {frame}");
+    }
+    // D2 exempts test code: this clock bounds how long the harness polls for
+    // the daemon's checkpoint file; no clock value reaches a decision path.
+    #[allow(clippy::disallowed_methods)]
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let any_checkpoint = || {
+        jobs.iter().any(|job| {
+            SessionPaths::new(&root, &job.tenant, &job.session)
+                .checkpoint()
+                .exists()
+        })
+    };
+    while !any_checkpoint() {
+        #[allow(clippy::disallowed_methods)]
+        let now = Instant::now();
+        assert!(now < deadline, "no checkpoint appeared in 60s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.kill_dash_nine();
+
+    // Round 2: restart on the same root; the daemon recovers the unfinished
+    // sessions from their checkpoints and journals (possibly torn by the
+    // kill) and finishes them.
+    let daemon = Daemon::start(&root);
+    let mut client = daemon.client();
+    for (job, want) in jobs.iter().zip(&expected) {
+        let frame = client
+            .round_trip(&format!(
+                "{{\"cmd\": \"wait\", \"tenant\": \"{}\", \"session\": \"{}\"}}",
+                job.tenant, job.session
+            ))
+            .expect("wait answered");
+        assert!(frame_is_ok(&frame), "wait failed: {frame}");
+        let on_disk =
+            SessionResult::load(&SessionPaths::new(&root, &job.tenant, &job.session).result())
+                .expect("result manifest persisted");
+        assert_eq!(
+            &on_disk, want,
+            "{}/{} diverged after kill -9 + recovery",
+            job.tenant, job.session
+        );
+    }
+
+    // Clean daemon shutdown over the protocol.
+    let frame = client
+        .round_trip("{\"cmd\": \"shutdown\"}")
+        .expect("shutdown answered");
+    assert!(frame_is_ok(&frame), "shutdown failed: {frame}");
+    let _ = std::fs::remove_dir_all(&root);
+}
