@@ -1,0 +1,18 @@
+// S1 negative: the same call chain propagates Options instead of panicking,
+// and the lookup is bounds-checked (and not annotated as a hot path).
+
+pub fn entry(v: &[f64]) -> Option<f64> {
+    middle(v)
+}
+
+fn middle(v: &[f64]) -> Option<f64> {
+    helper(v)
+}
+
+fn helper(v: &[f64]) -> Option<f64> {
+    v.first().copied()
+}
+
+pub fn lookup(v: &[f64], i: usize) -> Option<f64> {
+    v.get(i).copied()
+}

@@ -1,0 +1,19 @@
+// S1 positive: a clean-looking pub entry point reaches a panicking helper
+// two hops down, and a hot-path function indexes without a bounds check.
+
+pub fn entry(v: &[f64]) -> f64 {
+    middle(v)
+}
+
+fn middle(v: &[f64]) -> f64 {
+    helper(v)
+}
+
+fn helper(v: &[f64]) -> f64 {
+    *v.first().unwrap()
+}
+
+// cmmf-lint: hot-path
+pub fn hot(v: &[f64], i: usize) -> f64 {
+    v[i]
+}

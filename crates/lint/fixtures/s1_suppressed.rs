@@ -1,0 +1,8 @@
+// S1 suppressed: the hot-path indexing is sanctioned with a reasoned allow
+// on the function the finding attaches to.
+
+// cmmf-lint: hot-path
+// cmmf-lint: allow(S1) -- bounds proven by the caller's loop invariant
+pub fn hot(v: &[f64], i: usize) -> f64 {
+    v[i]
+}

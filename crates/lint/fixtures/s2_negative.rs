@@ -1,0 +1,33 @@
+// S2 negative: every path acquires alpha before beta (acyclic order), and
+// the file read happens only after the guard's block has closed.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> usize {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        a.len() + b.len()
+    }
+
+    pub fn also_forward(&self) -> usize {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        a.len().max(b.len())
+    }
+
+    pub fn journal(&self, path: &std::path::Path) -> std::io::Result<String> {
+        let n = {
+            let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+            a.len()
+        };
+        let mut text = std::fs::read_to_string(path)?;
+        text.truncate(n);
+        Ok(text)
+    }
+}

@@ -1,0 +1,29 @@
+// S2 positive: `forward` orders alpha -> beta while `reverse` orders
+// beta -> alpha (a lock-order cycle), and `journal` reads a file while
+// holding alpha (I/O under a lock, reported when scanned as cmmf-serve).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> usize {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        a.len() + b.len()
+    }
+
+    pub fn reverse(&self) -> usize {
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        a.len().max(b.len())
+    }
+
+    pub fn journal(&self, path: &std::path::Path) -> std::io::Result<String> {
+        let _a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        std::fs::read_to_string(path)
+    }
+}

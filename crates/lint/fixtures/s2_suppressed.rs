@@ -1,0 +1,25 @@
+// S2 suppressed: the reversed pair is sanctioned with reasoned allows on
+// the second acquisition of each path (where the cycle edges attach).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<Vec<u64>>,
+    beta: Mutex<Vec<u64>>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> usize {
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        // cmmf-lint: allow(S2) -- startup-only path; reverse cannot run concurrently
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        a.len() + b.len()
+    }
+
+    pub fn reverse(&self) -> usize {
+        let b = self.beta.lock().unwrap_or_else(|p| p.into_inner());
+        // cmmf-lint: allow(S2) -- shutdown-only path; forward cannot run concurrently
+        let a = self.alpha.lock().unwrap_or_else(|p| p.into_inner());
+        a.len().max(b.len())
+    }
+}

@@ -1,0 +1,23 @@
+// S3 negative: the hatch is covered by a test that names it.
+
+pub struct Cfg {
+    pub indexed_eipv: bool,
+}
+
+pub fn pick(cfg: &Cfg) -> bool {
+    cfg.indexed_eipv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Cfg;
+
+    #[test]
+    fn indexed_eipv_on_off_equivalence() {
+        let on = Cfg { indexed_eipv: true };
+        let off = Cfg {
+            indexed_eipv: false,
+        };
+        assert!(on.indexed_eipv != off.indexed_eipv);
+    }
+}

@@ -1,0 +1,10 @@
+// S3 positive: an escape hatch read by library code with no test anywhere
+// that references it.
+
+pub struct Cfg {
+    pub indexed_eipv: bool,
+}
+
+pub fn pick(cfg: &Cfg) -> bool {
+    cfg.indexed_eipv
+}

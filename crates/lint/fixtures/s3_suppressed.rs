@@ -1,0 +1,11 @@
+// S3 suppressed: the uncovered hatch is sanctioned with a reasoned allow on
+// its first library reference.
+
+pub struct Cfg {
+    // cmmf-lint: allow(S3) -- experimental hatch; equivalence test lands with the feature
+    pub indexed_eipv: bool,
+}
+
+pub fn pick(cfg: &Cfg) -> bool {
+    cfg.indexed_eipv
+}

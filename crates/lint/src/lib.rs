@@ -10,16 +10,19 @@
 //! RNGs, `partial_cmp` on floats) *statically*, plus the panic-freedom sweep
 //! (`P1`/`P2`) that keeps library code `Result`-propagating.
 //!
-//! The design is deliberately primitive: a hand-rolled token lexer
+//! Two layers share one front end. The token layer is a hand-rolled lexer
 //! ([`lexer`]) that is exact about comments, strings, raw strings, and char
-//! literals, and a pattern engine ([`rules`]) over the token stream with a
-//! per-crate policy matrix. No `syn`, no dependencies — the linter must run
-//! in the hermetic build container and must not depend on anything it audits.
+//! literals, feeding a pattern engine ([`rules`]) with a per-crate policy
+//! matrix. The semantic layer parses items ([`parser`]), builds a
+//! workspace-wide call graph ([`graph`]), and runs three passes ([`passes`]):
+//! `S1` panic-reachability, `S2` lock-order, `S3` contract-coverage. No
+//! `syn`, no dependencies — the linter must run in the hermetic build
+//! container and must not depend on anything it audits.
 //!
 //! Run it as:
 //!
 //! ```text
-//! cargo run -p cmmf-lint -- --workspace [--json] [--root <dir>]
+//! cargo run -p cmmf-lint -- --workspace [--json] [--root <dir>] [--changed <ref>]
 //! ```
 //!
 //! Suppress a finding with a reasoned allow on the same line or the line
@@ -29,14 +32,28 @@
 //! // cmmf-lint: allow(P1) -- propagating a worker thread's panic is join's contract
 //! ```
 //!
+//! Mark a function as a hot path (so `S1` treats unchecked indexing inside
+//! it as a panic site) with a marker comment on the line above it:
+//!
+//! ```text
+//! // cmmf-lint: hot-path
+//! pub fn kernel_row(&self, i: usize) -> &[f64] { ... }
+//! ```
+//!
 //! See `ARCHITECTURE.md` § "Static invariants" for the full rule table and
 //! the policy matrix.
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod rules;
+pub mod selfcheck;
 
+use graph::{Acquirer, CallGraph};
 use lexer::{Tok, Token};
-use rules::{FileClass, RuleId};
+use rules::{FileClass, Match, RuleId};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -94,14 +111,36 @@ impl Report {
             .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     }
 
-    /// Serializes the report as a single stable JSON object
-    /// (`schema_version` 1). Field order is fixed; findings are sorted.
+    /// Per-rule finding counts, in [`RuleId::ALL`] order (zeros included).
+    pub fn rule_counts(&self) -> Vec<(RuleId, usize)> {
+        RuleId::ALL
+            .into_iter()
+            .map(|r| (r, self.findings.iter().filter(|f| f.rule == r).count()))
+            .collect()
+    }
+
+    /// Serializes the report as a single stable JSON object.
+    ///
+    /// `schema_version` 2: v1 plus a `rule_counts` object (every rule ID in
+    /// report order, zeros included) inserted between `suppressed` and
+    /// `findings`. The `findings` element shape is unchanged from v1, so a
+    /// v1 consumer that indexes by key instead of position keeps working.
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\"schema_version\":1,\"files_scanned\":");
+        let mut s = String::from("{\"schema_version\":2,\"files_scanned\":");
         s.push_str(&self.files_scanned.to_string());
         s.push_str(",\"suppressed\":");
         s.push_str(&self.suppressed.to_string());
-        s.push_str(",\"findings\":[");
+        s.push_str(",\"rule_counts\":{");
+        for (i, (rule, count)) in self.rule_counts().into_iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(rule.id());
+            s.push_str("\":");
+            s.push_str(&count.to_string());
+        }
+        s.push_str("},\"findings\":[");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -174,65 +213,214 @@ struct Suppression {
     rules: Vec<RuleId>,
 }
 
+/// One source file to scan, with its package/class labels.
+#[derive(Debug, Clone)]
+pub struct SourceSpec {
+    /// Package the file belongs to (policy matrix key).
+    pub pkg: String,
+    /// Where the file sits in its crate.
+    pub class: FileClass,
+    /// Workspace-relative path (labels findings; keys `--changed`).
+    pub path: String,
+    /// The file's source text.
+    pub src: String,
+}
+
+/// Per-file front-end state shared by the token and semantic layers.
+struct FileCtx<'a> {
+    spec: &'a SourceSpec,
+    significant: Vec<Token>,
+    in_test: Vec<bool>,
+    sups: Vec<Suppression>,
+    bad: Vec<Finding>,
+    hot: BTreeSet<u32>,
+    matches: Vec<(Match, bool)>,
+}
+
 /// Scans one source string as `pkg`/`class` and returns the surviving
-/// findings. `path` is only used to label findings.
+/// findings. `path` is only used to label findings. The semantic passes run
+/// over the single file (resolution scoped to `pkg` alone).
 pub fn scan_source(src: &str, pkg: &str, class: FileClass, path: &str) -> Report {
-    let all = lexer::lex(src);
-    let significant: Vec<Token> = all
-        .iter()
-        .filter(|t| !matches!(t.kind, Tok::LineComment(_)))
-        .cloned()
-        .collect();
-    let in_test = rules::mark_test_regions(&significant);
-    let matches = rules::run_rules(&significant, &in_test);
+    let specs = [SourceSpec {
+        pkg: pkg.to_string(),
+        class,
+        path: path.to_string(),
+        src: src.to_string(),
+    }];
+    scan_sources(&specs, &BTreeMap::new())
+}
 
-    let (suppressions, mut findings) = parse_suppressions(&all, &significant, path);
-    let mut suppressed = 0usize;
+/// Scans a set of files as one unit: token rules per file, then the
+/// call-graph passes across the whole set. `deps` maps each package to its
+/// direct path dependencies (dev-dependencies excluded), scoping name
+/// resolution.
+pub fn scan_sources(specs: &[SourceSpec], deps: &BTreeMap<String, Vec<String>>) -> Report {
+    scan_sources_graph(specs, deps).0
+}
 
-    for (m, tested) in matches {
-        if !rules::rule_enabled(m.rule, pkg, class, tested) {
-            continue;
-        }
-        // D5's one sanctioned home: the mixed-precision module itself.
-        if m.rule == RuleId::D5 && rules::d5_sanctioned(path) {
-            continue;
-        }
-        let silenced = suppressions
-            .iter()
-            .any(|s| s.target_line == m.line && s.rules.contains(&m.rule));
-        if silenced {
-            suppressed += 1;
-        } else {
-            findings.push(Finding {
-                rule: m.rule,
-                path: path.to_string(),
-                line: m.line,
-                excerpt: m.excerpt,
-                message: m.message,
-            });
-        }
-    }
-
-    let mut report = Report {
-        findings,
-        files_scanned: 1,
-        suppressed,
-    };
-    report.sort();
+/// Like [`scan_sources`], but keeps only findings relevant to `changed`
+/// files: token findings in the changed set itself, `S1`/`S2` findings in
+/// the changed set's reverse call-graph closure (a changed callee can break
+/// its callers' invariants), and `S3` findings always (deleting a test is
+/// exactly the change that must not pass). `files_scanned` still counts the
+/// full set — the graph is whole-workspace regardless.
+pub fn scan_sources_changed(
+    specs: &[SourceSpec],
+    deps: &BTreeMap<String, Vec<String>>,
+    changed: &BTreeSet<String>,
+) -> Report {
+    let (mut report, g) = scan_sources_graph(specs, deps);
+    let affected = g.dependent_files(changed);
+    report.findings.retain(|f| match f.rule {
+        RuleId::S3 => true,
+        RuleId::S1 | RuleId::S2 => affected.contains(&f.path),
+        _ => changed.contains(&f.path),
+    });
     report
 }
 
-/// Extracts `cmmf-lint: allow(..) -- reason` comments. A comment sharing its
-/// line with code targets that line; a comment alone on its line targets the
-/// next line holding a significant token. Malformed allows (no parsable rule
-/// list, unknown rule name, or missing `-- reason`) become `A0` findings.
+/// The full engine: per-file token layer, then graph construction and the
+/// three semantic passes, then suppression filtering for everything.
+fn scan_sources_graph(
+    specs: &[SourceSpec],
+    deps: &BTreeMap<String, Vec<String>>,
+) -> (Report, CallGraph) {
+    // Front end, per file; acquirer discovery is a workspace-wide pre-pass
+    // so a helper in `serve` resolves when scanning `serve`'s other files.
+    let mut ctxs: Vec<FileCtx<'_>> = Vec::with_capacity(specs.len());
+    let mut acquirers: BTreeMap<String, Acquirer> = BTreeMap::new();
+    for spec in specs {
+        let all = lexer::lex(&spec.src);
+        let significant: Vec<Token> = all
+            .iter()
+            .filter(|t| !matches!(t.kind, Tok::LineComment(_)))
+            .cloned()
+            .collect();
+        let in_test = rules::mark_test_regions(&significant);
+        let (sups, bad, hot) = parse_suppressions(&all, &significant, &spec.path);
+        let matches = rules::run_rules(&significant, &in_test);
+        for (name, acq) in graph::find_acquirers(&significant) {
+            acquirers.entry(name).or_insert(acq);
+        }
+        ctxs.push(FileCtx {
+            spec,
+            significant,
+            in_test,
+            sups,
+            bad,
+            hot,
+            matches,
+        });
+    }
+
+    // Semantic model per file, with P1/S1-sanctioned panic sites removed
+    // before they can seed reachability.
+    let mut fns = Vec::new();
+    let mut tally = passes::HatchTally::default();
+    for ctx in &ctxs {
+        let mut nodes = graph::file_fns(
+            &ctx.significant,
+            &ctx.in_test,
+            &ctx.hot,
+            &ctx.spec.pkg,
+            &ctx.spec.path,
+            ctx.spec.class,
+            &acquirers,
+        );
+        for node in &mut nodes {
+            node.panics.retain(|p| {
+                !ctx.sups.iter().any(|s| {
+                    s.target_line == p.line
+                        && (s.rules.contains(&RuleId::P1) || s.rules.contains(&RuleId::S1))
+                })
+            });
+        }
+        fns.extend(nodes);
+        passes::tally_hatches(
+            &ctx.significant,
+            &ctx.in_test,
+            ctx.spec.class,
+            &ctx.spec.path,
+            &mut tally,
+        );
+    }
+    let g = CallGraph::build(fns, deps);
+
+    let mut semantic = passes::panic_reachability(&g);
+    semantic.extend(passes::lock_order(&g));
+    semantic.extend(passes::contract_coverage(&tally));
+
+    // Token findings, policy-filtered and suppressed per file.
+    let mut report = Report::default();
+    for ctx in ctxs.iter_mut() {
+        let mut findings = std::mem::take(&mut ctx.bad);
+        let mut suppressed = 0usize;
+        for (m, tested) in &ctx.matches {
+            if !rules::rule_enabled(m.rule, &ctx.spec.pkg, ctx.spec.class, *tested) {
+                continue;
+            }
+            // D5's one sanctioned home: the mixed-precision module itself.
+            if m.rule == RuleId::D5 && rules::d5_sanctioned(&ctx.spec.path) {
+                continue;
+            }
+            let silenced = ctx
+                .sups
+                .iter()
+                .any(|s| s.target_line == m.line && s.rules.contains(&m.rule));
+            if silenced {
+                suppressed += 1;
+            } else {
+                findings.push(Finding {
+                    rule: m.rule,
+                    path: ctx.spec.path.clone(),
+                    line: m.line,
+                    excerpt: m.excerpt.clone(),
+                    message: m.message.clone(),
+                });
+            }
+        }
+        report.absorb(Report {
+            findings,
+            files_scanned: 1,
+            suppressed,
+        });
+    }
+
+    // Semantic findings flow through the same suppression comments, keyed
+    // by the finding's own line (the fn line for S1, the acquisition or
+    // call line for S2, the first library reference for S3).
+    for f in semantic {
+        let silenced = ctxs.iter().any(|c| {
+            c.spec.path == f.path
+                && c.sups
+                    .iter()
+                    .any(|s| s.target_line == f.line && s.rules.contains(&f.rule))
+        });
+        if silenced {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+
+    report.sort();
+    (report, g)
+}
+
+/// Extracts `cmmf-lint:` comments: `allow(..) -- reason` suppressions and
+/// `hot-path` markers. A comment sharing its line with code targets that
+/// line; a comment alone on its line targets the next line holding a
+/// significant token. Malformed directives (no parsable rule list, unknown
+/// rule name, missing `-- reason`, or an unknown marker) become `A0`
+/// findings.
 fn parse_suppressions(
     all: &[Token],
     significant: &[Token],
     path: &str,
-) -> (Vec<Suppression>, Vec<Finding>) {
+) -> (Vec<Suppression>, Vec<Finding>, BTreeSet<u32>) {
     let mut sups = Vec::new();
     let mut bad = Vec::new();
+    let mut hot = BTreeSet::new();
     for t in all {
         let Tok::LineComment(text) = &t.kind else {
             continue;
@@ -242,32 +430,36 @@ fn parse_suppressions(
         let Some(rest) = body.strip_prefix("cmmf-lint:") else {
             continue;
         };
-        match parse_allow(rest.trim()) {
-            Some(rules) => {
-                let has_code_on_line = significant.iter().any(|s| s.line == t.line);
-                let target_line = if has_code_on_line {
-                    t.line
-                } else {
-                    significant
-                        .iter()
-                        .map(|s| s.line)
-                        .filter(|&l| l > t.line)
-                        .min()
-                        .unwrap_or(t.line + 1)
-                };
-                sups.push(Suppression { target_line, rules });
-            }
+        let rest = rest.trim();
+        let has_code_on_line = significant.iter().any(|s| s.line == t.line);
+        let target_line = if has_code_on_line {
+            t.line
+        } else {
+            significant
+                .iter()
+                .map(|s| s.line)
+                .filter(|&l| l > t.line)
+                .min()
+                .unwrap_or(t.line + 1)
+        };
+        if rest == "hot-path" {
+            hot.insert(target_line);
+            continue;
+        }
+        match parse_allow(rest) {
+            Some(rules) => sups.push(Suppression { target_line, rules }),
             None => bad.push(Finding {
                 rule: RuleId::A0,
                 path: path.to_string(),
                 line: t.line,
                 excerpt: body.to_string(),
-                message: "malformed suppression; use `cmmf-lint: allow(<rules>) -- <reason>`"
+                message: "malformed suppression; use `cmmf-lint: allow(<rules>) -- <reason>` \
+                          (or the bare `cmmf-lint: hot-path` marker)"
                     .to_string(),
             }),
         }
     }
-    (sups, bad)
+    (sups, bad, hot)
 }
 
 /// Parses `allow(D1, P1) -- reason`; `None` when malformed or reasonless.
@@ -290,6 +482,25 @@ fn parse_allow(s: &str) -> Option<Vec<RuleId>> {
     Some(rules)
 }
 
+/// Scans the whole workspace rooted at `root`: the root package plus every
+/// `crates/*` member, as one unit (the call graph spans all of them).
+pub fn scan_workspace(root: &Path) -> Result<Report, LintError> {
+    let specs = workspace_specs(root)?;
+    let deps = workspace_deps(root)?;
+    Ok(scan_sources(&specs, &deps))
+}
+
+/// [`scan_workspace`], filtered to `changed` workspace-relative paths and
+/// their reverse call-graph dependents (see [`scan_sources_changed`]).
+pub fn scan_workspace_changed(
+    root: &Path,
+    changed: &BTreeSet<String>,
+) -> Result<Report, LintError> {
+    let specs = workspace_specs(root)?;
+    let deps = workspace_deps(root)?;
+    Ok(scan_sources_changed(&specs, &deps, changed))
+}
+
 /// One workspace member to scan.
 struct Member {
     /// Package name from `Cargo.toml`.
@@ -298,18 +509,15 @@ struct Member {
     dir: PathBuf,
 }
 
-/// Scans the whole workspace rooted at `root`: the root package plus every
-/// `crates/*` member. Only `src/`, `tests/`, `benches/`, and `examples/`
-/// subtrees are visited, so non-compiled fixtures (e.g. this crate's
-/// `fixtures/`) are never linted.
-pub fn scan_workspace(root: &Path) -> Result<Report, LintError> {
+/// Workspace members: the root package plus every `crates/*` member with a
+/// manifest, in sorted order.
+fn workspace_members(root: &Path) -> Result<Vec<Member>, LintError> {
     let mut members = vec![Member {
         pkg: package_name(&root.join("Cargo.toml"))?,
         dir: root.to_path_buf(),
     }];
     let crates_dir = root.join("crates");
-    let entries = read_dir_sorted(&crates_dir)?;
-    for dir in entries {
+    for dir in read_dir_sorted(&crates_dir)? {
         let manifest = dir.join("Cargo.toml");
         if manifest.is_file() {
             members.push(Member {
@@ -318,9 +526,15 @@ pub fn scan_workspace(root: &Path) -> Result<Report, LintError> {
             });
         }
     }
+    Ok(members)
+}
 
-    let mut report = Report::default();
-    for m in &members {
+/// Loads every member's lintable files. Only `src/`, `tests/`, `benches/`,
+/// and `examples/` subtrees are visited, so non-compiled fixtures (e.g. this
+/// crate's `fixtures/`) are never linted.
+fn workspace_specs(root: &Path) -> Result<Vec<SourceSpec>, LintError> {
+    let mut specs = Vec::new();
+    for m in workspace_members(root)? {
         for (sub, base_class) in [
             ("src", FileClass::Lib),
             ("tests", FileClass::Tests),
@@ -342,12 +556,97 @@ pub fn scan_workspace(root: &Path) -> Result<Report, LintError> {
                     .unwrap_or(&file)
                     .to_string_lossy()
                     .replace('\\', "/");
-                report.absorb(scan_source(&src, &m.pkg, class, &rel));
+                specs.push(SourceSpec {
+                    pkg: m.pkg.clone(),
+                    class,
+                    path: rel,
+                    src,
+                });
             }
         }
     }
-    report.sort();
-    Ok(report)
+    Ok(specs)
+}
+
+/// The package dependency map used to scope call resolution: for every
+/// member, its direct `[dependencies]` (dev-dependencies deliberately
+/// excluded — library code cannot link against them, and the vendored
+/// harness crates would otherwise alias into the guarded crates' graphs).
+/// Aliased entries resolve through `[workspace.dependencies]` or an inline
+/// `package = "..."` key.
+fn workspace_deps(root: &Path) -> Result<BTreeMap<String, Vec<String>>, LintError> {
+    let root_manifest = root.join("Cargo.toml");
+    let text = std::fs::read_to_string(&root_manifest).map_err(|e| LintError::Io {
+        path: root_manifest.clone(),
+        source: e,
+    })?;
+    let mut alias_to_pkg: BTreeMap<String, String> = BTreeMap::new();
+    let mut section = String::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        if section == "[workspace.dependencies]" {
+            if let Some((key, rest)) = line.split_once('=') {
+                let key = key.trim();
+                if key.is_empty() || key.starts_with('#') {
+                    continue;
+                }
+                let pkg = extract_package(rest).unwrap_or_else(|| key.to_string());
+                alias_to_pkg.insert(key.to_string(), pkg);
+            }
+        }
+    }
+
+    let mut deps: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for m in workspace_members(root)? {
+        let manifest = m.dir.join("Cargo.toml");
+        let text = std::fs::read_to_string(&manifest).map_err(|e| LintError::Io {
+            path: manifest.clone(),
+            source: e,
+        })?;
+        let mut list = Vec::new();
+        let mut section = String::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                section = line.to_string();
+                continue;
+            }
+            if section == "[dependencies]" {
+                if let Some((key, rest)) = line.split_once('=') {
+                    // `cmmf.workspace = true` keys the alias before the dot.
+                    let key = match key.trim().split('.').next() {
+                        Some(k) => k.trim(),
+                        None => continue,
+                    };
+                    if key.is_empty() || key.starts_with('#') {
+                        continue;
+                    }
+                    let dep_pkg = extract_package(rest)
+                        .or_else(|| alias_to_pkg.get(key).cloned())
+                        .unwrap_or_else(|| key.to_string());
+                    list.push(dep_pkg);
+                }
+            }
+        }
+        list.sort();
+        list.dedup();
+        deps.insert(m.pkg, list);
+    }
+    Ok(deps)
+}
+
+/// Reads the value of an inline `package = "..."` key, if present.
+fn extract_package(rest: &str) -> Option<String> {
+    let idx = rest.find("package")?;
+    let after = rest[idx + "package".len()..].trim_start();
+    let after = after.strip_prefix('=')?.trim_start();
+    let after = after.strip_prefix('"')?;
+    let end = after.find('"')?;
+    Some(after[..end].to_string())
 }
 
 /// `src/bin/**` and `src/main.rs` are binaries; everything else keeps the

@@ -1,22 +1,28 @@
 //! CLI for `cmmf-lint`. See the library docs for the rule set.
 //!
-//! Exit codes: `0` clean, `1` findings, `2` usage or IO error.
+//! Exit codes: `0` clean, `1` findings (or failed smoke checks), `2` usage
+//! or IO error.
 
 use cmmf_lint::rules::RuleId;
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
 cmmf-lint — workspace determinism & panic-freedom linter
 
 USAGE:
-    cargo run -p cmmf-lint -- --workspace [--json] [--root <dir>]
+    cargo run -p cmmf-lint -- --workspace [--json] [--root <dir>] [--changed <ref>]
+    cargo run -p cmmf-lint -- --smoke [--root <dir>]
 
 OPTIONS:
-    --workspace     Scan the whole workspace (required mode)
-    --json          Emit a machine-readable JSON report on stdout
-    --root <dir>    Workspace root (default: walk up from the current dir)
-    --rules         Print the rule table and exit
-    --help          Show this help
+    --workspace      Scan the whole workspace (required mode)
+    --json           Emit a machine-readable JSON report on stdout
+    --root <dir>     Workspace root (default: walk up from the current dir)
+    --changed <ref>  Keep only findings for files changed since <ref>, plus
+                     their reverse call-graph dependents for S1/S2
+    --smoke          Run the fixture self-coverage check only (fast feedback)
+    --rules          Print the rule table and exit
+    --help           Show this help
 ";
 
 fn main() {
@@ -26,12 +32,22 @@ fn main() {
 fn run() -> i32 {
     let mut workspace = false;
     let mut json = false;
+    let mut smoke = false;
+    let mut changed_ref: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
             "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--changed" => match args.next() {
+                Some(r) => changed_ref = Some(r),
+                None => {
+                    eprintln!("--changed needs a git ref argument");
+                    return 2;
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -55,7 +71,7 @@ fn run() -> i32 {
             }
         }
     }
-    if !workspace {
+    if !workspace && !smoke {
         eprint!("{USAGE}");
         return 2;
     }
@@ -68,11 +84,32 @@ fn run() -> i32 {
         }
     };
 
-    let report = match cmmf_lint::scan_workspace(&root) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cmmf-lint: {e}");
-            return 2;
+    if smoke {
+        return run_smoke(&root);
+    }
+
+    let report = if let Some(git_ref) = changed_ref {
+        let changed = match changed_files(&root, &git_ref) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cmmf-lint: --changed {git_ref}: {e}");
+                return 2;
+            }
+        };
+        match cmmf_lint::scan_workspace_changed(&root, &changed) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cmmf-lint: {e}");
+                return 2;
+            }
+        }
+    } else {
+        match cmmf_lint::scan_workspace(&root) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("cmmf-lint: {e}");
+                return 2;
+            }
         }
     };
 
@@ -82,6 +119,12 @@ fn run() -> i32 {
         for f in &report.findings {
             println!("{f}");
         }
+        let counts: Vec<String> = report
+            .rule_counts()
+            .into_iter()
+            .map(|(r, n)| format!("{}={n}", r.id()))
+            .collect();
+        println!("rule counts: {}", counts.join(" "));
         println!(
             "cmmf-lint: {} finding(s), {} suppressed, {} files scanned",
             report.findings.len(),
@@ -94,6 +137,48 @@ fn run() -> i32 {
     } else {
         1
     }
+}
+
+/// `--smoke`: check fixture self-coverage without walking the workspace —
+/// the fast gate CI runs before the full scan.
+fn run_smoke(root: &Path) -> i32 {
+    let dir = root.join("crates/lint/fixtures");
+    match cmmf_lint::selfcheck::fixture_coverage(&dir) {
+        Ok(problems) if problems.is_empty() => {
+            println!("cmmf-lint --smoke: every rule is fixtured (positive/negative/suppressed)");
+            0
+        }
+        Ok(problems) => {
+            for p in &problems {
+                eprintln!("cmmf-lint --smoke: {p}");
+            }
+            1
+        }
+        Err(e) => {
+            eprintln!("cmmf-lint --smoke: {e}");
+            2
+        }
+    }
+}
+
+/// Workspace-relative `.rs` paths changed since `git_ref`, per
+/// `git diff --name-only` (committed and working-tree changes alike).
+fn changed_files(root: &Path, git_ref: &str) -> Result<BTreeSet<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", git_ref])
+        .output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(String::from_utf8_lossy(&out.stderr).trim().to_string());
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.ends_with(".rs"))
+        .map(str::to_string)
+        .collect())
 }
 
 /// Walks up from the current directory to the first `Cargo.toml` declaring a

@@ -1,0 +1,383 @@
+//! An item-level Rust parser built on the token lexer.
+//!
+//! The token-stream rules (`D1`–`D6`, `P1`, `P2`) need no structure: a banned
+//! ident is a banned ident wherever it sits. The semantic passes (`S1`–`S3`)
+//! need to know *which function* a token belongs to, so this module grows the
+//! lexer's output into an item model: every `fn` in a file, with its name,
+//! visibility, surrounding `impl` type, parameter names, signature, and body
+//! token range. Still zero-dependency — no `syn`, no type information.
+//!
+//! The model is deliberately approximate in documented ways (see
+//! `ARCHITECTURE.md` § "Static invariants"):
+//!
+//! * **Nested functions** get their own entries; tokens are owned by the
+//!   *innermost* enclosing function, so an inner `fn`'s calls are not
+//!   attributed to its parent.
+//! * **Closures** belong to the function that contains them — the right
+//!   over-approximation for both panic reachability and lock scoping.
+//! * **Trait methods without bodies** (signatures ending in `;`) produce no
+//!   entry; default-bodied trait methods do.
+//! * Visibility is the literal `pub` keyword; `pub(crate)` counts as pub
+//!   (an over-approximation that errs toward reporting).
+
+use crate::lexer::{Tok, Token};
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The bare function name (`submit`, `lock_state`, …).
+    pub name: String,
+    /// The `impl` type the function sits in, if any (`Engine`, `Workspace`).
+    pub impl_type: Option<String>,
+    /// Whether the item carries a literal `pub` (any visibility form).
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the signature: `[fn_idx, body_open)`.
+    pub sig: (usize, usize),
+    /// Token-index range of the body: `[body_open, body_close]` inclusive of
+    /// both braces.
+    pub body: (usize, usize),
+    /// Parameter identifiers (binding names only, `self` included).
+    pub params: Vec<String>,
+}
+
+impl FnItem {
+    /// `Type::name` when the function is a method, else the bare name.
+    pub fn qualified(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Parses every bodied `fn` item out of a significant (comment-free) token
+/// stream. Returns items in source order.
+pub fn parse_fns(tokens: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    // Stack of (brace_depth_at_open, impl type) for impl blocks in scope.
+    let mut impl_stack: Vec<(usize, Option<String>)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while impl_stack.last().is_some_and(|(d, _)| *d > depth) {
+                    impl_stack.pop();
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                if let Some((ty, open)) = parse_impl_header(tokens, i) {
+                    impl_stack.push((depth + 1, ty));
+                    depth += 1;
+                    i = open + 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                match parse_fn_at(tokens, i) {
+                    Some(item) => {
+                        let mut item = item;
+                        item.impl_type = impl_stack.last().and_then(|(_, t)| t.clone());
+                        item.is_pub = has_pub_before(tokens, i);
+                        // Continue *inside* the body so nested fns are found;
+                        // ownership is resolved later by innermost range.
+                        i = item.body.0 + 1;
+                        depth += 1;
+                        out.push(item);
+                    }
+                    None => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Maps each token index to the index (into the `fns` slice) of its innermost
+/// enclosing function body, or `usize::MAX` for tokens outside any body.
+pub fn owner_map(tokens: &[Token], fns: &[FnItem]) -> Vec<usize> {
+    let mut owner = vec![usize::MAX; tokens.len()];
+    // Items are in source order; a later item starting inside an earlier
+    // item's body is the more deeply nested one, so writing in order leaves
+    // the innermost owner in place.
+    for (f_idx, f) in fns.iter().enumerate() {
+        for slot in owner
+            .iter_mut()
+            .take((f.body.1 + 1).min(tokens.len()))
+            .skip(f.body.0)
+        {
+            *slot = f_idx;
+        }
+    }
+    owner
+}
+
+/// Parses the header of an `impl` block starting at `i` (the `impl` token).
+/// Returns `(type_name, body_open_index)`; the type name is the first path
+/// ident after `for` (trait impls) or after the generics (inherent impls).
+fn parse_impl_header(tokens: &[Token], i: usize) -> Option<(Option<String>, usize)> {
+    let mut j = i + 1;
+    // Skip the generic parameter list, if any.
+    if matches!(tokens.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
+        j = skip_angles(tokens, j)?;
+    }
+    let mut first_ident: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            Tok::Punct('{') => {
+                let name = if saw_for { after_for } else { first_ident };
+                return Some((name, j));
+            }
+            Tok::Punct(';') => return None, // `impl Trait for Type;` — no body
+            Tok::Ident(s) if s == "for" => {
+                saw_for = true;
+                j += 1;
+            }
+            Tok::Ident(s) if s == "where" => {
+                // The where clause may mention idents; stop collecting names.
+                j += 1;
+                while j < tokens.len() && !matches!(tokens[j].kind, Tok::Punct('{')) {
+                    j += 1;
+                }
+            }
+            Tok::Ident(s) => {
+                // Track the *last* ident of a path segment chain: `a::b::C`
+                // should yield `C`. Overwrite while inside the same path.
+                if saw_for {
+                    if after_for.is_none()
+                        || matches!(
+                            tokens.get(j.wrapping_sub(1)).map(|t| &t.kind),
+                            Some(Tok::Punct(':'))
+                        )
+                    {
+                        after_for = Some(s.clone());
+                    }
+                } else if first_ident.is_none()
+                    || matches!(
+                        tokens.get(j.wrapping_sub(1)).map(|t| &t.kind),
+                        Some(Tok::Punct(':'))
+                    )
+                {
+                    first_ident = Some(s.clone());
+                }
+                j += 1;
+            }
+            Tok::Punct('<') => {
+                j = skip_angles(tokens, j)?;
+            }
+            _ => j += 1,
+        }
+    }
+    None
+}
+
+/// Parses the `fn` item starting at token `i` (the `fn` keyword). Returns
+/// `None` for bodyless signatures (trait declarations) and `fn`-pointer
+/// types (`fn(..) -> ..` with no name).
+fn parse_fn_at(tokens: &[Token], i: usize) -> Option<FnItem> {
+    let name = match tokens.get(i + 1).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => s.clone(),
+        _ => return None, // `fn(usize) -> bool` type position
+    };
+    let mut j = i + 2;
+    if matches!(tokens.get(j).map(|t| &t.kind), Some(Tok::Punct('<'))) {
+        j = skip_angles(tokens, j)?;
+    }
+    if !matches!(tokens.get(j).map(|t| &t.kind), Some(Tok::Punct('('))) {
+        return None;
+    }
+    let params_close = matching(tokens, j, '(', ')')?;
+    let params = param_names(&tokens[j + 1..params_close]);
+    // Scan from the parameter list to the body `{` or a terminating `;`.
+    let mut k = params_close + 1;
+    while k < tokens.len() {
+        match &tokens[k].kind {
+            Tok::Punct(';') => return None, // bodyless trait signature
+            Tok::Punct('{') => {
+                let close = matching(tokens, k, '{', '}')?;
+                return Some(FnItem {
+                    name,
+                    impl_type: None,
+                    is_pub: false,
+                    line: tokens[i].line,
+                    sig: (i, k),
+                    body: (k, close),
+                    params,
+                });
+            }
+            Tok::Punct('<') => k = skip_angles(tokens, k)?,
+            _ => k += 1,
+        }
+    }
+    None
+}
+
+/// Binding identifiers of a parameter list (the tokens between the parens).
+/// `&mut self`, `mut x: T`, and plain `x: T` all yield their binding ident;
+/// destructured patterns contribute each ident before the `:`.
+fn param_names(tokens: &[Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut depth = 0i32;
+    let mut in_type = false;
+    for t in tokens {
+        match &t.kind {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('<') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('>') => depth -= 1,
+            Tok::Punct(':') if depth == 0 => in_type = true,
+            Tok::Punct(',') if depth == 0 => in_type = false,
+            Tok::Ident(s) if !in_type && s != "mut" && s != "ref" => {
+                names.push(s.clone());
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+/// Whether the item whose `fn` keyword sits at `i` is preceded by a `pub`
+/// visibility marker (any form), scanning back to the previous item boundary.
+fn has_pub_before(tokens: &[Token], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        match &tokens[j].kind {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => return false,
+            Tok::Punct(']') => {
+                // Skip a preceding attribute `#[..]` backwards.
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    match tokens[j].kind {
+                        Tok::Punct(']') => depth += 1,
+                        Tok::Punct('[') => depth -= 1,
+                        _ => {}
+                    }
+                }
+            }
+            Tok::Ident(s) if s == "pub" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Index just past a balanced `<..>` group starting at `open`. Bounded so a
+/// stray less-than in an expression cannot send the parser across the file.
+fn skip_angles(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open).take(256) {
+        match t.kind {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k + 1);
+                }
+            }
+            Tok::Punct(';') | Tok::Punct('{') => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the closer matching the opener at `open`.
+fn matching(tokens: &[Token], open: usize, o: char, c: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            Tok::Punct(p) if *p == o => depth += 1,
+            Tok::Punct(p) if *p == c => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn significant(src: &str) -> Vec<Token> {
+        lex(src)
+            .into_iter()
+            .filter(|t| !matches!(t.kind, Tok::LineComment(_)))
+            .collect()
+    }
+
+    #[test]
+    fn free_and_impl_fns_are_parsed() {
+        let src = "pub fn a() {}\nstruct S;\nimpl S { fn b(&self, n: usize) -> usize { n } }\nimpl Clone for S { fn clone(&self) -> S { S } }";
+        let toks = significant(src);
+        let fns = parse_fns(&toks);
+        let names: Vec<String> = fns.iter().map(FnItem::qualified).collect();
+        assert_eq!(names, ["a", "S::b", "S::clone"]);
+        assert!(fns[0].is_pub);
+        assert!(!fns[1].is_pub);
+        assert_eq!(fns[1].params, ["self", "n"]);
+    }
+
+    #[test]
+    fn bodyless_signatures_and_fn_types_are_skipped() {
+        let src = "trait T { fn sig(&self); fn with_default(&self) -> u32 { 1 } }\nfn takes(f: fn(usize) -> bool) -> bool { f(1) }";
+        let fns = parse_fns(&significant(src));
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["with_default", "takes"]);
+    }
+
+    #[test]
+    fn nested_fns_own_their_tokens() {
+        let src = "fn outer() { fn inner() { helper(); } inner(); }";
+        let toks = significant(src);
+        let fns = parse_fns(&toks);
+        assert_eq!(fns.len(), 2);
+        let owner = owner_map(&toks, &fns);
+        // The `helper` call token belongs to `inner`, not `outer`.
+        let helper_idx = toks
+            .iter()
+            .position(|t| t.kind == Tok::Ident("helper".into()))
+            .unwrap();
+        assert_eq!(fns[owner[helper_idx]].name, "inner");
+    }
+
+    #[test]
+    fn generic_fns_and_where_clauses_parse() {
+        let src = "pub fn g<T: Clone>(x: T) -> T where T: Default { x }";
+        let fns = parse_fns(&significant(src));
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].params, ["x"]);
+        assert!(fns[0].is_pub);
+    }
+
+    #[test]
+    fn pub_crate_counts_as_pub_and_attrs_are_skipped() {
+        let src = "#[inline]\npub(crate) fn f() {}";
+        let fns = parse_fns(&significant(src));
+        assert!(fns[0].is_pub);
+    }
+
+    #[test]
+    fn trait_impl_type_is_the_implementing_type() {
+        let src = "impl<T> fmt::Debug for serve::Engine<T> { fn fmt(&self) -> u32 { 0 } }";
+        let fns = parse_fns(&significant(src));
+        assert_eq!(fns[0].qualified(), "Engine::fmt");
+    }
+}

@@ -14,7 +14,13 @@
 //! | `D6` | no silent truncation | `as usize`/`as u32`/… narrowing casts in library code |
 //! | `P1` | panic-freedom in library code | `.unwrap()`, `.expect()`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `P2` | no unsafe | `unsafe` |
+//! | `S1` | transitive panic-freedom | `pub` fn in a panic-free crate whose call graph reaches a panic site |
+//! | `S2` | deadlock-freedom | lock-order cycles; blocking I/O under an engine lock |
+//! | `S3` | escape-hatch contracts | config hatch used by library code but referenced by no test |
 //! | `A0` | suppression hygiene | malformed `cmmf-lint: allow(..)` comments |
+//!
+//! `S1`–`S3` are the call-graph passes (see [`crate::passes`]); the rest are
+//! token-stream patterns.
 //!
 //! A finding is suppressed by a comment of the form
 //! `// cmmf-lint: allow(P1) -- reason text` on the same line, or on its own
@@ -47,13 +53,23 @@ pub enum RuleId {
     P1,
     /// No `unsafe` anywhere.
     P2,
+    /// No `pub` fn in a panic-free crate may transitively reach a panic
+    /// site (call-graph pass).
+    S1,
+    /// No lock-order cycles; no blocking I/O while holding an engine lock
+    /// (call-graph pass).
+    S2,
+    /// Every result-affecting escape hatch must be referenced by a test
+    /// (call-graph pass).
+    S3,
     /// Malformed suppression comment (engine-level hygiene rule).
     A0,
 }
 
 impl RuleId {
-    /// All pattern rules, in report order (`A0` is emitted by the engine).
-    pub const ALL: [RuleId; 9] = [
+    /// All rules, in report order (`S1`–`S3` are call-graph passes; `A0` is
+    /// emitted by the engine).
+    pub const ALL: [RuleId; 12] = [
         RuleId::D1,
         RuleId::D2,
         RuleId::D3,
@@ -62,6 +78,9 @@ impl RuleId {
         RuleId::D6,
         RuleId::P1,
         RuleId::P2,
+        RuleId::S1,
+        RuleId::S2,
+        RuleId::S3,
         RuleId::A0,
     ];
 
@@ -76,6 +95,9 @@ impl RuleId {
             RuleId::D6 => "D6",
             RuleId::P1 => "P1",
             RuleId::P2 => "P2",
+            RuleId::S1 => "S1",
+            RuleId::S2 => "S2",
+            RuleId::S3 => "S3",
             RuleId::A0 => "A0",
         }
     }
@@ -96,6 +118,9 @@ impl RuleId {
             RuleId::D6 => "narrowing `as` casts truncate silently; use checked conversions",
             RuleId::P1 => "library code must propagate Result, not panic",
             RuleId::P2 => "unsafe code is banned workspace-wide",
+            RuleId::S1 => "pub API of panic-free crates must not reach a panic site",
+            RuleId::S2 => "lock acquisition order must be acyclic; no I/O under engine locks",
+            RuleId::S3 => "every escape hatch needs an on/off equivalence test",
             RuleId::A0 => "suppression comments need a rule list and a reason",
         }
     }
@@ -186,14 +211,36 @@ const PANIC_FREE: [&str; 13] = [
 ///   widening `u8 as usize` fires too); the fix is the same either way —
 ///   `usize::from` / `usize::try_from` — or a reasoned allow where the
 ///   truncation is the point.
+/// * `S1`: like `P1`, library code of the `PANIC_FREE` crates — reachability
+///   roots are `pub` functions there (the pass itself enforces the `pub`
+///   part).
+/// * `S2`, `S3`: library code only, any crate — the lock-order graph and
+///   escape-hatch tallies span the whole workspace; the I-O-under-lock half
+///   of `S2` is further restricted to [`s2_io_guarded`] crates.
 pub fn rule_enabled(rule: RuleId, pkg: &str, class: FileClass, in_test: bool) -> bool {
     match rule {
         RuleId::P2 | RuleId::D3 | RuleId::D4 | RuleId::A0 => true,
         RuleId::D1 => RESULT_AFFECTING.contains(&pkg) || pkg == "cmmf-trace",
         RuleId::D5 => RESULT_AFFECTING.contains(&pkg),
         RuleId::D2 => !CLOCK_OWNERS.contains(&pkg) && class == FileClass::Lib && !in_test,
-        RuleId::P1 | RuleId::D6 => PANIC_FREE.contains(&pkg) && class == FileClass::Lib && !in_test,
+        RuleId::P1 | RuleId::D6 | RuleId::S1 => {
+            PANIC_FREE.contains(&pkg) && class == FileClass::Lib && !in_test
+        }
+        RuleId::S2 | RuleId::S3 => class == FileClass::Lib && !in_test,
     }
+}
+
+/// Whether `pkg`'s library code is under the panic-free policy (`P1`/`S1`).
+pub fn panic_free(pkg: &str) -> bool {
+    PANIC_FREE.contains(&pkg)
+}
+
+/// Crates where holding a lock across blocking I/O is an `S2` finding. Only
+/// the session daemon qualifies: its engine locks gate request latency for
+/// every connected client. The trace crate deliberately writes JSONL while
+/// holding its own output lock — serialized writes *are* its design.
+pub fn s2_io_guarded(pkg: &str) -> bool {
+    pkg == "cmmf-serve"
 }
 
 /// The one file sanctioned to use `f32`: the mixed-precision screen, whose
@@ -539,5 +586,32 @@ mod tests {
             assert!(rule_enabled(RuleId::D3, pkg, FileClass::Benches, true));
             assert!(rule_enabled(RuleId::D4, pkg, FileClass::Examples, true));
         }
+        // S1 follows the panic-free set; S2/S3 cover all library code.
+        assert!(rule_enabled(
+            RuleId::S1,
+            "cmmf-serve",
+            FileClass::Lib,
+            false
+        ));
+        assert!(!rule_enabled(
+            RuleId::S1,
+            "cmmf-bench",
+            FileClass::Lib,
+            false
+        ));
+        assert!(!rule_enabled(RuleId::S1, "cmmf-gp", FileClass::Lib, true));
+        assert!(rule_enabled(
+            RuleId::S2,
+            "cmmf-bench",
+            FileClass::Lib,
+            false
+        ));
+        assert!(!rule_enabled(RuleId::S2, "cmmf", FileClass::Tests, false));
+        assert!(rule_enabled(RuleId::S3, "cmmf", FileClass::Lib, false));
+        // The I/O half of S2 is serve-only; trace owns its output lock.
+        assert!(s2_io_guarded("cmmf-serve"));
+        assert!(!s2_io_guarded("cmmf-trace"));
+        assert!(panic_free("cmmf-lint"));
+        assert!(!panic_free("cmmf-criterion"));
     }
 }

@@ -1,0 +1,86 @@
+//! Rule self-coverage: every registered rule must ship a positive, a
+//! negative, and a suppressed fixture, so a new rule cannot land unfixtured.
+//!
+//! Fixtures live in `crates/lint/fixtures/` (outside any `src/` tree, so the
+//! workspace walker never lints them) and are named
+//! `<rule>_{positive,negative,suppressed}.rs`, lowercase. `A0` is the one
+//! exception: a suppressed malformed-suppression is a contradiction in
+//! terms, so it is covered by the single `a0_malformed.rs`.
+
+use crate::rules::{FileClass, RuleId};
+use crate::{scan_source, LintError};
+use std::path::Path;
+
+/// Checks the fixture directory against the rule registry. Returns the list
+/// of coverage problems (empty = fully covered). Fixtures are scanned as
+/// library code of the umbrella crate `cmmf`, which every rule's policy row
+/// covers.
+pub fn fixture_coverage(dir: &Path) -> Result<Vec<String>, LintError> {
+    let mut problems = Vec::new();
+
+    let read = |name: &str| -> Result<Option<String>, LintError> {
+        let path = dir.join(name);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        std::fs::read_to_string(&path)
+            .map(Some)
+            .map_err(|e| LintError::Io { path, source: e })
+    };
+
+    for rule in RuleId::ALL {
+        if rule == RuleId::A0 {
+            let name = "a0_malformed.rs";
+            match read(name)? {
+                None => problems.push(format!("missing fixture {name}")),
+                Some(src) => {
+                    let report = scan_source(&src, "cmmf", FileClass::Lib, name);
+                    if !report.findings.iter().any(|f| f.rule == RuleId::A0) {
+                        problems.push(format!("{name}: expected at least one A0 finding"));
+                    }
+                }
+            }
+            continue;
+        }
+        let stem = rule.id().to_lowercase();
+        for kind in ["positive", "negative", "suppressed"] {
+            let name = format!("{stem}_{kind}.rs");
+            let Some(src) = read(&name)? else {
+                problems.push(format!("missing fixture {name}"));
+                continue;
+            };
+            let report = scan_source(&src, "cmmf", FileClass::Lib, &name);
+            let hits = report.findings.iter().filter(|f| f.rule == rule).count();
+            match kind {
+                "positive" => {
+                    if hits == 0 {
+                        problems.push(format!(
+                            "{name}: expected at least one {} finding",
+                            rule.id()
+                        ));
+                    }
+                }
+                "negative" => {
+                    if hits > 0 {
+                        problems.push(format!(
+                            "{name}: expected no {} findings, got {hits}",
+                            rule.id()
+                        ));
+                    }
+                }
+                _ => {
+                    if hits > 0 {
+                        problems.push(format!(
+                            "{name}: expected all {} findings suppressed, got {hits}",
+                            rule.id()
+                        ));
+                    }
+                    if report.suppressed == 0 {
+                        problems.push(format!("{name}: expected a suppressed match"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(problems)
+}

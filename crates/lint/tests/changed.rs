@@ -1,0 +1,136 @@
+//! `--changed` filtering semantics: token findings stay file-local, `S1`/
+//! `S2` findings follow the reverse call-graph closure of the changed set
+//! (a changed callee can break its callers' invariants), and `S3` is always
+//! global (deleting a test file is exactly the change that must not pass).
+
+use cmmf_lint::rules::{FileClass, RuleId};
+use cmmf_lint::{scan_sources, scan_sources_changed, SourceSpec};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A miniature serve-shaped workspace: a persistence helper doing file I/O,
+/// an engine whose `submit` calls it under a lock (the S2 finding), and an
+/// unrelated module.
+fn specs() -> Vec<SourceSpec> {
+    let persist = SourceSpec {
+        pkg: "cmmf-serve".to_string(),
+        class: FileClass::Lib,
+        path: "crates/serve/src/persist.rs".to_string(),
+        src: "pub fn persist(p: &std::path::Path) -> std::io::Result<()> {\n    \
+              std::fs::write(p, b\"x\")\n}\n"
+            .to_string(),
+    };
+    let engine = SourceSpec {
+        pkg: "cmmf-serve".to_string(),
+        class: FileClass::Lib,
+        path: "crates/serve/src/engine2.rs".to_string(),
+        src: "pub struct E {\n    state: std::sync::Mutex<u32>,\n}\n\nimpl E {\n    \
+              pub fn submit(&self, p: &std::path::Path) -> std::io::Result<()> {\n        \
+              let g = self.state.lock().unwrap_or_else(|e| e.into_inner());\n        \
+              persist(p)\n    }\n}\n"
+            .to_string(),
+    };
+    let other = SourceSpec {
+        pkg: "cmmf-serve".to_string(),
+        class: FileClass::Lib,
+        path: "crates/serve/src/other.rs".to_string(),
+        src: "pub fn unrelated() -> u64 {\n    7\n}\n".to_string(),
+    };
+    vec![persist, engine, other]
+}
+
+fn changed(paths: &[&str]) -> BTreeSet<String> {
+    paths.iter().map(|p| p.to_string()).collect()
+}
+
+#[test]
+fn full_scan_sees_the_io_under_lock() {
+    let r = scan_sources(&specs(), &BTreeMap::new());
+    let s2: Vec<(&str, u32)> = r
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleId::S2)
+        .map(|f| (f.path.as_str(), f.line))
+        .collect();
+    assert_eq!(s2, [("crates/serve/src/engine2.rs", 8)], "{:?}", r.findings);
+}
+
+#[test]
+fn a_changed_callee_keeps_its_callers_findings() {
+    // Only the I/O helper changed — but submit's finding must survive,
+    // because the change is what makes (or keeps) it blocking.
+    let r = scan_sources_changed(
+        &specs(),
+        &BTreeMap::new(),
+        &changed(&["crates/serve/src/persist.rs"]),
+    );
+    assert!(
+        r.findings
+            .iter()
+            .any(|f| f.rule == RuleId::S2 && f.path == "crates/serve/src/engine2.rs"),
+        "{:?}",
+        r.findings
+    );
+    // The scan still covered the whole set (the graph is global).
+    assert_eq!(r.files_scanned, 3);
+}
+
+#[test]
+fn an_unrelated_change_drops_the_finding() {
+    let r = scan_sources_changed(
+        &specs(),
+        &BTreeMap::new(),
+        &changed(&["crates/serve/src/other.rs"]),
+    );
+    assert!(r.findings.is_empty(), "{:?}", r.findings);
+}
+
+#[test]
+fn token_findings_filter_to_changed_files_only() {
+    let mut all = specs();
+    all.push(SourceSpec {
+        pkg: "cmmf".to_string(),
+        class: FileClass::Lib,
+        path: "crates/core/src/cache.rs".to_string(),
+        src: "pub struct C {\n    pub map: std::collections::HashMap<u32, u32>,\n}\n".to_string(),
+    });
+    let kept = scan_sources_changed(
+        &all,
+        &BTreeMap::new(),
+        &changed(&["crates/core/src/cache.rs"]),
+    );
+    assert!(kept.findings.iter().any(|f| f.rule == RuleId::D1));
+    let dropped = scan_sources_changed(
+        &all,
+        &BTreeMap::new(),
+        &changed(&["crates/serve/src/other.rs"]),
+    );
+    assert!(
+        !dropped.findings.iter().any(|f| f.rule == RuleId::D1),
+        "{:?}",
+        dropped.findings
+    );
+}
+
+#[test]
+fn s3_findings_survive_any_changed_set() {
+    // An uncovered hatch reports regardless of which files changed — the
+    // uncovering change may be a deletion, which never appears in the
+    // scanned set at all.
+    let lib = SourceSpec {
+        pkg: "cmmf".to_string(),
+        class: FileClass::Lib,
+        path: "crates/core/src/config.rs".to_string(),
+        src: "pub struct CmmfConfig {\n    pub async_slots: usize,\n}\n".to_string(),
+    };
+    let r = scan_sources_changed(
+        &[lib],
+        &BTreeMap::new(),
+        &changed(&["crates/serve/src/other.rs"]),
+    );
+    assert_eq!(
+        r.findings.iter().filter(|f| f.rule == RuleId::S3).count(),
+        1,
+        "{:?}",
+        r.findings
+    );
+}

@@ -275,6 +275,110 @@ fn p2_suppressed_by_reasoned_allow() {
     assert_eq!(r.suppressed, 1);
 }
 
+// ---------------------------------------------------------------- S1
+
+#[test]
+fn s1_fires_on_transitive_panic_reach_and_hot_path_indexing() {
+    let r = scan_as_core(include_str!("../fixtures/s1_positive.rs"), "s1_pos");
+    // `entry` (line 4) reaches `helper`'s unwrap two hops down; `hot`
+    // (line 17) is annotated `cmmf-lint: hot-path` and indexes unchecked.
+    assert_eq!(lines(&r, RuleId::S1), [4, 17], "{:?}", r.findings);
+    // The direct panic site still carries its own P1 finding; S1 does not
+    // double-report the site function itself.
+    assert_eq!(lines(&r, RuleId::P1), [13]);
+    // The transitive finding names the chain and the site.
+    let entry = r
+        .findings
+        .iter()
+        .find(|f| f.rule == RuleId::S1)
+        .expect("S1");
+    assert!(
+        entry.message.contains("entry -> middle -> helper"),
+        "{}",
+        entry.message
+    );
+    assert!(
+        entry.message.contains("`unwrap` at s1_pos:13"),
+        "{}",
+        entry.message
+    );
+}
+
+#[test]
+fn s1_silent_on_result_propagation_and_checked_lookup() {
+    let r = scan_as_core(include_str!("../fixtures/s1_negative.rs"), "s1_neg");
+    assert_eq!(count(&r, RuleId::S1), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn s1_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/s1_suppressed.rs"), "s1_sup");
+    assert_eq!(count(&r, RuleId::S1), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
+#[test]
+fn s1_exempt_outside_panic_free_library_code() {
+    let src = include_str!("../fixtures/s1_positive.rs");
+    let r = scan_source(src, "cmmf-bench", FileClass::Lib, "s1_bench");
+    assert_eq!(
+        count(&r, RuleId::S1),
+        0,
+        "cmmf-bench is not panic-free-gated"
+    );
+    let r = scan_source(src, "cmmf", FileClass::Tests, "s1_tests");
+    assert_eq!(count(&r, RuleId::S1), 0, "tests are exempt");
+}
+
+// ---------------------------------------------------------------- S2
+
+#[test]
+fn s2_fires_on_reversed_lock_pairs() {
+    let r = scan_as_core(include_str!("../fixtures/s2_positive.rs"), "s2_pos");
+    // Both cycle edges report, each at the second acquisition of its path.
+    assert_eq!(lines(&r, RuleId::S2), [15, 21], "{:?}", r.findings);
+}
+
+#[test]
+fn s2_silent_on_consistent_order_and_io_after_release() {
+    let src = include_str!("../fixtures/s2_negative.rs");
+    let r = scan_as_core(src, "s2_neg");
+    assert_eq!(count(&r, RuleId::S2), 0, "{:?}", r.findings);
+    // Even under serve's I/O-under-lock policy: the guard's block closes
+    // before the read.
+    let r = scan_source(src, "cmmf-serve", FileClass::Lib, "s2_neg_serve");
+    assert_eq!(count(&r, RuleId::S2), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn s2_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/s2_suppressed.rs"), "s2_sup");
+    assert_eq!(count(&r, RuleId::S2), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 2);
+}
+
+// ---------------------------------------------------------------- S3
+
+#[test]
+fn s3_fires_on_an_untested_escape_hatch() {
+    let r = scan_as_core(include_str!("../fixtures/s3_positive.rs"), "s3_pos");
+    assert_eq!(lines(&r, RuleId::S3), [5], "{:?}", r.findings);
+    assert_eq!(r.findings[0].excerpt, "indexed_eipv");
+}
+
+#[test]
+fn s3_silent_when_a_test_names_the_hatch() {
+    let r = scan_as_core(include_str!("../fixtures/s3_negative.rs"), "s3_neg");
+    assert_eq!(count(&r, RuleId::S3), 0, "{:?}", r.findings);
+}
+
+#[test]
+fn s3_suppressed_by_reasoned_allow() {
+    let r = scan_as_core(include_str!("../fixtures/s3_suppressed.rs"), "s3_sup");
+    assert_eq!(count(&r, RuleId::S3), 0, "{:?}", r.findings);
+    assert_eq!(r.suppressed, 1);
+}
+
 // ---------------------------------------------------------------- A0
 
 #[test]
@@ -296,7 +400,50 @@ fn a_hashmap_introduced_into_core_is_caught() {
     assert_eq!(r.findings[0].line, 2);
     // The JSON report carries the finding with its stable schema.
     let json = r.to_json();
-    assert!(json.contains("\"schema_version\":1"));
+    assert!(json.contains("\"schema_version\":2"));
     assert!(json.contains("\"rule\":\"D1\""));
+    assert!(json.contains("\"D1\":1"));
     assert!(json.contains("crates/core/src/injected.rs"));
+}
+
+#[test]
+fn a_reversed_lock_pair_in_serve_is_caught() {
+    // Second acceptance demo: pasting a reversed lock pair (plus a read
+    // under a lock) into the serve crate produces S2 findings — in CI, a
+    // red build via the `lint` job plus `workspace_is_clean`.
+    let src = include_str!("../fixtures/s2_positive.rs");
+    let r = scan_source(
+        src,
+        "cmmf-serve",
+        FileClass::Lib,
+        "crates/serve/src/injected.rs",
+    );
+    // Both cycle edges, plus the I/O-under-lock read (serve is I/O-guarded).
+    assert_eq!(lines(&r, RuleId::S2), [15, 21, 27], "{:?}", r.findings);
+}
+
+#[test]
+fn a_deleted_escape_hatch_test_is_caught() {
+    // Third acceptance demo: with the equivalence test present the hatch is
+    // covered; deleting the test file makes the scan fail.
+    use cmmf_lint::{scan_sources, SourceSpec};
+    use std::collections::BTreeMap;
+    let lib = SourceSpec {
+        pkg: "cmmf".to_string(),
+        class: FileClass::Lib,
+        path: "crates/core/src/config.rs".to_string(),
+        src: "pub struct CmmfConfig {\n    pub mixed_precision: bool,\n}\n".to_string(),
+    };
+    let test = SourceSpec {
+        pkg: "cmmf".to_string(),
+        class: FileClass::Tests,
+        path: "crates/core/tests/equivalence.rs".to_string(),
+        src: "#[test]\nfn mixed_precision_on_off() {\n    let mixed_precision = true;\n    assert!(mixed_precision);\n}\n".to_string(),
+    };
+    let covered = scan_sources(&[lib.clone(), test], &BTreeMap::new());
+    assert_eq!(count(&covered, RuleId::S3), 0, "{:?}", covered.findings);
+    let uncovered = scan_sources(&[lib], &BTreeMap::new());
+    assert_eq!(count(&uncovered, RuleId::S3), 1, "{:?}", uncovered.findings);
+    assert_eq!(uncovered.findings[0].excerpt, "mixed_precision");
+    assert_eq!(uncovered.findings[0].line, 2);
 }

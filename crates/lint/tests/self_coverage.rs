@@ -1,0 +1,17 @@
+//! Rule self-coverage gate: every registered rule ID must ship a positive,
+//! a negative, and a suppressed fixture (`A0`: the single malformed-allow
+//! fixture), so a new rule cannot land unfixtured. The same check runs in
+//! CI as `cmmf-lint --smoke`.
+
+use std::path::Path;
+
+#[test]
+fn every_rule_has_positive_negative_and_suppressed_fixtures() {
+    let dir = Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures"));
+    let problems = cmmf_lint::selfcheck::fixture_coverage(dir).expect("fixture dir readable");
+    assert!(
+        problems.is_empty(),
+        "fixture coverage gaps:\n{}",
+        problems.join("\n")
+    );
+}

@@ -10,6 +10,9 @@ fn workspace_root() -> &'static Path {
 
 #[test]
 fn workspace_is_clean() {
+    // Covers the token rules AND the three call-graph passes (S1
+    // panic-reachability, S2 lock-order, S3 contract-coverage): all of them
+    // feed the same report, so zero findings here pins all of them at zero.
     let report = cmmf_lint::scan_workspace(workspace_root()).expect("workspace scan");
     assert!(
         report.findings.is_empty(),
@@ -35,8 +38,17 @@ fn workspace_is_clean() {
 fn workspace_report_json_is_stable_and_parsable_shape() {
     let report = cmmf_lint::scan_workspace(workspace_root()).expect("workspace scan");
     let json = report.to_json();
-    assert!(json.starts_with("{\"schema_version\":1,\"files_scanned\":"));
+    assert!(json.starts_with("{\"schema_version\":2,\"files_scanned\":"));
     assert!(json.ends_with("]}"));
+    // Schema v2: per-rule counts, every registered rule present (all zero on
+    // a clean tree), in report order.
+    assert!(
+        json.contains(
+            "\"rule_counts\":{\"D1\":0,\"D2\":0,\"D3\":0,\"D4\":0,\"D5\":0,\"D6\":0,\
+             \"P1\":0,\"P2\":0,\"S1\":0,\"S2\":0,\"S3\":0,\"A0\":0}"
+        ),
+        "{json}"
+    );
     // Two scans of the same tree are byte-identical (deterministic walker,
     // sorted findings) — the linter holds itself to the workspace's bar.
     let again = cmmf_lint::scan_workspace(workspace_root()).expect("workspace rescan");

@@ -195,16 +195,38 @@ impl Engine {
                 cap: self.shared.cfg.capacity,
             });
         }
-        persist_job(&paths, &spec)?;
+        // Reserve the slot under the lock, then persist with the lock
+        // released — `persist_job` is a blocking write, and holding `state`
+        // across it would stall every status/list/submit on disk latency
+        // (the linter's S2 pass flags exactly that). The reserved entry
+        // keeps admission atomic: a concurrent identical submit attaches,
+        // a different spec is rejected, and the capacity count sees it.
         let subscribers = subscriber.into_iter().collect();
         state.sessions.insert(
             key.clone(),
             SessionEntry {
-                spec,
+                spec: spec.clone(),
                 state: SessionState::Queued,
                 subscribers,
             },
         );
+        drop(state);
+        if let Err(e) = persist_job(&paths, &spec) {
+            // Roll the reservation back; the session was never durable.
+            let mut state = lock_state(&self.shared);
+            state.sessions.remove(&key);
+            self.shared.done.notify_all();
+            return Err(e);
+        }
+        let mut state = lock_state(&self.shared);
+        if state.stop {
+            // Shutdown began while persisting: withdraw the reservation.
+            // The job.json stays on disk, so `recover` re-enqueues it on
+            // the next start — the same contract as a crash after admit.
+            state.sessions.remove(&key);
+            self.shared.done.notify_all();
+            return Err(ServeError::ShuttingDown);
+        }
         state.queue.push_back(key);
         self.shared.wake.notify_one();
         Ok(SessionState::Queued)
